@@ -1,0 +1,163 @@
+package nezha
+
+// One testing.B benchmark per paper table/figure, running the
+// experiment at reduced (Quick) scale so `go test -bench=.` finishes
+// in minutes. Key result numbers are attached via b.ReportMetric.
+// Full-size runs: go run ./cmd/nezha-bench -exp all.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"nezha/internal/experiments"
+)
+
+// runQuick executes the experiment once per benchmark iteration and
+// reports the named cells from its first table.
+func runQuick(b *testing.B, id string, metricCells map[string]string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	var last *experiments.Result
+	for i := 0; i < b.N; i++ {
+		last = e.Run(experiments.RunConfig{Seed: 42, Quick: true})
+	}
+	if last == nil || len(last.Tables) == 0 {
+		return
+	}
+	t := last.Tables[0]
+	col := func(name string) int {
+		for i, h := range t.Header {
+			if h == name {
+				return i
+			}
+		}
+		return -1
+	}
+	for rowKey, colName := range metricCells {
+		ci := col(colName)
+		if ci < 0 {
+			continue
+		}
+		for _, row := range t.Rows {
+			if row[0] == rowKey && ci < len(row) {
+				if v, err := strconv.ParseFloat(row[ci], 64); err == nil {
+					b.ReportMetric(v, metricName(rowKey+"_"+colName))
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFig2HighCPSUtilization(b *testing.B) {
+	runQuick(b, "fig2", map[string]string{"its vSwitch": "p50%"})
+}
+
+func BenchmarkFig3HotspotDistribution(b *testing.B) {
+	runQuick(b, "fig3", map[string]string{"CPS": "share%"})
+}
+
+func BenchmarkFig4UtilizationCDF(b *testing.B) {
+	runQuick(b, "fig4", map[string]string{"CPU": "p9999%", "memory": "p9999%"})
+}
+
+func BenchmarkTable1UsageDistribution(b *testing.B) {
+	runQuick(b, "table1", map[string]string{"P50": "CPS%"})
+}
+
+func BenchmarkFig9GainVsFEs(b *testing.B) {
+	runQuick(b, "fig9", map[string]string{"4": "CPS-gain"})
+}
+
+func BenchmarkFig10CPSVsVCPUs(b *testing.B) {
+	runQuick(b, "fig10", map[string]string{"64": "Nezha/base"})
+}
+
+func BenchmarkFig11OffloadScaling(b *testing.B) {
+	runQuick(b, "fig11", map[string]string{"offloads": "value", "scale-outs": "value"})
+}
+
+func BenchmarkFig12LatencyVsLoad(b *testing.B) {
+	runQuick(b, "fig12", map[string]string{"1.20": "lat-us(Nezha)"})
+}
+
+func BenchmarkTable3MiddleboxGains(b *testing.B) {
+	runQuick(b, "table3", map[string]string{"NAT gateway": "CPS-gain"})
+}
+
+func BenchmarkTable4OffloadCompletion(b *testing.B) {
+	runQuick(b, "table4", map[string]string{"avg": "measured-ms", "P99": "measured-ms"})
+}
+
+func BenchmarkFig13DailyOverloads(b *testing.B) {
+	runQuick(b, "fig13", map[string]string{"CPS": "after/day"})
+}
+
+func BenchmarkFig14FailoverLoss(b *testing.B) {
+	runQuick(b, "fig14", map[string]string{"surge duration (s)": "value"})
+}
+
+func BenchmarkFig15StateSizes(b *testing.B) {
+	runQuick(b, "fig15", map[string]string{"avg state size": "bytes"})
+}
+
+func BenchmarkTable5DeploymentCost(b *testing.B) {
+	runQuick(b, "table5", map[string]string{"software development (P-M)": "Nezha"})
+}
+
+func BenchmarkTableA1RuleLookup(b *testing.B) {
+	runQuick(b, "tablea1", map[string]string{"64": "0-rules(Mpps)"})
+}
+
+func BenchmarkFigA1MigrationDowntime(b *testing.B) {
+	runQuick(b, "figa1", nil)
+}
+
+func BenchmarkB1FEPlacement(b *testing.B) {
+	runQuick(b, "b1", map[string]string{"same ToR as BE": "lat-us(avg)", "cross ToR": "lat-us(avg)"})
+}
+
+func BenchmarkB2ScalingTest(b *testing.B) {
+	runQuick(b, "b2", map[string]string{"scaled pool fraction %": "measured"})
+}
+
+func BenchmarkAblations(b *testing.B) {
+	runQuick(b, "ablation", nil)
+}
+
+func BenchmarkRegionZipf(b *testing.B) {
+	runQuick(b, "region", map[string]string{"completed transactions": "with Nezha"})
+}
+
+func BenchmarkBandwidthOverhead(b *testing.B) {
+	runQuick(b, "overhead", map[string]string{"Nezha (4 FEs)": "relative"})
+}
+
+// metricName makes a ReportMetric-safe unit: no whitespace.
+func metricName(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case ' ', '\t', '(', ')':
+			return '-'
+		default:
+			return r
+		}
+	}, s)
+}
+
+// TestBenchmarksWired sanity-checks that every benchmark's experiment
+// id resolves (so `go test .` exercises the wiring even without -bench).
+func TestBenchmarksWired(t *testing.T) {
+	for _, id := range []string{
+		"fig2", "fig3", "fig4", "table1", "fig9", "fig10", "fig11", "fig12",
+		"table3", "table4", "fig13", "fig14", "fig15", "table5", "tablea1",
+		"figa1", "b1", "b2", "ablation", "overhead", "region",
+	} {
+		if _, ok := experiments.ByID(id); !ok {
+			t.Errorf("experiment %s missing", id)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Command nezha-sim runs one configurable load-sharing scenario and
+// prints what happened: a cluster of SmartNIC vSwitches, client VMs
+// hammering one high-demand server VM, and the Nezha controller
+// offloading, scaling, and (optionally) failing over — a narrated
+// end-to-end tour of the system.
+//
+// Usage:
+//
+//	nezha-sim [-servers 24] [-clients 8] [-cps 20000] [-duration 20s]
+//	          [-crash] [-no-nezha] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"nezha/internal/cluster"
+	"nezha/internal/controller"
+	"nezha/internal/nic"
+	"nezha/internal/packet"
+	"nezha/internal/sim"
+	"nezha/internal/tables"
+	"nezha/internal/vswitch"
+	"nezha/internal/workload"
+)
+
+func main() {
+	var (
+		servers   = flag.Int("servers", 24, "number of servers (vSwitches)")
+		nClients  = flag.Int("clients", 8, "client VMs, one per server")
+		cps       = flag.Float64("cps", 20000, "aggregate offered connections/sec")
+		duration  = flag.Duration("duration", 20*time.Second, "virtual time to simulate")
+		crash     = flag.Bool("crash", false, "crash one FE mid-run to exercise failover")
+		partition = flag.Bool("partition", false, "sever the BE-FE link to one FE mid-run (§C.1 mutual ping path)")
+		wire      = flag.Bool("wire", false, "serialize every packet through the real wire format")
+		noNezha   = flag.Bool("no-nezha", false, "disable the controller (baseline)")
+		seed      = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	const (
+		serverVNIC = 100
+		vpc        = 7
+	)
+	serverIP := packet.MakeIP(10, 0, 100, 1)
+	clientIP := func(i int) packet.IPv4 { return packet.MakeIP(10, 0, byte(1+i), 1) }
+
+	c := cluster.New(cluster.Options{
+		Servers: *servers, ServersPerToR: *servers, Seed: *seed,
+		Controller: controller.DefaultConfig(),
+		VSwitch: func(i int, cfg *vswitch.Config) {
+			cfg.Cores = 2
+			cfg.CoreHz = 500_000_000 // scaled: ~7.4K CPS monolithic
+		},
+	})
+
+	serverIdx := *nClients
+	mkServer := func() *tables.RuleSet {
+		rs := tables.NewRuleSet(serverVNIC, vpc)
+		for i := 0; i < *nClients; i++ {
+			rs.Route.Add(tables.MakePrefix(clientIP(i), 32), packet.IPv4(uint32(i+1)))
+		}
+		return rs
+	}
+	if _, err := c.AddVM(cluster.VMSpec{
+		Server: serverIdx, VNIC: serverVNIC, VPC: vpc, IP: serverIP,
+		VCPUs: 64, MakeRules: mkServer,
+	}); err != nil {
+		panic(err)
+	}
+	serverNet := tables.MakePrefix(packet.MakeIP(10, 0, 100, 0), 24)
+	var clients []*workload.VM
+	var gens []*workload.CRR
+	for i := 0; i < *nClients; i++ {
+		vnic := uint32(i + 1)
+		vm, err := c.AddVM(cluster.VMSpec{
+			Server: i, VNIC: vnic, VPC: vpc, IP: clientIP(i), VCPUs: 16,
+			MakeRules: cluster.TwoSubnetRules(vnic, vpc, serverNet, serverVNIC),
+		})
+		if err != nil {
+			panic(err)
+		}
+		clients = append(clients, vm)
+		g := workload.NewCRR(c.Loop, c.Loop.Rand(), vm, serverIP, *cps/float64(*nClients))
+		gens = append(gens, g)
+		g.Start()
+	}
+
+	if !*noNezha {
+		c.Start()
+	}
+	if *wire {
+		c.Fab.SetWireMode(true)
+	}
+
+	meter := nic.NewUtilMeter(c.Switch(serverIdx).CPU())
+	completed := func() uint64 {
+		var t uint64
+		for _, vm := range clients {
+			t += vm.Completed
+		}
+		return t
+	}
+
+	fmt.Printf("nezha-sim: %d servers, %d clients -> 1 server VM, %.0f CPS offered, nezha=%v\n\n",
+		*servers, *nClients, *cps, !*noNezha)
+	fmt.Printf("%8s %12s %10s %8s %6s %s\n", "t", "completed", "cps", "srv-cpu%", "#FEs", "state")
+
+	var lastDone uint64
+	c.Loop.Every(sim.Second, func() {
+		done := completed()
+		state := "local"
+		if c.Ctrl.Offloaded(serverVNIC) {
+			state = "offloaded"
+		}
+		fmt.Printf("%8s %12d %10d %7.1f%% %6d %s\n",
+			c.Loop.Now(), done, done-lastDone,
+			meter.Sample()*100, len(c.Ctrl.FEsOf(serverVNIC)), state)
+		lastDone = done
+	})
+
+	if *crash {
+		c.Loop.Schedule(sim.Duration(*duration)/2, func() {
+			fes := c.Ctrl.FEsOf(serverVNIC)
+			if len(fes) == 0 {
+				fmt.Println("-- no FEs to crash --")
+				return
+			}
+			for _, vs := range c.Switches {
+				if vs.Addr() == fes[0] {
+					vs.Crash()
+					fmt.Printf("-- crashed FE %v --\n", vs.Addr())
+					return
+				}
+			}
+		})
+	}
+
+	if *partition {
+		c.Loop.Schedule(sim.Duration(*duration)/2, func() {
+			fes := c.Ctrl.FEsOf(serverVNIC)
+			if len(fes) == 0 {
+				fmt.Println("-- no FEs to partition --")
+				return
+			}
+			be := cluster.ServerAddr(serverIdx)
+			c.Fab.Partition(be, fes[0])
+			fmt.Printf("-- severed link BE %v <-> FE %v --\n", be, fes[0])
+		})
+	}
+
+	c.Loop.Run(sim.Duration(*duration))
+	for _, g := range gens {
+		g.Stop()
+	}
+
+	fmt.Printf("\nsummary:\n")
+	fmt.Printf("  completed transactions: %d\n", completed())
+	fmt.Printf("  offloads=%d scale-outs=%d scale-ins=%d failovers=%d fallbacks=%d\n",
+		c.Ctrl.Stats.Offloads, c.Ctrl.Stats.ScaleOuts, c.Ctrl.Stats.ScaleIns,
+		c.Ctrl.Stats.Failovers, c.Ctrl.Stats.Fallbacks)
+	if n := c.Ctrl.OffloadCompletion.Count(); n > 0 {
+		fmt.Printf("  offload completion: avg %.0f ms, P99 %.0f ms\n",
+			c.Ctrl.OffloadCompletion.Mean(), c.Ctrl.OffloadCompletion.P99())
+	}
+	var drops, overload uint64
+	for _, vs := range c.Switches {
+		drops += vs.Stats.TotalDrops()
+		overload += vs.Stats.Drops[vswitch.DropOverload]
+	}
+	fmt.Printf("  drops: total %d (overload %d)\n", drops, overload)
+}

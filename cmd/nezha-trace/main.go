@@ -1,0 +1,81 @@
+// Command nezha-trace emits the synthetic region telemetry behind
+// Figs 2–4, Table 1 and Fig 15 as CSV, for plotting with any tool.
+//
+// Usage:
+//
+//	nezha-trace -what cpu -n 10000 > cpu.csv
+//	nezha-trace -what fig2 -n 2000 > vm_vs_vswitch.csv
+//
+// what: cpu | mem | fig2 | hotspots | usage-cps | usage-flows |
+// usage-vnics | statesize | migration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nezha/internal/trace"
+)
+
+func main() {
+	var (
+		what = flag.String("what", "cpu", "which dataset to emit")
+		n    = flag.Int("n", 10000, "number of samples")
+		seed = flag.Int64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	r := trace.NewRegion(*seed, *n)
+	w := os.Stdout
+	switch *what {
+	case "cpu":
+		fmt.Fprintln(w, "cpu_util_pct")
+		for i := 0; i < *n; i++ {
+			fmt.Fprintf(w, "%.4f\n", r.VSwitchCPU()*100)
+		}
+	case "mem":
+		fmt.Fprintln(w, "mem_util_pct")
+		for i := 0; i < *n; i++ {
+			fmt.Fprintf(w, "%.4f\n", r.VSwitchMem()*100)
+		}
+	case "fig2":
+		fmt.Fprintln(w, "vm_cpu_pct,vswitch_cpu_pct")
+		for _, p := range r.HighCPSVMs(*n) {
+			fmt.Fprintf(w, "%.4f,%.4f\n", p.VMCPU*100, p.VSwitchCPU*100)
+		}
+	case "hotspots":
+		fmt.Fprintln(w, "cause,count")
+		d := r.HotspotDistribution(*n)
+		for c := trace.OverloadCPS; c <= trace.OverloadVNICs; c++ {
+			fmt.Fprintf(w, "%s,%d\n", c, d[c])
+		}
+	case "usage-cps", "usage-flows", "usage-vnics":
+		kind := map[string]int{"usage-cps": 0, "usage-flows": 1, "usage-vnics": 2}[*what]
+		h := r.UsageDistribution(kind, *n)
+		fmt.Fprintln(w, "quantile,normalized_pct")
+		for _, q := range []float64{0.50, 0.90, 0.99, 0.999, 0.9999} {
+			fmt.Fprintf(w, "%.4f,%.4f\n", q, 100*h.Quantile(q)/h.P9999())
+		}
+	case "statesize":
+		h := r.StateSizes(*n)
+		fmt.Fprintln(w, "metric,bytes")
+		fmt.Fprintf(w, "avg,%.2f\np50,%.2f\np99,%.2f\nmax,%.2f\n", h.Mean(), h.P50(), h.P99(), h.Max())
+	case "migration":
+		fmt.Fprintln(w, "vcpus,mem_gb,downtime_ms,total_s")
+		shapes := [][2]int{{4, 16}, {8, 32}, {16, 64}, {32, 128}, {64, 256}, {104, 512}, {104, 1024}}
+		per := *n / len(shapes)
+		if per < 1 {
+			per = 1
+		}
+		for _, sh := range shapes {
+			for i := 0; i < per; i++ {
+				s := r.MigrationDowntime(sh[0], sh[1])
+				fmt.Fprintf(w, "%d,%d,%.2f,%.2f\n", s.VCPUs, s.MemGB, s.DowntimeMS, s.TotalSec)
+			}
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -what %q\n", *what)
+		os.Exit(2)
+	}
+}

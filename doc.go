@@ -1,0 +1,20 @@
+// Package nezha is a from-scratch Go reproduction of "Nezha:
+// SmartNIC-Based Virtual Switch Load Sharing" (SIGCOMM 2025): a
+// discrete-event simulated datacenter of SmartNIC vSwitches, the
+// Nezha distributed load-sharing datapath (vNIC backends keeping
+// session state in one local copy, stateless frontends holding rule
+// tables and cached flows), its control plane, health monitoring, the
+// paper's comparators, and a harness regenerating every table and
+// figure in the paper's evaluation.
+//
+// Start with README.md; the per-experiment index lives in DESIGN.md;
+// paper-vs-measured results live in EXPERIMENTS.md. The root-level
+// benchmarks (bench_test.go) run reduced-scale versions of each
+// experiment:
+//
+//	go test -bench=. -benchmem .
+//
+// Full-size runs:
+//
+//	go run ./cmd/nezha-bench -exp all
+package nezha

@@ -1,0 +1,115 @@
+// Failover: kill an FE and watch Nezha recover — §4.4 live.
+//
+// A server vNIC is offloaded to 4 FEs carrying steady traffic. One FE
+// crashes. The centralized monitor's ping polling misses three probes
+// (~1.5 s), declares the crash, and the controller evicts the dead FE
+// from the BE config and the gateway and adds a replacement to keep
+// the 4-FE floor. The event prints as a per-100ms loss-rate timeline.
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"nezha/internal/cluster"
+	"nezha/internal/packet"
+	"nezha/internal/sim"
+	"nezha/internal/tables"
+	"nezha/internal/vswitch"
+	"nezha/internal/workload"
+)
+
+func main() {
+	const (
+		nClients   = 6
+		serverVNIC = 100
+		vpc        = 1
+	)
+	serverIP := packet.MakeIP(10, 0, 9, 1)
+	clientIP := func(i int) packet.IPv4 { return packet.MakeIP(10, 0, byte(1+i), 1) }
+
+	c := cluster.New(cluster.Options{
+		Servers: nClients + 1 + 8, ServersPerToR: 32, Seed: 3,
+		VSwitch: func(i int, cfg *vswitch.Config) {
+			cfg.Cores = 2
+			cfg.CoreHz = 500_000_000
+		},
+	})
+	serverIdx := nClients
+	if _, err := c.AddVM(cluster.VMSpec{
+		Server: serverIdx, VNIC: serverVNIC, VPC: vpc, IP: serverIP, VCPUs: 64,
+		MakeRules: func() *tables.RuleSet {
+			rs := tables.NewRuleSet(serverVNIC, vpc)
+			for i := 0; i < nClients; i++ {
+				rs.Route.Add(tables.MakePrefix(clientIP(i), 32), packet.IPv4(uint32(i+1)))
+			}
+			return rs
+		},
+	}); err != nil {
+		panic(err)
+	}
+	serverNet := tables.MakePrefix(packet.MakeIP(10, 0, 9, 0), 24)
+	for i := 0; i < nClients; i++ {
+		vnic := uint32(i + 1)
+		vm, err := c.AddVM(cluster.VMSpec{
+			Server: i, VNIC: vnic, VPC: vpc, IP: clientIP(i), VCPUs: 16,
+			MakeRules: cluster.TwoSubnetRules(vnic, vpc, serverNet, serverVNIC),
+		})
+		if err != nil {
+			panic(err)
+		}
+		workload.NewClosedCRR(c.Loop, vm, serverIP, 8, 100*sim.Millisecond).Start()
+	}
+
+	c.Start()
+	if err := c.Ctrl.ForceOffload(serverVNIC); err != nil {
+		panic(err)
+	}
+	c.Loop.Run(4 * sim.Second) // offload settles
+
+	fmt.Printf("offloaded to %d FEs: %v\n\n", len(c.Ctrl.FEsOf(serverVNIC)), c.Ctrl.FEsOf(serverVNIC))
+	fmt.Println("time     loss-rate  (each # is 1% of packets lost in that 100ms)")
+
+	var lastLost, lastSent uint64
+	snap := func() (uint64, uint64) {
+		lost := c.Fab.Lost
+		for _, vs := range c.Switches {
+			lost += vs.Stats.Drops[vswitch.DropCrashed]
+		}
+		return lost, c.Fab.Delivered + c.Fab.Lost
+	}
+	lastLost, lastSent = snap()
+	t0 := c.Loop.Now()
+	c.Loop.Every(100*sim.Millisecond, func() {
+		lost, sent := snap()
+		dl, ds := lost-lastLost, sent-lastSent
+		lastLost, lastSent = lost, sent
+		rate := 0.0
+		if ds > 0 {
+			rate = float64(dl) / float64(ds)
+		}
+		bar := strings.Repeat("#", int(rate*100))
+		fmt.Printf("%7.1fs  %6.2f%%   %s\n", (c.Loop.Now() - t0).Seconds(), rate*100, bar)
+	})
+
+	// Crash one pool-hosted FE at t0+1s.
+	c.Loop.Schedule(sim.Second, func() {
+		fes := c.Ctrl.FEsOf(serverVNIC)
+		for _, a := range fes {
+			for i := serverIdx + 1; i < len(c.Switches); i++ {
+				if c.Switch(i).Addr() == a {
+					c.Switch(i).Crash()
+					fmt.Printf("          >>> FE %v crashed <<<\n", a)
+					return
+				}
+			}
+		}
+	})
+	c.Loop.Run(t0 + 6*sim.Second)
+
+	fmt.Printf("\nfailovers=%d, pool back to %d FEs: %v\n",
+		c.Ctrl.Stats.Failovers, len(c.Ctrl.FEsOf(serverVNIC)), c.Ctrl.FEsOf(serverVNIC))
+	fmt.Println("the loss window is the 3-probe detection (~1.5s) plus config propagation — ~2s, as §6.3.4 reports")
+}

@@ -1,0 +1,117 @@
+// Efficient VM live migration with Nezha — the §7.2 capability.
+//
+// Moving a VM traditionally means copying its memory AND re-creating
+// its vNIC (rule tables take seconds to configure) AND waiting for
+// the global routing table to converge (tens of ms of loss, hairpin
+// flows on the source). With the vNIC already offloaded, none of that
+// is on the critical path: the FEs keep the rule tables, the gateway
+// keeps pointing at the FEs, and redirecting traffic is a single
+// BE-location update on each FE — effective in under a millisecond.
+//
+//	go run ./examples/livemigration
+package main
+
+import (
+	"fmt"
+
+	"nezha/internal/fabric"
+	"nezha/internal/packet"
+	"nezha/internal/sim"
+	"nezha/internal/tables"
+	"nezha/internal/trace"
+	"nezha/internal/vswitch"
+)
+
+const (
+	vpc        = 7
+	clientVNIC = 1
+	serverVNIC = 2
+)
+
+var (
+	addrClient = packet.MakeIP(192, 168, 0, 1)
+	addrOld    = packet.MakeIP(192, 168, 0, 2) // migration source
+	addrNew    = packet.MakeIP(192, 168, 0, 3) // migration target
+	addrFE1    = packet.MakeIP(192, 168, 1, 1)
+	addrFE2    = packet.MakeIP(192, 168, 1, 2)
+	clientIP   = packet.MakeIP(10, 0, 1, 1)
+	serverIP   = packet.MakeIP(10, 0, 2, 1)
+)
+
+func serverRules() *tables.RuleSet {
+	rs := tables.NewRuleSet(serverVNIC, vpc)
+	rs.Route.Add(tables.MakePrefix(packet.MakeIP(10, 0, 1, 0), 24), packet.IPv4(clientVNIC))
+	return rs
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+func main() {
+	loop := sim.NewLoop(1)
+	fab := fabric.New(loop)
+	gw := fabric.NewGateway(loop)
+
+	vsClient := vswitch.New(loop, fab, gw, vswitch.Config{Addr: addrClient})
+	vsOld := vswitch.New(loop, fab, gw, vswitch.Config{Addr: addrOld})
+	vsNew := vswitch.New(loop, fab, gw, vswitch.Config{Addr: addrNew})
+	fe1 := vswitch.New(loop, fab, gw, vswitch.Config{Addr: addrFE1})
+	fe2 := vswitch.New(loop, fab, gw, vswitch.Config{Addr: addrFE2})
+
+	crs := tables.NewRuleSet(clientVNIC, vpc)
+	crs.Route.Add(tables.MakePrefix(packet.MakeIP(10, 0, 2, 0), 24), packet.IPv4(serverVNIC))
+	must(vsClient.AddVNIC(crs, false))
+	gw.Set(clientVNIC, addrClient)
+
+	// The server vNIC lives on vsOld, offloaded to two FEs.
+	must(vsOld.AddVNIC(serverRules(), false))
+	must(fe1.InstallFE(serverRules(), addrOld, false))
+	must(fe2.InstallFE(serverRules(), addrOld, false))
+	must(vsOld.OffloadStart(serverVNIC, []packet.IPv4{addrFE1, addrFE2}))
+	gw.Set(serverVNIC, addrFE1, addrFE2)
+	must(vsOld.OffloadFinalize(serverVNIC))
+
+	oldGot, newGot := 0, 0
+	vsOld.SetDelivery(func(v uint32, p *packet.Packet, l sim.Time) { oldGot++ })
+	vsNew.SetDelivery(func(v uint32, p *packet.Packet, l sim.Time) { newGot++ })
+
+	send := func(id uint64, sport uint16) {
+		ft := packet.FiveTuple{SrcIP: clientIP, DstIP: serverIP, SrcPort: sport, DstPort: 80, Proto: packet.ProtoTCP}
+		p := packet.New(id, vpc, clientVNIC, ft, packet.DirTX, packet.FlagSYN, 64)
+		vsClient.FromVM(p)
+		loop.RunAll()
+	}
+
+	fmt.Println("VM live migration under Nezha (§7.2)")
+	fmt.Println()
+	send(1, 1000)
+	fmt.Printf("before migration: packet 1 -> old host (old=%d new=%d)\n", oldGot, newGot)
+
+	// --- Migrate the VM: the hypervisor copies memory etc.; on the
+	// network side the ONLY steps are standing up the BE role at the
+	// target and flipping the BE location on each FE.
+	t0 := loop.Now()
+	must(vsNew.AddVNIC(serverRules(), false))
+	must(vsNew.OffloadStart(serverVNIC, []packet.IPv4{addrFE1, addrFE2}))
+	must(vsNew.OffloadFinalize(serverVNIC))
+	must(fe1.SetBELocation(serverVNIC, addrNew))
+	must(fe2.SetBELocation(serverVNIC, addrNew))
+	vsOld.RemoveVNIC(serverVNIC)
+	redirect := loop.Now() - t0
+	fmt.Printf("\nnetwork redirection took %v of virtual time (config-only, <1 ms; §7.2)\n", redirect)
+
+	// No gateway update needed: the vNIC still resolves to its FEs.
+	send(2, 1001)
+	send(3, 1002)
+	fmt.Printf("after migration:  packets 2,3 -> new host (old=%d new=%d)\n", oldGot, newGot)
+
+	fmt.Println()
+	r := trace.NewRegion(1, 0)
+	s := r.MigrationDowntime(104, 1024)
+	fmt.Printf("contrast (Fig A1): migrating a 104-vCPU/1TB VM's rule tables + routes the\n")
+	fmt.Printf("traditional way costs ~%.0f ms of downtime in a ~%.0f-minute migration;\n", s.DowntimeMS, s.TotalSec/60)
+	fmt.Println("with Nezha the vNIC's tables never move — they were already on the FEs.")
+}

@@ -1,0 +1,3 @@
+module nezha
+
+go 1.22

@@ -1,0 +1,74 @@
+package baseline
+
+// Table 5's deployment cost comparison is not something a simulator
+// can measure — it is an engineering-economics model. This file
+// encodes the paper's published person-month figures together with
+// the structural reasons behind them, so the benchmark harness can
+// print the table with its derivation instead of bare constants.
+
+// DeploymentCost quantifies what it takes to field a solution.
+type DeploymentCost struct {
+	Name string
+	// Person-months.
+	HardwareDevPM float64
+	SoftwareDevPM float64
+	IterationPM   float64
+	// Scale-out lead time to a new region, days.
+	ScaleOutMinDays float64
+	ScaleOutMaxDays float64
+	// NewDevices reports whether new hardware enters the DC.
+	NewDevices bool
+	// Rationale summarizes where the numbers come from.
+	Rationale string
+}
+
+// TotalPM sums the person-month line items.
+func (d DeploymentCost) TotalPM() float64 {
+	return d.HardwareDevPM + d.SoftwareDevPM + d.IterationPM
+}
+
+// SailfishCost reproduces Table 5's Sailfish column: a new Tofino
+// gateway device needs chip selection, board design, prototype
+// testing, security assessment and performance work (hardware), full
+// gateway functionality from scratch (software), dedicated staffing
+// for iteration, and physical rollout (racks, wiring, procurement)
+// when scaling out.
+func SailfishCost() DeploymentCost {
+	return DeploymentCost{
+		Name:            "Sailfish",
+		HardwareDevPM:   100,
+		SoftwareDevPM:   48,
+		IterationPM:     20,
+		ScaleOutMinDays: 30,
+		ScaleOutMaxDays: 90,
+		NewDevices:      true,
+		Rationale: "new Tofino device: chip selection, design, prototyping, " +
+			"security assessment, perf optimization; full gateway software; " +
+			"rack/wiring/procurement for every new region",
+	}
+}
+
+// NezhaCost reproduces Table 5's Nezha column: existing SmartNICs are
+// reused (no hardware work), under 5% of the existing vSwitch code is
+// modified (15 P-M), the existing vSwitch team absorbs iteration, and
+// scale-out is a cluster-level grey software release (1–7 days).
+func NezhaCost() DeploymentCost {
+	return DeploymentCost{
+		Name:            "Nezha",
+		HardwareDevPM:   0,
+		SoftwareDevPM:   15,
+		IterationPM:     0,
+		ScaleOutMinDays: 1,
+		ScaleOutMaxDays: 7,
+		NewDevices:      false,
+		Rationale: "reuses deployed SmartNICs; modifies <5% of vSwitch code; " +
+			"vSwitch team iterates as part of normal work; scale-out is a " +
+			"grey software release",
+	}
+}
+
+// DevEffortRatio returns Nezha's development effort as a fraction of
+// Sailfish's (the paper quotes ~10%).
+func DevEffortRatio() float64 {
+	return NezhaCost().TotalPM() / SailfishCost().TotalPM()
+}

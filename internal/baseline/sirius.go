@@ -1,0 +1,201 @@
+// Package baseline implements the comparators the paper positions
+// Nezha against (Table 2, §8): a Sirius-style dedicated DPU pool with
+// primary-backup in-line state replication and bucket-based load
+// balancing, a Sailfish-style stateless-only offloader, and the
+// Table 5 deployment cost model. The monolithic "local-only" baseline
+// needs no code — it is a Nezha cluster with offloading disabled.
+package baseline
+
+import (
+	"nezha/internal/nic"
+	"nezha/internal/sim"
+)
+
+// SiriusConfig sizes a Sirius-style pool.
+type SiriusConfig struct {
+	// Cards is the number of DPUs in the shared pool.
+	Cards int
+	// CoreHz and Cores size each DPU (Pensando-class: beefier than a
+	// server SmartNIC).
+	Cores  int
+	CoreHz uint64
+	// ConnCycles is the slow-path cost of a new connection on a card.
+	ConnCycles uint64
+	// ReplicateCycles is the cost of absorbing an in-line replica of
+	// a state change on the secondary.
+	ReplicateCycles uint64
+	// Buckets is the fixed hash-bucket count flows map onto.
+	Buckets int
+	// MaxQueueDelay bounds card queueing.
+	MaxQueueDelay sim.Time
+}
+
+// DefaultSiriusConfig mirrors the scaled simulation units used by the
+// benches: per-connection cost identical to an FE's slow path so the
+// comparison isolates the replication and state-placement design.
+func DefaultSiriusConfig(cards int) SiriusConfig {
+	return SiriusConfig{
+		Cards:           cards,
+		Cores:           nic.DefaultCores,
+		CoreHz:          nic.DefaultCoreHz,
+		ConnCycles:      135_000,
+		ReplicateCycles: 135_000, // ping-pong: the secondary re-runs state install in-line
+		Buckets:         64,
+		MaxQueueDelay:   nic.DefaultMaxQueueDelay,
+	}
+}
+
+// SiriusPool models the Sirius datapath at connection granularity:
+// each new connection is processed on its bucket's primary card and
+// replicated in-line to the paired secondary before it is considered
+// established — which is why "the NF capacity halves" for CPS (§1).
+type SiriusPool struct {
+	loop  *sim.Loop
+	cfg   SiriusConfig
+	cards []*nic.CPU
+	// bucket -> card index; the pair (i, i+1 mod N) is primary and
+	// secondary.
+	buckets []int
+	// flowsPerBucket tracks live flows for the state-transfer
+	// accounting on bucket moves.
+	flowsPerBucket []int
+
+	// Counters.
+	Established    uint64
+	Dropped        uint64
+	Replications   uint64
+	StateTransfers uint64
+}
+
+// NewSiriusPool builds the pool.
+func NewSiriusPool(loop *sim.Loop, cfg SiriusConfig) *SiriusPool {
+	if cfg.Cards < 2 {
+		cfg.Cards = 2
+	}
+	p := &SiriusPool{
+		loop:           loop,
+		cfg:            cfg,
+		buckets:        make([]int, cfg.Buckets),
+		flowsPerBucket: make([]int, cfg.Buckets),
+	}
+	for i := 0; i < cfg.Cards; i++ {
+		p.cards = append(p.cards, nic.NewCPU(loop, cfg.Cores, cfg.CoreHz, cfg.MaxQueueDelay))
+	}
+	for b := range p.buckets {
+		p.buckets[b] = b % cfg.Cards
+	}
+	return p
+}
+
+// Cards exposes the card CPUs (for utilization meters).
+func (p *SiriusPool) Cards() []*nic.CPU { return p.cards }
+
+// NewConnection processes one connection setup: slow path on the
+// primary, then in-line replication on the secondary. The replica
+// rides the datapath between the paired cards with priority, so it is
+// never dropped at admission — its cost is what halves the pool's CPS
+// capacity. done fires when both halves complete.
+func (p *SiriusPool) NewConnection(flowHash uint64, done func(ok bool)) {
+	b := int(flowHash % uint64(len(p.buckets)))
+	primary := p.cards[p.buckets[b]]
+	secondary := p.cards[(p.buckets[b]+1)%len(p.cards)]
+	primary.Submit(p.cfg.ConnCycles, func(ok bool, _ sim.Time) {
+		if !ok {
+			p.Dropped++
+			if done != nil {
+				done(false)
+			}
+			return
+		}
+		// Ping-pong the state change to the secondary in-line.
+		p.Replications++
+		secondary.SubmitPriority(p.cfg.ReplicateCycles, func(_ sim.Time) {
+			p.Established++
+			p.flowsPerBucket[b]++
+			if done != nil {
+				done(true)
+			}
+		})
+	})
+}
+
+// FlowDone retires a flow from its bucket.
+func (p *SiriusPool) FlowDone(flowHash uint64) {
+	b := int(flowHash % uint64(len(p.buckets)))
+	if p.flowsPerBucket[b] > 0 {
+		p.flowsPerBucket[b]--
+	}
+}
+
+// MoveBucket reassigns a bucket to a new card (load balancing). New
+// flows land on the new card immediately; flows still live on the old
+// card are the long-lived ones whose state must eventually transfer
+// (§8) — counted here.
+func (p *SiriusPool) MoveBucket(bucket, newCard int) {
+	if bucket < 0 || bucket >= len(p.buckets) || newCard < 0 || newCard >= len(p.cards) {
+		return
+	}
+	if p.buckets[bucket] == newCard {
+		return
+	}
+	p.StateTransfers += uint64(p.flowsPerBucket[bucket])
+	p.buckets[bucket] = newCard
+}
+
+// NezhaPoolView models the same pool of cards operated Nezha-style:
+// stateless FEs with the single state copy elsewhere, so a connection
+// costs one card one slow path and nothing else — the ablation
+// partner for the replication halving.
+type NezhaPoolView struct {
+	loop  *sim.Loop
+	cards []*nic.CPU
+	cost  uint64
+
+	Established uint64
+	Dropped     uint64
+}
+
+// NewNezhaPoolView builds the comparison pool with identical cards.
+func NewNezhaPoolView(loop *sim.Loop, cfg SiriusConfig) *NezhaPoolView {
+	v := &NezhaPoolView{loop: loop, cost: cfg.ConnCycles}
+	for i := 0; i < cfg.Cards; i++ {
+		v.cards = append(v.cards, nic.NewCPU(loop, cfg.Cores, cfg.CoreHz, cfg.MaxQueueDelay))
+	}
+	return v
+}
+
+// NewConnection processes one connection setup on the hashed card.
+func (v *NezhaPoolView) NewConnection(flowHash uint64, done func(ok bool)) {
+	card := v.cards[flowHash%uint64(len(v.cards))]
+	card.Submit(v.cost, func(ok bool, _ sim.Time) {
+		if ok {
+			v.Established++
+		} else {
+			v.Dropped++
+		}
+		if done != nil {
+			done(ok)
+		}
+	})
+}
+
+// SailfishModel captures the stateless-only offloader: only the
+// stateless fraction of NF work can move to the Tofino, so the
+// achievable CPS gain is bounded by Amdahl over the stateful
+// remainder (Table 2's "stateful NF support: no").
+type SailfishModel struct {
+	// StatelessFraction is the share of per-connection vSwitch work
+	// that is stateless (offloadable to the switch ASIC).
+	StatelessFraction float64
+}
+
+// SpeedupCPS returns the CPS multiplier when the stateless fraction
+// is fully offloaded and the stateful remainder stays on the local
+// vSwitch.
+func (m SailfishModel) SpeedupCPS() float64 {
+	rem := 1 - m.StatelessFraction
+	if rem <= 0 {
+		return 1e9 // fully stateless: unbounded by the vSwitch
+	}
+	return 1 / rem
+}

@@ -1,0 +1,213 @@
+// Package cluster assembles a simulated region: servers with
+// SmartNIC vSwitches under a ToR/agg topology, tenant VMs, the
+// gateway, the Nezha controller, and the centralized health monitor.
+// The experiment harness and the examples build scenarios on top of
+// this package.
+package cluster
+
+import (
+	"fmt"
+
+	"nezha/internal/controller"
+	"nezha/internal/fabric"
+	"nezha/internal/monitor"
+	"nezha/internal/packet"
+	"nezha/internal/sim"
+	"nezha/internal/tables"
+	"nezha/internal/vswitch"
+	"nezha/internal/workload"
+)
+
+// Options configures a cluster.
+type Options struct {
+	// Servers is the number of vSwitch-bearing servers.
+	Servers int
+	// ServersPerToR groups servers into racks (default 16).
+	ServersPerToR int
+	// Seed drives all randomness.
+	Seed int64
+	// VSwitch optionally mutates each server's vSwitch config
+	// (addresses and ToR are filled in by the cluster).
+	VSwitch func(i int, cfg *vswitch.Config)
+	// Controller overrides the control-plane policy (zero value =
+	// defaults).
+	Controller controller.Config
+	// Monitor overrides the health-check policy (zero value =
+	// defaults).
+	Monitor monitor.Config
+	// SweepInterval paces session-table aging sweeps (default 1s).
+	SweepInterval sim.Time
+}
+
+// Cluster is a running simulated region.
+type Cluster struct {
+	Loop *sim.Loop
+	Fab  *fabric.Fabric
+	GW   *fabric.Gateway
+	Ctrl *controller.Controller
+	Mon  *monitor.Monitor
+
+	Switches []*vswitch.VSwitch
+	IDGen    uint64
+
+	vms map[packet.IPv4]map[uint32]*workload.VM // per-switch vnic -> VM
+}
+
+// ServerAddr returns the underlay address of server i.
+func ServerAddr(i int) packet.IPv4 {
+	return packet.MakeIP(10, 1, byte(i/250), byte(i%250+1))
+}
+
+// MonitorAddr is the health monitor's address.
+var MonitorAddr = packet.MakeIP(10, 0, 0, 254)
+
+// New builds a cluster. The controller and monitor are constructed
+// but not started; call Start.
+func New(opts Options) *Cluster {
+	if opts.Servers <= 0 {
+		opts.Servers = 8
+	}
+	if opts.ServersPerToR <= 0 {
+		opts.ServersPerToR = 16
+	}
+	if opts.SweepInterval <= 0 {
+		opts.SweepInterval = sim.Second
+	}
+	c := &Cluster{
+		Loop: sim.NewLoop(opts.Seed),
+		vms:  make(map[packet.IPv4]map[uint32]*workload.VM),
+	}
+	c.Fab = fabric.New(c.Loop)
+	c.GW = fabric.NewGateway(c.Loop)
+
+	ctrlCfg := opts.Controller
+	if ctrlCfg.InitialFEs == 0 {
+		ctrlCfg = controller.DefaultConfig()
+	}
+	c.Ctrl = controller.New(c.Loop, c.GW, ctrlCfg)
+
+	monCfg := opts.Monitor
+	if monCfg.ProbeInterval == 0 {
+		monCfg = monitor.DefaultConfig(MonitorAddr)
+	}
+	c.Mon = monitor.New(c.Loop, c.Fab, monCfg, c.Ctrl.NodeDown)
+
+	for i := 0; i < opts.Servers; i++ {
+		cfg := vswitch.Config{
+			Addr: ServerAddr(i),
+			ToR:  i / opts.ServersPerToR,
+		}
+		if opts.VSwitch != nil {
+			opts.VSwitch(i, &cfg)
+		}
+		vs := vswitch.New(c.Loop, c.Fab, c.GW, cfg)
+		vs.SetDelivery(c.dispatch(vs.Addr()))
+		c.Switches = append(c.Switches, vs)
+		c.Ctrl.RegisterNode(vs)
+		c.Mon.Watch(vs.Addr())
+	}
+
+	// Periodic session aging sweeps.
+	c.Loop.Every(opts.SweepInterval, func() {
+		for _, vs := range c.Switches {
+			vs.SweepSessions()
+		}
+	})
+	return c
+}
+
+// Start kicks off the controller and monitor loops, plus the BE-side
+// FE connectivity pings (§C.1) at a lower frequency than the central
+// monitor's probes.
+func (c *Cluster) Start() {
+	c.Ctrl.Start()
+	c.Mon.Start()
+	for _, vs := range c.Switches {
+		vs := vs
+		vs.StartMutualPing(2*sim.Second, 3, func(fe packet.IPv4) {
+			c.Ctrl.LinkDown(vs.Addr(), fe)
+		})
+	}
+}
+
+func (c *Cluster) dispatch(addr packet.IPv4) vswitch.Delivery {
+	return func(vnic uint32, p *packet.Packet, lat sim.Time) {
+		if byVNIC, ok := c.vms[addr]; ok {
+			if vm, ok := byVNIC[vnic]; ok {
+				vm.OnDeliver(vnic, p, lat)
+			}
+		}
+	}
+}
+
+// VMSpec describes a tenant VM and its vNIC.
+type VMSpec struct {
+	Server    int
+	VNIC, VPC uint32
+	IP        packet.IPv4
+	VCPUs     int
+	// MakeRules builds the vNIC's rule tables; it is also handed to
+	// the controller for FE configuration and must return equivalent
+	// fresh copies on every call.
+	MakeRules func() *tables.RuleSet
+	// Decap enables stateful decapsulation.
+	Decap bool
+	// KernelScale scales the VM kernel capacity (0 or 1 = unscaled);
+	// scaled-down experiment rigs use it to keep the production
+	// VM-to-vSwitch capability ratio.
+	KernelScale float64
+}
+
+// AddVM installs a vNIC + VM on a server and registers it with the
+// gateway and controller.
+func (c *Cluster) AddVM(spec VMSpec) (*workload.VM, error) {
+	if spec.Server < 0 || spec.Server >= len(c.Switches) {
+		return nil, fmt.Errorf("cluster: server %d out of range", spec.Server)
+	}
+	vs := c.Switches[spec.Server]
+	if err := vs.AddVNIC(spec.MakeRules(), spec.Decap); err != nil {
+		return nil, err
+	}
+	c.GW.Set(spec.VNIC, vs.Addr())
+	c.Ctrl.RegisterVNIC(controller.VNICInfo{
+		VNIC:      spec.VNIC,
+		Home:      vs.Addr(),
+		MakeRules: spec.MakeRules,
+		Decap:     spec.Decap,
+	})
+	vm := workload.NewVM(c.Loop, vs, spec.VNIC, spec.VPC, spec.IP, spec.VCPUs, &c.IDGen)
+	if spec.KernelScale > 0 && spec.KernelScale != 1 {
+		vm.ScaleKernel(spec.KernelScale)
+	}
+	byVNIC, ok := c.vms[vs.Addr()]
+	if !ok {
+		byVNIC = make(map[uint32]*workload.VM)
+		c.vms[vs.Addr()] = byVNIC
+	}
+	byVNIC[spec.VNIC] = vm
+	return vm, nil
+}
+
+// Switch returns server i's vSwitch.
+func (c *Cluster) Switch(i int) *vswitch.VSwitch { return c.Switches[i] }
+
+// TotalDrops sums packet drops across the region, optionally filtered
+// by reason.
+func (c *Cluster) TotalDrops(reason vswitch.DropReason) uint64 {
+	var t uint64
+	for _, vs := range c.Switches {
+		t += vs.Stats.Drops[reason]
+	}
+	return t
+}
+
+// TwoSubnetRules builds the standard bidirectional routing used by
+// the experiments: vnic's VM lives in ownNet, the peer vNIC in
+// peerNet.
+func TwoSubnetRules(vnic, vpc uint32, peerNet tables.Prefix, peerVNIC uint32) func() *tables.RuleSet {
+	return func() *tables.RuleSet {
+		rs := tables.NewRuleSet(vnic, vpc)
+		rs.Route.Add(peerNet, packet.IPv4(peerVNIC))
+		return rs
+	}
+}

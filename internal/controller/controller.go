@@ -1,0 +1,729 @@
+// Package controller implements Nezha's control plane (§4): periodic
+// utilization monitoring, seamless vNIC offload and fallback through
+// the dual-running → final stage workflow, FE selection (same-ToR
+// idle vSwitches with similar attributes), remote-pool scale-out and
+// scale-in per the Fig 8 thresholds, and failover on FE crashes
+// reported by the health monitor.
+package controller
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"nezha/internal/fabric"
+	"nezha/internal/metrics"
+	"nezha/internal/nic"
+	"nezha/internal/packet"
+	"nezha/internal/sim"
+	"nezha/internal/tables"
+	"nezha/internal/vswitch"
+)
+
+// Config holds the control-plane policy knobs, defaulting to the
+// paper's production values.
+type Config struct {
+	// OffloadThreshold triggers remote offloading of local vNICs
+	// (70%, Fig 8).
+	OffloadThreshold float64
+	// ScaleThreshold triggers scale-out/in of the FE pool (40%).
+	ScaleThreshold float64
+	// SafeLevel is the utilization offloading aims to get under.
+	SafeLevel float64
+	// IdleBar is the maximum utilization for an FE candidate.
+	IdleBar float64
+	// InitialFEs is the starting FE count (4, Appendix B.2).
+	InitialFEs int
+	// MinFEs is the floor maintained through failover (4, §4.4).
+	MinFEs int
+	// ReportInterval is how often vSwitches report utilization.
+	ReportInterval sim.Time
+	// ConfigPushMu/Sigma parameterize the lognormal per-FE config
+	// push delay; completion times (Table 4) derive from the slowest
+	// push plus the learning interval.
+	ConfigPushMu    float64
+	ConfigPushSigma float64
+	// RTTAllowance pads the dual-running stage beyond the learning
+	// interval before deleting BE tables ("200ms + RTT", §4.2.1).
+	RTTAllowance sim.Time
+	// FallbackCheckInterval paces fallback evaluation; 0 disables
+	// automatic fallback.
+	FallbackCheckInterval sim.Time
+	// ScaleCooldown is the minimum spacing between scale-outs of one
+	// vNIC's pool, covering config pushes and the learning interval
+	// so a single pressure episode scales once (Fig 11: 4 → 8).
+	ScaleCooldown sim.Time
+	// BadLinkTTL is how long a BE-FE pair reported unreachable by the
+	// mutual ping (§C.1) is kept out of FE selection for that BE —
+	// without it, replenishment happily re-picks the partitioned FE.
+	BadLinkTTL sim.Time
+}
+
+// DefaultConfig returns the production-calibrated policy.
+func DefaultConfig() Config {
+	return Config{
+		OffloadThreshold:      0.70,
+		ScaleThreshold:        0.40,
+		SafeLevel:             0.40,
+		IdleBar:               0.30,
+		InitialFEs:            4,
+		MinFEs:                4,
+		ReportInterval:        500 * sim.Millisecond,
+		ConfigPushMu:          -0.54, // lognormal: median ~0.58 s
+		ConfigPushSigma:       0.40,
+		RTTAllowance:          5 * sim.Millisecond,
+		FallbackCheckInterval: 10 * sim.Second,
+		ScaleCooldown:         3 * sim.Second,
+		BadLinkTTL:            60 * sim.Second,
+	}
+}
+
+// VNICInfo describes a manageable vNIC to the controller.
+type VNICInfo struct {
+	VNIC uint32
+	// Home is the server hosting the vNIC's VM (its BE).
+	Home packet.IPv4
+	// MakeRules builds a fresh copy of the vNIC's rule tables, used
+	// to configure FE instances and fallback.
+	MakeRules func() *tables.RuleSet
+	// Decap marks stateful decapsulation (§5.2).
+	Decap bool
+}
+
+type nodeState struct {
+	vs    *vswitch.VSwitch
+	meter *nic.UtilMeter
+
+	lastLocal, lastRemote uint64
+	cpuUtil               float64
+	memUtil               float64
+	remoteShare           float64
+
+	fronted map[uint32]bool // vNICs this node serves as FE
+	down    bool
+}
+
+type vnicState struct {
+	VNICInfo
+	offloaded  bool
+	inProgress bool
+	fes        []packet.IPv4
+	memTrigger bool     // offload was triggered by memory, not CPU
+	lastScale  sim.Time // last scale-out, for the cooldown
+	scaling    bool     // a scale-out is in flight
+}
+
+// Events counts control-plane actions for the experiments.
+type Events struct {
+	Offloads  uint64
+	Fallbacks uint64
+	ScaleOuts uint64
+	ScaleIns  uint64
+	Failovers uint64
+	FEsAdded  uint64
+}
+
+// Controller is the centralized Nezha control plane.
+type Controller struct {
+	loop *sim.Loop
+	gw   *fabric.Gateway
+	rng  *sim.Rand
+	cfg  Config
+
+	nodes map[packet.IPv4]*nodeState
+	vnics map[uint32]*vnicState
+	// badLinks[home][fe] records when the BE at home last reported fe
+	// unreachable (§C.1).
+	badLinks map[packet.IPv4]map[packet.IPv4]sim.Time
+
+	ticker *sim.Ticker
+
+	// OffloadCompletion records, per offload, the time from trigger
+	// until all traffic flows through the FEs (Table 4).
+	OffloadCompletion *metrics.Histogram
+	Stats             Events
+}
+
+// New builds a controller.
+func New(loop *sim.Loop, gw *fabric.Gateway, cfg Config) *Controller {
+	if cfg.InitialFEs == 0 {
+		cfg = DefaultConfig()
+	}
+	return &Controller{
+		loop:              loop,
+		gw:                gw,
+		rng:               sim.NewRand(int64(loop.Rand().Uint64())),
+		cfg:               cfg,
+		nodes:             make(map[packet.IPv4]*nodeState),
+		vnics:             make(map[uint32]*vnicState),
+		badLinks:          make(map[packet.IPv4]map[packet.IPv4]sim.Time),
+		OffloadCompletion: metrics.NewHistogram("offload-completion-ms"),
+	}
+}
+
+// RegisterNode adds a vSwitch to the managed fleet.
+func (c *Controller) RegisterNode(vs *vswitch.VSwitch) {
+	c.nodes[vs.Addr()] = &nodeState{
+		vs:      vs,
+		meter:   nic.NewUtilMeter(vs.CPU()),
+		fronted: make(map[uint32]bool),
+	}
+}
+
+// RegisterVNIC makes a vNIC manageable (it must already be installed
+// at its home vSwitch and present in the gateway).
+func (c *Controller) RegisterVNIC(info VNICInfo) {
+	c.vnics[info.VNIC] = &vnicState{VNICInfo: info}
+}
+
+// Start begins the periodic monitoring/decision loop.
+func (c *Controller) Start() {
+	c.ticker = c.loop.Every(c.cfg.ReportInterval, c.tick)
+	if c.cfg.FallbackCheckInterval > 0 {
+		c.loop.Every(c.cfg.FallbackCheckInterval, c.checkFallbacks)
+	}
+}
+
+// Stop halts the decision loop.
+func (c *Controller) Stop() {
+	if c.ticker != nil {
+		c.ticker.Stop()
+	}
+}
+
+// Offloaded reports whether the controller considers vnic offloaded.
+func (c *Controller) Offloaded(vnic uint32) bool {
+	v, ok := c.vnics[vnic]
+	return ok && v.offloaded
+}
+
+// FEsOf returns the FE addresses serving an offloaded vNIC.
+func (c *Controller) FEsOf(vnic uint32) []packet.IPv4 {
+	if v, ok := c.vnics[vnic]; ok {
+		return append([]packet.IPv4(nil), v.fes...)
+	}
+	return nil
+}
+
+// NodeUtil returns the last sampled CPU utilization for a node
+// (for experiments).
+func (c *Controller) NodeUtil(addr packet.IPv4) float64 {
+	if n, ok := c.nodes[addr]; ok {
+		return n.cpuUtil
+	}
+	return 0
+}
+
+// tick samples every node and applies the Fig 8 decision tree.
+func (c *Controller) tick() {
+	for _, n := range c.nodes {
+		if n.down {
+			continue
+		}
+		n.cpuUtil = n.meter.Sample()
+		n.memUtil = n.vs.MemUtilization()
+		local, remote := n.vs.CyclesLocal(), n.vs.CyclesRemote()
+		dl, dr := local-n.lastLocal, remote-n.lastRemote
+		n.lastLocal, n.lastRemote = local, remote
+		if dl+dr > 0 {
+			n.remoteShare = float64(dr) / float64(dl+dr)
+		} else {
+			n.remoteShare = 0
+		}
+	}
+	for addr, n := range c.nodes {
+		if n.down {
+			continue
+		}
+		util := n.cpuUtil
+		if n.memUtil > util {
+			util = n.memUtil
+		}
+		if util <= c.cfg.ScaleThreshold {
+			continue
+		}
+		if n.remoteShare > 0.5 && len(n.fronted) > 0 {
+			// Hot because of hosted-FE work: scale out the pools.
+			c.scaleOutFrom(addr, n)
+			continue
+		}
+		// Hot because of local traffic.
+		if len(n.fronted) > 0 {
+			c.scaleIn(addr, n)
+		}
+		if util > c.cfg.OffloadThreshold {
+			c.offloadFrom(addr, n)
+		}
+	}
+}
+
+// --- Offload ---------------------------------------------------------
+
+// ErrNoIdleNodes reports that FE selection found no candidates.
+var ErrNoIdleNodes = errors.New("controller: no idle vSwitches available as FEs")
+
+// offloadFrom offloads vNICs from a hot node, in descending order of
+// the triggering resource, until the projection falls to SafeLevel.
+func (c *Controller) offloadFrom(addr packet.IPv4, n *nodeState) {
+	memTriggered := n.memUtil > c.cfg.OffloadThreshold && n.memUtil >= n.cpuUtil
+	loads := n.vs.VNICLoads()
+	if memTriggered {
+		sort.Slice(loads, func(i, j int) bool { return loads[i].RuleBytes > loads[j].RuleBytes })
+	} else {
+		sort.Slice(loads, func(i, j int) bool { return loads[i].Cycles > loads[j].Cycles })
+	}
+	util := n.cpuUtil
+	if memTriggered {
+		util = n.memUtil
+	}
+	totalCycles := uint64(0)
+	for _, l := range loads {
+		totalCycles += l.Cycles
+	}
+	for _, l := range loads {
+		if util <= c.cfg.SafeLevel {
+			break
+		}
+		v, ok := c.vnics[l.VNIC]
+		if !ok || v.offloaded || v.inProgress || v.Home != addr {
+			continue
+		}
+		if err := c.startOffload(v, nil); err != nil {
+			continue
+		}
+		v.memTrigger = memTriggered
+		// Project the relief: CPU relief ∝ the vNIC's cycle share;
+		// memory relief ∝ its rule bytes.
+		if memTriggered {
+			util -= float64(l.RuleBytes) / float64(1<<30)
+		} else if totalCycles > 0 {
+			util -= n.cpuUtil * float64(l.Cycles) / float64(totalCycles) * 0.85
+		}
+	}
+}
+
+// ForceOffload triggers the offload workflow for one vNIC regardless
+// of thresholds (used by experiments and operators).
+func (c *Controller) ForceOffload(vnic uint32) error {
+	v, ok := c.vnics[vnic]
+	if !ok {
+		return fmt.Errorf("controller: unknown vNIC %d", vnic)
+	}
+	if v.offloaded || v.inProgress {
+		return nil
+	}
+	return c.startOffload(v, nil)
+}
+
+// OffloadTo offloads a vNIC to an operator-chosen FE set — the §7.2
+// capabilities: steering a vNIC onto upgraded vSwitches to use a new
+// feature, or onto bug-free (older) vSwitches for cost-effective
+// fault recovery, without migrating the VM.
+func (c *Controller) OffloadTo(vnic uint32, targets []packet.IPv4) error {
+	v, ok := c.vnics[vnic]
+	if !ok {
+		return fmt.Errorf("controller: unknown vNIC %d", vnic)
+	}
+	if v.offloaded || v.inProgress {
+		return fmt.Errorf("controller: vNIC %d already offloaded or in progress", vnic)
+	}
+	if len(targets) == 0 {
+		return fmt.Errorf("controller: empty target set")
+	}
+	for _, a := range targets {
+		n, ok := c.nodes[a]
+		if !ok || n.down {
+			return fmt.Errorf("controller: target %v unavailable", a)
+		}
+		if a == v.Home {
+			return fmt.Errorf("controller: home cannot front itself")
+		}
+	}
+	return c.startOffload(v, targets)
+}
+
+func (c *Controller) pushDelay() sim.Time {
+	s := c.rng.LogNormal(c.cfg.ConfigPushMu, c.cfg.ConfigPushSigma)
+	return sim.Time(s * float64(sim.Second))
+}
+
+// selectFEs picks count idle vSwitches, preferring the BE's ToR and
+// low, similar utilization (§4.2.1, Appendix B.1).
+func (c *Controller) selectFEs(home packet.IPv4, count int, exclude map[packet.IPv4]bool) []packet.IPv4 {
+	homeToR := -1
+	if hn, ok := c.nodes[home]; ok {
+		homeToR = hn.vs.ToR()
+	}
+	type cand struct {
+		addr  packet.IPv4
+		tor   int
+		util  float64
+		vnics int
+	}
+	bad := c.badLinks[home]
+	var cands []cand
+	for addr, n := range c.nodes {
+		if addr == home || n.down || exclude[addr] {
+			continue
+		}
+		if when, isBad := bad[addr]; isBad && c.loop.Now()-when < c.cfg.BadLinkTTL {
+			continue
+		}
+		util := n.cpuUtil
+		if n.memUtil > util {
+			util = n.memUtil
+		}
+		if util > c.cfg.IdleBar {
+			continue
+		}
+		cands = append(cands, cand{addr, n.vs.ToR(), util, n.vs.NumVNICs()})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		si, sj := cands[i].tor == homeToR, cands[j].tor == homeToR
+		if si != sj {
+			return si // same-ToR first
+		}
+		// Prefer truly idle machines: fewer resident vNICs means less
+		// local traffic to collide with later.
+		if cands[i].vnics != cands[j].vnics {
+			return cands[i].vnics < cands[j].vnics
+		}
+		if cands[i].util != cands[j].util {
+			return cands[i].util < cands[j].util
+		}
+		return cands[i].addr < cands[j].addr
+	})
+	if len(cands) > count {
+		cands = cands[:count]
+	}
+	out := make([]packet.IPv4, len(cands))
+	for i, cd := range cands {
+		out[i] = cd.addr
+	}
+	return out
+}
+
+// startOffload runs the §4.2.1 two-stage workflow asynchronously.
+// targets, when non-nil, bypasses FE selection (operator-directed
+// redirection, §7.2).
+func (c *Controller) startOffload(v *vnicState, targets []packet.IPv4) error {
+	home, ok := c.nodes[v.Home]
+	if !ok {
+		return fmt.Errorf("controller: vNIC %d home %v not registered", v.VNIC, v.Home)
+	}
+	feAddrs := targets
+	if feAddrs == nil {
+		feAddrs = c.selectFEs(v.Home, c.cfg.InitialFEs, nil)
+	}
+	if len(feAddrs) == 0 {
+		return ErrNoIdleNodes
+	}
+	v.inProgress = true
+	t0 := c.loop.Now()
+
+	// Dual-running stage: 1) configure rule tables on all FEs,
+	// 2) configure BE/FE locations, 3) update the gateway.
+	var maxPush sim.Time
+	for _, fa := range feAddrs {
+		fa := fa
+		d := c.pushDelay()
+		if d > maxPush {
+			maxPush = d
+		}
+		c.loop.Schedule(d, func() {
+			fn, ok := c.nodes[fa]
+			if !ok || fn.down {
+				return
+			}
+			if err := fn.vs.InstallFE(v.MakeRules(), v.Home, v.Decap); err != nil {
+				return
+			}
+			fn.fronted[v.VNIC] = true
+		})
+	}
+	c.loop.Schedule(maxPush, func() {
+		if err := home.vs.OffloadStart(v.VNIC, feAddrs); err != nil {
+			v.inProgress = false
+			return
+		}
+		c.gw.Set(v.VNIC, feAddrs...)
+		// All traffic flows via FEs once every learner refreshes.
+		completion := c.loop.Now() + fabric.LearnInterval - t0
+		c.OffloadCompletion.Observe(completion.Millis())
+		// Final stage after the learning interval + RTT.
+		c.loop.Schedule(fabric.LearnInterval+c.cfg.RTTAllowance, func() {
+			_ = home.vs.OffloadFinalize(v.VNIC)
+			v.offloaded = true
+			v.inProgress = false
+			v.fes = feAddrs
+			c.Stats.Offloads++
+			c.Stats.FEsAdded += uint64(len(feAddrs))
+		})
+	})
+	return nil
+}
+
+// --- Scale-out / scale-in ---------------------------------------------
+
+// scaleOutFrom relieves an FE-hosting node by doubling the FE pools
+// of the vNICs it fronts (Fig 11 scales 4 → 8).
+func (c *Controller) scaleOutFrom(addr packet.IPv4, n *nodeState) {
+	for vnic := range n.fronted {
+		v, ok := c.vnics[vnic]
+		if !ok || !v.offloaded {
+			continue
+		}
+		c.scaleOut(v, len(v.fes))
+	}
+}
+
+// scaleOut adds count FEs to a vNIC's pool (§4.3). A cooldown keeps
+// one pressure episode from scaling the same pool repeatedly while
+// the configuration is still propagating.
+func (c *Controller) scaleOut(v *vnicState, count int) {
+	if count < 1 {
+		count = 1
+	}
+	now := c.loop.Now()
+	if v.scaling || (v.lastScale > 0 && now-v.lastScale < c.cfg.ScaleCooldown) {
+		return
+	}
+	exclude := map[packet.IPv4]bool{}
+	for _, fa := range v.fes {
+		exclude[fa] = true
+	}
+	newFEs := c.selectFEs(v.Home, count, exclude)
+	if len(newFEs) == 0 {
+		return
+	}
+	v.scaling = true
+	v.lastScale = now
+	var maxPush sim.Time
+	for _, fa := range newFEs {
+		fa := fa
+		d := c.pushDelay()
+		if d > maxPush {
+			maxPush = d
+		}
+		c.loop.Schedule(d, func() {
+			fn, ok := c.nodes[fa]
+			if !ok || fn.down {
+				return
+			}
+			if err := fn.vs.InstallFE(v.MakeRules(), v.Home, v.Decap); err != nil {
+				return
+			}
+			fn.fronted[v.VNIC] = true
+		})
+	}
+	c.loop.Schedule(maxPush, func() {
+		v.scaling = false
+		added := 0
+		for _, fa := range newFEs {
+			dup := false
+			for _, have := range v.fes {
+				if have == fa {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			v.fes = append(v.fes, fa)
+			c.gw.Add(v.VNIC, fa)
+			added++
+		}
+		if added == 0 {
+			return
+		}
+		if hn, ok := c.nodes[v.Home]; ok {
+			_ = hn.vs.SetFEs(v.VNIC, v.fes)
+		}
+		c.Stats.ScaleOuts++
+		c.Stats.FEsAdded += uint64(added)
+	})
+}
+
+// scaleIn removes every FE hosted on a node that now needs its
+// resources for local traffic (§4.3). The FE's rule tables are
+// retained for the learning interval + RTT before deletion.
+func (c *Controller) scaleIn(addr packet.IPv4, n *nodeState) {
+	if len(n.fronted) == 0 {
+		return
+	}
+	c.Stats.ScaleIns++
+	c.evictFEHost(addr, n, false)
+}
+
+// evictFEHost removes a node from every FE pool it participates in.
+// immediate skips the grace period (failover).
+func (c *Controller) evictFEHost(addr packet.IPv4, n *nodeState, immediate bool) {
+	for vnic := range n.fronted {
+		v, ok := c.vnics[vnic]
+		if !ok {
+			continue
+		}
+		// Remove from BE config and gateway.
+		kept := v.fes[:0]
+		for _, fa := range v.fes {
+			if fa != addr {
+				kept = append(kept, fa)
+			}
+		}
+		v.fes = kept
+		if hn, ok := c.nodes[v.Home]; ok && !hn.down {
+			_ = hn.vs.SetFEs(vnic, v.fes)
+		}
+		c.gw.Remove(vnic, addr)
+		// Below the floor: add a replacement (§4.4).
+		if v.offloaded && len(v.fes) < c.cfg.MinFEs {
+			c.scaleOut(v, c.cfg.MinFEs-len(v.fes))
+		}
+	}
+	fronted := n.fronted
+	n.fronted = make(map[uint32]bool)
+	cleanup := func() {
+		for vnic := range fronted {
+			n.vs.RemoveFE(vnic)
+		}
+	}
+	if immediate {
+		cleanup()
+		return
+	}
+	c.loop.Schedule(fabric.LearnInterval+c.cfg.RTTAllowance, cleanup)
+}
+
+// --- Failover ---------------------------------------------------------
+
+// NodeDown is invoked by the health monitor when an FE host stops
+// answering probes (§4.4).
+func (c *Controller) NodeDown(addr packet.IPv4) {
+	n, ok := c.nodes[addr]
+	if !ok || n.down {
+		return
+	}
+	n.down = true
+	c.Stats.Failovers++
+	c.evictFEHost(addr, n, true)
+}
+
+// LinkDown handles a BE-reported FE connectivity failure (§C.1):
+// the FE itself may be healthy (the central monitor still sees it),
+// but this BE cannot reach it, so it is removed from the pools of
+// vNICs homed at `home` only, with replenishment to the floor.
+func (c *Controller) LinkDown(home, fe packet.IPv4) {
+	if c.badLinks[home] == nil {
+		c.badLinks[home] = make(map[packet.IPv4]sim.Time)
+	}
+	c.badLinks[home][fe] = c.loop.Now()
+	for _, v := range c.vnics {
+		if v.Home != home || !v.offloaded {
+			continue
+		}
+		had := false
+		kept := v.fes[:0]
+		for _, a := range v.fes {
+			if a == fe {
+				had = true
+				continue
+			}
+			kept = append(kept, a)
+		}
+		if !had {
+			continue
+		}
+		v.fes = kept
+		if hn, ok := c.nodes[v.Home]; ok && !hn.down {
+			_ = hn.vs.SetFEs(v.VNIC, v.fes)
+		}
+		c.gw.Remove(v.VNIC, fe)
+		if fn, ok := c.nodes[fe]; ok {
+			delete(fn.fronted, v.VNIC)
+			fn.vs.RemoveFE(v.VNIC)
+		}
+		if len(v.fes) < c.cfg.MinFEs {
+			c.scaleOut(v, c.cfg.MinFEs-len(v.fes))
+		}
+	}
+}
+
+// NodeUp marks a node healthy again (after repair).
+func (c *Controller) NodeUp(addr packet.IPv4) {
+	if n, ok := c.nodes[addr]; ok {
+		n.down = false
+	}
+}
+
+// --- Fallback ----------------------------------------------------------
+
+// checkFallbacks returns offloaded vNICs to local processing when the
+// home vSwitch could absorb them below the safe level (§4.2.2).
+func (c *Controller) checkFallbacks() {
+	for _, v := range c.vnics {
+		if !v.offloaded || v.inProgress {
+			continue
+		}
+		hn, ok := c.nodes[v.Home]
+		if !ok || hn.down {
+			continue
+		}
+		// Estimate what the vNIC consumes remotely.
+		extra := 0.0
+		for _, fa := range v.fes {
+			fn, ok := c.nodes[fa]
+			if !ok || len(fn.fronted) == 0 {
+				continue
+			}
+			extra += fn.cpuUtil * fn.remoteShare / float64(len(fn.fronted))
+		}
+		if hn.cpuUtil+extra < c.cfg.SafeLevel && hn.memUtil < c.cfg.SafeLevel {
+			c.startFallback(v)
+		}
+	}
+}
+
+// ForceFallback triggers fallback for one vNIC regardless of load.
+func (c *Controller) ForceFallback(vnic uint32) error {
+	v, ok := c.vnics[vnic]
+	if !ok {
+		return fmt.Errorf("controller: unknown vNIC %d", vnic)
+	}
+	if !v.offloaded || v.inProgress {
+		return nil
+	}
+	c.startFallback(v)
+	return nil
+}
+
+// startFallback runs the reverse two-stage workflow (§4.2.2).
+func (c *Controller) startFallback(v *vnicState) {
+	hn, ok := c.nodes[v.Home]
+	if !ok {
+		return
+	}
+	v.inProgress = true
+	d := c.pushDelay()
+	c.loop.Schedule(d, func() {
+		if err := hn.vs.FallbackStart(v.VNIC, v.MakeRules()); err != nil {
+			v.inProgress = false
+			return
+		}
+		// Gateway points back at the BE.
+		c.gw.Set(v.VNIC, v.Home)
+		c.loop.Schedule(fabric.LearnInterval+c.cfg.RTTAllowance, func() {
+			_ = hn.vs.FallbackFinalize(v.VNIC)
+			for _, fa := range v.fes {
+				if fn, ok := c.nodes[fa]; ok {
+					fn.vs.RemoveFE(v.VNIC)
+					delete(fn.fronted, v.VNIC)
+				}
+			}
+			v.fes = nil
+			v.offloaded = false
+			v.inProgress = false
+			c.Stats.Fallbacks++
+		})
+	})
+}

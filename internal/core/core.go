@@ -1,0 +1,93 @@
+// Package core is the front door to the Nezha implementation — the
+// paper's primary contribution, re-exported from the packages that
+// carry it so a reader can start here and follow the types outward.
+//
+// The datapath (vNIC backend and frontend roles, the TX/RX workflows
+// carrying state and pre-actions in packet headers, stateful ACL and
+// stateful decap, the final-action computation) lives in
+// internal/vswitch: the Nezha roles share process_pkt with the
+// monolithic pipeline on purpose, because the §3.1 separation
+// argument is precisely that the same computation runs on relocated
+// inputs. The control plane (offload/fallback two-stage workflows,
+// FE selection, Fig 8 scale-out/in, failover) lives in
+// internal/controller; crash detection in internal/monitor; the
+// region assembly in internal/cluster.
+//
+// Quick orientation:
+//
+//	c := cluster.New(cluster.Options{Servers: 24})
+//	vm, _ := c.AddVM(cluster.VMSpec{...})   // vNIC + VM on a server
+//	c.Start()                               // controller + monitor on
+//	...
+//	c.Ctrl.ForceOffload(vnic)               // or let thresholds do it
+package core
+
+import (
+	"nezha/internal/cluster"
+	"nezha/internal/controller"
+	"nezha/internal/monitor"
+	"nezha/internal/vswitch"
+)
+
+// The load-sharing datapath: one VSwitch plays monolithic, BE and FE
+// roles (§3.2).
+type (
+	// VSwitch is the SmartNIC virtual switch with all three Nezha roles.
+	VSwitch = vswitch.VSwitch
+	// VSwitchConfig sizes a vSwitch.
+	VSwitchConfig = vswitch.Config
+	// Delivery receives packets accepted for a local VM.
+	Delivery = vswitch.Delivery
+	// DropReason classifies packet drops.
+	DropReason = vswitch.DropReason
+)
+
+// The control plane (§4).
+type (
+	// Controller is the centralized Nezha control plane.
+	Controller = controller.Controller
+	// ControllerConfig holds the Fig 8 thresholds and workflow knobs.
+	ControllerConfig = controller.Config
+	// VNICInfo describes a manageable vNIC to the controller.
+	VNICInfo = controller.VNICInfo
+)
+
+// Health checking (§4.4, Appendix C).
+type (
+	// Monitor is the centralized ping-polling health checker.
+	Monitor = monitor.Monitor
+	// MonitorConfig tunes probing and the widespread-failure guard.
+	MonitorConfig = monitor.Config
+)
+
+// Region assembly.
+type (
+	// Cluster wires switches, VMs, gateway, controller and monitor.
+	Cluster = cluster.Cluster
+	// ClusterOptions configures a simulated region.
+	ClusterOptions = cluster.Options
+	// VMSpec describes a tenant VM and its vNIC.
+	VMSpec = cluster.VMSpec
+)
+
+// NewCluster builds a simulated region (see cluster.New).
+var NewCluster = cluster.New
+
+// NewVSwitch builds one vSwitch on a fabric (see vswitch.New).
+var NewVSwitch = vswitch.New
+
+// NewController builds a standalone control plane (see controller.New).
+var NewController = controller.New
+
+// DefaultControllerConfig returns the production-calibrated policy.
+var DefaultControllerConfig = controller.DefaultConfig
+
+// FinalAllow is the shared stateful final-action computation —
+// process_pkt(pre-actions, states) (Fig 1, §3.1).
+var FinalAllow = vswitch.FinalAllow
+
+// ProbePort is the flow-direct health probe port (§4.4).
+const ProbePort = vswitch.ProbePort
+
+// BEDataBytes is the local memory an offloaded vNIC keeps (§6.2.1).
+const BEDataBytes = vswitch.BEDataBytes

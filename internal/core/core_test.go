@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"nezha/internal/packet"
+	"nezha/internal/sim"
+	"nezha/internal/tables"
+)
+
+// The facade must stay wired to the real implementation: drive a
+// minimal end-to-end offload through it.
+func TestFacadeEndToEnd(t *testing.T) {
+	c := NewCluster(ClusterOptions{Servers: 8, Seed: 1})
+	serverIP := packet.MakeIP(10, 0, 2, 1)
+	clientIP := packet.MakeIP(10, 0, 1, 1)
+	if _, err := c.AddVM(VMSpec{
+		Server: 0, VNIC: 2, VPC: 1, IP: serverIP, VCPUs: 8,
+		MakeRules: func() *tables.RuleSet {
+			rs := tables.NewRuleSet(2, 1)
+			rs.Route.Add(tables.MakePrefix(clientIP, 32), packet.IPv4(1))
+			return rs
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	client, err := c.AddVM(VMSpec{
+		Server: 1, VNIC: 1, VPC: 1, IP: clientIP, VCPUs: 8,
+		MakeRules: func() *tables.RuleSet {
+			rs := tables.NewRuleSet(1, 1)
+			rs.Route.Add(tables.MakePrefix(serverIP, 32), packet.IPv4(2))
+			return rs
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	if err := c.Ctrl.ForceOffload(2); err != nil {
+		t.Fatal(err)
+	}
+	c.Loop.Run(5 * sim.Second)
+	if !c.Ctrl.Offloaded(2) {
+		t.Fatal("facade offload did not complete")
+	}
+	client.Open(5000, serverIP, 80)
+	c.Loop.Run(c.Loop.Now() + sim.Second)
+	if client.Completed != 1 {
+		t.Fatal("transaction through the facade-built cluster failed")
+	}
+	if DefaultControllerConfig().InitialFEs != 4 {
+		t.Fatal("config re-export broken")
+	}
+	if ProbePort == 0 || BEDataBytes == 0 {
+		t.Fatal("constant re-exports broken")
+	}
+}

@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nezha/internal/baseline"
+	"nezha/internal/flowcache"
+	"nezha/internal/metrics"
+	"nezha/internal/packet"
+	"nezha/internal/sim"
+	"nezha/internal/state"
+	"nezha/internal/tables"
+)
+
+// Ablations of Nezha's design choices, as DESIGN.md calls out:
+//
+//  1. no state synchronization vs Sirius-style in-line replication —
+//     the same card pool loses half its CPS to replication (§1, §8);
+//  2. fixed 64 B state slots vs variable-length states — the §7.1
+//     headroom, measured on the real session table;
+//  3. notify-packet rate — §3.2.2 argues notifies are rare because
+//     they fire only when the rule-derived state differs from the
+//     carried one; measured on a Nezha deployment with a stats policy.
+func init() {
+	register(Experiment{
+		ID:    "ablation",
+		Title: "Design-choice ablations: replication, state layout, notify rate",
+		Paper: "replication halves pool CPS (§1); variable states buy up to 8x sessions (§7.1); notifies are rare (§3.2.2)",
+		Run:   runAblation,
+	})
+}
+
+func runAblation(cfg RunConfig) *Result {
+	res := &Result{ID: "ablation", Title: "Design ablations"}
+
+	// --- 1. In-line replication halves CPS -------------------------
+	conns := 200000
+	if cfg.Quick {
+		conns = 40000
+	}
+	scfg := baseline.DefaultSiriusConfig(4)
+	loopS := sim.NewLoop(cfg.Seed)
+	sirius := baseline.NewSiriusPool(loopS, scfg)
+	offerConns(loopS, conns, func(h uint64) { sirius.NewConnection(h, nil) })
+	loopS.RunAll()
+	sCPS := float64(sirius.Established) / loopS.Now().Seconds()
+
+	loopN := sim.NewLoop(cfg.Seed)
+	nez := baseline.NewNezhaPoolView(loopN, scfg)
+	offerConns(loopN, conns, func(h uint64) { nez.NewConnection(h, nil) })
+	loopN.RunAll()
+	nCPS := float64(nez.Established) / loopN.Now().Seconds()
+
+	t1 := metrics.NewTable("pool (4 identical cards)", "CPS", "relative")
+	t1.AddRow("Sirius (primary-backup in-line replication)", sCPS, sCPS/nCPS)
+	t1.AddRow("Nezha (stateless FEs, state at the BE)", nCPS, 1.0)
+	res.Tables = append(res.Tables, t1)
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"replication cost: Nezha/Sirius = %.2fx (paper: 'the NF capacity halves')", nCPS/sCPS))
+
+	// --- 2. Fixed vs variable state slots ---------------------------
+	nFlows := 100000
+	if cfg.Quick {
+		nFlows = 20000
+	}
+	budget := nFlows * (flowcache.EntryOverheadBytes + 8) // sized to pressure the fixed layout
+	count := func(variable bool) int {
+		tb := flowcache.New(flowcache.Config{MaxBytes: budget, VariableState: variable})
+		held := 0
+		for i := 0; i < nFlows*4; i++ {
+			ft := packet.FiveTuple{
+				SrcIP: packet.MakeIP(10, 0, byte(i>>16), byte(i>>8)), DstIP: packet.MakeIP(10, 1, 0, 1),
+				SrcPort: uint16(i), DstPort: 80, Proto: packet.ProtoTCP,
+			}
+			key, _ := packet.SessionKeyOf(1, 1, ft)
+			e, err := tb.GetOrCreate(key, 1, int64(i))
+			if err != nil {
+				break
+			}
+			// Typical state: first dir + FSM (2-3 B encoded).
+			var st state.State
+			st.InitFirst(packet.DirTX, int64(i))
+			st.TCP = state.TCPEstablished
+			if tb.SetState(e, st) != nil {
+				break
+			}
+			held++
+		}
+		return held
+	}
+	fixed := count(false)
+	variable := count(true)
+	t2 := metrics.NewTable("state layout", "sessions in same memory", "relative")
+	t2.AddRow("fixed 64B slots", fixed, 1.0)
+	t2.AddRow("variable-length (§7.1)", variable, float64(variable)/float64(fixed))
+	res.Tables = append(res.Tables, t2)
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"variable-length states hold %.1fx more sessions; the paper's 'up to 8x = 64B/8B' "+
+			"counts state memory alone — here the 64B entry overhead (key, links, aging) bounds "+
+			"the whole-entry gain at ~1.9x",
+		float64(variable)/float64(fixed)))
+
+	// --- 3. Notify rarity -------------------------------------------
+	// A Nezha world with a stats policy: first TX packet of each flow
+	// triggers exactly one notify; subsequent packets carry matching
+	// state and stay silent.
+	nf, np := measureNotifyRate(cfg)
+	t3 := metrics.NewTable("metric", "value")
+	t3.AddRow("TX packets through FE", np)
+	t3.AddRow("notify packets", nf)
+	t3.AddRow("notify rate %", 100*float64(nf)/float64(np))
+	res.Tables = append(res.Tables, t3)
+	res.Notes = append(res.Notes,
+		"notifies fire once per flow (policy install), never per packet — the §3.2.2 mismatch-only rule")
+	return res
+}
+
+func offerConns(loop *sim.Loop, n int, fn func(uint64)) {
+	gap := sim.Time(float64(sim.Second) / 2_000_000)
+	for i := 0; i < n; i++ {
+		i := i
+		loop.Schedule(gap*sim.Time(i), func() { fn(uint64(i)*2654435761 + 12345) })
+	}
+}
+
+// measureNotifyRate runs flows through an offloaded vNIC whose FE
+// rules install a stats policy, counting notify packets per TX packet.
+func measureNotifyRate(cfg RunConfig) (notifies, txPkts uint64) {
+	r, err := newRig(rigOpts{seed: cfg.Seed, poolSize: 4, nClients: 4})
+	if err != nil {
+		panic(err)
+	}
+	mk := func() *tables.RuleSet {
+		rs := r.feRules()
+		rs.EnableAdvanced()
+		rs.Stats.Add(tables.MakePrefix(0, 0), tables.StatsPackets)
+		return rs
+	}
+	srv := r.serverSwitch()
+	srv.RemoveVNIC(rigServerVNIC)
+	if err := srv.AddVNIC(mk(), false); err != nil {
+		panic(err)
+	}
+	if err := r.offloadToWith(4, mk); err != nil {
+		panic(err)
+	}
+	// 200 flows x 20 TX packets each from the server VM.
+	flows := 200
+	pktsPer := 20
+	if cfg.Quick {
+		flows = 50
+	}
+	loop := r.c.Loop
+	id := uint64(0)
+	for f := 0; f < flows; f++ {
+		ft := packet.FiveTuple{
+			SrcIP: rigServerIP, DstIP: rigClientIP(f % 4),
+			SrcPort: 80, DstPort: uint16(20000 + f), Proto: packet.ProtoTCP,
+		}
+		for k := 0; k < pktsPer; k++ {
+			id++
+			p := packet.New(id, rigVPC, rigServerVNIC, ft, packet.DirTX, packet.FlagACK, 64)
+			delay := sim.Time(f*pktsPer+k) * 50 * sim.Microsecond
+			loop.Schedule(delay, func() { srv.FromVM(p) })
+		}
+	}
+	loop.Run(loop.Now() + 5*sim.Second)
+	var nf uint64
+	for i := 0; i < len(r.c.Switches); i++ {
+		nf += r.c.Switch(i).Stats.NotifySent
+	}
+	return nf, uint64(flows * pktsPer)
+}
+
+// Bandwidth overhead (§6.4): Nezha adds BE–FE traffic — the extra
+// hop plus the Nezha header. Measured as fabric bytes per completed
+// transaction, monolithic vs offloaded.
+func init() {
+	register(Experiment{
+		ID:    "overhead",
+		Title: "BE-FE bandwidth overhead per transaction",
+		Paper: "extra BE-FE traffic is accommodated by 100Gbps+ underlay headroom (§6.4); latency +<10µs (§6.2.4)",
+		Run:   runOverhead,
+	})
+}
+
+func runOverhead(cfg RunConfig) *Result {
+	window := 3 * sim.Second
+	if cfg.Quick {
+		window = sim.Second
+	}
+	measure := func(k int) (bytesPerTxn float64, cps float64) {
+		r, err := newRig(rigOpts{seed: cfg.Seed, poolSize: 6, nClients: 8})
+		if err != nil {
+			panic(err)
+		}
+		if err := r.offloadTo(k); err != nil {
+			panic(err)
+		}
+		b0 := r.c.Fab.BytesSent
+		c0 := r.totalCompleted()
+		cps = r.measureClosedCPS(8, window)
+		db := r.c.Fab.BytesSent - b0
+		dc := r.totalCompleted() - c0
+		if dc == 0 {
+			return 0, cps
+		}
+		return float64(db) / float64(dc), cps
+	}
+	mono, _ := measure(0)
+	nez, _ := measure(4)
+	t := metrics.NewTable("deployment", "wire-bytes/transaction", "relative")
+	t.AddRow("monolithic", mono, 1.0)
+	t.AddRow("Nezha (4 FEs)", nez, nez/mono)
+	return &Result{
+		ID: "overhead", Title: "Bandwidth overhead",
+		Tables: []*metrics.Table{t},
+		Notes: []string{
+			"the extra hop roughly doubles wire bytes per packet, plus the Nezha header's state/pre-action blobs",
+			"the paper accepts this cost against datacenter headroom; the win is vSwitch CPU/memory, not bandwidth",
+		},
+	}
+}

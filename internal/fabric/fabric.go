@@ -1,0 +1,180 @@
+// Package fabric simulates the datacenter underlay: servers attached
+// to ToR switches under an aggregation layer, links with realistic
+// latency, and the gateway that owns the global vNIC-server mapping
+// table which vSwitches learn from on demand (§4.2.1).
+//
+// Delivery is event-driven on the shared simulation loop. The fabric
+// itself never drops packets (the paper assumes a well-provisioned
+// 100 Gbps+ underlay); loss happens only at overloaded or crashed
+// vSwitches.
+package fabric
+
+import (
+	"fmt"
+
+	"nezha/internal/packet"
+	"nezha/internal/sim"
+)
+
+// Link latencies: one-way delay between two servers. Values follow
+// typical intra-DC numbers; the paper's "extra hop adds a few tens of
+// microseconds" emerges from these.
+const (
+	LatencySameToR  = 5 * sim.Microsecond
+	LatencyInterToR = 15 * sim.Microsecond
+	LinkBandwidth   = 100e9 / 8 // bytes/sec (100 Gbps)
+)
+
+// Handler receives packets delivered to a node.
+type Handler func(p *packet.Packet)
+
+type node struct {
+	addr    packet.IPv4
+	tor     int
+	handler Handler
+}
+
+// Fabric is the underlay network.
+type Fabric struct {
+	loop  *sim.Loop
+	nodes map[packet.IPv4]*node
+	// partitions holds failed server pairs (normalized low,high):
+	// rare in practice thanks to fast-failover groups, but exactly
+	// the case the FE–BE mutual ping exists for (Appendix C.1).
+	partitions map[[2]packet.IPv4]bool
+
+	// wireMode forces every packet through the real wire encoding
+	// (Marshal at send, Unmarshal at delivery): anything the datapath
+	// needs but the wire format does not carry becomes a loud test
+	// failure instead of a silent simulation convenience.
+	wireMode bool
+
+	// Delivered counts packets handed to node handlers; Lost counts
+	// sends to unregistered destinations, across partitions, or
+	// failing wire decode. BytesSent totals wire bytes offered to the
+	// fabric — the §6.4 BE–FE bandwidth-overhead accounting.
+	Delivered uint64
+	Lost      uint64
+	BytesSent uint64
+}
+
+// New builds an empty fabric on loop.
+func New(loop *sim.Loop) *Fabric {
+	return &Fabric{
+		loop:       loop,
+		nodes:      make(map[packet.IPv4]*node),
+		partitions: make(map[[2]packet.IPv4]bool),
+	}
+}
+
+func pairKey(a, b packet.IPv4) [2]packet.IPv4 {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]packet.IPv4{a, b}
+}
+
+// Partition severs connectivity between two servers (both ways).
+func (f *Fabric) Partition(a, b packet.IPv4) { f.partitions[pairKey(a, b)] = true }
+
+// Heal restores a severed pair.
+func (f *Fabric) Heal(a, b packet.IPv4) { delete(f.partitions, pairKey(a, b)) }
+
+// Partitioned reports whether the pair is severed.
+func (f *Fabric) Partitioned(a, b packet.IPv4) bool { return f.partitions[pairKey(a, b)] }
+
+// SetWireMode toggles full wire serialization on every delivery.
+func (f *Fabric) SetWireMode(on bool) { f.wireMode = on }
+
+// Register attaches a server at addr under ToR tor with a delivery
+// handler. Re-registering an address replaces its handler.
+func (f *Fabric) Register(addr packet.IPv4, tor int, h Handler) {
+	f.nodes[addr] = &node{addr: addr, tor: tor, handler: h}
+}
+
+// Unregister detaches a server (a crashed SmartNIC stops receiving).
+func (f *Fabric) Unregister(addr packet.IPv4) {
+	delete(f.nodes, addr)
+}
+
+// SetHandler swaps a node's handler in place.
+func (f *Fabric) SetHandler(addr packet.IPv4, h Handler) error {
+	n, ok := f.nodes[addr]
+	if !ok {
+		return fmt.Errorf("fabric: no node at %v", addr)
+	}
+	n.handler = h
+	return nil
+}
+
+// ToROf returns the ToR a server sits under; -1 if unknown.
+func (f *Fabric) ToROf(addr packet.IPv4) int {
+	if n, ok := f.nodes[addr]; ok {
+		return n.tor
+	}
+	return -1
+}
+
+// SameToR reports whether two servers share a ToR.
+func (f *Fabric) SameToR(a, b packet.IPv4) bool {
+	na, oka := f.nodes[a]
+	nb, okb := f.nodes[b]
+	return oka && okb && na.tor == nb.tor
+}
+
+// Latency returns the one-way delay between two registered servers
+// for a packet of size bytes.
+func (f *Fabric) Latency(from, to packet.IPv4, size int) sim.Time {
+	prop := LatencyInterToR
+	if f.SameToR(from, to) {
+		prop = LatencySameToR
+	}
+	ser := sim.Time(float64(size) / LinkBandwidth * float64(sim.Second))
+	return prop + ser
+}
+
+// Send delivers p from one server to another after the link latency.
+// Sending to an unregistered destination counts as lost. The packet's
+// hop counter advances on delivery.
+func (f *Fabric) Send(from, to packet.IPv4, p *packet.Packet) {
+	dst, ok := f.nodes[to]
+	if !ok || f.partitions[pairKey(from, to)] {
+		f.Lost++
+		return
+	}
+	f.BytesSent += uint64(p.SizeBytes)
+	lat := f.Latency(from, to, p.SizeBytes)
+	var wire []byte
+	if f.wireMode {
+		wire = p.Marshal()
+	}
+	f.loop.Schedule(lat, func() {
+		// The destination may have crashed while in flight.
+		cur, ok := f.nodes[to]
+		if !ok || cur != dst || cur.handler == nil {
+			f.Lost++
+			return
+		}
+		deliver := p
+		if wire != nil {
+			q, err := packet.Unmarshal(wire)
+			if err != nil {
+				f.Lost++
+				return
+			}
+			deliver = q
+		}
+		deliver.Hops++
+		f.Delivered++
+		cur.handler(deliver)
+	})
+}
+
+// Nodes returns the registered addresses (order unspecified).
+func (f *Fabric) Nodes() []packet.IPv4 {
+	out := make([]packet.IPv4, 0, len(f.nodes))
+	for a := range f.nodes {
+		out = append(out, a)
+	}
+	return out
+}

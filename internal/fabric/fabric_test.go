@@ -1,0 +1,413 @@
+package fabric
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nezha/internal/packet"
+	"nezha/internal/sim"
+)
+
+func ip(a, b, c, d byte) packet.IPv4 { return packet.MakeIP(a, b, c, d) }
+
+func mkPkt(id uint64) *packet.Packet {
+	return packet.New(id, 1, 1, packet.FiveTuple{
+		SrcIP: ip(10, 0, 0, 1), DstIP: ip(10, 0, 0, 2),
+		SrcPort: 1, DstPort: 80, Proto: packet.ProtoTCP,
+	}, packet.DirTX, 0, 100)
+}
+
+func TestDelivery(t *testing.T) {
+	loop := sim.NewLoop(1)
+	f := New(loop)
+	var got *packet.Packet
+	f.Register(ip(1, 0, 0, 1), 0, nil)
+	f.Register(ip(1, 0, 0, 2), 0, func(p *packet.Packet) { got = p })
+	p := mkPkt(7)
+	f.Send(ip(1, 0, 0, 1), ip(1, 0, 0, 2), p)
+	loop.RunAll()
+	if got == nil || got.ID != 7 {
+		t.Fatal("packet not delivered")
+	}
+	if got.Hops != 1 {
+		t.Fatalf("hops = %d", got.Hops)
+	}
+	if f.Delivered != 1 || f.Lost != 0 {
+		t.Fatalf("counters: %d/%d", f.Delivered, f.Lost)
+	}
+}
+
+func TestLatencySameVsInterToR(t *testing.T) {
+	loop := sim.NewLoop(1)
+	f := New(loop)
+	f.Register(ip(1, 0, 0, 1), 0, nil)
+	f.Register(ip(1, 0, 0, 2), 0, nil)
+	f.Register(ip(1, 0, 0, 3), 1, nil)
+	same := f.Latency(ip(1, 0, 0, 1), ip(1, 0, 0, 2), 0)
+	inter := f.Latency(ip(1, 0, 0, 1), ip(1, 0, 0, 3), 0)
+	if same != LatencySameToR {
+		t.Fatalf("same-ToR latency = %v", same)
+	}
+	if inter != LatencyInterToR {
+		t.Fatalf("inter-ToR latency = %v", inter)
+	}
+	if inter <= same {
+		t.Fatal("inter-ToR should cost more")
+	}
+}
+
+func TestLatencyIncludesSerialization(t *testing.T) {
+	loop := sim.NewLoop(1)
+	f := New(loop)
+	f.Register(ip(1, 0, 0, 1), 0, nil)
+	f.Register(ip(1, 0, 0, 2), 0, nil)
+	small := f.Latency(ip(1, 0, 0, 1), ip(1, 0, 0, 2), 64)
+	big := f.Latency(ip(1, 0, 0, 1), ip(1, 0, 0, 2), 9000)
+	if big <= small {
+		t.Fatal("larger packets should take longer on the wire")
+	}
+}
+
+func TestDeliveryTiming(t *testing.T) {
+	loop := sim.NewLoop(1)
+	f := New(loop)
+	f.Register(ip(1, 0, 0, 1), 0, nil)
+	var at sim.Time
+	f.Register(ip(1, 0, 0, 2), 0, func(p *packet.Packet) { at = loop.Now() })
+	p := mkPkt(1)
+	want := f.Latency(ip(1, 0, 0, 1), ip(1, 0, 0, 2), p.SizeBytes)
+	f.Send(ip(1, 0, 0, 1), ip(1, 0, 0, 2), p)
+	loop.RunAll()
+	if at != want {
+		t.Fatalf("delivered at %v, want %v", at, want)
+	}
+}
+
+func TestSendToUnknownLost(t *testing.T) {
+	loop := sim.NewLoop(1)
+	f := New(loop)
+	f.Register(ip(1, 0, 0, 1), 0, nil)
+	f.Send(ip(1, 0, 0, 1), ip(9, 9, 9, 9), mkPkt(1))
+	loop.RunAll()
+	if f.Lost != 1 {
+		t.Fatalf("lost = %d", f.Lost)
+	}
+}
+
+func TestCrashInFlight(t *testing.T) {
+	loop := sim.NewLoop(1)
+	f := New(loop)
+	f.Register(ip(1, 0, 0, 1), 0, nil)
+	delivered := false
+	f.Register(ip(1, 0, 0, 2), 0, func(p *packet.Packet) { delivered = true })
+	f.Send(ip(1, 0, 0, 1), ip(1, 0, 0, 2), mkPkt(1))
+	f.Unregister(ip(1, 0, 0, 2)) // crash while packet in flight
+	loop.RunAll()
+	if delivered {
+		t.Fatal("packet delivered to crashed node")
+	}
+	if f.Lost != 1 {
+		t.Fatalf("lost = %d", f.Lost)
+	}
+}
+
+func TestReRegisterReplacesHandler(t *testing.T) {
+	loop := sim.NewLoop(1)
+	f := New(loop)
+	f.Register(ip(1, 0, 0, 1), 0, nil)
+	a, b := 0, 0
+	f.Register(ip(1, 0, 0, 2), 0, func(p *packet.Packet) { a++ })
+	f.Register(ip(1, 0, 0, 2), 0, func(p *packet.Packet) { b++ })
+	f.Send(ip(1, 0, 0, 1), ip(1, 0, 0, 2), mkPkt(1))
+	loop.RunAll()
+	if a != 0 || b != 1 {
+		t.Fatalf("handler not replaced: a=%d b=%d", a, b)
+	}
+}
+
+func TestSetHandler(t *testing.T) {
+	loop := sim.NewLoop(1)
+	f := New(loop)
+	if err := f.SetHandler(ip(1, 1, 1, 1), nil); err == nil {
+		t.Fatal("SetHandler on unknown node should fail")
+	}
+	f.Register(ip(1, 0, 0, 2), 0, nil)
+	hit := false
+	if err := f.SetHandler(ip(1, 0, 0, 2), func(p *packet.Packet) { hit = true }); err != nil {
+		t.Fatal(err)
+	}
+	f.Register(ip(1, 0, 0, 1), 0, nil)
+	f.Send(ip(1, 0, 0, 1), ip(1, 0, 0, 2), mkPkt(1))
+	loop.RunAll()
+	if !hit {
+		t.Fatal("swapped handler not invoked")
+	}
+}
+
+func TestToROf(t *testing.T) {
+	loop := sim.NewLoop(1)
+	f := New(loop)
+	f.Register(ip(1, 0, 0, 1), 42, nil)
+	if f.ToROf(ip(1, 0, 0, 1)) != 42 {
+		t.Fatal("ToROf wrong")
+	}
+	if f.ToROf(ip(9, 9, 9, 9)) != -1 {
+		t.Fatal("unknown node should report -1")
+	}
+}
+
+func TestGatewayLearner(t *testing.T) {
+	loop := sim.NewLoop(1)
+	gw := NewGateway(loop)
+	gw.Set(100, ip(1, 0, 0, 1))
+	l := NewLearner(loop, gw)
+
+	addrs, ok := l.Lookup(100)
+	if !ok || len(addrs) != 1 || addrs[0] != ip(1, 0, 0, 1) {
+		t.Fatal("initial learn failed")
+	}
+
+	// Move the vNIC; the learner must serve the stale entry until the
+	// learning interval elapses.
+	gw.Set(100, ip(2, 0, 0, 2))
+	addrs, _ = l.Lookup(100)
+	if addrs[0] != ip(1, 0, 0, 1) {
+		t.Fatal("learner refreshed too early")
+	}
+
+	loop.Schedule(LearnInterval+1, func() {
+		addrs, _ := l.Lookup(100)
+		if addrs[0] != ip(2, 0, 0, 2) {
+			t.Error("learner did not refresh after interval")
+		}
+	})
+	loop.RunAll()
+}
+
+func TestLearnerNegativeCaching(t *testing.T) {
+	loop := sim.NewLoop(1)
+	gw := NewGateway(loop)
+	l := NewLearner(loop, gw)
+	if _, ok := l.Lookup(5); ok {
+		t.Fatal("unknown vnic resolved")
+	}
+	// Install after the negative lookup: still cached negative.
+	gw.Set(5, ip(1, 1, 1, 1))
+	if _, ok := l.Lookup(5); ok {
+		t.Fatal("negative cache not honored")
+	}
+	l.Invalidate(5)
+	if _, ok := l.Lookup(5); !ok {
+		t.Fatal("invalidate did not force refresh")
+	}
+}
+
+func TestLearnerPickByHash(t *testing.T) {
+	loop := sim.NewLoop(1)
+	gw := NewGateway(loop)
+	gw.Set(100, ip(1, 0, 0, 1), ip(1, 0, 0, 2), ip(1, 0, 0, 3), ip(1, 0, 0, 4))
+	l := NewLearner(loop, gw)
+	seen := make(map[packet.IPv4]bool)
+	for h := uint64(0); h < 100; h++ {
+		a, ok := l.Pick(100, h)
+		if !ok {
+			t.Fatal("pick failed")
+		}
+		seen[a] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("pick used %d of 4 addresses", len(seen))
+	}
+	a1, _ := l.Pick(100, 42)
+	a2, _ := l.Pick(100, 42)
+	if a1 != a2 {
+		t.Fatal("pick not deterministic for same hash")
+	}
+	if _, ok := l.Pick(999, 1); ok {
+		t.Fatal("pick on unknown vnic should fail")
+	}
+}
+
+func TestGatewayAddRemove(t *testing.T) {
+	loop := sim.NewLoop(1)
+	gw := NewGateway(loop)
+	gw.Set(1, ip(1, 1, 1, 1), ip(2, 2, 2, 2))
+	gw.Add(1, ip(3, 3, 3, 3))
+	gw.Add(1, ip(3, 3, 3, 3)) // duplicate ignored
+	addrs, _ := gw.Lookup(1)
+	if len(addrs) != 3 {
+		t.Fatalf("after add: %v", addrs)
+	}
+	gw.Remove(1, ip(2, 2, 2, 2))
+	addrs, _ = gw.Lookup(1)
+	if len(addrs) != 2 {
+		t.Fatalf("after remove: %v", addrs)
+	}
+	gw.Remove(1, ip(1, 1, 1, 1))
+	gw.Remove(1, ip(3, 3, 3, 3))
+	if _, ok := gw.Lookup(1); ok {
+		t.Fatal("removing last address should delete the entry")
+	}
+}
+
+func TestGatewayDelete(t *testing.T) {
+	loop := sim.NewLoop(1)
+	gw := NewGateway(loop)
+	gw.Set(1, ip(1, 1, 1, 1))
+	gw.Delete(1)
+	if _, ok := gw.Lookup(1); ok {
+		t.Fatal("delete failed")
+	}
+	if gw.Len() != 0 {
+		t.Fatal("len after delete")
+	}
+}
+
+func TestGatewaySetCopiesSlice(t *testing.T) {
+	loop := sim.NewLoop(1)
+	gw := NewGateway(loop)
+	addrs := []packet.IPv4{ip(1, 1, 1, 1)}
+	gw.Set(1, addrs...)
+	addrs[0] = ip(9, 9, 9, 9)
+	got, _ := gw.Lookup(1)
+	if got[0] != ip(1, 1, 1, 1) {
+		t.Fatal("gateway aliased caller slice")
+	}
+}
+
+func TestNodesList(t *testing.T) {
+	loop := sim.NewLoop(1)
+	f := New(loop)
+	f.Register(ip(1, 0, 0, 1), 0, nil)
+	f.Register(ip(1, 0, 0, 2), 1, nil)
+	if len(f.Nodes()) != 2 {
+		t.Fatal("nodes list wrong")
+	}
+}
+
+func TestPartitionBlocksBothWays(t *testing.T) {
+	loop := sim.NewLoop(1)
+	f := New(loop)
+	got := 0
+	f.Register(ip(1, 0, 0, 1), 0, func(p *packet.Packet) { got++ })
+	f.Register(ip(1, 0, 0, 2), 0, func(p *packet.Packet) { got++ })
+	f.Partition(ip(1, 0, 0, 1), ip(1, 0, 0, 2))
+	if !f.Partitioned(ip(1, 0, 0, 2), ip(1, 0, 0, 1)) {
+		t.Fatal("partition not symmetric")
+	}
+	f.Send(ip(1, 0, 0, 1), ip(1, 0, 0, 2), mkPkt(1))
+	f.Send(ip(1, 0, 0, 2), ip(1, 0, 0, 1), mkPkt(2))
+	loop.RunAll()
+	if got != 0 || f.Lost != 2 {
+		t.Fatalf("partition leaked: got=%d lost=%d", got, f.Lost)
+	}
+	f.Heal(ip(1, 0, 0, 2), ip(1, 0, 0, 1))
+	f.Send(ip(1, 0, 0, 1), ip(1, 0, 0, 2), mkPkt(3))
+	loop.RunAll()
+	if got != 1 {
+		t.Fatal("heal did not restore connectivity")
+	}
+}
+
+func TestPartitionLeavesOtherPathsAlone(t *testing.T) {
+	loop := sim.NewLoop(1)
+	f := New(loop)
+	got := 0
+	f.Register(ip(1, 0, 0, 1), 0, nil)
+	f.Register(ip(1, 0, 0, 2), 0, nil)
+	f.Register(ip(1, 0, 0, 3), 0, func(p *packet.Packet) { got++ })
+	f.Partition(ip(1, 0, 0, 1), ip(1, 0, 0, 2))
+	f.Send(ip(1, 0, 0, 1), ip(1, 0, 0, 3), mkPkt(1))
+	loop.RunAll()
+	if got != 1 {
+		t.Fatal("unrelated path affected")
+	}
+}
+
+func TestWireModeRoundtrips(t *testing.T) {
+	loop := sim.NewLoop(1)
+	f := New(loop)
+	f.SetWireMode(true)
+	var got *packet.Packet
+	f.Register(ip(1, 0, 0, 1), 0, nil)
+	f.Register(ip(1, 0, 0, 2), 0, func(p *packet.Packet) { got = p })
+	p := mkPkt(9)
+	p.AttachNezha(&packet.NezhaHeader{
+		Type: packet.NezhaCarryState, VNIC: 5, StateBlob: []byte{1, 2, 3},
+	})
+	p.Encap(ip(1, 0, 0, 1), ip(1, 0, 0, 2))
+	orig := p.Clone()
+	f.Send(ip(1, 0, 0, 1), ip(1, 0, 0, 2), p)
+	loop.RunAll()
+	if got == nil {
+		t.Fatal("not delivered")
+	}
+	if got == p {
+		t.Fatal("wire mode must deliver a decoded copy, not the pointer")
+	}
+	if got.ID != orig.ID || got.Nezha == nil || got.Nezha.VNIC != 5 || got.Nezha.StateBlob[1] != 2 {
+		t.Fatalf("wire roundtrip lost data: %+v", got)
+	}
+	if got.Hops != orig.Hops+1 {
+		t.Fatalf("hops = %d", got.Hops)
+	}
+}
+
+// Property: any interleaving of Set/Add/Remove/Delete keeps each
+// vNIC's address list duplicate-free, and membership matches a naive
+// set model.
+func TestQuickGatewayConsistency(t *testing.T) {
+	f := func(ops []uint16) bool {
+		loop := sim.NewLoop(3)
+		gw := NewGateway(loop)
+		model := make(map[uint32]map[packet.IPv4]bool)
+		addr := func(op uint16) packet.IPv4 { return ip(1, 0, 0, byte(op%7)+1) }
+		for _, op := range ops {
+			vnic := uint32(op % 3)
+			a := addr(op >> 3)
+			switch op % 4 {
+			case 0:
+				gw.Set(vnic, a)
+				model[vnic] = map[packet.IPv4]bool{a: true}
+			case 1:
+				gw.Add(vnic, a)
+				if model[vnic] == nil {
+					model[vnic] = map[packet.IPv4]bool{}
+				}
+				model[vnic][a] = true
+			case 2:
+				gw.Remove(vnic, a)
+				delete(model[vnic], a)
+				if len(model[vnic]) == 0 {
+					delete(model, vnic)
+				}
+			case 3:
+				gw.Delete(vnic)
+				delete(model, vnic)
+			}
+			// Verify.
+			got, ok := gw.Lookup(vnic)
+			want := model[vnic]
+			if ok != (len(want) > 0) {
+				return false
+			}
+			seen := make(map[packet.IPv4]bool)
+			for _, g := range got {
+				if seen[g] {
+					return false // duplicate
+				}
+				seen[g] = true
+				if !want[g] {
+					return false
+				}
+			}
+			if len(seen) != len(want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+package fabric
+
+import (
+	"nezha/internal/packet"
+	"nezha/internal/sim"
+)
+
+// LearnInterval is how often a vSwitch refreshes vNIC-server entries
+// it learned from the gateway (200 ms in production, §4.2.1). Until a
+// refresh, a vSwitch may keep sending to a stale location — the
+// dual-running stage exists to absorb exactly this.
+const LearnInterval = 200 * sim.Millisecond
+
+// Gateway owns the global vNIC-server mapping table (the "global
+// routing table"). A vNIC maps to one server normally, or to the list
+// of FE servers once offloaded (Fig 7: "IP of FE 1-N"); senders pick
+// among them by Hash(5-tuple). The controller updates the table;
+// vSwitches learn entries on demand and cache them for LearnInterval.
+type Gateway struct {
+	loop  *sim.Loop
+	table map[uint32][]packet.IPv4
+}
+
+// NewGateway builds an empty gateway.
+func NewGateway(loop *sim.Loop) *Gateway {
+	return &Gateway{loop: loop, table: make(map[uint32][]packet.IPv4)}
+}
+
+// Set installs or replaces a vNIC's location list (controller action).
+func (g *Gateway) Set(vnic uint32, servers ...packet.IPv4) {
+	g.table[vnic] = append([]packet.IPv4(nil), servers...)
+}
+
+// Remove deletes one address from a vNIC's list (scale-in / failover),
+// keeping the rest.
+func (g *Gateway) Remove(vnic uint32, server packet.IPv4) {
+	cur := g.table[vnic]
+	out := cur[:0]
+	for _, a := range cur {
+		if a != server {
+			out = append(out, a)
+		}
+	}
+	if len(out) == 0 {
+		delete(g.table, vnic)
+		return
+	}
+	g.table[vnic] = out
+}
+
+// Add appends one address to a vNIC's list (scale-out).
+func (g *Gateway) Add(vnic uint32, server packet.IPv4) {
+	for _, a := range g.table[vnic] {
+		if a == server {
+			return
+		}
+	}
+	g.table[vnic] = append(g.table[vnic], server)
+}
+
+// Delete removes a vNIC entirely.
+func (g *Gateway) Delete(vnic uint32) { delete(g.table, vnic) }
+
+// Lookup resolves a vNIC's current locations.
+func (g *Gateway) Lookup(vnic uint32) ([]packet.IPv4, bool) {
+	a, ok := g.table[vnic]
+	return a, ok
+}
+
+// Len reports the table size.
+func (g *Gateway) Len() int { return len(g.table) }
+
+// Learner is a vSwitch's on-demand cache over the gateway table.
+// Entries are served from cache until LearnInterval elapses, then
+// refreshed — reproducing the ≤200 ms staleness window.
+type Learner struct {
+	loop    *sim.Loop
+	gateway *Gateway
+	cache   map[uint32]learned
+}
+
+type learned struct {
+	addrs []packet.IPv4
+	ok    bool
+	at    sim.Time
+}
+
+// NewLearner builds a learner over gw.
+func NewLearner(loop *sim.Loop, gw *Gateway) *Learner {
+	return &Learner{loop: loop, gateway: gw, cache: make(map[uint32]learned)}
+}
+
+// Lookup resolves a vNIC's server list, consulting the cache first.
+func (l *Learner) Lookup(vnic uint32) ([]packet.IPv4, bool) {
+	now := l.loop.Now()
+	if e, hit := l.cache[vnic]; hit && now-e.at < LearnInterval {
+		return e.addrs, e.ok
+	}
+	addrs, ok := l.gateway.Lookup(vnic)
+	l.cache[vnic] = learned{addrs: addrs, ok: ok, at: now}
+	return addrs, ok
+}
+
+// Pick resolves a vNIC location for one flow, selecting among
+// multiple addresses by the flow hash (Nezha's 5-tuple hashing,
+// §3.2.3).
+func (l *Learner) Pick(vnic uint32, flowHash uint64) (packet.IPv4, bool) {
+	addrs, ok := l.Lookup(vnic)
+	if !ok || len(addrs) == 0 {
+		return 0, false
+	}
+	return addrs[flowHash%uint64(len(addrs))], true
+}
+
+// Invalidate drops a cached entry, forcing a refresh on next lookup.
+func (l *Learner) Invalidate(vnic uint32) { delete(l.cache, vnic) }
+
+// CacheLen reports how many entries are cached.
+func (l *Learner) CacheLen() int { return len(l.cache) }

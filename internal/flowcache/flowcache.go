@@ -1,0 +1,272 @@
+// Package flowcache implements the session table (Fig 1): cached
+// bidirectional flows holding pre-actions, session state, or both,
+// keyed by (VPC ID, normalized 5-tuple) for exact-match fast-path
+// processing.
+//
+// The same structure serves three roles:
+//
+//   - a monolithic vSwitch stores pre-actions AND state per entry;
+//   - a Nezha frontend (FE) stores pre-action-only entries — the
+//     stateless "cached flows" that are safe to regenerate anywhere;
+//   - a Nezha backend (BE) stores state-only entries — the single
+//     local copy of session state.
+//
+// Every entry is charged to a byte budget, which is how the paper's
+// "#concurrent flows limited by memory on fast path" bottleneck
+// arises: when the budget is exhausted, inserts fail and new flows
+// are dropped (an overload). Aging follows the state's FSM phase
+// (short for establishing sessions, §7.3).
+package flowcache
+
+import (
+	"errors"
+
+	"nezha/internal/packet"
+	"nezha/internal/state"
+	"nezha/internal/tables"
+)
+
+// Per-entry memory footprints (bytes). A full entry is O(100B) as the
+// paper reports: bidirectional 5-tuple + VPC + pre-actions + state.
+const (
+	EntryOverheadBytes = 64 // key, links, aging bookkeeping
+	PreActionsBytes    = 64 // bidirectional pre-actions
+)
+
+// ErrNoMemory is returned when inserting would exceed the byte budget.
+var ErrNoMemory = errors.New("flowcache: memory budget exhausted")
+
+// Entry is one session's cached record.
+type Entry struct {
+	Key  packet.SessionKey
+	VNIC uint32
+
+	// HasPre marks cached pre-actions (fast-path rules result).
+	HasPre bool
+	Pre    tables.PreActions
+	// PreVersion is the RuleSet version the pre-actions were derived
+	// from; a version mismatch is treated as a miss and the entry is
+	// regenerated (rule-table change invalidation, §3.2.2).
+	PreVersion uint64
+
+	// HasState marks locally maintained session state.
+	HasState bool
+	State    state.State
+
+	// LastSeen is the last access time (ns), for aging.
+	LastSeen int64
+}
+
+func (e *Entry) sizeBytes(fixedState bool) int {
+	n := EntryOverheadBytes
+	if e.HasPre {
+		n += PreActionsBytes
+	}
+	if e.HasState {
+		if fixedState {
+			n += state.FixedSizeBytes
+		} else {
+			n += e.State.EncodedSize()
+		}
+	}
+	return n
+}
+
+// Config controls a table's budget and layout.
+type Config struct {
+	// MaxBytes is the memory budget; 0 means unlimited.
+	MaxBytes int
+	// VariableState stores states at their encoded size instead of
+	// the fixed 64 B slot — the §7.1 "potential to increase
+	// #concurrent flows" ablation.
+	VariableState bool
+}
+
+// Table is the session table. Not safe for concurrent use; the
+// simulation is single-threaded by design.
+type Table struct {
+	cfg     Config
+	entries map[packet.SessionKey]*Entry
+	mem     int
+
+	// Counters for the experiments.
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Rejects   uint64
+}
+
+// New returns an empty table.
+func New(cfg Config) *Table {
+	return &Table{cfg: cfg, entries: make(map[packet.SessionKey]*Entry)}
+}
+
+// Len returns the number of entries.
+func (t *Table) Len() int { return len(t.entries) }
+
+// MemBytes returns the bytes currently charged.
+func (t *Table) MemBytes() int { return t.mem }
+
+// MaxBytes returns the configured budget (0 = unlimited).
+func (t *Table) MaxBytes() int { return t.cfg.MaxBytes }
+
+// SetMaxBytes adjusts the budget (offload/fallback resizes the
+// partitions). Shrinking below current use does not evict eagerly;
+// the next Sweep or insert pressure handles it.
+func (t *Table) SetMaxBytes(n int) { t.cfg.MaxBytes = n }
+
+// Lookup returns the entry for key, counting a hit or miss, and
+// refreshes LastSeen on hit.
+func (t *Table) Lookup(key packet.SessionKey, now int64) *Entry {
+	e, ok := t.entries[key]
+	if !ok {
+		t.Misses++
+		return nil
+	}
+	t.Hits++
+	e.LastSeen = now
+	return e
+}
+
+// Peek returns the entry without touching counters or LastSeen.
+func (t *Table) Peek(key packet.SessionKey) *Entry { return t.entries[key] }
+
+// GetOrCreate returns the existing entry or inserts an empty one,
+// charging its overhead. It returns ErrNoMemory when the budget
+// cannot fit a new entry.
+func (t *Table) GetOrCreate(key packet.SessionKey, vnic uint32, now int64) (*Entry, error) {
+	if e, ok := t.entries[key]; ok {
+		e.LastSeen = now
+		return e, nil
+	}
+	e := &Entry{Key: key, VNIC: vnic, LastSeen: now}
+	sz := e.sizeBytes(!t.cfg.VariableState)
+	if t.cfg.MaxBytes > 0 && t.mem+sz > t.cfg.MaxBytes {
+		t.Rejects++
+		return nil, ErrNoMemory
+	}
+	t.entries[key] = e
+	t.mem += sz
+	return e, nil
+}
+
+// mutate applies fn to e, re-charging its size delta. It returns
+// ErrNoMemory (and rolls back) if growth would exceed the budget.
+func (t *Table) mutate(e *Entry, fn func(*Entry)) error {
+	before := e.sizeBytes(!t.cfg.VariableState)
+	saved := *e
+	fn(e)
+	after := e.sizeBytes(!t.cfg.VariableState)
+	if after > before && t.cfg.MaxBytes > 0 && t.mem+after-before > t.cfg.MaxBytes {
+		*e = saved
+		t.Rejects++
+		return ErrNoMemory
+	}
+	t.mem += after - before
+	return nil
+}
+
+// SetPre installs pre-actions (cached flow) on an entry.
+func (t *Table) SetPre(e *Entry, pre tables.PreActions, version uint64) error {
+	return t.mutate(e, func(e *Entry) {
+		e.HasPre = true
+		e.Pre = pre
+		e.PreVersion = version
+	})
+}
+
+// SetState installs or replaces the session state on an entry.
+func (t *Table) SetState(e *Entry, s state.State) error {
+	return t.mutate(e, func(e *Entry) {
+		e.HasState = true
+		e.State = s
+	})
+}
+
+// TouchState advances the entry's state for one packet (FSM + stats),
+// re-charging variable-size growth.
+func (t *Table) TouchState(e *Entry, dir packet.Direction, flags packet.TCPFlags, payloadLen int, now int64) error {
+	return t.mutate(e, func(e *Entry) {
+		e.HasState = true
+		e.State.Touch(dir, flags, payloadLen, now)
+	})
+}
+
+// DropPre removes cached pre-actions from an entry, refunding their
+// memory — the BE deletes its cached flows when entering the final
+// offload stage while keeping the states (§4.2.1).
+func (t *Table) DropPre(e *Entry) {
+	if !e.HasPre {
+		return
+	}
+	_ = t.mutate(e, func(e *Entry) {
+		e.HasPre = false
+		e.Pre = tables.PreActions{}
+		e.PreVersion = 0
+	})
+}
+
+// Delete removes an entry, refunding its memory.
+func (t *Table) Delete(key packet.SessionKey) {
+	e, ok := t.entries[key]
+	if !ok {
+		return
+	}
+	t.mem -= e.sizeBytes(!t.cfg.VariableState)
+	delete(t.entries, key)
+}
+
+// InvalidateVNIC drops every entry belonging to vnic — used when a
+// vNIC's rule tables are withdrawn from a node.
+func (t *Table) InvalidateVNIC(vnic uint32) int {
+	n := 0
+	for k, e := range t.entries {
+		if e.VNIC == vnic {
+			t.mem -= e.sizeBytes(!t.cfg.VariableState)
+			delete(t.entries, k)
+			n++
+		}
+	}
+	return n
+}
+
+// Clear drops everything.
+func (t *Table) Clear() {
+	t.entries = make(map[packet.SessionKey]*Entry)
+	t.mem = 0
+}
+
+// idleAging is the eviction idle time for entries without state (FE
+// cached flows age like established sessions).
+const idleAging = state.AgingEstablished
+
+// Sweep evicts expired entries at virtual time now and returns the
+// eviction count. State-bearing entries age per their FSM phase
+// (short SYN aging, §7.3); stateless cached flows use the idle aging.
+func (t *Table) Sweep(now int64) int {
+	n := 0
+	for k, e := range t.entries {
+		expired := false
+		if e.HasState {
+			expired = e.State.Expired(now)
+		} else {
+			expired = now-e.LastSeen > idleAging
+		}
+		if expired {
+			t.mem -= e.sizeBytes(!t.cfg.VariableState)
+			delete(t.entries, k)
+			n++
+		}
+	}
+	t.Evictions += uint64(n)
+	return n
+}
+
+// Range iterates entries; fn returning false stops early.
+func (t *Table) Range(fn func(*Entry) bool) {
+	for _, e := range t.entries {
+		if !fn(e) {
+			return
+		}
+	}
+}

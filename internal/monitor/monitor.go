@@ -1,0 +1,204 @@
+// Package monitor implements Nezha's centralized FE health checking
+// (§4.4, Appendix C): periodic ping polling against the vSwitches
+// hosting FEs (probes use a dedicated destination port that
+// flow-direct rules steer straight to the vSwitch), crash declaration
+// after K consecutive misses, and the widespread-failure guard that
+// suspends automatic removal when most targets appear down at once —
+// which production experience says is usually a monitoring bug, not
+// a real outage (§C.2).
+package monitor
+
+import (
+	"nezha/internal/fabric"
+	"nezha/internal/packet"
+	"nezha/internal/sim"
+	"nezha/internal/vswitch"
+)
+
+// Config tunes the monitor.
+type Config struct {
+	// Addr is the monitor's own underlay address.
+	Addr packet.IPv4
+	// ProbeInterval is the ping polling period.
+	ProbeInterval sim.Time
+	// Misses is how many consecutive unanswered probes declare a
+	// crash.
+	Misses int
+	// GuardFraction suspends automatic removal when more than this
+	// fraction of targets would be declared down in the same round
+	// (0 disables the guard).
+	GuardFraction float64
+}
+
+// DefaultConfig yields ~1.5–2 s detection, matching the paper's
+// failover window (Fig 14).
+func DefaultConfig(addr packet.IPv4) Config {
+	return Config{
+		Addr:          addr,
+		ProbeInterval: 500 * sim.Millisecond,
+		Misses:        3,
+		GuardFraction: 0.5,
+	}
+}
+
+type target struct {
+	missed  int
+	down    bool
+	pending bool // probe outstanding
+}
+
+// Monitor is the centralized health checker.
+type Monitor struct {
+	loop *sim.Loop
+	fab  *fabric.Fabric
+	cfg  Config
+
+	targets map[packet.IPv4]*target
+	onDown  func(packet.IPv4)
+	onUp    func(packet.IPv4)
+	ticker  *sim.Ticker
+	probeID uint64
+
+	// Counters.
+	ProbesSent  uint64
+	PongsSeen   uint64
+	Declared    uint64
+	GuardTrips  uint64
+	guardActive bool
+}
+
+// New builds a monitor and registers it on the fabric. onDown fires
+// once per crash declaration (typically controller.NodeDown).
+func New(loop *sim.Loop, fab *fabric.Fabric, cfg Config, onDown func(packet.IPv4)) *Monitor {
+	m := &Monitor{
+		loop:    loop,
+		fab:     fab,
+		cfg:     cfg,
+		targets: make(map[packet.IPv4]*target),
+		onDown:  onDown,
+	}
+	fab.Register(cfg.Addr, -1, m.handlePong)
+	return m
+}
+
+// SetOnUp installs a recovery callback (fired when a down target
+// answers again).
+func (m *Monitor) SetOnUp(fn func(packet.IPv4)) { m.onUp = fn }
+
+// Watch adds a vSwitch to the probe set.
+func (m *Monitor) Watch(addr packet.IPv4) {
+	if _, ok := m.targets[addr]; !ok {
+		m.targets[addr] = &target{}
+	}
+}
+
+// Unwatch removes a vSwitch from the probe set.
+func (m *Monitor) Unwatch(addr packet.IPv4) { delete(m.targets, addr) }
+
+// Watching reports whether addr is probed.
+func (m *Monitor) Watching(addr packet.IPv4) bool {
+	_, ok := m.targets[addr]
+	return ok
+}
+
+// Down reports whether addr is currently declared down.
+func (m *Monitor) Down(addr packet.IPv4) bool {
+	t, ok := m.targets[addr]
+	return ok && t.down
+}
+
+// GuardActive reports whether the widespread-failure guard has
+// suspended automatic removal.
+func (m *Monitor) GuardActive() bool { return m.guardActive }
+
+// ClearGuard re-enables automatic removal after manual verification
+// (§C.2: "manual intervention to verify"). Verification confirms the
+// widespread failure is real, so targets already past the miss
+// threshold are declared immediately.
+func (m *Monitor) ClearGuard() {
+	m.guardActive = false
+	for addr, t := range m.targets {
+		if t.missed >= m.cfg.Misses && !t.down {
+			t.down = true
+			m.Declared++
+			if m.onDown != nil {
+				m.onDown(addr)
+			}
+		}
+	}
+}
+
+// Start begins probing.
+func (m *Monitor) Start() {
+	m.ticker = m.loop.Every(m.cfg.ProbeInterval, m.round)
+}
+
+// Stop halts probing.
+func (m *Monitor) Stop() {
+	if m.ticker != nil {
+		m.ticker.Stop()
+	}
+}
+
+// round settles the previous probes, applies the guard, declares
+// crashes, then sends the next wave.
+func (m *Monitor) round() {
+	// Settle: any probe still pending is a miss.
+	var newlyDead []packet.IPv4
+	for addr, t := range m.targets {
+		if t.pending {
+			t.missed++
+			t.pending = false
+			if t.missed >= m.cfg.Misses && !t.down {
+				newlyDead = append(newlyDead, addr)
+			}
+		}
+	}
+	// Widespread-failure guard: if most of the fleet looks dead at
+	// once, suspend automatic removal (likely a monitoring bug).
+	if m.cfg.GuardFraction > 0 && len(m.targets) > 1 &&
+		float64(len(newlyDead)) > m.cfg.GuardFraction*float64(len(m.targets)) {
+		m.GuardTrips++
+		m.guardActive = true
+	}
+	if !m.guardActive {
+		for _, addr := range newlyDead {
+			m.targets[addr].down = true
+			m.Declared++
+			if m.onDown != nil {
+				m.onDown(addr)
+			}
+		}
+	}
+	// Probe wave.
+	for addr, t := range m.targets {
+		m.probeID++
+		t.pending = true
+		probe := packet.New(m.probeID, 0, 0, packet.FiveTuple{
+			SrcIP: m.cfg.Addr, DstIP: addr,
+			SrcPort: 40000, DstPort: vswitch.ProbePort,
+			Proto: packet.ProtoUDP,
+		}, packet.DirTX, 0, 0)
+		probe.Encap(m.cfg.Addr, addr)
+		m.ProbesSent++
+		m.fab.Send(m.cfg.Addr, addr, probe)
+	}
+}
+
+// handlePong clears the pending flag for the answering target.
+func (m *Monitor) handlePong(p *packet.Packet) {
+	m.PongsSeen++
+	addr := p.OuterSrc
+	t, ok := m.targets[addr]
+	if !ok {
+		return
+	}
+	t.pending = false
+	t.missed = 0
+	if t.down {
+		t.down = false
+		if m.onUp != nil {
+			m.onUp(addr)
+		}
+	}
+}

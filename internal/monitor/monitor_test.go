@@ -1,0 +1,201 @@
+package monitor
+
+import (
+	"testing"
+
+	"nezha/internal/fabric"
+	"nezha/internal/packet"
+	"nezha/internal/sim"
+	"nezha/internal/vswitch"
+)
+
+func ip(a, b, c, d byte) packet.IPv4 { return packet.MakeIP(a, b, c, d) }
+
+type testbed struct {
+	loop *sim.Loop
+	fab  *fabric.Fabric
+	gw   *fabric.Gateway
+	sw   []*vswitch.VSwitch
+	mon  *Monitor
+	down []packet.IPv4
+	up   []packet.IPv4
+}
+
+func newBed(t *testing.T, n int) *testbed {
+	t.Helper()
+	b := &testbed{loop: sim.NewLoop(5)}
+	b.fab = fabric.New(b.loop)
+	b.gw = fabric.NewGateway(b.loop)
+	for i := 0; i < n; i++ {
+		vs := vswitch.New(b.loop, b.fab, b.gw, vswitch.Config{
+			Addr: ip(10, 0, 0, byte(i+1)), ToR: 0,
+		})
+		b.sw = append(b.sw, vs)
+	}
+	monAddr := ip(10, 0, 9, 9)
+	b.mon = New(b.loop, b.fab, DefaultConfig(monAddr), func(a packet.IPv4) {
+		b.down = append(b.down, a)
+	})
+	b.mon.SetOnUp(func(a packet.IPv4) { b.up = append(b.up, a) })
+	for _, vs := range b.sw {
+		b.mon.Watch(vs.Addr())
+	}
+	return b
+}
+
+func TestHealthyFleetNoDeclarations(t *testing.T) {
+	b := newBed(t, 4)
+	b.mon.Start()
+	b.loop.Run(10 * sim.Second)
+	if len(b.down) != 0 {
+		t.Fatalf("declared %v down on a healthy fleet", b.down)
+	}
+	if b.mon.PongsSeen == 0 {
+		t.Fatal("no pongs seen")
+	}
+	if b.mon.ProbesSent == 0 {
+		t.Fatal("no probes sent")
+	}
+}
+
+func TestCrashDetectedWithinTwoSeconds(t *testing.T) {
+	b := newBed(t, 4)
+	b.mon.Start()
+	var detectedAt sim.Time
+	crashAt := 3 * sim.Second
+	b.loop.Schedule(crashAt, func() { b.sw[1].Crash() })
+	b.mon.onDown = func(a packet.IPv4) {
+		b.down = append(b.down, a)
+		if detectedAt == 0 {
+			detectedAt = b.loop.Now()
+		}
+	}
+	b.loop.Run(20 * sim.Second)
+	if len(b.down) != 1 || b.down[0] != b.sw[1].Addr() {
+		t.Fatalf("declared %v, want just %v", b.down, b.sw[1].Addr())
+	}
+	detectionDelay := detectedAt - crashAt
+	if detectionDelay > 2*sim.Second {
+		t.Fatalf("detection took %v, want <= 2s (§4.4)", detectionDelay)
+	}
+	if detectionDelay < sim.Second {
+		t.Fatalf("detection suspiciously fast: %v (misses=%d)", detectionDelay, DefaultConfig(0).Misses)
+	}
+}
+
+func TestDeclaredOnce(t *testing.T) {
+	b := newBed(t, 2)
+	b.mon.Start()
+	b.sw[0].Crash()
+	b.loop.Run(30 * sim.Second)
+	n := 0
+	for _, a := range b.down {
+		if a == b.sw[0].Addr() {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("crash declared %d times, want once", n)
+	}
+	if !b.mon.Down(b.sw[0].Addr()) {
+		t.Fatal("Down() should report the crash")
+	}
+}
+
+func TestRecoveryCallback(t *testing.T) {
+	b := newBed(t, 2)
+	b.mon.Start()
+	b.sw[0].Crash()
+	b.loop.Schedule(10*sim.Second, func() { b.sw[0].Revive() })
+	b.loop.Run(20 * sim.Second)
+	if len(b.up) != 1 || b.up[0] != b.sw[0].Addr() {
+		t.Fatalf("recovery not reported: %v", b.up)
+	}
+	if b.mon.Down(b.sw[0].Addr()) {
+		t.Fatal("still marked down after recovery")
+	}
+}
+
+func TestWidespreadFailureGuard(t *testing.T) {
+	b := newBed(t, 6)
+	b.mon.Start()
+	// Kill 5 of 6 simultaneously — smells like a monitoring bug.
+	b.loop.Schedule(sim.Second, func() {
+		for i := 0; i < 5; i++ {
+			b.sw[i].Crash()
+		}
+	})
+	b.loop.Run(15 * sim.Second)
+	if b.mon.GuardTrips == 0 {
+		t.Fatal("guard did not trip on widespread failure")
+	}
+	if !b.mon.GuardActive() {
+		t.Fatal("guard should be active")
+	}
+	if len(b.down) != 0 {
+		t.Fatalf("automatic removal not suspended: %v", b.down)
+	}
+	// Manual verification re-enables removal.
+	b.mon.ClearGuard()
+	b.loop.Run(30 * sim.Second)
+	if len(b.down) != 5 {
+		t.Fatalf("after ClearGuard, declared %d, want 5", len(b.down))
+	}
+}
+
+func TestSingleCrashDoesNotTripGuard(t *testing.T) {
+	b := newBed(t, 6)
+	b.mon.Start()
+	b.sw[0].Crash()
+	b.loop.Run(15 * sim.Second)
+	if b.mon.GuardTrips != 0 {
+		t.Fatal("guard tripped on a single crash")
+	}
+	if len(b.down) != 1 {
+		t.Fatalf("single crash not declared: %v", b.down)
+	}
+}
+
+func TestUnwatch(t *testing.T) {
+	b := newBed(t, 2)
+	b.mon.Unwatch(b.sw[0].Addr())
+	if b.mon.Watching(b.sw[0].Addr()) {
+		t.Fatal("still watching after Unwatch")
+	}
+	b.mon.Start()
+	b.sw[0].Crash()
+	b.loop.Run(15 * sim.Second)
+	if len(b.down) != 0 {
+		t.Fatal("unwatched node declared down")
+	}
+}
+
+func TestStopHaltsProbing(t *testing.T) {
+	b := newBed(t, 2)
+	b.mon.Start()
+	b.loop.Run(2 * sim.Second)
+	sent := b.mon.ProbesSent
+	b.mon.Stop()
+	b.loop.Run(10 * sim.Second)
+	if b.mon.ProbesSent != sent {
+		t.Fatal("probes kept flowing after Stop")
+	}
+}
+
+func TestHardCrashUnregisteredNode(t *testing.T) {
+	// A full SmartNIC death (unregistered from the fabric) must also
+	// be detected.
+	b := newBed(t, 3)
+	b.mon.Start()
+	b.loop.Schedule(sim.Second, func() { b.fab.Unregister(b.sw[2].Addr()) })
+	b.loop.Run(15 * sim.Second)
+	found := false
+	for _, a := range b.down {
+		if a == b.sw[2].Addr() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("hard crash not detected")
+	}
+}

@@ -1,0 +1,117 @@
+package nic
+
+import "errors"
+
+// BDF (bus/device/function) allocation — the §7.4 deployment limit.
+// Without SR-IOV/SIOV a VM sees one function per bus number, so the
+// 8-bit bus field caps it at 256 device functions, most of which go
+// to essential functions (storage, compute, encryption), leaving only
+// a few dozen for vNICs. SR-IOV/SIOV unlock the device (5-bit) and
+// function (3-bit) fields, adding another 256. Child vNICs bypass BDF
+// entirely by sharing the parent's I/O adapter and separating traffic
+// by tag.
+
+// BDF capacity constants.
+const (
+	BDFBusNumbers = 256 // bus field: 8 bits
+	BDFSRIOVExtra = 256 // device (5 bits) x function (3 bits)
+	// BDFEssential is what storage/compute/encryption take.
+	BDFEssential = 220
+)
+
+// ErrNoBDF reports BDF exhaustion.
+var ErrNoBDF = errors.New("nic: out of BDF numbers")
+
+// BDFAllocator tracks a VM's device-function space.
+type BDFAllocator struct {
+	sriov    bool
+	used     int
+	children map[uint32][]uint32 // parent vNIC -> child vNICs
+	parentOf map[uint32]uint32
+	owner    map[uint32]bool // vNICs holding a real BDF
+}
+
+// NewBDFAllocator returns an allocator with the essential functions
+// already claimed. sriov enables the extra 256 numbers.
+func NewBDFAllocator(sriov bool) *BDFAllocator {
+	return &BDFAllocator{
+		sriov:    sriov,
+		used:     BDFEssential,
+		children: make(map[uint32][]uint32),
+		parentOf: make(map[uint32]uint32),
+		owner:    make(map[uint32]bool),
+	}
+}
+
+// Capacity returns the total BDF numbers available.
+func (a *BDFAllocator) Capacity() int {
+	if a.sriov {
+		return BDFBusNumbers + BDFSRIOVExtra
+	}
+	return BDFBusNumbers
+}
+
+// Free returns the unallocated BDF numbers.
+func (a *BDFAllocator) Free() int { return a.Capacity() - a.used }
+
+// Attach claims a BDF number for vnic.
+func (a *BDFAllocator) Attach(vnic uint32) error {
+	if a.owner[vnic] {
+		return nil
+	}
+	if a.used >= a.Capacity() {
+		return ErrNoBDF
+	}
+	a.used++
+	a.owner[vnic] = true
+	return nil
+}
+
+// AttachChild binds child to parent's I/O adapter (no BDF consumed);
+// traffic separates by tag at the application (§7.4). The parent must
+// hold a BDF.
+func (a *BDFAllocator) AttachChild(parent, child uint32) error {
+	if !a.owner[parent] {
+		return errors.New("nic: parent vNIC has no BDF")
+	}
+	if _, dup := a.parentOf[child]; dup || a.owner[child] {
+		return errors.New("nic: child already attached")
+	}
+	a.children[parent] = append(a.children[parent], child)
+	a.parentOf[child] = parent
+	return nil
+}
+
+// Detach releases a vNIC (and its children, which lose their parent).
+func (a *BDFAllocator) Detach(vnic uint32) {
+	if a.owner[vnic] {
+		a.used--
+		delete(a.owner, vnic)
+		for _, ch := range a.children[vnic] {
+			delete(a.parentOf, ch)
+		}
+		delete(a.children, vnic)
+		return
+	}
+	if p, ok := a.parentOf[vnic]; ok {
+		kept := a.children[p][:0]
+		for _, ch := range a.children[p] {
+			if ch != vnic {
+				kept = append(kept, ch)
+			}
+		}
+		a.children[p] = kept
+		delete(a.parentOf, vnic)
+	}
+}
+
+// VNICs returns how many vNICs (BDF holders + children) are attached.
+func (a *BDFAllocator) VNICs() int {
+	return len(a.owner) + len(a.parentOf)
+}
+
+// ParentOf resolves a child's parent (ok=false for BDF holders).
+func (a *BDFAllocator) ParentOf(vnic uint32) (uint32, bool) {
+	p, ok := a.parentOf[vnic]
+	return p, ok
+}

@@ -1,0 +1,198 @@
+package nic
+
+import "nezha/internal/sim"
+
+// CPU is a multi-core queueing server on the simulation loop. Work is
+// submitted in cycles; each item is serviced by the earliest-free
+// core. If the queueing delay an item would experience exceeds the
+// configured bound, it is dropped instead — the SmartNIC's finite
+// buffering under overload.
+type CPU struct {
+	loop     *sim.Loop
+	cores    []sim.Time // each core's busy-until time
+	hz       uint64
+	maxDelay sim.Time
+
+	busy      sim.Time // cumulative busy time across cores
+	processed uint64
+	dropped   uint64
+}
+
+// NewCPU builds a CPU with the given core count and clock.
+func NewCPU(loop *sim.Loop, cores int, hz uint64, maxDelay sim.Time) *CPU {
+	if cores < 1 {
+		cores = 1
+	}
+	if hz == 0 {
+		hz = DefaultCoreHz
+	}
+	if maxDelay <= 0 {
+		maxDelay = DefaultMaxQueueDelay
+	}
+	return &CPU{loop: loop, cores: make([]sim.Time, cores), hz: hz, maxDelay: maxDelay}
+}
+
+// Cores returns the core count.
+func (c *CPU) Cores() int { return len(c.cores) }
+
+// ServiceTime converts cycles to time on one core.
+func (c *CPU) ServiceTime(cycles uint64) sim.Time {
+	return sim.Time(cycles * uint64(sim.Second) / c.hz)
+}
+
+// Submit enqueues cycles of work. done(true, total) fires when the
+// work completes, where total is queueing delay plus service time;
+// done(false, 0) fires immediately (synchronously) if the work is
+// dropped for exceeding the queueing-delay bound. done may be nil.
+func (c *CPU) Submit(cycles uint64, done func(ok bool, delay sim.Time)) {
+	now := c.loop.Now()
+	// Earliest-free core.
+	best := 0
+	for i := 1; i < len(c.cores); i++ {
+		if c.cores[i] < c.cores[best] {
+			best = i
+		}
+	}
+	start := c.cores[best]
+	if start < now {
+		start = now
+	}
+	if start-now > c.maxDelay {
+		c.dropped++
+		if done != nil {
+			done(false, 0)
+		}
+		return
+	}
+	st := c.ServiceTime(cycles)
+	end := start + st
+	c.cores[best] = end
+	c.busy += st
+	c.processed++
+	if done != nil {
+		total := end - now
+		c.loop.At(end, func() { done(true, total) })
+	}
+}
+
+// SubmitPriority enqueues cycles of work that is never dropped at
+// admission (it bypasses the queueing-delay bound). Used for work
+// that rides the datapath with priority, such as Sirius-style in-line
+// state replication.
+func (c *CPU) SubmitPriority(cycles uint64, done func(delay sim.Time)) {
+	now := c.loop.Now()
+	best := 0
+	for i := 1; i < len(c.cores); i++ {
+		if c.cores[i] < c.cores[best] {
+			best = i
+		}
+	}
+	start := c.cores[best]
+	if start < now {
+		start = now
+	}
+	st := c.ServiceTime(cycles)
+	end := start + st
+	c.cores[best] = end
+	c.busy += st
+	c.processed++
+	if done != nil {
+		total := end - now
+		c.loop.At(end, func() { done(total) })
+	}
+}
+
+// TrySubmit is Submit for callers that only need the admission
+// decision synchronously; it reports whether the work was accepted.
+func (c *CPU) TrySubmit(cycles uint64, done func(delay sim.Time)) bool {
+	ok := true
+	c.Submit(cycles, func(accepted bool, d sim.Time) {
+		if !accepted {
+			ok = false
+			return
+		}
+		if done != nil {
+			done(d)
+		}
+	})
+	return ok
+}
+
+// BusyTime returns cumulative busy core-time.
+func (c *CPU) BusyTime() sim.Time { return c.busy }
+
+// Processed and Dropped return the admission counters.
+func (c *CPU) Processed() uint64 { return c.processed }
+func (c *CPU) Dropped() uint64   { return c.dropped }
+
+// UtilMeter measures CPU utilization over sampling windows.
+type UtilMeter struct {
+	cpu      *CPU
+	lastBusy sim.Time
+	lastAt   sim.Time
+}
+
+// NewUtilMeter starts a meter at the current time.
+func NewUtilMeter(cpu *CPU) *UtilMeter {
+	return &UtilMeter{cpu: cpu, lastBusy: cpu.busy, lastAt: cpu.loop.Now()}
+}
+
+// Sample returns the utilization (0..1) since the previous sample and
+// resets the window.
+func (m *UtilMeter) Sample() float64 {
+	now := m.cpu.loop.Now()
+	dt := now - m.lastAt
+	if dt <= 0 {
+		return 0
+	}
+	db := m.cpu.busy - m.lastBusy
+	m.lastAt = now
+	m.lastBusy = m.cpu.busy
+	u := float64(db) / (float64(dt) * float64(len(m.cpu.cores)))
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Memory is a byte-accounted budget.
+type Memory struct {
+	total int
+	used  int
+}
+
+// NewMemory builds a budget of total bytes.
+func NewMemory(total int) *Memory { return &Memory{total: total} }
+
+// Alloc charges n bytes, reporting false (and charging nothing) if
+// the budget cannot fit them.
+func (m *Memory) Alloc(n int) bool {
+	if n < 0 {
+		return false
+	}
+	if m.used+n > m.total {
+		return false
+	}
+	m.used += n
+	return true
+}
+
+// Free refunds n bytes.
+func (m *Memory) Free(n int) {
+	m.used -= n
+	if m.used < 0 {
+		m.used = 0
+	}
+}
+
+// Used and Total return the accounting.
+func (m *Memory) Used() int  { return m.used }
+func (m *Memory) Total() int { return m.total }
+
+// Utilization returns used/total in 0..1.
+func (m *Memory) Utilization() float64 {
+	if m.total == 0 {
+		return 0
+	}
+	return float64(m.used) / float64(m.total)
+}

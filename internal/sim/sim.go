@@ -1,0 +1,224 @@
+// Package sim provides the deterministic discrete-event simulation
+// substrate every other component runs on: a virtual clock, an event
+// scheduler, and a seeded random source.
+//
+// All simulated time is virtual. Nothing in the repository reads the
+// wall clock on the datapath, so a run with the same seed and the same
+// inputs produces bit-identical results. The loop is single-threaded;
+// components interact only by scheduling events, which keeps ordering
+// well-defined without locks.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a virtual timestamp measured in nanoseconds since the start
+// of the simulation.
+type Time int64
+
+// Common durations, mirroring time.Duration's constants but in virtual
+// time units.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+	Minute           = 60 * Second
+	Hour             = 60 * Minute
+)
+
+// MaxTime is the largest representable virtual timestamp.
+const MaxTime = Time(math.MaxInt64)
+
+// Duration converts a standard library duration into virtual time.
+func Duration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// Seconds reports t as floating-point seconds, for metric output.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis reports t as floating-point milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// Micros reports t as floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+func (t Time) String() string {
+	return time.Duration(t).String()
+}
+
+// Event is a scheduled callback. Events with equal deadlines fire in
+// scheduling order (FIFO), which keeps runs deterministic.
+type event struct {
+	at   Time
+	seq  uint64 // tiebreaker: scheduling order
+	fn   func()
+	dead bool
+}
+
+// EventRef identifies a scheduled event so it can be cancelled.
+type EventRef struct{ ev *event }
+
+// Cancel prevents the event from firing. Cancelling an already-fired
+// or already-cancelled event is a no-op.
+func (r EventRef) Cancel() {
+	if r.ev != nil {
+		r.ev.dead = true
+	}
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Loop is a discrete-event simulation loop. The zero value is not
+// usable; construct with NewLoop.
+type Loop struct {
+	now    Time
+	queue  eventQueue
+	seq    uint64
+	rng    *Rand
+	nfired uint64
+}
+
+// NewLoop returns a loop whose clock starts at zero and whose random
+// source is seeded with seed.
+func NewLoop(seed int64) *Loop {
+	return &Loop{rng: NewRand(seed)}
+}
+
+// Now returns the current virtual time.
+func (l *Loop) Now() Time { return l.now }
+
+// Rand returns the loop's deterministic random source.
+func (l *Loop) Rand() *Rand { return l.rng }
+
+// Fired reports how many events have executed so far.
+func (l *Loop) Fired() uint64 { return l.nfired }
+
+// Pending reports how many events are queued (including cancelled ones
+// not yet discarded).
+func (l *Loop) Pending() int { return len(l.queue) }
+
+// Schedule runs fn after delay of virtual time. A negative delay is
+// treated as zero. It returns a reference that can cancel the event.
+func (l *Loop) Schedule(delay Time, fn func()) EventRef {
+	if delay < 0 {
+		delay = 0
+	}
+	return l.At(l.now+delay, fn)
+}
+
+// At runs fn at the absolute virtual time at. If at is in the past the
+// event fires at the current time, after already-queued events.
+func (l *Loop) At(at Time, fn func()) EventRef {
+	if fn == nil {
+		panic("sim: Schedule with nil function")
+	}
+	if at < l.now {
+		at = l.now
+	}
+	ev := &event{at: at, seq: l.seq, fn: fn}
+	l.seq++
+	heap.Push(&l.queue, ev)
+	return EventRef{ev}
+}
+
+// Every schedules fn to run every period, starting one period from
+// now, until the returned ticker is stopped or the loop drains.
+func (l *Loop) Every(period Time, fn func()) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: Every with non-positive period %d", period))
+	}
+	t := &Ticker{loop: l, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+// Ticker repeatedly fires a callback until stopped.
+type Ticker struct {
+	loop    *Loop
+	period  Time
+	fn      func()
+	ref     EventRef
+	stopped bool
+}
+
+func (t *Ticker) arm() {
+	t.ref = t.loop.Schedule(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future firings.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.ref.Cancel()
+}
+
+// Run executes events until the queue drains or the clock passes
+// until, whichever comes first. It returns the time of the last event
+// executed (or the current time if none ran).
+func (l *Loop) Run(until Time) Time {
+	for len(l.queue) > 0 {
+		ev := l.queue[0]
+		if ev.at > until {
+			break
+		}
+		heap.Pop(&l.queue)
+		if ev.dead {
+			continue
+		}
+		l.now = ev.at
+		l.nfired++
+		ev.fn()
+	}
+	if until != MaxTime && l.now < until {
+		l.now = until
+	}
+	return l.now
+}
+
+// RunAll executes events until the queue drains.
+func (l *Loop) RunAll() Time { return l.Run(MaxTime) }
+
+// Step executes the single next pending live event, returning false if
+// the queue is empty.
+func (l *Loop) Step() bool {
+	for len(l.queue) > 0 {
+		ev := heap.Pop(&l.queue).(*event)
+		if ev.dead {
+			continue
+		}
+		l.now = ev.at
+		l.nfired++
+		ev.fn()
+		return true
+	}
+	return false
+}

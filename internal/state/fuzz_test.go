@@ -1,0 +1,32 @@
+package state
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzDecode hardens the state-blob decoder (the BE decodes blobs the
+// FE attached in transit — they cross the wire).
+func FuzzDecode(f *testing.F) {
+	var s State
+	s.InitFirst(1, 5)
+	s.TCP = TCPEstablished
+	s.BytesIn = 100
+	f.Add(s.Encode())
+	f.Add([]byte{0})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := Decode(data) // must not panic
+		if err != nil {
+			return
+		}
+		again, err := Decode(st.Encode())
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(st, again) {
+			t.Fatalf("re-encode not stable:\n%+v\n%+v", st, again)
+		}
+	})
+}

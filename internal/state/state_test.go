@@ -1,0 +1,276 @@
+package state
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"nezha/internal/packet"
+	"nezha/internal/tables"
+)
+
+func TestInitFirstIdempotent(t *testing.T) {
+	var s State
+	s.InitFirst(packet.DirTX, 100)
+	s.InitFirst(packet.DirRX, 200)
+	if s.FirstDir != packet.DirTX {
+		t.Fatal("re-init changed first direction")
+	}
+	if !s.Init {
+		t.Fatal("not initialized")
+	}
+}
+
+func TestTCPHandshake(t *testing.T) {
+	var s State
+	s.Touch(packet.DirTX, packet.FlagSYN, 0, 1)
+	if s.TCP != TCPSynSent {
+		t.Fatalf("after SYN: %v", s.TCP)
+	}
+	s.Touch(packet.DirRX, packet.FlagSYN|packet.FlagACK, 0, 2)
+	if s.TCP != TCPSynRecv {
+		t.Fatalf("after SYNACK: %v", s.TCP)
+	}
+	s.Touch(packet.DirTX, packet.FlagACK, 0, 3)
+	if s.TCP != TCPEstablished {
+		t.Fatalf("after ACK: %v", s.TCP)
+	}
+	if s.FirstDir != packet.DirTX {
+		t.Fatal("first dir lost")
+	}
+}
+
+func TestTCPTeardown(t *testing.T) {
+	var s State
+	s.Touch(packet.DirTX, packet.FlagSYN, 0, 1)
+	s.Touch(packet.DirRX, packet.FlagSYN|packet.FlagACK, 0, 2)
+	s.Touch(packet.DirTX, packet.FlagACK, 0, 3)
+	s.Touch(packet.DirTX, packet.FlagFIN|packet.FlagACK, 0, 4)
+	if s.TCP != TCPFinWait {
+		t.Fatalf("after FIN: %v", s.TCP)
+	}
+	s.Touch(packet.DirRX, packet.FlagFIN|packet.FlagACK, 0, 5)
+	if s.TCP != TCPClosed {
+		t.Fatalf("after second FIN: %v", s.TCP)
+	}
+}
+
+func TestTCPReset(t *testing.T) {
+	var s State
+	s.Touch(packet.DirTX, packet.FlagSYN, 0, 1)
+	s.Touch(packet.DirRX, packet.FlagRST, 0, 2)
+	if s.TCP != TCPClosed {
+		t.Fatalf("after RST: %v", s.TCP)
+	}
+}
+
+func TestACKFromResponderDoesNotEstablish(t *testing.T) {
+	var s State
+	s.Touch(packet.DirTX, packet.FlagSYN, 0, 1)
+	s.Touch(packet.DirRX, packet.FlagSYN|packet.FlagACK, 0, 2)
+	// ACK from the responder side must not complete the handshake.
+	s.Touch(packet.DirRX, packet.FlagACK, 0, 3)
+	if s.TCP == TCPEstablished {
+		t.Fatal("responder ACK established the connection")
+	}
+}
+
+func TestStatsPolicyGating(t *testing.T) {
+	var s State
+	s.Policy = tables.StatsBytesIn | tables.StatsPackets
+	s.Touch(packet.DirRX, packet.FlagACK, 100, 1)
+	s.Touch(packet.DirTX, packet.FlagACK, 50, 2)
+	if s.BytesIn != 100 {
+		t.Fatalf("BytesIn = %d", s.BytesIn)
+	}
+	if s.BytesOut != 0 {
+		t.Fatalf("BytesOut should be gated off, got %d", s.BytesOut)
+	}
+	if s.Pkts != 2 {
+		t.Fatalf("Pkts = %d", s.Pkts)
+	}
+}
+
+func TestNoPolicyNoStats(t *testing.T) {
+	var s State
+	s.Touch(packet.DirRX, 0, 1000, 1)
+	if s.BytesIn != 0 || s.Pkts != 0 {
+		t.Fatal("stats recorded without a policy")
+	}
+}
+
+func TestAgingShortForSyn(t *testing.T) {
+	var s State
+	s.Touch(packet.DirTX, packet.FlagSYN, 0, 0)
+	if s.Aging() != AgingSyn {
+		t.Fatalf("syn aging = %d", s.Aging())
+	}
+	if s.Aging() >= AgingEstablished {
+		t.Fatal("SYN aging must be shorter than established (§7.3)")
+	}
+	s.Touch(packet.DirRX, packet.FlagSYN|packet.FlagACK, 0, 1)
+	s.Touch(packet.DirTX, packet.FlagACK, 0, 2)
+	if s.Aging() != AgingEstablished {
+		t.Fatalf("established aging = %d", s.Aging())
+	}
+}
+
+func TestExpired(t *testing.T) {
+	var s State
+	s.Touch(packet.DirTX, packet.FlagSYN, 0, 0)
+	if s.Expired(AgingSyn / 2) {
+		t.Fatal("expired too early")
+	}
+	if !s.Expired(AgingSyn + 1) {
+		t.Fatal("not expired after aging window")
+	}
+}
+
+func TestEncodeEmptyState(t *testing.T) {
+	var s State
+	b := s.Encode()
+	if len(b) != 1 {
+		t.Fatalf("empty state encodes to %d bytes, want 1", len(b))
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Init {
+		t.Fatal("decoded empty state is initialized")
+	}
+}
+
+func TestEncodeTypicalStateSmall(t *testing.T) {
+	// §7.1: the average state is 5–8 bytes, far below the 64 B slot.
+	var s State
+	s.InitFirst(packet.DirTX, 0)
+	s.TCP = TCPEstablished
+	if n := s.EncodedSize(); n > 8 {
+		t.Fatalf("typical state = %d bytes, want <=8", n)
+	}
+	if s.EncodedSize() >= FixedSizeBytes {
+		t.Fatal("encoded size should beat the fixed slot")
+	}
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	s := State{
+		Init: true, FirstDir: packet.DirRX, TCP: TCPEstablished,
+		DecapIP: packet.MakeIP(9, 8, 7, 6),
+		Policy:  tables.StatsBytesIn,
+		BytesIn: 12345, BytesOut: 999, Pkts: 77, LastSeen: 42,
+	}
+	got, err := Decode(s.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Fatalf("roundtrip mismatch:\n%+v\n%+v", s, got)
+	}
+}
+
+func TestEncodedSizeMatchesEncode(t *testing.T) {
+	states := []State{
+		{},
+		{Init: true, FirstDir: packet.DirTX},
+		{Init: true, TCP: TCPSynSent, DecapIP: 5},
+		{Init: true, Policy: tables.StatsPackets, Pkts: 1, LastSeen: 9},
+	}
+	for i, s := range states {
+		if got, want := s.EncodedSize(), len(s.Encode()); got != want {
+			t.Fatalf("state %d: EncodedSize=%d len(Encode)=%d", i, got, want)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); err != ErrBadState {
+		t.Fatal("nil should fail")
+	}
+	if _, err := Decode([]byte{0, 1}); err != ErrBadState {
+		t.Fatal("trailing bytes after empty bitmap should fail")
+	}
+	if _, err := Decode([]byte{encTCP}); err != ErrBadState {
+		t.Fatal("bitmap without firstdir should fail")
+	}
+	s := State{Init: true, FirstDir: packet.DirTX, BytesIn: 1, Pkts: 1}
+	b := s.Encode()
+	if _, err := Decode(b[:len(b)-3]); err != ErrBadState {
+		t.Fatal("truncated stats should fail")
+	}
+	if _, err := Decode(append(b, 0)); err != ErrBadState {
+		t.Fatal("trailing garbage should fail")
+	}
+}
+
+// Property: Encode/Decode roundtrips for arbitrary states.
+func TestQuickEncodeRoundtrip(t *testing.T) {
+	f := func(firstDir bool, tcp uint8, decap uint32, policy uint8, bin, bout, pkts uint64, last int64) bool {
+		s := State{
+			Init:    true,
+			TCP:     TCPState(tcp % 6),
+			DecapIP: packet.IPv4(decap),
+			Policy:  tables.StatsPolicy(policy),
+			BytesIn: bin, BytesOut: bout, Pkts: pkts,
+			LastSeen: last,
+		}
+		if firstDir {
+			s.FirstDir = packet.DirRX
+		}
+		if s.LastSeen < 0 {
+			s.LastSeen = -s.LastSeen
+		}
+		got, err := Decode(s.Encode())
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(s, got) && s.EncodedSize() == len(s.Encode())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the FSM never leaves the valid phase set and FirstDir is
+// stable under any packet sequence.
+func TestQuickFSMInvariants(t *testing.T) {
+	f := func(moves []uint8) bool {
+		var s State
+		var first packet.Direction
+		for i, m := range moves {
+			dir := packet.Direction(m % 2)
+			flags := packet.TCPFlags(m % 16)
+			s.Touch(dir, flags, int(m), int64(i))
+			if i == 0 {
+				first = dir
+			}
+			if s.FirstDir != first {
+				return false
+			}
+			if s.TCP > TCPClosed {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkStateEncode(b *testing.B) {
+	s := State{Init: true, FirstDir: packet.DirTX, TCP: TCPEstablished}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.Encode()
+	}
+}
+
+func BenchmarkStateTouch(b *testing.B) {
+	var s State
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Touch(packet.DirTX, packet.FlagACK, 100, int64(i))
+	}
+}

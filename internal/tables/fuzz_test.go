@@ -1,0 +1,28 @@
+package tables
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzDecodePreActions hardens the pre-action blob decoder (carried
+// FE→BE on every offloaded RX packet).
+func FuzzDecodePreActions(f *testing.F) {
+	pa := PreActions{TX: PreAction{ACL: VerdictAllow, RateBps: 5, NAT: true}}
+	f.Add(pa.Encode())
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecodePreActions(data) // must not panic
+		if err != nil {
+			return
+		}
+		again, err := DecodePreActions(got.Encode())
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(got, again) {
+			t.Fatalf("re-encode not stable:\n%+v\n%+v", got, again)
+		}
+	})
+}

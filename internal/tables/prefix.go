@@ -1,0 +1,55 @@
+package tables
+
+import (
+	"fmt"
+
+	"nezha/internal/packet"
+)
+
+// Prefix is an IPv4 CIDR prefix.
+type Prefix struct {
+	IP  packet.IPv4
+	Len uint8 // 0..32
+}
+
+// MakePrefix builds a prefix, masking off host bits.
+func MakePrefix(ip packet.IPv4, length uint8) Prefix {
+	if length > 32 {
+		length = 32
+	}
+	return Prefix{IP: ip & mask(length), Len: length}
+}
+
+func mask(l uint8) packet.IPv4 {
+	if l == 0 {
+		return 0
+	}
+	return packet.IPv4(^uint32(0) << (32 - l))
+}
+
+// Contains reports whether ip falls inside the prefix.
+func (p Prefix) Contains(ip packet.IPv4) bool {
+	return ip&mask(p.Len) == p.IP
+}
+
+func (p Prefix) String() string {
+	return fmt.Sprintf("%s/%d", p.IP, p.Len)
+}
+
+// PortRange is an inclusive transport port range. Zero value matches
+// everything (0..0 means "any" when Hi == 0 and Lo == 0).
+type PortRange struct {
+	Lo, Hi uint16
+}
+
+// AnyPort matches all ports.
+var AnyPort = PortRange{0, 65535}
+
+// Contains reports whether port falls in the range. The zero range
+// matches everything (unconfigured field in an ACL rule).
+func (r PortRange) Contains(port uint16) bool {
+	if r.Lo == 0 && r.Hi == 0 {
+		return true
+	}
+	return port >= r.Lo && port <= r.Hi
+}

@@ -1,0 +1,222 @@
+package tables
+
+import "nezha/internal/packet"
+
+// RuleSet bundles the per-vNIC rule tables. Establishing a connection
+// walks at least five tables (ACL, QoS, policy, VXLAN routing,
+// vNIC-server mapping); enabling advanced features (policy routing,
+// mirroring, flow logging, NAT, stats) raises that toward twelve
+// (§2.2.2).
+//
+// A RuleSet has a version. Any configuration change must go through
+// Bump (the vSwitch config APIs do), which invalidates cached flows
+// derived from the old rules: the flow cache stores the version it
+// was built from and treats a mismatch as a miss (§3.2.2 "when the
+// rule table changes, the associated cached flows are invalidated").
+type RuleSet struct {
+	VNIC uint32
+	VPC  uint32
+
+	ACL     *ACLTable
+	Route   *RouteTable // overlay dst -> peer vNIC id (as IPv4 payload)
+	QoS     *QoSTable
+	VXLAN   *VXLANRouteTable
+	VNICSrv *VNICServerMap // peer vNIC -> hosting server underlay IP
+
+	// Optional / advanced tables; nil when the feature is off.
+	NAT     *NATTable
+	Policy  *FlagTable
+	Mirror  *FlagTable
+	FlowLog *FlagTable
+	Stats   *StatsPolicyTable
+
+	version uint64
+}
+
+// NewRuleSet builds a rule set with the five mandatory tables
+// initialized and advanced tables off.
+func NewRuleSet(vnic, vpc uint32) *RuleSet {
+	return &RuleSet{
+		VNIC:    vnic,
+		VPC:     vpc,
+		ACL:     NewACL(VerdictAllow),
+		Route:   NewRoute(),
+		QoS:     NewQoS(),
+		VXLAN:   NewVXLAN(),
+		VNICSrv: NewVNICServerMap(),
+		version: 1,
+	}
+}
+
+// EnableAdvanced switches on the advanced feature tables (raising the
+// table walk toward the paper's twelve).
+func (rs *RuleSet) EnableAdvanced() {
+	if rs.NAT == nil {
+		rs.NAT = NewNAT()
+	}
+	if rs.Policy == nil {
+		rs.Policy = NewPolicyRoute()
+	}
+	if rs.Mirror == nil {
+		rs.Mirror = NewMirror()
+	}
+	if rs.FlowLog == nil {
+		rs.FlowLog = NewFlowLog()
+	}
+	if rs.Stats == nil {
+		rs.Stats = NewStatsPolicy(0)
+	}
+	rs.Bump()
+}
+
+// Version returns the current configuration version.
+func (rs *RuleSet) Version() uint64 { return rs.version }
+
+// Bump advances the version, invalidating derived cached flows.
+func (rs *RuleSet) Bump() { rs.version++ }
+
+// Tables returns every active table, for accounting.
+func (rs *RuleSet) Tables() []Table {
+	ts := []Table{rs.ACL, rs.Route, rs.QoS, rs.VXLAN, rs.VNICSrv}
+	for _, t := range []Table{rs.NAT, rs.Policy, rs.Mirror, rs.FlowLog, rs.Stats} {
+		switch v := t.(type) {
+		case *NATTable:
+			if v != nil {
+				ts = append(ts, v)
+			}
+		case *FlagTable:
+			if v != nil {
+				ts = append(ts, v)
+			}
+		case *StatsPolicyTable:
+			if v != nil {
+				ts = append(ts, v)
+			}
+		}
+	}
+	return ts
+}
+
+// SizeBytes is the total slow-path memory this vNIC's rules occupy.
+func (rs *RuleSet) SizeBytes() int {
+	total := 0
+	for _, t := range rs.Tables() {
+		total += t.SizeBytes()
+	}
+	return total
+}
+
+// LookupResult is the outcome of a full slow-path walk.
+type LookupResult struct {
+	Pre          PreActions
+	Cycles       uint64
+	TablesWalked int
+	// PeerVNIC is the resolved remote vNIC for the TX direction
+	// (0 when the route did not resolve).
+	PeerVNIC uint32
+}
+
+// ResolvePeer performs only the route + vNIC-server steps for an
+// overlay destination, returning the peer vNIC, its hosting server,
+// and the cycles consumed. Stateful decapsulation uses this to route
+// a response to the address recorded in session state instead of the
+// packet's own destination (§5.2).
+func (rs *RuleSet) ResolvePeer(dst packet.IPv4) (peer uint32, nextHop packet.IPv4, cycles uint64) {
+	cycles = RouteCycles + VNICServerCycles
+	p, ok := rs.Route.Lookup(dst)
+	if !ok {
+		return 0, 0, cycles
+	}
+	peer = uint32(p)
+	if srv, ok := rs.VNICSrv.Lookup(peer); ok {
+		nextHop = srv
+	}
+	return peer, nextHop, cycles
+}
+
+// Lookup performs the slow-path rule table walk for the session the
+// packet tuple belongs to, producing bidirectional pre-actions (as
+// the fast path caches them) plus the CPU cycles consumed.
+//
+// The tuple is interpreted in its TX orientation: SrcIP is the local
+// VM, DstIP the remote peer. Callers with an RX packet pass the
+// reversed tuple (the vSwitch does this).
+func (rs *RuleSet) Lookup(txTuple packet.FiveTuple) LookupResult {
+	var res LookupResult
+	walk := func(t Table) {
+		res.Cycles += t.LookupCycles()
+		res.TablesWalked++
+	}
+
+	// 1. ACL — both directions, one walk each (range matching).
+	walk(rs.ACL)
+	res.Pre.TX.ACL = rs.ACL.Lookup(txTuple)
+	walk(rs.ACL)
+	res.Pre.RX.ACL = rs.ACL.Lookup(txTuple.Reverse())
+
+	// 2. QoS.
+	walk(rs.QoS)
+	class, rate := rs.QoS.Lookup(txTuple)
+	res.Pre.TX.QoSClass, res.Pre.TX.RateBps = class, rate
+	res.Pre.RX.QoSClass, res.Pre.RX.RateBps = class, rate
+
+	// 3. Overlay route: TX destination -> peer vNIC.
+	walk(rs.Route)
+	if peer, ok := rs.Route.Lookup(txTuple.DstIP); ok {
+		res.PeerVNIC = uint32(peer)
+		res.Pre.TX.PeerVNIC = uint32(peer)
+	}
+	res.Pre.RX.PeerVNIC = rs.VNIC
+
+	// 4. VXLAN routing: VNI for re-encapsulation.
+	walk(rs.VXLAN)
+	if vni, ok := rs.VXLAN.Lookup(txTuple.DstIP); ok {
+		res.Pre.TX.EncapVNI = vni
+		res.Pre.RX.EncapVNI = vni
+	} else {
+		res.Pre.TX.EncapVNI = rs.VPC
+		res.Pre.RX.EncapVNI = rs.VPC
+	}
+
+	// 5. vNIC-server mapping: underlay next hop for the peer.
+	walk(rs.VNICSrv)
+	if res.PeerVNIC != 0 {
+		if srv, ok := rs.VNICSrv.Lookup(res.PeerVNIC); ok {
+			res.Pre.TX.NextHop = srv
+		}
+	}
+
+	// Advanced tables, when enabled.
+	if rs.NAT != nil {
+		walk(rs.NAT)
+		if e, ok := rs.NAT.Lookup(txTuple); ok {
+			res.Pre.TX.NAT = true
+			res.Pre.TX.NATIP = e.XlatIP
+			res.Pre.TX.NATPort = e.XlatPort
+		}
+	}
+	if rs.Policy != nil {
+		walk(rs.Policy)
+		// Policy routing simply flags; the route result stands.
+		_ = rs.Policy.Lookup(txTuple.DstIP)
+	}
+	if rs.Mirror != nil {
+		walk(rs.Mirror)
+		m := rs.Mirror.Lookup(txTuple.DstIP)
+		res.Pre.TX.Mirror = m
+		res.Pre.RX.Mirror = m
+	}
+	if rs.FlowLog != nil {
+		walk(rs.FlowLog)
+		fl := rs.FlowLog.Lookup(txTuple.DstIP)
+		res.Pre.TX.FlowLog = fl
+		res.Pre.RX.FlowLog = fl
+	}
+	if rs.Stats != nil {
+		walk(rs.Stats)
+		sp := rs.Stats.Lookup(txTuple.DstIP)
+		res.Pre.TX.Stats = sp
+		res.Pre.RX.Stats = sp
+	}
+	return res
+}

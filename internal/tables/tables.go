@@ -1,0 +1,432 @@
+package tables
+
+import (
+	"sort"
+
+	"nezha/internal/packet"
+)
+
+// Table is implemented by every rule table. Sizes and lookup costs
+// feed the SmartNIC resource model: table bytes are charged to the
+// vSwitch memory budget (the paper's "#vNICs primarily limited by
+// memory on slow path"), lookup cycles to its CPU (the paper's "CPS
+// limited by CPU on slow path").
+type Table interface {
+	// Name identifies the table kind for logs and accounting.
+	Name() string
+	// SizeBytes is the memory the table occupies.
+	SizeBytes() int
+	// LookupCycles is the CPU cost of one lookup in this table.
+	LookupCycles() uint64
+}
+
+// Per-entry memory footprints (bytes). Calibrated so a typical vNIC
+// rule set lands in the paper's 5.5–10 MB band and a vNIC-server
+// mapping with O(100K) entries costs >200 MB (§2.2.2).
+const (
+	ACLRuleBytes      = 64
+	RouteEntryBytes   = 48
+	QoSEntryBytes     = 40
+	NATEntryBytes     = 56
+	VXLANEntryBytes   = 48
+	PolicyEntryBytes  = 64
+	MirrorEntryBytes  = 32
+	FlowLogEntryBytes = 32
+	StatsEntryBytes   = 32
+	VNICServerBytes   = 2048 // per-vNIC location record incl. metadata
+	tableFixedBytes   = 4096 // per-table bookkeeping overhead
+)
+
+// Lookup CPU costs (cycles). See internal/nic for the core clock; the
+// constants are calibrated so a full 5-table connection setup keeps an
+// 8-core vSwitch at O(100K) CPS (§2.2.2) and ACL cost grows with the
+// rule count as Table A1 measures.
+const (
+	ACLBaseCycles    = 30000
+	ACLPerRuleCycles = 110
+	RouteCycles      = 15000
+	QoSCycles        = 10000
+	NATCycles        = 12000
+	VXLANCycles      = 15000
+	PolicyCycles     = 12000
+	MirrorCycles     = 8000
+	FlowLogCycles    = 8000
+	StatsCycles      = 8000
+	VNICServerCycles = 10000
+)
+
+// ACLRule is one priority-ordered access rule. Zero-valued match
+// fields are wildcards.
+type ACLRule struct {
+	Priority int // lower value = higher priority
+	Src      Prefix
+	Dst      Prefix
+	SrcPorts PortRange
+	DstPorts PortRange
+	Proto    packet.Proto // 0 = any
+	Verdict  Verdict
+}
+
+func (r *ACLRule) matches(ft packet.FiveTuple) bool {
+	if r.Proto != 0 && r.Proto != ft.Proto {
+		return false
+	}
+	if !r.Src.Contains(ft.SrcIP) || !r.Dst.Contains(ft.DstIP) {
+		return false
+	}
+	return r.SrcPorts.Contains(ft.SrcPort) && r.DstPorts.Contains(ft.DstPort)
+}
+
+// ACLTable is a priority-matched access control list with range
+// matching — the expensive lookup on the slow path. Rules are kept
+// priority-sorted lazily (bulk loading is O(n log n) total), and
+// large tables are additionally indexed by destination prefix so
+// lookup cost stays near-flat in the rule count, as production
+// multi-field classifiers behave (Table A1 loses only ~18% going
+// from 0 to 1000 rules).
+type ACLTable struct {
+	rules   []ACLRule
+	sorted  bool
+	Default Verdict
+
+	// Destination-prefix index: per prefix length, masked dst ->
+	// indices into rules (priority-sorted). Rules whose dst is a
+	// wildcard (/0) live in wild. Built lazily with the sort.
+	byLen map[uint8]map[packet.IPv4][]int
+	wild  []int
+}
+
+// aclIndexThreshold is the rule count below which a linear scan beats
+// the index.
+const aclIndexThreshold = 16
+
+// NewACL returns an empty table with the given default verdict.
+func NewACL(def Verdict) *ACLTable { return &ACLTable{sorted: true, Default: def} }
+
+// Add inserts a rule; priority order (and the index) is restored on
+// the next lookup.
+func (t *ACLTable) Add(r ACLRule) {
+	t.rules = append(t.rules, r)
+	t.sorted = false
+}
+
+// Len reports the rule count.
+func (t *ACLTable) Len() int { return len(t.rules) }
+
+func (t *ACLTable) reindex() {
+	sort.SliceStable(t.rules, func(i, j int) bool { return t.rules[i].Priority < t.rules[j].Priority })
+	t.sorted = true
+	t.byLen = nil
+	t.wild = nil
+	if len(t.rules) <= aclIndexThreshold {
+		return
+	}
+	t.byLen = make(map[uint8]map[packet.IPv4][]int)
+	for i := range t.rules {
+		p := t.rules[i].Dst
+		if p.Len == 0 {
+			t.wild = append(t.wild, i)
+			continue
+		}
+		m := t.byLen[p.Len]
+		if m == nil {
+			m = make(map[packet.IPv4][]int)
+			t.byLen[p.Len] = m
+		}
+		m[p.IP] = append(m[p.IP], i)
+	}
+}
+
+// Lookup returns the verdict for ft: the lowest-priority matching
+// rule's (ties broken by insertion order), or the default.
+func (t *ACLTable) Lookup(ft packet.FiveTuple) Verdict {
+	if !t.sorted {
+		t.reindex()
+	}
+	if t.byLen == nil {
+		for i := range t.rules {
+			if t.rules[i].matches(ft) {
+				return t.rules[i].Verdict
+			}
+		}
+		return t.Default
+	}
+	best := -1
+	scan := func(idxs []int) {
+		for _, idx := range idxs {
+			if best != -1 && idx >= best {
+				return // candidates are priority-sorted
+			}
+			if t.rules[idx].matches(ft) {
+				best = idx
+				return
+			}
+		}
+	}
+	for l, m := range t.byLen {
+		scan(m[ft.DstIP&mask(l)])
+	}
+	scan(t.wild)
+	if best >= 0 {
+		return t.rules[best].Verdict
+	}
+	return t.Default
+}
+
+func (t *ACLTable) Name() string { return "acl" }
+func (t *ACLTable) SizeBytes() int {
+	return tableFixedBytes + len(t.rules)*ACLRuleBytes
+}
+func (t *ACLTable) LookupCycles() uint64 {
+	return ACLBaseCycles + uint64(len(t.rules))*ACLPerRuleCycles
+}
+
+// RouteTable is a longest-prefix-match route table implemented as 33
+// exact-match maps keyed by masked address, probed longest-first.
+type RouteTable struct {
+	byLen [33]map[packet.IPv4]packet.IPv4 // prefix -> next hop
+	n     int
+}
+
+// NewRoute returns an empty route table.
+func NewRoute() *RouteTable { return &RouteTable{} }
+
+// Add installs prefix -> nextHop. Re-adding a prefix overwrites.
+func (t *RouteTable) Add(p Prefix, nextHop packet.IPv4) {
+	m := t.byLen[p.Len]
+	if m == nil {
+		m = make(map[packet.IPv4]packet.IPv4)
+		t.byLen[p.Len] = m
+	}
+	if _, ok := m[p.IP]; !ok {
+		t.n++
+	}
+	m[p.IP] = nextHop
+}
+
+// Len reports the number of routes.
+func (t *RouteTable) Len() int { return t.n }
+
+// Lookup finds the longest matching prefix; ok is false with no match.
+func (t *RouteTable) Lookup(ip packet.IPv4) (nextHop packet.IPv4, ok bool) {
+	for l := 32; l >= 0; l-- {
+		m := t.byLen[l]
+		if m == nil {
+			continue
+		}
+		if nh, hit := m[ip&mask(uint8(l))]; hit {
+			return nh, true
+		}
+	}
+	return 0, false
+}
+
+func (t *RouteTable) Name() string         { return "route" }
+func (t *RouteTable) SizeBytes() int       { return tableFixedBytes + t.n*RouteEntryBytes }
+func (t *RouteTable) LookupCycles() uint64 { return RouteCycles }
+
+// QoSTable maps a QoS class to its rate limit.
+type QoSTable struct {
+	classes map[uint8]uint64 // class -> bytes/sec (0 = unlimited)
+	// ClassFor optionally classifies by destination port; nil means
+	// class 0 for everything.
+	portClass map[uint16]uint8
+}
+
+// NewQoS returns an empty QoS table.
+func NewQoS() *QoSTable {
+	return &QoSTable{classes: make(map[uint8]uint64), portClass: make(map[uint16]uint8)}
+}
+
+// SetClass installs a class rate.
+func (t *QoSTable) SetClass(class uint8, rateBps uint64) { t.classes[class] = rateBps }
+
+// MapPort steers a destination port into a class.
+func (t *QoSTable) MapPort(port uint16, class uint8) { t.portClass[port] = class }
+
+// Len reports configured classes plus port mappings.
+func (t *QoSTable) Len() int { return len(t.classes) + len(t.portClass) }
+
+// Lookup classifies ft and returns (class, rate).
+func (t *QoSTable) Lookup(ft packet.FiveTuple) (uint8, uint64) {
+	class := t.portClass[ft.DstPort]
+	return class, t.classes[class]
+}
+
+func (t *QoSTable) Name() string         { return "qos" }
+func (t *QoSTable) SizeBytes() int       { return tableFixedBytes + t.Len()*QoSEntryBytes }
+func (t *QoSTable) LookupCycles() uint64 { return QoSCycles }
+
+// NATEntry rewrites a destination matching Orig to Xlat.
+type NATEntry struct {
+	Orig     Prefix
+	XlatIP   packet.IPv4
+	XlatPort uint16 // 0 = keep port
+}
+
+// NATTable holds destination NAT rewrites.
+type NATTable struct {
+	entries []NATEntry
+}
+
+// NewNAT returns an empty NAT table.
+func NewNAT() *NATTable { return &NATTable{} }
+
+// Add installs an entry.
+func (t *NATTable) Add(e NATEntry) { t.entries = append(t.entries, e) }
+
+// Len reports the entry count.
+func (t *NATTable) Len() int { return len(t.entries) }
+
+// Lookup returns a rewrite for ft's destination, if any.
+func (t *NATTable) Lookup(ft packet.FiveTuple) (NATEntry, bool) {
+	for _, e := range t.entries {
+		if e.Orig.Contains(ft.DstIP) {
+			return e, true
+		}
+	}
+	return NATEntry{}, false
+}
+
+func (t *NATTable) Name() string         { return "nat" }
+func (t *NATTable) SizeBytes() int       { return tableFixedBytes + len(t.entries)*NATEntryBytes }
+func (t *NATTable) LookupCycles() uint64 { return NATCycles }
+
+// VXLANRouteTable maps overlay destination prefixes to VNIs — the
+// VXLAN routing step of the paper's minimum five-table walk.
+type VXLANRouteTable struct {
+	routes *RouteTable // next hop field reused as VNI
+}
+
+// NewVXLAN returns an empty VXLAN route table.
+func NewVXLAN() *VXLANRouteTable { return &VXLANRouteTable{routes: NewRoute()} }
+
+// Add installs prefix -> vni.
+func (t *VXLANRouteTable) Add(p Prefix, vni uint32) { t.routes.Add(p, packet.IPv4(vni)) }
+
+// Len reports the entry count.
+func (t *VXLANRouteTable) Len() int { return t.routes.Len() }
+
+// Lookup resolves the VNI for an overlay destination.
+func (t *VXLANRouteTable) Lookup(ip packet.IPv4) (uint32, bool) {
+	v, ok := t.routes.Lookup(ip)
+	return uint32(v), ok
+}
+
+func (t *VXLANRouteTable) Name() string         { return "vxlan" }
+func (t *VXLANRouteTable) SizeBytes() int       { return tableFixedBytes + t.Len()*VXLANEntryBytes }
+func (t *VXLANRouteTable) LookupCycles() uint64 { return VXLANCycles }
+
+// FlagTable is the shared shape of the mirror / flow-log / policy
+// tables: a prefix list that flags matching traffic.
+type FlagTable struct {
+	name     string
+	perEntry int
+	cycles   uint64
+	prefixes []Prefix
+}
+
+// NewMirror returns an empty traffic-mirroring table.
+func NewMirror() *FlagTable {
+	return &FlagTable{name: "mirror", perEntry: MirrorEntryBytes, cycles: MirrorCycles}
+}
+
+// NewFlowLog returns an empty flow-log table.
+func NewFlowLog() *FlagTable {
+	return &FlagTable{name: "flowlog", perEntry: FlowLogEntryBytes, cycles: FlowLogCycles}
+}
+
+// NewPolicyRoute returns an empty policy-based-routing table.
+func NewPolicyRoute() *FlagTable {
+	return &FlagTable{name: "policy", perEntry: PolicyEntryBytes, cycles: PolicyCycles}
+}
+
+// Add installs a prefix.
+func (t *FlagTable) Add(p Prefix) { t.prefixes = append(t.prefixes, p) }
+
+// Len reports the entry count.
+func (t *FlagTable) Len() int { return len(t.prefixes) }
+
+// Lookup reports whether ip matches any prefix.
+func (t *FlagTable) Lookup(ip packet.IPv4) bool {
+	for _, p := range t.prefixes {
+		if p.Contains(ip) {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *FlagTable) Name() string         { return t.name }
+func (t *FlagTable) SizeBytes() int       { return tableFixedBytes + len(t.prefixes)*t.perEntry }
+func (t *FlagTable) LookupCycles() uint64 { return t.cycles }
+
+// StatsPolicyTable maps destination prefixes to a statistics policy —
+// the "rule table involved" state source of §3.2.2.
+type StatsPolicyTable struct {
+	entries []struct {
+		p      Prefix
+		policy StatsPolicy
+	}
+	Default StatsPolicy
+}
+
+// NewStatsPolicy returns a table with the given default policy.
+func NewStatsPolicy(def StatsPolicy) *StatsPolicyTable { return &StatsPolicyTable{Default: def} }
+
+// Add installs prefix -> policy.
+func (t *StatsPolicyTable) Add(p Prefix, policy StatsPolicy) {
+	t.entries = append(t.entries, struct {
+		p      Prefix
+		policy StatsPolicy
+	}{p, policy})
+}
+
+// Len reports the entry count.
+func (t *StatsPolicyTable) Len() int { return len(t.entries) }
+
+// Lookup returns the policy for ip.
+func (t *StatsPolicyTable) Lookup(ip packet.IPv4) StatsPolicy {
+	for _, e := range t.entries {
+		if e.p.Contains(ip) {
+			return e.policy
+		}
+	}
+	return t.Default
+}
+
+func (t *StatsPolicyTable) Name() string         { return "stats" }
+func (t *StatsPolicyTable) SizeBytes() int       { return tableFixedBytes + len(t.entries)*StatsEntryBytes }
+func (t *StatsPolicyTable) LookupCycles() uint64 { return StatsCycles }
+
+// VNICServerMap maps a vNIC to the underlay address of the server
+// hosting it — the paper's "vNIC-Server mapping table" (global
+// routing table). The gateway holds the full map; vSwitches learn
+// subsets on demand (§4.2.1).
+type VNICServerMap struct {
+	m map[uint32]packet.IPv4
+}
+
+// NewVNICServerMap returns an empty map.
+func NewVNICServerMap() *VNICServerMap {
+	return &VNICServerMap{m: make(map[uint32]packet.IPv4)}
+}
+
+// Set installs or updates a vNIC location.
+func (t *VNICServerMap) Set(vnic uint32, server packet.IPv4) { t.m[vnic] = server }
+
+// Delete removes a vNIC.
+func (t *VNICServerMap) Delete(vnic uint32) { delete(t.m, vnic) }
+
+// Len reports the entry count.
+func (t *VNICServerMap) Len() int { return len(t.m) }
+
+// Lookup resolves a vNIC's server.
+func (t *VNICServerMap) Lookup(vnic uint32) (packet.IPv4, bool) {
+	s, ok := t.m[vnic]
+	return s, ok
+}
+
+func (t *VNICServerMap) Name() string         { return "vnic-server" }
+func (t *VNICServerMap) SizeBytes() int       { return tableFixedBytes + len(t.m)*VNICServerBytes }
+func (t *VNICServerMap) LookupCycles() uint64 { return VNICServerCycles }

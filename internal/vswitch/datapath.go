@@ -1,0 +1,542 @@
+package vswitch
+
+import (
+	"nezha/internal/flowcache"
+	"nezha/internal/nic"
+	"nezha/internal/packet"
+	"nezha/internal/sim"
+	"nezha/internal/state"
+	"nezha/internal/tables"
+)
+
+// FromVM injects a TX packet from a local VM into the vSwitch.
+func (vs *VSwitch) FromVM(p *packet.Packet) {
+	if vs.crashed {
+		vs.drop(p, DropCrashed)
+		return
+	}
+	vs.Stats.FromVM++
+	vn, ok := vs.vnics[p.VNIC]
+	if !ok {
+		vs.drop(p, DropNoRules)
+		return
+	}
+	if !vs.rateAdmit(vn, p) {
+		return
+	}
+	if vn.offloaded && len(vn.fes) > 0 {
+		vs.beTX(vn, p)
+		return
+	}
+	if vn.rules != nil {
+		vs.localTX(vn, p)
+		return
+	}
+	vs.drop(p, DropNoRules)
+}
+
+// HandleUnderlay receives a packet from the fabric.
+func (vs *VSwitch) HandleUnderlay(p *packet.Packet) {
+	if vs.crashed {
+		vs.drop(p, DropCrashed)
+		return
+	}
+	vs.Stats.FromNet++
+
+	// Health probes: flow-direct straight to the vSwitch (§4.4).
+	if p.Tuple.Proto == packet.ProtoUDP && p.Tuple.DstPort == ProbePort {
+		vs.handleProbe(p)
+		return
+	}
+	// Pongs for this BE's own FE connectivity pings (§C.1).
+	if p.Tuple.Proto == packet.ProtoUDP && p.Tuple.DstPort == mutualPort {
+		vs.handleMutualPong(p)
+		return
+	}
+
+	if p.Nezha != nil {
+		switch p.Nezha.Type {
+		case packet.NezhaCarryState: // TX packet arriving at an FE
+			if fe, ok := vs.fes[p.Nezha.VNIC]; ok {
+				vs.feTX(fe, p)
+				return
+			}
+			// FE instance withdrawn (scale-in raced with in-flight
+			// packets); the sender will re-hash after config settles.
+			vs.drop(p, DropNoRules)
+			return
+		case packet.NezhaCarryPreActions: // RX packet arriving at the BE
+			if vn, ok := vs.vnics[p.Nezha.VNIC]; ok {
+				vs.beRX(vn, p)
+				return
+			}
+			vs.drop(p, DropNoRoute)
+			return
+		case packet.NezhaNotify:
+			if vn, ok := vs.vnics[p.Nezha.VNIC]; ok {
+				vs.beNotify(vn, p)
+				return
+			}
+			vs.drop(p, DropNoRoute)
+			return
+		}
+	}
+
+	// Plain overlay packet: RX traffic for a vNIC fronted or resident
+	// here.
+	if fe, ok := vs.fes[p.VNIC]; ok {
+		vs.feRX(fe, p)
+		return
+	}
+	if vn, ok := vs.vnics[p.VNIC]; ok {
+		if vn.rules != nil {
+			vs.localRX(vn, p) // monolithic, incl. dual-running stage
+			return
+		}
+		// Final offload stage: rules are gone, packet came from a
+		// stale sender that has not learned the FE location yet.
+		vs.drop(p, DropNoRules)
+		return
+	}
+	vs.drop(p, DropNoRoute)
+}
+
+func (vs *VSwitch) handleProbe(p *packet.Packet) {
+	vs.Stats.ProbesSeen++
+	pong := packet.New(p.ID, 0, 0, p.Tuple.Reverse(), packet.DirTX, 0, 0)
+	pong.SentAt = p.SentAt
+	pong.Encap(vs.cfg.Addr, p.OuterSrc)
+	vs.fab.Send(vs.cfg.Addr, p.OuterSrc, pong)
+}
+
+func perByteCycles(p *packet.Packet) uint64 {
+	return uint64(p.SizeBytes) * nic.PerByteCycles
+}
+
+// submit charges cycles on the CPU; egress runs when the work
+// completes, or the packet is dropped as overload.
+func (vs *VSwitch) submit(p *packet.Packet, cycles uint64, egress func()) {
+	vs.cyclesLocal += cycles
+	vs.cpu.Submit(cycles, func(ok bool, _ sim.Time) {
+		if !ok {
+			vs.drop(p, DropOverload)
+			return
+		}
+		egress()
+	})
+}
+
+// submitRemote is submit for hosted-FE work (attribution differs).
+func (vs *VSwitch) submitRemote(p *packet.Packet, cycles uint64, egress func()) {
+	vs.cyclesRemote += cycles
+	vs.cpu.Submit(cycles, func(ok bool, _ sim.Time) {
+		if !ok {
+			vs.drop(p, DropOverload)
+			return
+		}
+		egress()
+	})
+}
+
+// lookupOrSlowPath resolves the session entry and pre-actions for a
+// packet against a rule set, running the slow path on a miss or when
+// the cached pre-actions are stale.
+//
+// needEntry distinguishes the two users: a monolithic/BE caller must
+// have an entry to hold state, so memory exhaustion drops the packet
+// (dropped=true, the #concurrent-flows overload); an FE caller
+// (needEntry=false) is stateless and simply processes the packet from
+// the slow-path result without caching when memory is tight.
+func (vs *VSwitch) lookupOrSlowPath(rules *tables.RuleSet, p *packet.Packet, cycles *uint64, needEntry bool) (e *flowcache.Entry, pre tables.PreActions, dropped bool) {
+	now := int64(vs.loop.Now())
+	key, _ := p.SessionKey()
+	e = vs.sessions.Lookup(key, now)
+	if e != nil && e.HasPre && e.PreVersion == rules.Version() {
+		vs.Stats.FastPath++
+		return e, e.Pre, false
+	}
+	vs.Stats.SlowPath++
+	txTuple := p.Tuple
+	if p.Dir == packet.DirRX {
+		txTuple = txTuple.Reverse()
+	}
+	res := rules.Lookup(txTuple)
+	*cycles += res.Cycles + nic.SessionInstallCycles
+	if e == nil {
+		var err error
+		e, err = vs.sessions.GetOrCreate(key, p.VNIC, now)
+		if err != nil {
+			if needEntry {
+				vs.drop(p, DropNoMemory)
+				return nil, res.Pre, true
+			}
+			return nil, res.Pre, false
+		}
+	}
+	if res.Pre.TX.FlowLog || res.Pre.RX.FlowLog {
+		// Flow logging records each new flow at rule-lookup time.
+		vs.Stats.FlowLogged++
+	}
+	if err := vs.sessions.SetPre(e, res.Pre, rules.Version()); err != nil {
+		if needEntry {
+			vs.drop(p, DropNoMemory)
+			return nil, res.Pre, true
+		}
+		// FE cached flow that does not fit: process uncached.
+		return e, res.Pre, false
+	}
+	return e, res.Pre, false
+}
+
+// maybeMirror clones mirrored traffic toward the configured sink.
+func (vs *VSwitch) maybeMirror(p *packet.Packet, pre tables.PreActions, dir packet.Direction) {
+	if !pre.ForDir(dir).Mirror {
+		return
+	}
+	vs.Stats.Mirrored++
+	if vs.mirrorSink == 0 {
+		return
+	}
+	clone := p.Clone()
+	clone.StripNezha()
+	clone.Encap(vs.cfg.Addr, vs.mirrorSink)
+	vs.fab.Send(vs.cfg.Addr, vs.mirrorSink, clone)
+}
+
+// applyNAT rewrites the TX destination per the pre-action and
+// re-resolves the peer for the translated address.
+func (vs *VSwitch) applyNAT(rules *tables.RuleSet, preTX tables.PreAction, p *packet.Packet, peer *uint32, nextHop *packet.IPv4, cycles *uint64) {
+	if !preTX.NAT {
+		return
+	}
+	vs.Stats.NATRewrites++
+	p.Tuple.DstIP = preTX.NATIP
+	if preTX.NATPort != 0 {
+		p.Tuple.DstPort = preTX.NATPort
+	}
+	dp, dnh, c := rules.ResolvePeer(preTX.NATIP)
+	*cycles += c
+	if dp != 0 {
+		*peer, *nextHop = dp, dnh
+	}
+}
+
+// --- Monolithic datapath ---------------------------------------------
+
+func (vs *VSwitch) localTX(vn *vnicState, p *packet.Packet) {
+	cycles := perByteCycles(p) + nic.FastPathCycles + nic.ProcessPktCycles
+	e, pre, dropped := vs.lookupOrSlowPath(vn.rules, p, &cycles, true)
+	vn.cycles += cycles
+	if dropped {
+		return
+	}
+	// Install the rule-table-involved state (stats policy) locally —
+	// trivial in the monolithic case, the whole point of notify
+	// packets in the Nezha case.
+	if e.State.Policy != pre.TX.Stats {
+		st := e.State
+		st.Policy = pre.TX.Stats
+		_ = vs.sessions.SetState(e, st)
+	}
+	_ = vs.sessions.TouchState(e, packet.DirTX, p.Flags, p.PayloadLen, int64(vs.loop.Now()))
+	st := e.State
+
+	if !FinalAllow(pre, st, packet.DirTX) {
+		vs.submit(p, cycles, func() { vs.drop(p, DropACL) })
+		return
+	}
+
+	if !vs.qosAdmit(vn.id, pre.TX, p) {
+		return
+	}
+	vs.maybeMirror(p, pre, packet.DirTX)
+	peer, nextHop := pre.TX.PeerVNIC, pre.TX.NextHop
+	vs.applyNAT(vn.rules, pre.TX, p, &peer, &nextHop, &cycles)
+	if st.DecapIP != 0 {
+		// Stateful decap: route the response to the recorded LB
+		// address, not the packet's own destination (§5.2).
+		dp, dnh, c := vn.rules.ResolvePeer(st.DecapIP)
+		cycles += c
+		if dp != 0 {
+			peer, nextHop = dp, dnh
+		}
+	}
+	vs.forwardOverlay(p, peer, nextHop, cycles)
+}
+
+// forwardOverlay resolves the peer's current location and sends the
+// packet, after charging cycles.
+func (vs *VSwitch) forwardOverlay(p *packet.Packet, peer uint32, staticHop packet.IPv4, cycles uint64) {
+	vs.forwardOverlayVia(p, peer, staticHop, cycles, vs.submit)
+}
+
+func (vs *VSwitch) forwardOverlayVia(p *packet.Packet, peer uint32, staticHop packet.IPv4, cycles uint64, submit func(*packet.Packet, uint64, func())) {
+	if peer == 0 && staticHop == 0 {
+		submit(p, cycles, func() { vs.drop(p, DropNoRoute) })
+		return
+	}
+	addr, ok := vs.learner.Pick(peer, p.Tuple.Hash())
+	if !ok {
+		addr = staticHop
+	}
+	if addr == 0 {
+		submit(p, cycles, func() { vs.drop(p, DropNoRoute) })
+		return
+	}
+	cycles += nic.EncapCycles
+	submit(p, cycles, func() {
+		p.VNIC = peer
+		p.Dir = packet.DirRX
+		p.Encap(vs.cfg.Addr, addr)
+		vs.Stats.Sent++
+		vs.fab.Send(vs.cfg.Addr, addr, p)
+	})
+}
+
+func (vs *VSwitch) localRX(vn *vnicState, p *packet.Packet) {
+	if !vs.rateAdmit(vn, p) {
+		return
+	}
+	cycles := perByteCycles(p) + nic.FastPathCycles + nic.ProcessPktCycles
+	e, pre, dropped := vs.lookupOrSlowPath(vn.rules, p, &cycles, true)
+	vn.cycles += cycles
+	if dropped {
+		return
+	}
+	if e.State.Policy != pre.RX.Stats {
+		st := e.State
+		st.Policy = pre.RX.Stats
+		_ = vs.sessions.SetState(e, st)
+	}
+	if vn.decap && !e.State.Init && p.OuterSrc != 0 {
+		st := e.State
+		st.DecapIP = p.OuterSrc
+		_ = vs.sessions.SetState(e, st)
+	}
+	_ = vs.sessions.TouchState(e, packet.DirRX, p.Flags, p.PayloadLen, int64(vs.loop.Now()))
+	st := e.State
+
+	if !FinalAllow(pre, st, packet.DirRX) {
+		vs.submit(p, cycles, func() { vs.drop(p, DropACL) })
+		return
+	}
+	if !vs.qosAdmit(vn.id, pre.RX, p) {
+		return
+	}
+	vs.maybeMirror(p, pre, packet.DirRX)
+	vs.submit(p, cycles, func() { vs.deliverToVM(p.VNIC, p) })
+}
+
+func (vs *VSwitch) deliverToVM(vnic uint32, p *packet.Packet) {
+	vs.Stats.Delivered++
+	if vs.deliver != nil {
+		vs.deliver(vnic, p, vs.loop.Now()-sim.Time(p.SentAt))
+	}
+}
+
+// --- BE datapath ------------------------------------------------------
+
+// beTX relays a TX packet to an FE, carrying the locally held state in
+// the packet header (red flow of Fig 5).
+func (vs *VSwitch) beTX(vn *vnicState, p *packet.Packet) {
+	now := int64(vs.loop.Now())
+	cycles := perByteCycles(p) + nic.FastPathCycles + nic.StateCarryCycles + nic.EncapCycles
+	key, _ := p.SessionKey()
+	vn.cycles += cycles
+	e, err := vs.sessions.GetOrCreate(key, vn.id, now)
+	if err != nil {
+		vs.drop(p, DropNoMemory)
+		return
+	}
+	// Initialize/update state locally: first packet direction, FSM.
+	// If the FE later denies the flow, this state ages out quickly
+	// via the short SYN aging (§5.1, §7.3).
+	_ = vs.sessions.TouchState(e, packet.DirTX, p.Flags, p.PayloadLen, now)
+
+	fe := vn.fes[p.Tuple.Hash()%uint64(len(vn.fes))]
+	if vn.pinned != nil {
+		if key, _ := p.SessionKey(); true {
+			if dedicated, ok := vn.pinned[key]; ok {
+				fe = dedicated
+			}
+		}
+	}
+	p.AttachNezha(&packet.NezhaHeader{
+		Type:      packet.NezhaCarryState,
+		VNIC:      vn.id,
+		Dir:       packet.DirTX,
+		StateBlob: e.State.Encode(),
+	})
+	vs.submit(p, cycles, func() {
+		p.Encap(vs.cfg.Addr, fe)
+		vs.Stats.Sent++
+		vs.fab.Send(vs.cfg.Addr, fe, p)
+	})
+}
+
+// beRX finishes processing an RX packet the FE forwarded with
+// pre-actions in the header (blue flow of Fig 5).
+func (vs *VSwitch) beRX(vn *vnicState, p *packet.Packet) {
+	if !vs.rateAdmit(vn, p) {
+		return
+	}
+	now := int64(vs.loop.Now())
+	cycles := perByteCycles(p) + nic.FastPathCycles + nic.StateCarryCycles + nic.ProcessPktCycles
+	pre, err := tables.DecodePreActions(p.Nezha.PreActionBlob)
+	if err != nil {
+		vs.drop(p, DropMalformed)
+		return
+	}
+	key, _ := p.SessionKey()
+	vn.cycles += cycles
+	e, cerr := vs.sessions.GetOrCreate(key, vn.id, now)
+	if cerr != nil {
+		vs.drop(p, DropNoMemory)
+		return
+	}
+	// Rule-table-involved state arrives in-band with RX packets
+	// (§3.2.2): install the stats policy the FE looked up without
+	// verifying the old value.
+	if e.State.Policy != pre.RX.Stats {
+		st := e.State
+		st.Policy = pre.RX.Stats
+		_ = vs.sessions.SetState(e, st)
+	}
+	// Rule-table-not-involved state: stateful decap needs the
+	// original outer source the FE preserved in the header.
+	if vn.decap && !e.State.Init && p.Nezha.OrigOuterSrc != 0 {
+		st := e.State
+		st.DecapIP = p.Nezha.OrigOuterSrc
+		_ = vs.sessions.SetState(e, st)
+	}
+	_ = vs.sessions.TouchState(e, packet.DirRX, p.Flags, p.PayloadLen, now)
+	st := e.State
+
+	if !FinalAllow(pre, st, packet.DirRX) {
+		vs.submit(p, cycles, func() { vs.drop(p, DropACL) })
+		return
+	}
+	if !vs.qosAdmit(vn.id, pre.RX, p) {
+		return
+	}
+	vs.maybeMirror(p, pre, packet.DirRX)
+	vs.submit(p, cycles, func() {
+		p.StripNezha()
+		vs.deliverToVM(vn.id, p)
+	})
+}
+
+// beNotify absorbs a designated notify packet updating rule-table-
+// involved state (§3.2.2 TX workflow).
+func (vs *VSwitch) beNotify(vn *vnicState, p *packet.Packet) {
+	vs.Stats.NotifyRecv++
+	now := int64(vs.loop.Now())
+	carried, err := state.Decode(p.Nezha.StateBlob)
+	if err != nil {
+		vs.drop(p, DropMalformed)
+		return
+	}
+	key, _ := p.SessionKey()
+	if _, cerr := vs.sessions.GetOrCreate(key, vn.id, now); cerr != nil {
+		vs.drop(p, DropNoMemory)
+		return
+	}
+	vs.submit(p, nic.NotifyCycles, func() {
+		cur := vs.sessions.Peek(key)
+		if cur == nil {
+			return
+		}
+		st := cur.State
+		st.Policy = carried.Policy
+		_ = vs.sessions.SetState(cur, st)
+	})
+}
+
+// --- FE datapath ------------------------------------------------------
+
+// feTX processes a TX packet at the frontend: cached-flow / rule
+// lookup for pre-actions, final action against the carried state,
+// then forwarding toward the peer.
+func (vs *VSwitch) feTX(fe *feInstance, p *packet.Packet) {
+	cycles := perByteCycles(p) + nic.FastPathCycles + nic.StateCarryCycles + nic.ProcessPktCycles
+	carried, err := state.Decode(p.Nezha.StateBlob)
+	if err != nil {
+		vs.drop(p, DropMalformed)
+		return
+	}
+	_, pre, _ := vs.lookupOrSlowPath(fe.rules, p, &cycles, false)
+
+	// Rule-table-involved state for TX flows: notify the BE when the
+	// freshly looked-up policy differs from what the packet carried
+	// (§3.2.2 — notify packets are rare because they fire only on
+	// this mismatch).
+	if pre.TX.Stats != carried.Policy {
+		vs.sendNotify(fe, p, pre.TX.Stats)
+		cycles += nic.NotifyCycles
+	}
+
+	if !FinalAllow(pre, carried, packet.DirTX) {
+		vs.submitRemote(p, cycles, func() { vs.drop(p, DropACL) })
+		return
+	}
+
+	if !vs.qosAdmit(fe.vnic, pre.TX, p) {
+		return
+	}
+	vs.maybeMirror(p, pre, packet.DirTX)
+	peer, nextHop := pre.TX.PeerVNIC, pre.TX.NextHop
+	vs.applyNAT(fe.rules, pre.TX, p, &peer, &nextHop, &cycles)
+	if carried.DecapIP != 0 {
+		dp, dnh, c := fe.rules.ResolvePeer(carried.DecapIP)
+		cycles += c
+		if dp != 0 {
+			peer, nextHop = dp, dnh
+		}
+	}
+	p.StripNezha()
+	vs.forwardOverlayVia(p, peer, nextHop, cycles, vs.submitRemote)
+}
+
+// sendNotify emits a designated notify packet to the BE carrying the
+// rule-table-derived state.
+func (vs *VSwitch) sendNotify(fe *feInstance, orig *packet.Packet, policy tables.StatsPolicy) {
+	vs.Stats.NotifySent++
+	var st state.State
+	st.InitFirst(orig.Nezha.Dir, int64(vs.loop.Now()))
+	st.Policy = policy
+	n := packet.New(orig.ID, orig.VPC, orig.VNIC, orig.Tuple, orig.Dir, 0, 0)
+	n.SentAt = int64(vs.loop.Now())
+	n.AttachNezha(&packet.NezhaHeader{
+		Type:      packet.NezhaNotify,
+		VNIC:      fe.vnic,
+		Dir:       orig.Nezha.Dir,
+		StateBlob: st.Encode(),
+	})
+	n.Encap(vs.cfg.Addr, fe.beAddr)
+	vs.fab.Send(vs.cfg.Addr, fe.beAddr, n)
+}
+
+// feRX processes an RX packet at the frontend: pre-action lookup,
+// then forward to the BE with the pre-actions (and the information
+// needed for state initialization) in the header.
+func (vs *VSwitch) feRX(fe *feInstance, p *packet.Packet) {
+	cycles := perByteCycles(p) + nic.FastPathCycles + nic.StateCarryCycles + nic.EncapCycles
+	_, pre, _ := vs.lookupOrSlowPath(fe.rules, p, &cycles, false)
+
+	orig := p.OuterSrc
+	p.AttachNezha(&packet.NezhaHeader{
+		Type:          packet.NezhaCarryPreActions,
+		VNIC:          fe.vnic,
+		Dir:           packet.DirRX,
+		PreActionBlob: pre.Encode(),
+		OrigOuterSrc:  orig,
+	})
+	beAddr := fe.beAddr
+	vs.submitRemote(p, cycles, func() {
+		// The FE replaces the outer source with its own (§3.2.2) —
+		// the original is preserved in the Nezha header.
+		p.Encap(vs.cfg.Addr, beAddr)
+		vs.Stats.Sent++
+		vs.fab.Send(vs.cfg.Addr, beAddr, p)
+	})
+}

@@ -1,0 +1,362 @@
+package vswitch
+
+import (
+	"fmt"
+	"testing"
+
+	"nezha/internal/packet"
+	"nezha/internal/sim"
+	"nezha/internal/tables"
+)
+
+// This file verifies the paper's central claim (§3.1): decoupling
+// state from rule/flow tables — states at the BE, stateless tables at
+// the FEs, inputs reunited by in-packet carriage — produces exactly
+// the same final packet actions as the traditional monolithic
+// architecture, for arbitrary rule sets and packet sequences.
+
+// scenario is one reproducible random test case.
+type scenario struct {
+	denyRules []tables.ACLRule
+	events    []event
+}
+
+type event struct {
+	fromServer bool
+	sport      uint16
+	flags      packet.TCPFlags
+}
+
+func genScenario(rng *sim.Rand) scenario {
+	var sc scenario
+	// Random deny rules over the two /24s and port ranges.
+	nRules := rng.Intn(4)
+	for i := 0; i < nRules; i++ {
+		var pfx tables.Prefix
+		switch rng.Intn(3) {
+		case 0:
+			pfx = tables.MakePrefix(packet.MakeIP(10, 0, 1, 0), 24)
+		case 1:
+			pfx = tables.MakePrefix(packet.MakeIP(10, 0, 2, 0), 24)
+		default:
+			pfx = tables.MakePrefix(0, 0)
+		}
+		r := tables.ACLRule{
+			Priority: i,
+			Dst:      pfx,
+			Verdict:  tables.VerdictDeny,
+		}
+		if rng.Intn(2) == 0 {
+			lo := uint16(rng.Intn(3000))
+			r.DstPorts = tables.PortRange{Lo: lo, Hi: lo + uint16(rng.Intn(2000))}
+		}
+		sc.denyRules = append(sc.denyRules, r)
+	}
+	// Random packet sequence over a handful of flows.
+	n := 3 + rng.Intn(25)
+	for i := 0; i < n; i++ {
+		ev := event{
+			fromServer: rng.Intn(2) == 0,
+			sport:      uint16(1000 + rng.Intn(5)*100),
+		}
+		switch rng.Intn(4) {
+		case 0:
+			ev.flags = packet.FlagSYN
+		case 1:
+			ev.flags = packet.FlagSYN | packet.FlagACK
+		case 2:
+			ev.flags = packet.FlagACK
+		case 3:
+			ev.flags = packet.FlagFIN | packet.FlagACK
+		}
+		sc.events = append(sc.events, ev)
+	}
+	return sc
+}
+
+// runScenario executes sc in either monolithic or offloaded mode and
+// returns the ordered log of deliveries ("A:<id>" / "B:<id>").
+func runScenario(t *testing.T, sc scenario, offload bool, nFEs int) []string {
+	t.Helper()
+	w := newWorld(t, nFEs, nil)
+	var log []string
+	w.A.SetDelivery(func(vnic uint32, p *packet.Packet, lat sim.Time) {
+		log = append(log, fmt.Sprintf("A:%d", p.ID))
+	})
+	w.B.SetDelivery(func(vnic uint32, p *packet.Packet, lat sim.Time) {
+		log = append(log, fmt.Sprintf("B:%d", p.ID))
+	})
+
+	withACL := func(rs *tables.RuleSet) *tables.RuleSet {
+		for _, r := range sc.denyRules {
+			rs.ACL.Add(r)
+		}
+		return rs
+	}
+	if err := w.A.AddVNIC(withACL(clientRules()), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.B.AddVNIC(withACL(serverRules()), false); err != nil {
+		t.Fatal(err)
+	}
+	if offload {
+		var feAddrs []packet.IPv4
+		for _, f := range w.fes {
+			if err := f.InstallFE(withACL(serverRules()), addrB, false); err != nil {
+				t.Fatal(err)
+			}
+			feAddrs = append(feAddrs, f.Addr())
+		}
+		if err := w.B.OffloadStart(serverVNIC, feAddrs); err != nil {
+			t.Fatal(err)
+		}
+		w.gw.Set(serverVNIC, feAddrs...)
+		if err := w.B.OffloadFinalize(serverVNIC); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	id := uint64(0)
+	for _, ev := range sc.events {
+		id++
+		var p *packet.Packet
+		if ev.fromServer {
+			p = packet.New(id, vpcID, serverVNIC, tuple(ev.sport).Reverse(), packet.DirTX, ev.flags, 64)
+			p.SentAt = int64(w.loop.Now())
+			w.B.FromVM(p)
+		} else {
+			p = packet.New(id, vpcID, clientVNIC, tuple(ev.sport), packet.DirTX, ev.flags, 64)
+			p.SentAt = int64(w.loop.Now())
+			w.A.FromVM(p)
+		}
+		// Run to quiescence between injections so delivery order is
+		// well-defined in both architectures.
+		w.loop.RunAll()
+	}
+	return log
+}
+
+// TestSeparationEquivalence is the §3.1 invariant: for random ACL
+// rule sets and random packet sequences, the Nezha deployment makes
+// exactly the same delivery decisions, in the same order, as the
+// monolithic vSwitch.
+func TestSeparationEquivalence(t *testing.T) {
+	rng := sim.NewRand(20250704)
+	for trial := 0; trial < 60; trial++ {
+		sc := genScenario(rng)
+		mono := runScenario(t, sc, false, 0)
+		for _, nFEs := range []int{1, 3} {
+			nez := runScenario(t, sc, true, nFEs)
+			if len(mono) != len(nez) {
+				t.Fatalf("trial %d (%d FEs): monolithic delivered %d, Nezha %d\nrules: %+v\nevents: %+v\nmono=%v\nnezha=%v",
+					trial, nFEs, len(mono), len(nez), sc.denyRules, sc.events, mono, nez)
+			}
+			for i := range mono {
+				if mono[i] != nez[i] {
+					t.Fatalf("trial %d (%d FEs): delivery %d differs: %s vs %s\nrules: %+v\nevents: %+v",
+						trial, nFEs, i, mono[i], nez[i], sc.denyRules, sc.events)
+				}
+			}
+		}
+	}
+}
+
+// TestSeparationEquivalenceWithPolicy repeats the invariant with a
+// stats policy installed, exercising the notify path alongside.
+func TestSeparationEquivalenceWithPolicy(t *testing.T) {
+	rng := sim.NewRand(99)
+	for trial := 0; trial < 20; trial++ {
+		sc := genScenario(rng)
+		run := func(offload bool, nFEs int) []string {
+			w := newWorld(t, nFEs, nil)
+			var log []string
+			w.A.SetDelivery(func(vnic uint32, p *packet.Packet, lat sim.Time) {
+				log = append(log, fmt.Sprintf("A:%d", p.ID))
+			})
+			w.B.SetDelivery(func(vnic uint32, p *packet.Packet, lat sim.Time) {
+				log = append(log, fmt.Sprintf("B:%d", p.ID))
+			})
+			mkServer := func() *tables.RuleSet {
+				rs := serverRules()
+				rs.EnableAdvanced()
+				rs.Stats.Add(tables.MakePrefix(0, 0), tables.StatsPackets)
+				for _, r := range sc.denyRules {
+					rs.ACL.Add(r)
+				}
+				return rs
+			}
+			if err := w.A.AddVNIC(clientRules(), false); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.B.AddVNIC(mkServer(), false); err != nil {
+				t.Fatal(err)
+			}
+			if offload {
+				var feAddrs []packet.IPv4
+				for _, f := range w.fes {
+					if err := f.InstallFE(mkServer(), addrB, false); err != nil {
+						t.Fatal(err)
+					}
+					feAddrs = append(feAddrs, f.Addr())
+				}
+				if err := w.B.OffloadStart(serverVNIC, feAddrs); err != nil {
+					t.Fatal(err)
+				}
+				w.gw.Set(serverVNIC, feAddrs...)
+				if err := w.B.OffloadFinalize(serverVNIC); err != nil {
+					t.Fatal(err)
+				}
+			}
+			id := uint64(0)
+			for _, ev := range sc.events {
+				id++
+				if ev.fromServer {
+					p := packet.New(id, vpcID, serverVNIC, tuple(ev.sport).Reverse(), packet.DirTX, ev.flags, 64)
+					w.B.FromVM(p)
+				} else {
+					p := packet.New(id, vpcID, clientVNIC, tuple(ev.sport), packet.DirTX, ev.flags, 64)
+					w.A.FromVM(p)
+				}
+				w.loop.RunAll()
+			}
+			return log
+		}
+		mono := run(false, 0)
+		nez := run(true, 2)
+		if len(mono) != len(nez) {
+			t.Fatalf("trial %d: %d vs %d deliveries\nevents: %+v", trial, len(mono), len(nez), sc.events)
+		}
+		for i := range mono {
+			if mono[i] != nez[i] {
+				t.Fatalf("trial %d: delivery %d: %s vs %s", trial, i, mono[i], nez[i])
+			}
+		}
+	}
+}
+
+// TestExtraHopInvariant: Nezha adds exactly one extra hop to every
+// delivered packet, TX and RX alike (§3.2.1).
+func TestExtraHopInvariant(t *testing.T) {
+	rng := sim.NewRand(7)
+	sc := genScenario(rng)
+	sc.denyRules = nil // count every packet
+	countHops := func(offload bool, nFEs int) (hops []int) {
+		w := newWorld(t, nFEs, nil)
+		record := func(vnic uint32, p *packet.Packet, lat sim.Time) {
+			hops = append(hops, p.Hops)
+		}
+		w.A.SetDelivery(record)
+		w.B.SetDelivery(record)
+		if err := w.A.AddVNIC(clientRules(), false); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.B.AddVNIC(serverRules(), false); err != nil {
+			t.Fatal(err)
+		}
+		if offload {
+			var feAddrs []packet.IPv4
+			for _, f := range w.fes {
+				if err := f.InstallFE(serverRules(), addrB, false); err != nil {
+					t.Fatal(err)
+				}
+				feAddrs = append(feAddrs, f.Addr())
+			}
+			if err := w.B.OffloadStart(serverVNIC, feAddrs); err != nil {
+				t.Fatal(err)
+			}
+			w.gw.Set(serverVNIC, feAddrs...)
+			if err := w.B.OffloadFinalize(serverVNIC); err != nil {
+				t.Fatal(err)
+			}
+		}
+		id := uint64(0)
+		for _, ev := range sc.events {
+			id++
+			if ev.fromServer {
+				w.B.FromVM(packet.New(id, vpcID, serverVNIC, tuple(ev.sport).Reverse(), packet.DirTX, ev.flags, 64))
+			} else {
+				w.A.FromVM(packet.New(id, vpcID, clientVNIC, tuple(ev.sport), packet.DirTX, ev.flags, 64))
+			}
+			w.loop.RunAll()
+		}
+		return hops
+	}
+	mono := countHops(false, 0)
+	nez := countHops(true, 3)
+	if len(mono) != len(nez) {
+		t.Fatalf("delivery counts differ: %d vs %d", len(mono), len(nez))
+	}
+	for i := range mono {
+		if nez[i] != mono[i]+1 {
+			t.Fatalf("delivery %d: monolithic %d hops, Nezha %d (want exactly +1)", i, mono[i], nez[i])
+		}
+	}
+}
+
+// TestWireModeEndToEnd re-runs a Nezha scenario with full wire
+// serialization on every hop: everything the BE/FE datapath needs
+// must actually fit in the packet encoding — no simulation-only
+// side channels.
+func TestWireModeEndToEnd(t *testing.T) {
+	rng := sim.NewRand(4242)
+	for trial := 0; trial < 10; trial++ {
+		sc := genScenario(rng)
+		plain := runScenario(t, sc, true, 2)
+
+		// Same scenario with wire mode on.
+		w := newWorld(t, 2, nil)
+		w.fab.SetWireMode(true)
+		var log []string
+		w.A.SetDelivery(func(vnic uint32, p *packet.Packet, lat sim.Time) {
+			log = append(log, fmt.Sprintf("A:%d", p.ID))
+		})
+		w.B.SetDelivery(func(vnic uint32, p *packet.Packet, lat sim.Time) {
+			log = append(log, fmt.Sprintf("B:%d", p.ID))
+		})
+		withACL := func(rs *tables.RuleSet) *tables.RuleSet {
+			for _, r := range sc.denyRules {
+				rs.ACL.Add(r)
+			}
+			return rs
+		}
+		if err := w.A.AddVNIC(withACL(clientRules()), false); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.B.AddVNIC(withACL(serverRules()), false); err != nil {
+			t.Fatal(err)
+		}
+		var feAddrs []packet.IPv4
+		for _, f := range w.fes {
+			if err := f.InstallFE(withACL(serverRules()), addrB, false); err != nil {
+				t.Fatal(err)
+			}
+			feAddrs = append(feAddrs, f.Addr())
+		}
+		if err := w.B.OffloadStart(serverVNIC, feAddrs); err != nil {
+			t.Fatal(err)
+		}
+		w.gw.Set(serverVNIC, feAddrs...)
+		if err := w.B.OffloadFinalize(serverVNIC); err != nil {
+			t.Fatal(err)
+		}
+		id := uint64(0)
+		for _, ev := range sc.events {
+			id++
+			if ev.fromServer {
+				w.B.FromVM(packet.New(id, vpcID, serverVNIC, tuple(ev.sport).Reverse(), packet.DirTX, ev.flags, 64))
+			} else {
+				w.A.FromVM(packet.New(id, vpcID, clientVNIC, tuple(ev.sport), packet.DirTX, ev.flags, 64))
+			}
+			w.loop.RunAll()
+		}
+		if len(plain) != len(log) {
+			t.Fatalf("trial %d: wire mode changed outcomes: %d vs %d deliveries\nplain=%v\nwire=%v",
+				trial, len(plain), len(log), plain, log)
+		}
+		for i := range plain {
+			if plain[i] != log[i] {
+				t.Fatalf("trial %d: delivery %d differs over the wire: %s vs %s", trial, i, plain[i], log[i])
+			}
+		}
+	}
+}

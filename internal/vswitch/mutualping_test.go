@@ -1,0 +1,101 @@
+package vswitch
+
+import (
+	"testing"
+
+	"nezha/internal/packet"
+	"nezha/internal/sim"
+)
+
+// §C.1: the BE's own FE-connectivity pings catch link partitions the
+// centralized monitor cannot see (the FE still answers the monitor).
+
+func TestMutualPingDetectsPartition(t *testing.T) {
+	w := newWorld(t, 2, nil)
+	w.installLocal(t, false)
+	w.offloadServer(t, false, true)
+
+	var down []packet.IPv4
+	w.B.StartMutualPing(200*sim.Millisecond, 3, func(fe packet.IPv4) {
+		down = append(down, fe)
+	})
+
+	// Healthy: no reports.
+	w.loop.Run(w.loop.Now() + 3*sim.Second)
+	if len(down) != 0 {
+		t.Fatalf("false positives: %v", down)
+	}
+
+	// Sever only the BE<->FE0 pair; FE0 stays up for everyone else.
+	w.fab.Partition(addrB, w.fes[0].Addr())
+	w.loop.Run(w.loop.Now() + 2*sim.Second)
+	if len(down) != 1 || down[0] != w.fes[0].Addr() {
+		t.Fatalf("partition not reported: %v", down)
+	}
+	// The FE still answers other parties (it is not crashed).
+	if w.fes[0].Crashed() {
+		t.Fatal("FE should be healthy")
+	}
+
+	// Reported once, not repeatedly.
+	w.loop.Run(w.loop.Now() + 3*sim.Second)
+	if len(down) != 1 {
+		t.Fatalf("repeated reports: %v", down)
+	}
+
+	// Heal: after recovery a fresh failure is reported again.
+	w.fab.Heal(addrB, w.fes[0].Addr())
+	w.loop.Run(w.loop.Now() + 2*sim.Second)
+	w.fab.Partition(addrB, w.fes[0].Addr())
+	w.loop.Run(w.loop.Now() + 2*sim.Second)
+	if len(down) != 2 {
+		t.Fatalf("re-failure not reported after heal: %v", down)
+	}
+}
+
+func TestMutualPingStop(t *testing.T) {
+	w := newWorld(t, 1, nil)
+	w.installLocal(t, false)
+	w.offloadServer(t, false, true)
+	fired := false
+	w.B.StartMutualPing(100*sim.Millisecond, 2, func(fe packet.IPv4) { fired = true })
+	w.B.StopMutualPing()
+	w.fab.Partition(addrB, w.fes[0].Addr())
+	w.loop.Run(w.loop.Now() + 2*sim.Second)
+	if fired {
+		t.Fatal("stopped pinger reported")
+	}
+}
+
+func TestMutualPingIgnoresNonOffloaded(t *testing.T) {
+	w := newWorld(t, 0, nil)
+	w.installLocal(t, false)
+	probes := 0
+	// Count probe traffic by watching the fabric deliveries.
+	before := w.fab.Delivered
+	w.B.StartMutualPing(100*sim.Millisecond, 2, nil)
+	w.loop.Run(w.loop.Now() + 2*sim.Second)
+	if w.fab.Delivered != before {
+		probes = int(w.fab.Delivered - before)
+	}
+	if probes != 0 {
+		t.Fatalf("pings sent with nothing offloaded: %d", probes)
+	}
+}
+
+func TestMutualPingRestartReplacesTicker(t *testing.T) {
+	w := newWorld(t, 1, nil)
+	w.installLocal(t, false)
+	w.offloadServer(t, false, true)
+	a, b := 0, 0
+	w.B.StartMutualPing(100*sim.Millisecond, 2, func(fe packet.IPv4) { a++ })
+	w.B.StartMutualPing(100*sim.Millisecond, 2, func(fe packet.IPv4) { b++ })
+	w.fab.Partition(addrB, w.fes[0].Addr())
+	w.loop.Run(w.loop.Now() + 2*sim.Second)
+	if a != 0 {
+		t.Fatal("replaced pinger still firing")
+	}
+	if b != 1 {
+		t.Fatalf("active pinger fired %d times", b)
+	}
+}

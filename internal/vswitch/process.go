@@ -1,0 +1,28 @@
+package vswitch
+
+import (
+	"nezha/internal/packet"
+	"nezha/internal/state"
+	"nezha/internal/tables"
+)
+
+// FinalAllow is the stateful final-action computation — the
+// process_pkt(pre-actions, states) of Fig 1, shared verbatim by the
+// monolithic vSwitch, the FE (TX path), and the BE (RX path). Nezha's
+// separation architecture is only correct because both halves run
+// this same function on the same inputs; the property tests in this
+// package assert exactly that equivalence.
+//
+// Semantics (§5.1): a session is admitted iff the ACL pre-action for
+// the direction of the session's FIRST packet is not deny. Once
+// admitted, both directions pass — responses to a locally initiated
+// connection are accepted even when the inbound pre-action alone says
+// drop; unsolicited inbound traffic is dropped even if outbound would
+// have been allowed.
+func FinalAllow(pre tables.PreActions, st state.State, pktDir packet.Direction) bool {
+	dir := pktDir
+	if st.Init {
+		dir = st.FirstDir
+	}
+	return pre.ForDir(dir).ACL != tables.VerdictDeny
+}

@@ -1,0 +1,665 @@
+// Package vswitch implements the SmartNIC-accelerated virtual switch
+// (Fig 1): a slow path walking per-vNIC rule tables to produce
+// pre-actions, a fast path doing exact-match session-table lookups,
+// and the stateful final-action computation
+// Action = process_pkt(pre-actions, states).
+//
+// A single VSwitch can play all three Nezha roles simultaneously:
+//
+//   - monolithic local vSwitch for its resident vNICs,
+//   - vNIC backend (BE) for resident vNICs that have been offloaded —
+//     it keeps only states locally and relays TX packets (carrying
+//     encoded state) to frontends,
+//   - vNIC frontend (FE) for remote vNICs whose stateless rule tables
+//     and cached flows the controller has installed here.
+//
+// Resource semantics: every packet charges CPU cycles on the NIC's
+// queueing model (overload drops and queueing latency emerge here),
+// rule tables charge the shared memory budget, and the session table
+// gets whatever rule tables do not use — so offloading a vNIC's rule
+// tables to remote FEs directly grows local state capacity, the
+// paper's #concurrent-flows gain.
+//
+// Modeling note: table lookups and state mutations happen at packet
+// arrival; the CPU model then delays (or drops) the packet's egress
+// side effects. A packet dropped at admission may therefore have
+// touched state, matching a NIC that parses before its queues
+// overflow.
+package vswitch
+
+import (
+	"errors"
+	"fmt"
+
+	"nezha/internal/fabric"
+	"nezha/internal/flowcache"
+	"nezha/internal/nic"
+	"nezha/internal/packet"
+	"nezha/internal/sim"
+	"nezha/internal/tables"
+)
+
+// ProbePort is the UDP destination port health probes use; flow-direct
+// rules steer these straight to the vSwitch (§4.4).
+const ProbePort = 9999
+
+// BEDataBytes is the local memory an offloaded vNIC still needs at the
+// BE: FE locations and essential metadata ("2KB memory to store BE
+// data", §6.2.1).
+const BEDataBytes = 2048
+
+// DropReason classifies packet drops.
+type DropReason int
+
+// Drop reasons.
+const (
+	DropOverload  DropReason = iota // CPU queueing bound exceeded
+	DropACL                         // final action denied
+	DropNoMemory                    // session table budget exhausted
+	DropNoRoute                     // destination unresolvable
+	DropNoRules                     // vNIC has no rules here (post-offload stale sender)
+	DropCrashed                     // vSwitch software crashed
+	DropMalformed                   // undecodable Nezha metadata
+	DropRateLimit                   // VM-level rate limit exceeded
+	numDropReasons
+)
+
+func (r DropReason) String() string {
+	switch r {
+	case DropOverload:
+		return "overload"
+	case DropACL:
+		return "acl"
+	case DropNoMemory:
+		return "no-memory"
+	case DropNoRoute:
+		return "no-route"
+	case DropNoRules:
+		return "no-rules"
+	case DropCrashed:
+		return "crashed"
+	case DropMalformed:
+		return "malformed"
+	case DropRateLimit:
+		return "rate-limit"
+	default:
+		return "unknown"
+	}
+}
+
+// Delivery receives packets accepted for a local VM. latency is the
+// end-to-end virtual time since p.SentAt.
+type Delivery func(vnic uint32, p *packet.Packet, latency sim.Time)
+
+// Config sizes a vSwitch.
+type Config struct {
+	Addr packet.IPv4
+	ToR  int
+	// Cores / CoreHz / NetMemBytes default to the nic package's
+	// calibrated values when zero.
+	Cores       int
+	CoreHz      uint64
+	NetMemBytes int
+	// MaxQueueDelay bounds CPU queueing (0 = nic default).
+	MaxQueueDelay sim.Time
+	// VariableState stores session states at encoded size (§7.1).
+	VariableState bool
+}
+
+// Counters exposes the vSwitch's datapath statistics.
+type Counters struct {
+	FromVM      uint64
+	FromNet     uint64
+	Delivered   uint64
+	Sent        uint64
+	SlowPath    uint64
+	FastPath    uint64
+	NotifySent  uint64
+	NotifyRecv  uint64
+	ProbesSeen  uint64
+	Mirrored    uint64
+	FlowLogged  uint64
+	NATRewrites uint64
+	Drops       [numDropReasons]uint64
+}
+
+// TotalDrops sums all drop reasons.
+func (c *Counters) TotalDrops() uint64 {
+	var t uint64
+	for _, d := range c.Drops {
+		t += d
+	}
+	return t
+}
+
+type vnicState struct {
+	id        uint32
+	vpc       uint32
+	rules     *tables.RuleSet
+	ruleBytes int
+	decap     bool
+	offloaded bool
+	fes       []packet.IPv4
+	beCharged bool
+	cycles    uint64 // cumulative CPU consumption, for offload selection
+	// pinned overrides the 5-tuple hash for specific sessions —
+	// elephant flows steered to a dedicated FE (§7.5).
+	pinned map[packet.SessionKey]packet.IPv4
+	// limiter enforces the VM-level rate limit. It lives in the BE
+	// data: because every packet of an offloaded vNIC still passes
+	// its BE, Nezha enforces VM-level limits at one point — unlike a
+	// Sirius-style pool, which needs distributed rate limiting across
+	// cards (§2.3.3).
+	limiter *tokenBucket
+}
+
+// tokenBucket is a byte-rate limiter on virtual time.
+type tokenBucket struct {
+	rateBps float64 // bytes per second
+	burst   float64
+	tokens  float64
+	last    sim.Time
+}
+
+func (tb *tokenBucket) allow(now sim.Time, bytes int) bool {
+	dt := (now - tb.last).Seconds()
+	tb.last = now
+	tb.tokens += dt * tb.rateBps
+	if tb.tokens > tb.burst {
+		tb.tokens = tb.burst
+	}
+	if tb.tokens < float64(bytes) {
+		return false
+	}
+	tb.tokens -= float64(bytes)
+	return true
+}
+
+// VNICLoad summarizes one resident vNIC's resource consumption — the
+// controller offloads vNICs in descending order of the triggering
+// resource (§4.2.1).
+type VNICLoad struct {
+	VNIC      uint32
+	Cycles    uint64
+	RuleBytes int
+	Offloaded bool
+}
+
+type feInstance struct {
+	vnic      uint32
+	vpc       uint32
+	rules     *tables.RuleSet
+	ruleBytes int
+	beAddr    packet.IPv4
+	decap     bool
+}
+
+// VSwitch is one SmartNIC's virtual switch.
+type VSwitch struct {
+	loop    *sim.Loop
+	fab     *fabric.Fabric
+	learner *fabric.Learner
+	cfg     Config
+
+	cpu      *nic.CPU
+	mem      *nic.Memory // rule-table memory; sessions get the rest
+	sessions *flowcache.Table
+
+	vnics map[uint32]*vnicState
+	fes   map[uint32]*feInstance
+
+	deliver Delivery
+	crashed bool
+
+	// mirrorSink receives clones of mirrored traffic (0 = count only).
+	mirrorSink packet.IPv4
+
+	// mutual is the BE-side FE connectivity checker (§C.1).
+	mutual *mutualPing
+
+	// qosBuckets enforces per-class rate limits from QoS pre-actions,
+	// keyed by (vNIC, class).
+	qosBuckets map[uint64]*tokenBucket
+
+	// cyclesLocal / cyclesRemote attribute CPU work to the vSwitch's
+	// own vNIC traffic vs hosted-FE traffic — the controller's Fig 8
+	// scale-out / scale-in decision reads the split.
+	cyclesLocal  uint64
+	cyclesRemote uint64
+
+	Stats Counters
+}
+
+// New builds a vSwitch, registers it on the fabric, and returns it.
+func New(loop *sim.Loop, fab *fabric.Fabric, gw *fabric.Gateway, cfg Config) *VSwitch {
+	if cfg.Cores == 0 {
+		cfg.Cores = nic.DefaultCores
+	}
+	if cfg.CoreHz == 0 {
+		cfg.CoreHz = nic.DefaultCoreHz
+	}
+	if cfg.NetMemBytes == 0 {
+		cfg.NetMemBytes = nic.DefaultRuleTableBytes + nic.DefaultSessionTableBytes
+	}
+	if cfg.MaxQueueDelay == 0 {
+		cfg.MaxQueueDelay = nic.DefaultMaxQueueDelay
+	}
+	vs := &VSwitch{
+		loop:    loop,
+		fab:     fab,
+		learner: fabric.NewLearner(loop, gw),
+		cfg:     cfg,
+		cpu:     nic.NewCPU(loop, cfg.Cores, cfg.CoreHz, cfg.MaxQueueDelay),
+		mem:     nic.NewMemory(cfg.NetMemBytes),
+		vnics:   make(map[uint32]*vnicState),
+		fes:     make(map[uint32]*feInstance),
+	}
+	vs.qosBuckets = make(map[uint64]*tokenBucket)
+	vs.sessions = flowcache.New(flowcache.Config{
+		MaxBytes:      cfg.NetMemBytes,
+		VariableState: cfg.VariableState,
+	})
+	vs.refreshSessionBudget()
+	fab.Register(cfg.Addr, cfg.ToR, vs.HandleUnderlay)
+	return vs
+}
+
+// Addr returns the vSwitch's underlay address.
+func (vs *VSwitch) Addr() packet.IPv4 { return vs.cfg.Addr }
+
+// ToR returns the vSwitch's rack.
+func (vs *VSwitch) ToR() int { return vs.cfg.ToR }
+
+// CPU exposes the CPU model (for meters).
+func (vs *VSwitch) CPU() *nic.CPU { return vs.cpu }
+
+// CyclesLocal returns cumulative cycles charged to local-vNIC work.
+func (vs *VSwitch) CyclesLocal() uint64 { return vs.cyclesLocal }
+
+// CyclesRemote returns cumulative cycles charged to hosted-FE work.
+func (vs *VSwitch) CyclesRemote() uint64 { return vs.cyclesRemote }
+
+// Sessions exposes the session table (read-mostly, for experiments).
+func (vs *VSwitch) Sessions() *flowcache.Table { return vs.sessions }
+
+// Learner exposes the gateway cache (tests).
+func (vs *VSwitch) Learner() *fabric.Learner { return vs.learner }
+
+// SetDelivery installs the VM delivery callback.
+func (vs *VSwitch) SetDelivery(d Delivery) { vs.deliver = d }
+
+// SetMirrorSink points traffic mirroring at a collector address
+// (0 disables forwarding; mirrored packets are then only counted).
+func (vs *VSwitch) SetMirrorSink(addr packet.IPv4) { vs.mirrorSink = addr }
+
+// Crash simulates a vSwitch software crash: all packets (including
+// health probes) are silently dropped until Revive.
+func (vs *VSwitch) Crash() { vs.crashed = true }
+
+// Revive restores a crashed vSwitch.
+func (vs *VSwitch) Revive() { vs.crashed = false }
+
+// Crashed reports crash state.
+func (vs *VSwitch) Crashed() bool { return vs.crashed }
+
+// MemUsedBytes reports rule-table plus session-table memory in use.
+func (vs *VSwitch) MemUsedBytes() int { return vs.mem.Used() + vs.sessions.MemBytes() }
+
+// MemUtilization reports combined memory utilization in 0..1.
+func (vs *VSwitch) MemUtilization() float64 {
+	return float64(vs.MemUsedBytes()) / float64(vs.cfg.NetMemBytes)
+}
+
+// RuleMemBytes reports rule-table memory in use.
+func (vs *VSwitch) RuleMemBytes() int { return vs.mem.Used() }
+
+func (vs *VSwitch) refreshSessionBudget() {
+	rest := vs.cfg.NetMemBytes - vs.mem.Used()
+	if rest < 0 {
+		rest = 0
+	}
+	vs.sessions.SetMaxBytes(rest)
+}
+
+// --- vNIC lifecycle -------------------------------------------------
+
+// ErrNoRuleMemory reports that the rule-table budget cannot fit a new
+// vNIC's tables — the paper's #vNICs-limited-by-memory bottleneck.
+var ErrNoRuleMemory = errors.New("vswitch: rule table memory exhausted")
+
+// ErrExists reports a duplicate install.
+var ErrExists = errors.New("vswitch: already installed")
+
+// ErrUnknownVNIC reports an operation on an absent vNIC.
+var ErrUnknownVNIC = errors.New("vswitch: unknown vNIC")
+
+// AddVNIC installs a resident vNIC with its rule tables. decap
+// enables stateful decapsulation for it (§5.2).
+func (vs *VSwitch) AddVNIC(rules *tables.RuleSet, decap bool) error {
+	if _, dup := vs.vnics[rules.VNIC]; dup {
+		return ErrExists
+	}
+	sz := rules.SizeBytes()
+	if !vs.mem.Alloc(sz) {
+		return ErrNoRuleMemory
+	}
+	vs.vnics[rules.VNIC] = &vnicState{
+		id: rules.VNIC, vpc: rules.VPC, rules: rules, ruleBytes: sz, decap: decap,
+	}
+	vs.refreshSessionBudget()
+	return nil
+}
+
+// RemoveVNIC uninstalls a resident vNIC and its sessions.
+func (vs *VSwitch) RemoveVNIC(vnic uint32) {
+	vn, ok := vs.vnics[vnic]
+	if !ok {
+		return
+	}
+	vs.mem.Free(vn.ruleBytes)
+	if vn.beCharged {
+		vs.mem.Free(BEDataBytes)
+	}
+	delete(vs.vnics, vnic)
+	vs.sessions.InvalidateVNIC(vnic)
+	vs.refreshSessionBudget()
+}
+
+// NumVNICs reports how many vNICs are resident here.
+func (vs *VSwitch) NumVNICs() int { return len(vs.vnics) }
+
+// HasVNIC reports whether vnic is resident here.
+func (vs *VSwitch) HasVNIC(vnic uint32) bool {
+	_, ok := vs.vnics[vnic]
+	return ok
+}
+
+// VNICRuleBytes reports a resident vNIC's rule memory (0 if offloaded
+// past the final stage).
+func (vs *VSwitch) VNICRuleBytes(vnic uint32) int {
+	if vn, ok := vs.vnics[vnic]; ok {
+		return vn.ruleBytes
+	}
+	return 0
+}
+
+// VNICLoads reports every resident vNIC's consumption.
+func (vs *VSwitch) VNICLoads() []VNICLoad {
+	out := make([]VNICLoad, 0, len(vs.vnics))
+	for _, vn := range vs.vnics {
+		out = append(out, VNICLoad{
+			VNIC: vn.id, Cycles: vn.cycles, RuleBytes: vn.ruleBytes,
+			Offloaded: vn.offloaded,
+		})
+	}
+	return out
+}
+
+// --- BE-side offload control (invoked by the controller) -----------
+
+// OffloadStart enters the dual-running stage for a resident vNIC:
+// TX traffic starts flowing via the FEs while the local rule tables
+// are retained for stale direct senders (§4.2.1).
+func (vs *VSwitch) OffloadStart(vnic uint32, fes []packet.IPv4) error {
+	vn, ok := vs.vnics[vnic]
+	if !ok {
+		return ErrUnknownVNIC
+	}
+	if !vn.beCharged {
+		if !vs.mem.Alloc(BEDataBytes) {
+			return ErrNoRuleMemory
+		}
+		vn.beCharged = true
+	}
+	vn.offloaded = true
+	vn.fes = append([]packet.IPv4(nil), fes...)
+	vs.refreshSessionBudget()
+	return nil
+}
+
+// OffloadFinalize enters the final stage: the BE deletes its local
+// rule tables and cached flows, keeping only states (and 2 KB of BE
+// data). Stale senders hitting the BE directly after this are
+// dropped with DropNoRules.
+func (vs *VSwitch) OffloadFinalize(vnic uint32) error {
+	vn, ok := vs.vnics[vnic]
+	if !ok {
+		return ErrUnknownVNIC
+	}
+	if !vn.offloaded {
+		return fmt.Errorf("vswitch: vNIC %d not offloaded", vnic)
+	}
+	if vn.rules != nil {
+		vs.mem.Free(vn.ruleBytes)
+		vn.rules = nil
+		vn.ruleBytes = 0
+	}
+	// Drop cached pre-actions; keep states.
+	vs.sessions.Range(func(e *flowcache.Entry) bool {
+		if e.VNIC == vnic {
+			vs.sessions.DropPre(e)
+		}
+		return true
+	})
+	vs.refreshSessionBudget()
+	return nil
+}
+
+// SetFEs replaces the FE list for an offloaded vNIC (scale-out/in,
+// failover).
+func (vs *VSwitch) SetFEs(vnic uint32, fes []packet.IPv4) error {
+	vn, ok := vs.vnics[vnic]
+	if !ok {
+		return ErrUnknownVNIC
+	}
+	vn.fes = append([]packet.IPv4(nil), fes...)
+	return nil
+}
+
+// FEList returns the BE's current FE list for vnic.
+func (vs *VSwitch) FEList(vnic uint32) []packet.IPv4 {
+	if vn, ok := vs.vnics[vnic]; ok {
+		return append([]packet.IPv4(nil), vn.fes...)
+	}
+	return nil
+}
+
+// SetRateLimit installs (or clears, with 0) a VM-level byte-rate
+// limit on a resident vNIC, enforced at this vSwitch for both
+// directions. Under Nezha the BE remains the single enforcement
+// point since every packet of the vNIC still traverses it.
+func (vs *VSwitch) SetRateLimit(vnic uint32, bytesPerSec float64) error {
+	vn, ok := vs.vnics[vnic]
+	if !ok {
+		return ErrUnknownVNIC
+	}
+	if bytesPerSec <= 0 {
+		vn.limiter = nil
+		return nil
+	}
+	burst := bytesPerSec / 10 // 100 ms of burst...
+	if burst < 3000 {
+		burst = 3000 // ...but always at least a couple of MTUs
+	}
+	vn.limiter = &tokenBucket{
+		rateBps: bytesPerSec,
+		burst:   burst,
+		tokens:  burst,
+		last:    vs.loop.Now(),
+	}
+	return nil
+}
+
+// qosAdmit enforces the per-class rate limit a QoS pre-action
+// carries. The bucket materializes on first use at the node that
+// computes the final action.
+func (vs *VSwitch) qosAdmit(vnic uint32, pre tables.PreAction, p *packet.Packet) bool {
+	if pre.RateBps == 0 {
+		return true
+	}
+	key := uint64(vnic)<<8 | uint64(pre.QoSClass)
+	tb := vs.qosBuckets[key]
+	if tb == nil {
+		burst := float64(pre.RateBps) / 10
+		if burst < 3000 {
+			burst = 3000
+		}
+		tb = &tokenBucket{rateBps: float64(pre.RateBps), burst: burst, tokens: burst, last: vs.loop.Now()}
+		vs.qosBuckets[key] = tb
+	}
+	if tb.allow(vs.loop.Now(), p.SizeBytes) {
+		return true
+	}
+	vs.drop(p, DropRateLimit)
+	return false
+}
+
+// rateAdmit charges a packet against the vNIC's VM-level limiter.
+func (vs *VSwitch) rateAdmit(vn *vnicState, p *packet.Packet) bool {
+	if vn.limiter == nil {
+		return true
+	}
+	if vn.limiter.allow(vs.loop.Now(), p.SizeBytes) {
+		return true
+	}
+	vs.drop(p, DropRateLimit)
+	return false
+}
+
+// PinFlow steers one session of an offloaded vNIC to a dedicated FE,
+// overriding the 5-tuple hash — the §7.5 elephant-flow isolation.
+// The FE address need not be in the vNIC's regular pool.
+func (vs *VSwitch) PinFlow(vnic uint32, ft packet.FiveTuple, fe packet.IPv4) error {
+	vn, ok := vs.vnics[vnic]
+	if !ok {
+		return ErrUnknownVNIC
+	}
+	key, _ := packet.SessionKeyOf(vnic, vn.vpc, ft)
+	if vn.pinned == nil {
+		vn.pinned = make(map[packet.SessionKey]packet.IPv4)
+	}
+	vn.pinned[key] = fe
+	return nil
+}
+
+// UnpinFlow removes an elephant-flow pin.
+func (vs *VSwitch) UnpinFlow(vnic uint32, ft packet.FiveTuple) {
+	vn, ok := vs.vnics[vnic]
+	if !ok {
+		return
+	}
+	key, _ := packet.SessionKeyOf(vnic, vn.vpc, ft)
+	delete(vn.pinned, key)
+}
+
+// FallbackStart re-enters dual-running in the reverse direction:
+// rule tables are reinstalled locally while FEs are still configured
+// (§4.2.2).
+func (vs *VSwitch) FallbackStart(vnic uint32, rules *tables.RuleSet) error {
+	vn, ok := vs.vnics[vnic]
+	if !ok {
+		return ErrUnknownVNIC
+	}
+	if vn.rules == nil {
+		sz := rules.SizeBytes()
+		if !vs.mem.Alloc(sz) {
+			return ErrNoRuleMemory
+		}
+		vn.rules = rules
+		vn.ruleBytes = sz
+	}
+	// TX switches back to local processing immediately.
+	vn.offloaded = false
+	vs.refreshSessionBudget()
+	return nil
+}
+
+// FallbackFinalize completes fallback: FE config and BE data are
+// released.
+func (vs *VSwitch) FallbackFinalize(vnic uint32) error {
+	vn, ok := vs.vnics[vnic]
+	if !ok {
+		return ErrUnknownVNIC
+	}
+	vn.offloaded = false
+	vn.fes = nil
+	if vn.beCharged {
+		vs.mem.Free(BEDataBytes)
+		vn.beCharged = false
+	}
+	vs.refreshSessionBudget()
+	return nil
+}
+
+// Offloaded reports whether a resident vNIC is currently offloaded.
+func (vs *VSwitch) Offloaded(vnic uint32) bool {
+	vn, ok := vs.vnics[vnic]
+	return ok && vn.offloaded
+}
+
+// --- FE-side control ------------------------------------------------
+
+// InstallFE installs an FE instance for a remote vNIC: a copy of its
+// stateless rule tables plus the BE location.
+func (vs *VSwitch) InstallFE(rules *tables.RuleSet, beAddr packet.IPv4, decap bool) error {
+	if _, dup := vs.fes[rules.VNIC]; dup {
+		return ErrExists
+	}
+	sz := rules.SizeBytes()
+	if !vs.mem.Alloc(sz) {
+		return ErrNoRuleMemory
+	}
+	vs.fes[rules.VNIC] = &feInstance{
+		vnic: rules.VNIC, vpc: rules.VPC, rules: rules, ruleBytes: sz,
+		beAddr: beAddr, decap: decap,
+	}
+	vs.refreshSessionBudget()
+	return nil
+}
+
+// RemoveFE removes an FE instance, its rules, and its cached flows.
+func (vs *VSwitch) RemoveFE(vnic uint32) {
+	fe, ok := vs.fes[vnic]
+	if !ok {
+		return
+	}
+	vs.mem.Free(fe.ruleBytes)
+	delete(vs.fes, vnic)
+	vs.sessions.InvalidateVNIC(vnic)
+	vs.refreshSessionBudget()
+}
+
+// HostsFE reports whether this vSwitch hosts an FE for vnic.
+func (vs *VSwitch) HostsFE(vnic uint32) bool {
+	_, ok := vs.fes[vnic]
+	return ok
+}
+
+// FEVNICs lists the vNICs this vSwitch fronts.
+func (vs *VSwitch) FEVNICs() []uint32 {
+	out := make([]uint32, 0, len(vs.fes))
+	for v := range vs.fes {
+		out = append(out, v)
+	}
+	return out
+}
+
+// SetBELocation updates the BE address of a hosted FE (VM live
+// migration redirection, §7.2).
+func (vs *VSwitch) SetBELocation(vnic uint32, beAddr packet.IPv4) error {
+	fe, ok := vs.fes[vnic]
+	if !ok {
+		return ErrUnknownVNIC
+	}
+	fe.beAddr = beAddr
+	return nil
+}
+
+// SweepSessions evicts aged session entries (periodic task).
+func (vs *VSwitch) SweepSessions() int {
+	return vs.sessions.Sweep(int64(vs.loop.Now()))
+}
+
+func (vs *VSwitch) drop(p *packet.Packet, r DropReason) {
+	vs.Stats.Drops[r]++
+}

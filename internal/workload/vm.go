@@ -1,0 +1,216 @@
+// Package workload provides the traffic side of the evaluation: a VM
+// model whose kernel stack has finite connection-handling capacity
+// (the bottleneck CPS shifts to once Nezha removes the vSwitch limit,
+// Fig 10), a netperf TCP_CRR-style short-connection generator (the
+// paper's CPS workload), a concurrent-flow prober, and a SYN-flood
+// generator (§7.3).
+package workload
+
+import (
+	"nezha/internal/metrics"
+	"nezha/internal/nic"
+	"nezha/internal/packet"
+	"nezha/internal/sim"
+	"nezha/internal/vswitch"
+)
+
+// VM kernel calibration. MaxCPS follows Amdahl's law in the vCPU
+// count: per-core throughput discounted by a serial fraction standing
+// in for kernel locks and connection-table contention (§6.2.2).
+const (
+	DefaultPerCoreCPS     = 15000.0
+	DefaultSerialFraction = 0.02
+	// ServerPort is the well-known port the server role answers on.
+	ServerPort = 80
+	// kernelQueue bounds how long a connection may wait in the
+	// kernel backlog before being dropped.
+	kernelQueue = 10 * sim.Millisecond
+)
+
+// MaxCPS returns the kernel-limited connections/sec for a VM with
+// vcpus cores.
+func MaxCPS(vcpus int) float64 {
+	if vcpus < 1 {
+		vcpus = 1
+	}
+	n := float64(vcpus)
+	return DefaultPerCoreCPS * n / (1 + DefaultSerialFraction*(n-1))
+}
+
+type connState struct {
+	start     sim.Time
+	dstIP     packet.IPv4
+	dstPort   uint16
+	completed bool
+	onDone    func()
+}
+
+// VM models a guest's network endpoint: a client/server state machine
+// over the simulated TCP handshake plus a kernel-capacity model.
+type VM struct {
+	loop *sim.Loop
+	vs   *vswitch.VSwitch
+
+	VNIC uint32
+	VPC  uint32
+	IP   packet.IPv4
+
+	kernel    *nic.CPU
+	connCost  uint64
+	pktCost   uint64
+	idGen     *uint64
+	reqBytes  int
+	respBytes int
+
+	conns map[uint16]*connState
+
+	// Counters.
+	Started     uint64 // client connections initiated
+	Completed   uint64 // client connections fully closed
+	Accepted    uint64 // server connections accepted
+	KernelDrops uint64 // connections dropped by the kernel backlog
+	Latency     *metrics.Histogram
+}
+
+// NewVM attaches a VM with the given vCPU count to a vSwitch-resident
+// vNIC. idGen supplies unique packet IDs across the simulation.
+func NewVM(loop *sim.Loop, vs *vswitch.VSwitch, vnic, vpc uint32, ip packet.IPv4, vcpus int, idGen *uint64) *VM {
+	maxCPS := MaxCPS(vcpus)
+	vm := &VM{
+		loop: loop,
+		vs:   vs,
+		VNIC: vnic,
+		VPC:  vpc,
+		IP:   ip,
+		// Kernel modeled as a 1 GHz single server: one connection
+		// costs 1e9/maxCPS cycles.
+		kernel:    nic.NewCPU(loop, 1, 1_000_000_000, kernelQueue),
+		connCost:  uint64(1e9 / maxCPS),
+		idGen:     idGen,
+		reqBytes:  128,
+		respBytes: 512,
+		conns:     make(map[uint16]*connState),
+		Latency:   metrics.NewHistogramCap("conn-latency-us", 1<<18),
+	}
+	vm.pktCost = vm.connCost / 10
+	return vm
+}
+
+// ScaleKernel multiplies the VM's kernel capacity by factor (<1
+// shrinks it). Scaled-down rigs use it so the VM-to-vSwitch
+// capability ratio matches production despite the smaller vSwitches.
+func (vm *VM) ScaleKernel(factor float64) {
+	if factor <= 0 {
+		return
+	}
+	vm.connCost = uint64(float64(vm.connCost) / factor)
+	vm.pktCost = vm.connCost / 10
+}
+
+func (vm *VM) nextID() uint64 {
+	*vm.idGen++
+	return *vm.idGen
+}
+
+func (vm *VM) send(ft packet.FiveTuple, flags packet.TCPFlags, payload int, sentAt int64) {
+	p := packet.New(vm.nextID(), vm.VPC, vm.VNIC, ft, packet.DirTX, flags, payload)
+	p.SentAt = sentAt
+	vm.vs.FromVM(p)
+}
+
+// Open initiates one client connection to dst:dstPort from the given
+// source port. Each in-flight connection needs a distinct sport.
+func (vm *VM) Open(sport uint16, dst packet.IPv4, dstPort uint16) {
+	vm.OpenCB(sport, dst, dstPort, nil)
+}
+
+// OpenCB is Open with a completion callback, fired when the
+// transaction fully closes (closed-loop generators reopen from it).
+func (vm *VM) OpenCB(sport uint16, dst packet.IPv4, dstPort uint16, onDone func()) {
+	vm.Started++
+	vm.conns[sport] = &connState{start: vm.loop.Now(), dstIP: dst, dstPort: dstPort, onDone: onDone}
+	ft := packet.FiveTuple{
+		SrcIP: vm.IP, DstIP: dst,
+		SrcPort: sport, DstPort: dstPort, Proto: packet.ProtoTCP,
+	}
+	vm.send(ft, packet.FlagSYN, 0, int64(vm.loop.Now()))
+}
+
+// Abort abandons an in-flight client connection (timeout); any
+// residual vSwitch state ages out on its own.
+func (vm *VM) Abort(sport uint16) {
+	delete(vm.conns, sport)
+}
+
+// OnDeliver is the vSwitch delivery callback target.
+func (vm *VM) OnDeliver(vnic uint32, p *packet.Packet, lat sim.Time) {
+	if vnic != vm.VNIC {
+		return
+	}
+	if p.Tuple.DstPort == ServerPort {
+		vm.serverHandle(p)
+		return
+	}
+	if p.Tuple.SrcPort == ServerPort {
+		vm.clientHandle(p)
+	}
+}
+
+// serverHandle implements the passive side: accept, respond, close.
+func (vm *VM) serverHandle(p *packet.Packet) {
+	reply := p.Tuple.Reverse()
+	switch {
+	case p.Flags.Has(packet.FlagSYN) && !p.Flags.Has(packet.FlagACK):
+		// New connection: charge the kernel; beyond capacity the
+		// backlog drops it (the Fig 10 VM bottleneck).
+		vm.kernel.Submit(vm.connCost, func(ok bool, _ sim.Time) {
+			if !ok {
+				vm.KernelDrops++
+				return
+			}
+			vm.Accepted++
+			vm.send(reply, packet.FlagSYN|packet.FlagACK, 0, p.SentAt)
+		})
+	case p.Flags.Has(packet.FlagFIN):
+		vm.kernel.Submit(vm.pktCost, func(ok bool, _ sim.Time) {
+			if ok {
+				vm.send(reply, packet.FlagFIN|packet.FlagACK, 0, p.SentAt)
+			}
+		})
+	case p.PayloadLen > 0:
+		// Request: produce the response.
+		vm.kernel.Submit(vm.pktCost, func(ok bool, _ sim.Time) {
+			if ok {
+				vm.send(reply, packet.FlagACK, vm.respBytes, p.SentAt)
+			}
+		})
+	}
+}
+
+// clientHandle advances the active side's per-connection state
+// machine: SYNACK → request, response → FIN, FINACK → complete.
+func (vm *VM) clientHandle(p *packet.Packet) {
+	sport := p.Tuple.DstPort
+	c, ok := vm.conns[sport]
+	if !ok || c.completed {
+		return
+	}
+	reply := p.Tuple.Reverse()
+	switch {
+	case p.Flags.Has(packet.FlagSYN) && p.Flags.Has(packet.FlagACK):
+		vm.send(reply, packet.FlagACK, vm.reqBytes, int64(c.start))
+	case p.Flags.Has(packet.FlagFIN):
+		c.completed = true
+		vm.Completed++
+		vm.Latency.Observe((vm.loop.Now() - c.start).Micros())
+		delete(vm.conns, sport)
+		if c.onDone != nil {
+			c.onDone()
+		}
+	case p.PayloadLen > 0:
+		vm.send(reply, packet.FlagFIN|packet.FlagACK, 0, int64(c.start))
+	}
+}
+
+// InFlight reports the client connections not yet completed.
+func (vm *VM) InFlight() int { return len(vm.conns) }
