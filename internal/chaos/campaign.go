@@ -1,0 +1,233 @@
+package chaos
+
+import (
+	"fmt"
+
+	"nezha/internal/cluster"
+	"nezha/internal/monitor"
+	"nezha/internal/packet"
+	"nezha/internal/sim"
+	"nezha/internal/tables"
+	"nezha/internal/vswitch"
+	"nezha/internal/workload"
+)
+
+// CampaignConfig parameterizes one seeded chaos campaign: a BE+FE
+// cluster under client load, a randomly generated fault schedule, and
+// the standard invariant set. Everything derives from Seed.
+type CampaignConfig struct {
+	Seed int64
+	// Duration is total virtual run time (default 8 s).
+	Duration sim.Time
+	// Servers is the region size (default 8; the BE is server 0,
+	// clients live on 1..Clients).
+	Servers int
+	// Clients is the number of client VMs (default 3).
+	Clients int
+	// RatePerClient is each client's CRR open rate (default 250/s).
+	RatePerClient float64
+	// Events is the number of fault episodes to generate (default 12).
+	Events int
+	// CheckEvery paces invariant evaluation (default 20 ms).
+	CheckEvery sim.Time
+	// UnaccountedDrops turns on the deliberate conservation bug, for
+	// negative tests that prove the checker catches it.
+	UnaccountedDrops bool
+}
+
+// Report is a campaign's outcome.
+type Report struct {
+	Seed       int64
+	Duration   sim.Time
+	Schedule   Schedule
+	Violations []Violation
+	// Digest is an FNV-1a fingerprint of the end state: event count,
+	// final clock, and every counter that traffic touches. Two runs of
+	// the same seed must produce identical digests.
+	Digest uint64
+	// Completed is the number of client request/response exchanges
+	// that finished — a campaign that moved no traffic proves nothing.
+	Completed uint64
+	// Declared / Failovers summarize how much failure handling the
+	// schedule actually exercised.
+	Declared  uint64
+	Failovers uint64
+}
+
+// Failed reports whether any invariant broke.
+func (r Report) Failed() bool { return len(r.Violations) > 0 }
+
+const (
+	campaignVNIC = 100
+	campaignVPC  = 7
+)
+
+func campaignServerIP() packet.IPv4 { return packet.MakeIP(10, 0, 100, 1) }
+func campaignClientIP(i int) packet.IPv4 {
+	return packet.MakeIP(10, 0, byte(1+i), 1)
+}
+
+// RunCampaign builds the rig, runs the schedule, and judges the
+// invariants. The rig: one high-demand server VM homed on server 0
+// (the BE), offloaded to an FE pool, with open-loop CRR clients on
+// servers 1..Clients hammering it while faults land.
+func RunCampaign(cfg CampaignConfig) (Report, error) {
+	if cfg.Duration <= 0 {
+		cfg.Duration = 8 * sim.Second
+	}
+	if cfg.Servers <= 0 {
+		cfg.Servers = 8
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 3
+	}
+	if cfg.Clients > cfg.Servers-1 {
+		return Report{}, fmt.Errorf("chaos: %d clients need %d servers, have %d", cfg.Clients, cfg.Clients+1, cfg.Servers)
+	}
+	if cfg.RatePerClient <= 0 {
+		cfg.RatePerClient = 250
+	}
+	if cfg.Events <= 0 {
+		cfg.Events = 12
+	}
+
+	monCfg := monitor.DefaultConfig(cluster.MonitorAddr)
+	monCfg.ProbeInterval = 200 * sim.Millisecond
+	// Worst case: crash lands just after an answered probe wave, so
+	// declaration needs Misses+2 rounds; slack covers the controller.
+	detectWindow := monCfg.ProbeInterval*sim.Time(monCfg.Misses+2) + 500*sim.Millisecond
+
+	c := cluster.New(cluster.Options{
+		Servers: cfg.Servers,
+		Seed:    cfg.Seed,
+		VSwitch: func(i int, vc *vswitch.Config) {
+			vc.Cores = 2
+			vc.CoreHz = 500_000_000
+		},
+		Monitor: monCfg,
+	})
+
+	// Server (BE) VM on server 0.
+	serverNet := tables.MakePrefix(campaignServerIP(), 24)
+	_, err := c.AddVM(cluster.VMSpec{
+		Server: 0, VNIC: campaignVNIC, VPC: campaignVPC, IP: campaignServerIP(), VCPUs: 64,
+		MakeRules: func() *tables.RuleSet {
+			rs := tables.NewRuleSet(campaignVNIC, campaignVPC)
+			for i := 0; i < cfg.Clients; i++ {
+				rs.Route.Add(tables.MakePrefix(campaignClientIP(i), 32), packet.IPv4(uint32(i+1)))
+			}
+			return rs
+		},
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	var clients []*workload.VM
+	var gens []*workload.CRR
+	for i := 0; i < cfg.Clients; i++ {
+		vnic := uint32(i + 1)
+		vm, err := c.AddVM(cluster.VMSpec{
+			Server: i + 1, VNIC: vnic, VPC: campaignVPC, IP: campaignClientIP(i), VCPUs: 8,
+			MakeRules: cluster.TwoSubnetRules(vnic, campaignVPC, serverNet, campaignVNIC),
+		})
+		if err != nil {
+			return Report{}, err
+		}
+		clients = append(clients, vm)
+		gens = append(gens, workload.NewCRR(c.Loop, c.Loop.Rand(), vm, campaignServerIP(), cfg.RatePerClient))
+	}
+
+	// Chaos randomness is a dedicated stream (offset so it never
+	// collides with the workload stream seeded directly from Seed).
+	rng := sim.NewRand(cfg.Seed ^ 0x6368616f73) // "chaos"
+	eng := NewEngine(System{
+		Loop: c.Loop, Fab: c.Fab, Switches: c.Switches, Mon: c.Mon, Ctrl: c.Ctrl,
+	}, rng, Config{
+		CheckEvery:   cfg.CheckEvery,
+		DetectWindow: detectWindow,
+	})
+	RegisterStandard(eng)
+	eng.SetUnaccountedDrops(cfg.UnaccountedDrops)
+
+	// Faults land after offload has settled and stop early enough
+	// that most crash windows resolve inside the run.
+	chaosStart := sim.Second
+	horizon := cfg.Duration - chaosStart - sim.Second
+	if horizon < sim.Second {
+		horizon = cfg.Duration / 2
+		chaosStart = cfg.Duration / 4
+	}
+	sched := Generate(rng, GenConfig{
+		Start:        chaosStart,
+		Horizon:      horizon,
+		Events:       cfg.Events,
+		Switches:     cfg.Servers,
+		DetectWindow: detectWindow,
+	})
+	eng.Apply(sched)
+
+	c.Start()
+	if err := c.Ctrl.ForceOffload(campaignVNIC); err != nil {
+		return Report{}, err
+	}
+	for _, g := range gens {
+		g.Start()
+	}
+	c.Loop.Run(cfg.Duration)
+	for _, g := range gens {
+		g.Stop()
+	}
+	// Quiesce: stop injecting faults and let in-flight work drain so
+	// the final check sees a settled system.
+	eng.SetGlobalFault(0, 0)
+	c.Loop.Run(c.Loop.Now() + 2*sim.Second)
+	eng.CheckNow()
+
+	rep := Report{
+		Seed:       cfg.Seed,
+		Duration:   cfg.Duration,
+		Schedule:   sched,
+		Violations: eng.Violations(),
+		Declared:   c.Mon.Declared,
+		Failovers:  c.Ctrl.Stats.Failovers,
+	}
+	for _, vm := range clients {
+		rep.Completed += vm.Completed
+	}
+	d := newDigest()
+	d.add(c.Loop.Fired(), uint64(c.Loop.Now()))
+	d.add(c.Fab.Sends, c.Fab.Delivered, c.Fab.Lost, c.Fab.ChaosLost, c.Fab.BytesSent)
+	for _, vs := range c.Switches {
+		s := vs.Stats
+		d.add(s.FromVM, s.FromNet, s.Delivered, s.Sent, s.Absorbed,
+			s.SlowPath, s.FastPath, s.NotifySent, s.NotifyRecv,
+			s.ProbesSeen, s.Mirrored, s.FlowLogged, s.NATRewrites)
+		for _, n := range s.Drops {
+			d.add(n)
+		}
+		d.add(uint64(vs.Sessions().Len()), uint64(vs.Sessions().MemBytes()))
+	}
+	d.add(c.Mon.ProbesSent, c.Mon.PongsSeen, c.Mon.Declared, c.Mon.GuardTrips)
+	e := c.Ctrl.Stats
+	d.add(e.Offloads, e.Fallbacks, e.ScaleOuts, e.ScaleIns, e.Failovers, e.FEsAdded)
+	for _, vm := range clients {
+		d.add(vm.Started, vm.Completed, vm.Accepted, vm.KernelDrops)
+	}
+	rep.Digest = d.sum
+	return rep, nil
+}
+
+// digest is FNV-1a 64 over a stream of counters.
+type digest struct{ sum uint64 }
+
+func newDigest() *digest { return &digest{sum: 14695981039346656037} }
+
+func (d *digest) add(vs ...uint64) {
+	for _, v := range vs {
+		for i := 0; i < 8; i++ {
+			d.sum ^= v & 0xff
+			d.sum *= 1099511628211
+			v >>= 8
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package chaos
+
+import (
+	"fmt"
+
+	"nezha/internal/flowcache"
+	"nezha/internal/packet"
+	"nezha/internal/sim"
+)
+
+// RegisterStandard installs the four built-in invariants:
+// packet conservation, single-copy session-state residency, the
+// failover detection bound, and no-duplicate-delivery.
+func RegisterStandard(e *Engine) {
+	e.Register(PacketConservation(e.sys))
+	e.Register(StateResidency(e.sys))
+	e.Register(FailoverBound(e))
+	e.Register(NoDuplicateDelivery(e.sys))
+}
+
+// --- Packet conservation ---------------------------------------------
+
+type packetConservation struct{ sys System }
+
+// PacketConservation checks that nothing vanishes silently: the
+// fabric's send ledger balances against deliveries, losses, and
+// in-flight packets, and every vSwitch's ingress balances against
+// forwards, VM deliveries, absorbed control packets, accounted drops,
+// and packets queued in its CPU model. Both equations hold at every
+// event boundary, so the check may run at any time.
+func PacketConservation(sys System) Invariant { return &packetConservation{sys} }
+
+func (c *packetConservation) Name() string { return "packet-conservation" }
+
+func (c *packetConservation) Check(now sim.Time) error {
+	f := c.sys.Fab
+	if got := f.Delivered + f.Lost + f.ChaosLost + f.InFlight(); got != f.Sends {
+		return fmt.Errorf(
+			"fabric ledger: sends=%d != delivered=%d + lost=%d + chaos-lost=%d + in-flight=%d (=%d); %d packet(s) unaccounted",
+			f.Sends, f.Delivered, f.Lost, f.ChaosLost, f.InFlight(), got, int64(f.Sends)-int64(got))
+	}
+	for _, vs := range c.sys.Switches {
+		s := vs.Stats
+		in := s.FromVM + s.FromNet
+		out := s.Sent + s.Delivered + s.TotalDrops() + s.Absorbed + uint64(vs.InFlightCPU())
+		if in != out {
+			return fmt.Errorf(
+				"vswitch %v ledger: in=%d (vm=%d net=%d) != out=%d (sent=%d delivered=%d drops=%d absorbed=%d cpu=%d)",
+				vs.Addr(), in, s.FromVM, s.FromNet, out,
+				s.Sent, s.Delivered, s.TotalDrops(), s.Absorbed, vs.InFlightCPU())
+		}
+	}
+	return nil
+}
+
+// --- Single-copy session-state residency -----------------------------
+
+type stateResidency struct{ sys System }
+
+// StateResidency checks the zero-state-sync design invariant: every
+// session's state lives on exactly one vSwitch, and that vSwitch is
+// the session's vNIC home (its BE). FEs may cache stateless
+// pre-actions anywhere, but a second state copy — or a state copy on
+// a frontend — would mean Nezha silently became a state-replicating
+// system.
+func StateResidency(sys System) Invariant { return &stateResidency{sys} }
+
+func (c *stateResidency) Name() string { return "single-copy-state-residency" }
+
+func (c *stateResidency) Check(now sim.Time) error {
+	holders := make(map[packet.SessionKey]packet.IPv4)
+	for _, vs := range c.sys.Switches {
+		var err error
+		vs.Sessions().Range(func(e *flowcache.Entry) bool {
+			if !e.HasState {
+				return true
+			}
+			if !vs.HasVNIC(e.VNIC) {
+				err = fmt.Errorf("session state for vNIC %d held at %v, where the vNIC is not resident (FE holding state)",
+					e.VNIC, vs.Addr())
+				return false
+			}
+			if first, dup := holders[e.Key]; dup {
+				err = fmt.Errorf("session state for vNIC %d duplicated: copies at %v and %v", e.VNIC, first, vs.Addr())
+				return false
+			}
+			holders[e.Key] = vs.Addr()
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- Failover bound --------------------------------------------------
+
+type failoverBound struct{ eng *Engine }
+
+// FailoverBound checks the §4.4 claim: a vSwitch that stays crashed
+// for the full detection window is declared down by the monitor, and
+// the controller rebalances away from it, no later than crash time +
+// Config.DetectWindow. Episodes overlapping a widespread-failure
+// guard trip are exempt — the guard deliberately suspends automatic
+// removal (§C.2). A declaration that predates the crash (the monitor
+// had already isolated the target) satisfies the bound.
+func FailoverBound(e *Engine) Invariant { return &failoverBound{eng: e} }
+
+func (c *failoverBound) Name() string { return "failover-bound" }
+
+func (c *failoverBound) Check(now sim.Time) error {
+	mon, ctrl := c.eng.sys.Mon, c.eng.sys.Ctrl
+	window := c.eng.cfg.DetectWindow
+	if mon == nil || window <= 0 {
+		return nil
+	}
+	guard := mon.GuardActive()
+	for _, ep := range c.eng.crashes {
+		if ep.judged {
+			continue
+		}
+		if guard && now <= ep.reviveAt {
+			ep.exempt = true
+		}
+		deadline := ep.start + window
+		if now < deadline {
+			continue
+		}
+		ep.judged = true
+		switch {
+		case ep.exempt:
+			continue // guard suspended declarations during the window
+		case ep.reviveAt < deadline:
+			continue // short blip: detection optional
+		case now > ep.reviveAt:
+			continue // revived between checks: declaration may have cleared
+		}
+		at, ok := mon.DeclaredAt(ep.addr)
+		if !ok || at > deadline {
+			return fmt.Errorf("vswitch %v crashed at %v not declared down within %v (deadline %v)",
+				ep.addr, ep.start, window, deadline)
+		}
+		if ctrl != nil {
+			ft, ok := ctrl.FailoverTime(ep.addr)
+			if !ok || ft > deadline {
+				return fmt.Errorf("vswitch %v declared down at %v but controller had not rebalanced by deadline %v",
+					ep.addr, at, deadline)
+			}
+		}
+	}
+	return nil
+}
+
+// --- No duplicate delivery -------------------------------------------
+
+type dupDelivery struct {
+	seen map[uint64]struct{}
+	err  error
+}
+
+// NoDuplicateDelivery checks that a packet reaches a VM at most once,
+// across dual-running, rebalancing, and failover. It taps every
+// vSwitch's delivery path; packet IDs are simulation-unique for VM
+// traffic. (Traffic mirroring to a VM-bearing sink would clone IDs —
+// campaigns do not enable it.)
+func NoDuplicateDelivery(sys System) Invariant {
+	d := &dupDelivery{seen: make(map[uint64]struct{})}
+	for _, vs := range sys.Switches {
+		vs := vs
+		vs.SetDeliveryObserver(func(vnic uint32, p *packet.Packet, _ sim.Time) {
+			if _, dup := d.seen[p.ID]; dup {
+				if d.err == nil {
+					d.err = fmt.Errorf("packet id=%d (vNIC %d) delivered twice, second copy at %v", p.ID, vnic, vs.Addr())
+				}
+				return
+			}
+			d.seen[p.ID] = struct{}{}
+		})
+	}
+	return d
+}
+
+func (d *dupDelivery) Name() string { return "no-duplicate-delivery" }
+
+func (d *dupDelivery) Check(now sim.Time) error { return d.err }

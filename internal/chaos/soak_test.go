@@ -1,0 +1,63 @@
+package chaos
+
+import (
+	"flag"
+	"testing"
+)
+
+// chaosSeed, when non-zero, replays a single campaign seed — the
+// reproduction handle a failing soak run prints:
+//
+//	go test ./internal/chaos -run Soak -chaos.seed=<n>
+var chaosSeed = flag.Int64("chaos.seed", 0, "replay a single soak seed instead of the full sweep")
+
+const soakSeeds = 25
+
+// TestSoak runs 25 independently seeded chaos campaigns against the
+// BE+FE rig and requires every invariant to hold in all of them. It
+// also guards against the soak silently testing nothing: across the
+// sweep, crashes must have been declared and failed over at least
+// once, and clients must have completed traffic.
+func TestSoak(t *testing.T) {
+	seeds := make([]int64, 0, soakSeeds)
+	if *chaosSeed != 0 {
+		seeds = append(seeds, *chaosSeed)
+	} else {
+		for s := int64(1); s <= soakSeeds; s++ {
+			seeds = append(seeds, s)
+		}
+	}
+	var declared, failovers, completed uint64
+	for _, seed := range seeds {
+		rep, err := RunCampaign(CampaignConfig{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: campaign failed to build: %v", seed, err)
+		}
+		declared += rep.Declared
+		failovers += rep.Failovers
+		completed += rep.Completed
+		if rep.Completed == 0 {
+			t.Errorf("seed %d: no client exchange completed; the campaign exercised nothing", seed)
+		}
+		if rep.Failed() {
+			t.Errorf("seed %d: %d invariant violation(s); reproduce with:\n\tgo test ./internal/chaos -run Soak -chaos.seed=%d",
+				seed, len(rep.Violations), seed)
+			for _, v := range rep.Violations {
+				t.Logf("seed %d: %v", seed, v)
+			}
+			t.Logf("seed %d schedule:", seed)
+			for _, a := range rep.Schedule {
+				t.Logf("  %v", a)
+			}
+		}
+	}
+	if *chaosSeed == 0 {
+		if declared == 0 {
+			t.Error("no campaign ever declared a crash — schedules are not exercising failure detection")
+		}
+		if failovers == 0 {
+			t.Error("no campaign ever triggered a controller failover")
+		}
+		t.Logf("sweep totals: declared=%d failovers=%d completed=%d", declared, failovers, completed)
+	}
+}

@@ -91,6 +91,9 @@ func New(opts Options) *Cluster {
 		monCfg = monitor.DefaultConfig(MonitorAddr)
 	}
 	c.Mon = monitor.New(c.Loop, c.Fab, monCfg, c.Ctrl.NodeDown)
+	// A revived vSwitch answers probes again; without this the
+	// controller would exclude it from FE selection forever.
+	c.Mon.SetOnUp(c.Ctrl.NodeUp)
 
 	for i := 0; i < opts.Servers; i++ {
 		cfg := vswitch.Config{

@@ -135,6 +135,11 @@ type Controller struct {
 	// badLinks[home][fe] records when the BE at home last reported fe
 	// unreachable (§C.1).
 	badLinks map[packet.IPv4]map[packet.IPv4]sim.Time
+	// failoverAt records when NodeDown last ran for an address;
+	// lastRebalance is the most recent time any vNIC's FE pool
+	// changed. Both feed the chaos failover-bound invariant.
+	failoverAt    map[packet.IPv4]sim.Time
+	lastRebalance sim.Time
 
 	ticker *sim.Ticker
 
@@ -157,6 +162,7 @@ func New(loop *sim.Loop, gw *fabric.Gateway, cfg Config) *Controller {
 		nodes:             make(map[packet.IPv4]*nodeState),
 		vnics:             make(map[uint32]*vnicState),
 		badLinks:          make(map[packet.IPv4]map[packet.IPv4]sim.Time),
+		failoverAt:        make(map[packet.IPv4]sim.Time),
 		OffloadCompletion: metrics.NewHistogram("offload-completion-ms"),
 	}
 }
@@ -540,6 +546,7 @@ func (c *Controller) scaleOut(v *vnicState, count int) {
 		if hn, ok := c.nodes[v.Home]; ok {
 			_ = hn.vs.SetFEs(v.VNIC, v.fes)
 		}
+		c.lastRebalance = c.loop.Now()
 		c.Stats.ScaleOuts++
 		c.Stats.FEsAdded += uint64(added)
 	})
@@ -559,6 +566,9 @@ func (c *Controller) scaleIn(addr packet.IPv4, n *nodeState) {
 // evictFEHost removes a node from every FE pool it participates in.
 // immediate skips the grace period (failover).
 func (c *Controller) evictFEHost(addr packet.IPv4, n *nodeState, immediate bool) {
+	if len(n.fronted) > 0 {
+		c.lastRebalance = c.loop.Now()
+	}
 	for vnic := range n.fronted {
 		v, ok := c.vnics[vnic]
 		if !ok {
@@ -606,8 +616,21 @@ func (c *Controller) NodeDown(addr packet.IPv4) {
 	}
 	n.down = true
 	c.Stats.Failovers++
+	c.failoverAt[addr] = c.loop.Now()
 	c.evictFEHost(addr, n, true)
 }
+
+// FailoverTime reports when the controller last processed a crash
+// declaration for addr (the rebalance away from it starts then). ok
+// is false if addr never failed over.
+func (c *Controller) FailoverTime(addr packet.IPv4) (sim.Time, bool) {
+	t, ok := c.failoverAt[addr]
+	return t, ok
+}
+
+// LastRebalance reports the most recent time any vNIC's FE pool
+// changed (eviction, scale-out completion, or link failover).
+func (c *Controller) LastRebalance() sim.Time { return c.lastRebalance }
 
 // LinkDown handles a BE-reported FE connectivity failure (§C.1):
 // the FE itself may be healthy (the central monitor still sees it),
@@ -635,6 +658,7 @@ func (c *Controller) LinkDown(home, fe packet.IPv4) {
 			continue
 		}
 		v.fes = kept
+		c.lastRebalance = c.loop.Now()
 		if hn, ok := c.nodes[v.Home]; ok && !hn.down {
 			_ = hn.vs.SetFEs(v.VNIC, v.fes)
 		}

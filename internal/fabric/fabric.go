@@ -28,6 +28,25 @@ const (
 // Handler receives packets delivered to a node.
 type Handler func(p *packet.Packet)
 
+// FaultVerdict is a fault injector's decision for one send.
+type FaultVerdict struct {
+	// Drop loses the packet at the link.
+	Drop bool
+	// SkipAccounting suppresses the ChaosLost counter for this drop.
+	// It exists solely so chaos tests can deliberately break packet
+	// conservation and prove the invariant checker catches it; real
+	// fault models must leave it false.
+	SkipAccounting bool
+	// Jitter is added to the link latency (delivery reordering relative
+	// to other flows emerges from per-packet jitter).
+	Jitter sim.Time
+}
+
+// FaultInjector is consulted once per Send after the reachability
+// checks. It must be deterministic given the simulation state (seed
+// its randomness from sim.Rand, never the wall clock).
+type FaultInjector func(from, to packet.IPv4, p *packet.Packet) FaultVerdict
+
 type node struct {
 	addr    packet.IPv4
 	tor     int
@@ -49,12 +68,26 @@ type Fabric struct {
 	// failure instead of a silent simulation convenience.
 	wireMode bool
 
-	// Delivered counts packets handed to node handlers; Lost counts
-	// sends to unregistered destinations, across partitions, or
-	// failing wire decode. BytesSent totals wire bytes offered to the
-	// fabric — the §6.4 BE–FE bandwidth-overhead accounting.
+	// faults, when set, injects stochastic loss and latency jitter per
+	// link (the chaos engine's hook point).
+	faults FaultInjector
+
+	// inFlight counts packets accepted by Send whose delivery event has
+	// not yet resolved (delivered or lost).
+	inFlight uint64
+
+	// Sends counts every Send call. Delivered counts packets handed to
+	// node handlers; Lost counts sends to unregistered destinations,
+	// across partitions (at send or delivery time), or failing wire
+	// decode; ChaosLost counts packets the fault injector dropped. At
+	// any event boundary Sends == Delivered + Lost + ChaosLost +
+	// InFlight() — the packet-conservation ledger chaos invariants
+	// check. BytesSent totals wire bytes offered to the fabric — the
+	// §6.4 BE–FE bandwidth-overhead accounting.
+	Sends     uint64
 	Delivered uint64
 	Lost      uint64
+	ChaosLost uint64
 	BytesSent uint64
 }
 
@@ -85,6 +118,14 @@ func (f *Fabric) Partitioned(a, b packet.IPv4) bool { return f.partitions[pairKe
 
 // SetWireMode toggles full wire serialization on every delivery.
 func (f *Fabric) SetWireMode(on bool) { f.wireMode = on }
+
+// SetFaultInjector installs (or with nil, removes) the per-send fault
+// model.
+func (f *Fabric) SetFaultInjector(fn FaultInjector) { f.faults = fn }
+
+// InFlight reports packets accepted by Send that have neither been
+// delivered nor lost yet.
+func (f *Fabric) InFlight() uint64 { return f.inFlight }
 
 // Register attaches a server at addr under ToR tor with a delivery
 // handler. Re-registering an address replaces its handler.
@@ -133,25 +174,43 @@ func (f *Fabric) Latency(from, to packet.IPv4, size int) sim.Time {
 	return prop + ser
 }
 
-// Send delivers p from one server to another after the link latency.
-// Sending to an unregistered destination counts as lost. The packet's
-// hop counter advances on delivery.
+// Send delivers p from one server to another after the link latency
+// (plus any injected jitter). Sending to an unregistered destination
+// counts as lost, as does a partition active at either end of the
+// flight: a partition raised mid-flight kills the frames already on
+// the wire. The packet's hop counter advances on delivery.
 func (f *Fabric) Send(from, to packet.IPv4, p *packet.Packet) {
+	f.Sends++
 	dst, ok := f.nodes[to]
 	if !ok || f.partitions[pairKey(from, to)] {
 		f.Lost++
 		return
 	}
-	f.BytesSent += uint64(p.SizeBytes)
 	lat := f.Latency(from, to, p.SizeBytes)
+	if f.faults != nil {
+		v := f.faults(from, to, p)
+		if v.Drop {
+			if !v.SkipAccounting {
+				f.ChaosLost++
+			}
+			return
+		}
+		if v.Jitter > 0 {
+			lat += v.Jitter
+		}
+	}
+	f.BytesSent += uint64(p.SizeBytes)
 	var wire []byte
 	if f.wireMode {
 		wire = p.Marshal()
 	}
+	f.inFlight++
 	f.loop.Schedule(lat, func() {
-		// The destination may have crashed while in flight.
+		f.inFlight--
+		// The destination may have crashed, or the pair partitioned,
+		// while in flight.
 		cur, ok := f.nodes[to]
-		if !ok || cur != dst || cur.handler == nil {
+		if !ok || cur != dst || cur.handler == nil || f.partitions[pairKey(from, to)] {
 			f.Lost++
 			return
 		}

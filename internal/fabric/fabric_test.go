@@ -411,3 +411,106 @@ func TestQuickGatewayConsistency(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPartitionRaisedMidFlightKillsPacket(t *testing.T) {
+	loop := sim.NewLoop(1)
+	f := New(loop)
+	f.Register(ip(1, 0, 0, 1), 0, nil)
+	delivered := false
+	f.Register(ip(1, 0, 0, 2), 0, func(p *packet.Packet) { delivered = true })
+
+	f.Send(ip(1, 0, 0, 1), ip(1, 0, 0, 2), mkPkt(1))
+	if f.InFlight() != 1 {
+		t.Fatalf("in-flight = %d, want 1", f.InFlight())
+	}
+	// Partition lands while the frame is on the wire, before the
+	// delivery event fires.
+	loop.Schedule(1, func() { f.Partition(ip(1, 0, 0, 1), ip(1, 0, 0, 2)) })
+	loop.RunAll()
+
+	if delivered {
+		t.Fatal("packet crossed a partition raised mid-flight")
+	}
+	if f.Lost != 1 || f.Delivered != 0 {
+		t.Fatalf("counters: delivered=%d lost=%d", f.Delivered, f.Lost)
+	}
+	if f.InFlight() != 0 {
+		t.Fatalf("in-flight = %d after drain", f.InFlight())
+	}
+}
+
+func TestHealMidFlightLetsPacketThrough(t *testing.T) {
+	loop := sim.NewLoop(1)
+	f := New(loop)
+	f.Register(ip(1, 0, 0, 1), 0, nil)
+	delivered := false
+	f.Register(ip(1, 0, 0, 2), 0, func(p *packet.Packet) { delivered = true })
+
+	p := mkPkt(1)
+	lat := f.Latency(ip(1, 0, 0, 1), ip(1, 0, 0, 2), p.SizeBytes)
+	f.Send(ip(1, 0, 0, 1), ip(1, 0, 0, 2), p)
+	// A partition blips on and off entirely within the flight time:
+	// only the state at delivery decides the packet's fate.
+	loop.Schedule(1, func() { f.Partition(ip(1, 0, 0, 1), ip(1, 0, 0, 2)) })
+	loop.Schedule(lat-1, func() { f.Heal(ip(1, 0, 0, 1), ip(1, 0, 0, 2)) })
+	loop.RunAll()
+
+	if !delivered {
+		t.Fatal("packet dropped although the partition healed before delivery")
+	}
+	if f.Delivered != 1 || f.Lost != 0 {
+		t.Fatalf("counters: delivered=%d lost=%d", f.Delivered, f.Lost)
+	}
+}
+
+func TestFaultInjectorDropAndJitter(t *testing.T) {
+	loop := sim.NewLoop(1)
+	f := New(loop)
+	f.Register(ip(1, 0, 0, 1), 0, nil)
+	var deliveredAt []sim.Time
+	f.Register(ip(1, 0, 0, 2), 0, func(p *packet.Packet) { deliveredAt = append(deliveredAt, loop.Now()) })
+
+	const extra = 777 * sim.Microsecond
+	n := 0
+	f.SetFaultInjector(func(from, to packet.IPv4, p *packet.Packet) FaultVerdict {
+		n++
+		if n == 1 {
+			return FaultVerdict{Drop: true}
+		}
+		return FaultVerdict{Jitter: extra}
+	})
+
+	p := mkPkt(1)
+	base := f.Latency(ip(1, 0, 0, 1), ip(1, 0, 0, 2), p.SizeBytes)
+	f.Send(ip(1, 0, 0, 1), ip(1, 0, 0, 2), p)
+	f.Send(ip(1, 0, 0, 1), ip(1, 0, 0, 2), mkPkt(2))
+	loop.RunAll()
+
+	if f.ChaosLost != 1 || f.Delivered != 1 {
+		t.Fatalf("counters: chaos-lost=%d delivered=%d", f.ChaosLost, f.Delivered)
+	}
+	if len(deliveredAt) != 1 || deliveredAt[0] != base+extra {
+		t.Fatalf("jittered delivery at %v, want %v", deliveredAt, base+extra)
+	}
+	// The ledger balances with the chaos drop accounted.
+	if f.Sends != f.Delivered+f.Lost+f.ChaosLost+f.InFlight() {
+		t.Fatal("fabric ledger does not balance")
+	}
+}
+
+func TestSkipAccountingBreaksLedger(t *testing.T) {
+	loop := sim.NewLoop(1)
+	f := New(loop)
+	f.Register(ip(1, 0, 0, 1), 0, nil)
+	f.Register(ip(1, 0, 0, 2), 0, nil)
+	f.SetFaultInjector(func(from, to packet.IPv4, p *packet.Packet) FaultVerdict {
+		return FaultVerdict{Drop: true, SkipAccounting: true}
+	})
+	f.Send(ip(1, 0, 0, 1), ip(1, 0, 0, 2), mkPkt(1))
+	loop.RunAll()
+	// SkipAccounting exists to deliberately break conservation so the
+	// chaos checker's negative tests have a controlled bug to catch.
+	if got := f.Delivered + f.Lost + f.ChaosLost + f.InFlight(); got == f.Sends {
+		t.Fatal("SkipAccounting drop should leave the ledger unbalanced")
+	}
+}

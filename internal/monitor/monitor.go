@@ -9,6 +9,8 @@
 package monitor
 
 import (
+	"sort"
+
 	"nezha/internal/fabric"
 	"nezha/internal/packet"
 	"nezha/internal/sim"
@@ -42,9 +44,10 @@ func DefaultConfig(addr packet.IPv4) Config {
 }
 
 type target struct {
-	missed  int
-	down    bool
-	pending bool // probe outstanding
+	missed     int
+	down       bool
+	pending    bool     // probe outstanding
+	declaredAt sim.Time // when the current down state was declared
 }
 
 // Monitor is the centralized health checker.
@@ -107,6 +110,27 @@ func (m *Monitor) Down(addr packet.IPv4) bool {
 	return ok && t.down
 }
 
+// DeclaredAt returns when addr's current down declaration happened.
+// ok is false while the target is healthy (or unknown). The chaos
+// failover-bound invariant compares this against the crash time.
+func (m *Monitor) DeclaredAt(addr packet.IPv4) (sim.Time, bool) {
+	t, ok := m.targets[addr]
+	if !ok || !t.down {
+		return 0, false
+	}
+	return t.declaredAt, true
+}
+
+// declare marks a target down and fires the crash callback.
+func (m *Monitor) declare(addr packet.IPv4, t *target) {
+	t.down = true
+	t.declaredAt = m.loop.Now()
+	m.Declared++
+	if m.onDown != nil {
+		m.onDown(addr)
+	}
+}
+
 // GuardActive reports whether the widespread-failure guard has
 // suspended automatic removal.
 func (m *Monitor) GuardActive() bool { return m.guardActive }
@@ -115,17 +139,28 @@ func (m *Monitor) GuardActive() bool { return m.guardActive }
 // (§C.2: "manual intervention to verify"). Verification confirms the
 // widespread failure is real, so targets already past the miss
 // threshold are declared immediately.
+// Targets already declared down are skipped — a second ClearGuard (or
+// one following a partial outage) must not re-fire onDown for them.
 func (m *Monitor) ClearGuard() {
 	m.guardActive = false
-	for addr, t := range m.targets {
-		if t.missed >= m.cfg.Misses && !t.down {
-			t.down = true
-			m.Declared++
-			if m.onDown != nil {
-				m.onDown(addr)
-			}
+	for _, addr := range m.sortedTargets() {
+		if t := m.targets[addr]; t.missed >= m.cfg.Misses && !t.down {
+			m.declare(addr, t)
 		}
 	}
+}
+
+// sortedTargets returns the probe set in address order. Probe and
+// declaration order must not depend on map iteration: probe IDs and
+// onDown callbacks are assigned in this order, and the determinism
+// contract requires identical runs for identical seeds.
+func (m *Monitor) sortedTargets() []packet.IPv4 {
+	addrs := make([]packet.IPv4, 0, len(m.targets))
+	for addr := range m.targets {
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	return addrs
 }
 
 // Start begins probing.
@@ -143,9 +178,11 @@ func (m *Monitor) Stop() {
 // round settles the previous probes, applies the guard, declares
 // crashes, then sends the next wave.
 func (m *Monitor) round() {
+	addrs := m.sortedTargets()
 	// Settle: any probe still pending is a miss.
 	var newlyDead []packet.IPv4
-	for addr, t := range m.targets {
+	for _, addr := range addrs {
+		t := m.targets[addr]
 		if t.pending {
 			t.missed++
 			t.pending = false
@@ -163,15 +200,12 @@ func (m *Monitor) round() {
 	}
 	if !m.guardActive {
 		for _, addr := range newlyDead {
-			m.targets[addr].down = true
-			m.Declared++
-			if m.onDown != nil {
-				m.onDown(addr)
-			}
+			m.declare(addr, m.targets[addr])
 		}
 	}
 	// Probe wave.
-	for addr, t := range m.targets {
+	for _, addr := range addrs {
+		t := m.targets[addr]
 		m.probeID++
 		t.pending = true
 		probe := packet.New(m.probeID, 0, 0, packet.FiveTuple{

@@ -199,3 +199,77 @@ func TestHardCrashUnregisteredNode(t *testing.T) {
 		t.Fatal("hard crash not detected")
 	}
 }
+
+// TestClearGuardNoRetrigger is the regression guard for guard-state
+// handling after a mass FE failure: ClearGuard declares the targets
+// that accumulated misses while the guard was up, but a second
+// ClearGuard — or one issued after the first already declared
+// everything — must not fire onDown again for targets that are
+// already down.
+func TestClearGuardNoRetrigger(t *testing.T) {
+	b := newBed(t, 6)
+	b.mon.Start()
+	b.loop.Schedule(sim.Second, func() {
+		for i := 0; i < 5; i++ {
+			b.sw[i].Crash()
+		}
+	})
+	b.loop.Run(15 * sim.Second)
+	if !b.mon.GuardActive() {
+		t.Fatal("guard should be active after a mass failure")
+	}
+
+	b.mon.ClearGuard()
+	if len(b.down) != 5 {
+		t.Fatalf("first ClearGuard declared %d targets, want 5", len(b.down))
+	}
+	firstDeclared := b.mon.Declared
+
+	// Immediate second ClearGuard: all five are already down.
+	b.mon.ClearGuard()
+	if len(b.down) != 5 {
+		t.Fatalf("second ClearGuard re-fired onDown: %d callbacks, want 5", len(b.down))
+	}
+	if b.mon.Declared != firstDeclared {
+		t.Fatalf("second ClearGuard re-declared: %d, want %d", b.mon.Declared, firstDeclared)
+	}
+
+	// Let more probe rounds accumulate misses on the still-crashed
+	// targets, then clear again — still no re-trigger.
+	b.loop.Run(b.loop.Now() + 5*sim.Second)
+	b.mon.ClearGuard()
+	if len(b.down) != 5 || b.mon.Declared != firstDeclared {
+		t.Fatalf("ClearGuard after more missed rounds re-triggered: callbacks=%d declared=%d",
+			len(b.down), b.mon.Declared)
+	}
+}
+
+// TestClearGuardDeclaresOnlyNewFailures: after a partial recovery, a
+// later ClearGuard must declare only targets that crossed the miss
+// threshold since, never the ones already declared.
+func TestClearGuardDeclaresOnlyNewFailures(t *testing.T) {
+	b := newBed(t, 6)
+	b.mon.Start()
+	b.loop.Schedule(sim.Second, func() {
+		for i := 0; i < 5; i++ {
+			b.sw[i].Crash()
+		}
+	})
+	b.loop.Run(15 * sim.Second)
+	b.mon.ClearGuard()
+	if len(b.down) != 5 {
+		t.Fatalf("setup: declared %d, want 5", len(b.down))
+	}
+
+	// One more switch dies while the guard is off; it is declared by
+	// the normal rounds, and a redundant ClearGuard adds nothing.
+	b.sw[5].Crash()
+	b.loop.Run(b.loop.Now() + 15*sim.Second)
+	if len(b.down) != 6 {
+		t.Fatalf("new crash not declared: %d", len(b.down))
+	}
+	b.mon.ClearGuard()
+	if len(b.down) != 6 {
+		t.Fatalf("ClearGuard re-fired for already-declared targets: %d", len(b.down))
+	}
+}

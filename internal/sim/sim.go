@@ -93,11 +93,35 @@ func (q *eventQueue) Pop() interface{} {
 // Loop is a discrete-event simulation loop. The zero value is not
 // usable; construct with NewLoop.
 type Loop struct {
-	now    Time
-	queue  eventQueue
-	seq    uint64
-	rng    *Rand
-	nfired uint64
+	now       Time
+	queue     eventQueue
+	seq       uint64
+	rng       *Rand
+	nfired    uint64
+	observers []Observer
+}
+
+// Observer receives control after every executed event, at the
+// event's virtual time. Observers run in registration order and must
+// not block; they exist so cross-cutting tooling (invariant checkers,
+// tracers) can watch the simulation without instrumenting every
+// component. An observer may schedule new events but should not
+// otherwise perturb simulation state, or determinism guarantees move
+// to its feet.
+type Observer func(now Time)
+
+// Observe registers an observer for the rest of the run.
+func (l *Loop) Observe(fn Observer) {
+	if fn == nil {
+		panic("sim: Observe with nil observer")
+	}
+	l.observers = append(l.observers, fn)
+}
+
+func (l *Loop) notify() {
+	for _, o := range l.observers {
+		o(l.now)
+	}
 }
 
 // NewLoop returns a loop whose clock starts at zero and whose random
@@ -197,6 +221,7 @@ func (l *Loop) Run(until Time) Time {
 		l.now = ev.at
 		l.nfired++
 		ev.fn()
+		l.notify()
 	}
 	if until != MaxTime && l.now < until {
 		l.now = until
@@ -218,6 +243,7 @@ func (l *Loop) Step() bool {
 		l.now = ev.at
 		l.nfired++
 		ev.fn()
+		l.notify()
 		return true
 	}
 	return false

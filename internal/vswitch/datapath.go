@@ -11,11 +11,11 @@ import (
 
 // FromVM injects a TX packet from a local VM into the vSwitch.
 func (vs *VSwitch) FromVM(p *packet.Packet) {
+	vs.Stats.FromVM++
 	if vs.crashed {
 		vs.drop(p, DropCrashed)
 		return
 	}
-	vs.Stats.FromVM++
 	vn, ok := vs.vnics[p.VNIC]
 	if !ok {
 		vs.drop(p, DropNoRules)
@@ -37,11 +37,11 @@ func (vs *VSwitch) FromVM(p *packet.Packet) {
 
 // HandleUnderlay receives a packet from the fabric.
 func (vs *VSwitch) HandleUnderlay(p *packet.Packet) {
+	vs.Stats.FromNet++
 	if vs.crashed {
 		vs.drop(p, DropCrashed)
 		return
 	}
-	vs.Stats.FromNet++
 
 	// Health probes: flow-direct straight to the vSwitch (§4.4).
 	if p.Tuple.Proto == packet.ProtoUDP && p.Tuple.DstPort == ProbePort {
@@ -103,6 +103,7 @@ func (vs *VSwitch) HandleUnderlay(p *packet.Packet) {
 
 func (vs *VSwitch) handleProbe(p *packet.Packet) {
 	vs.Stats.ProbesSeen++
+	vs.Stats.Absorbed++
 	pong := packet.New(p.ID, 0, 0, p.Tuple.Reverse(), packet.DirTX, 0, 0)
 	pong.SentAt = p.SentAt
 	pong.Encap(vs.cfg.Addr, p.OuterSrc)
@@ -117,7 +118,9 @@ func perByteCycles(p *packet.Packet) uint64 {
 // completes, or the packet is dropped as overload.
 func (vs *VSwitch) submit(p *packet.Packet, cycles uint64, egress func()) {
 	vs.cyclesLocal += cycles
+	vs.inFlightCPU++
 	vs.cpu.Submit(cycles, func(ok bool, _ sim.Time) {
+		vs.inFlightCPU--
 		if !ok {
 			vs.drop(p, DropOverload)
 			return
@@ -129,7 +132,9 @@ func (vs *VSwitch) submit(p *packet.Packet, cycles uint64, egress func()) {
 // submitRemote is submit for hosted-FE work (attribution differs).
 func (vs *VSwitch) submitRemote(p *packet.Packet, cycles uint64, egress func()) {
 	vs.cyclesRemote += cycles
+	vs.inFlightCPU++
 	vs.cpu.Submit(cycles, func(ok bool, _ sim.Time) {
+		vs.inFlightCPU--
 		if !ok {
 			vs.drop(p, DropOverload)
 			return
@@ -329,8 +334,12 @@ func (vs *VSwitch) localRX(vn *vnicState, p *packet.Packet) {
 
 func (vs *VSwitch) deliverToVM(vnic uint32, p *packet.Packet) {
 	vs.Stats.Delivered++
+	lat := vs.loop.Now() - sim.Time(p.SentAt)
+	if vs.deliverObs != nil {
+		vs.deliverObs(vnic, p, lat)
+	}
 	if vs.deliver != nil {
-		vs.deliver(vnic, p, vs.loop.Now()-sim.Time(p.SentAt))
+		vs.deliver(vnic, p, lat)
 	}
 }
 
@@ -442,6 +451,7 @@ func (vs *VSwitch) beNotify(vn *vnicState, p *packet.Packet) {
 		return
 	}
 	vs.submit(p, nic.NotifyCycles, func() {
+		vs.Stats.Absorbed++
 		cur := vs.sessions.Peek(key)
 		if cur == nil {
 			return

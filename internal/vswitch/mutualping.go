@@ -95,6 +95,7 @@ func (vs *VSwitch) mutualRound() {
 
 // handleMutualPong clears the pending mark for the answering FE.
 func (vs *VSwitch) handleMutualPong(p *packet.Packet) {
+	vs.Stats.Absorbed++
 	m := vs.mutual
 	if m == nil {
 		return

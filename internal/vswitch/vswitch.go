@@ -107,11 +107,23 @@ type Config struct {
 }
 
 // Counters exposes the vSwitch's datapath statistics.
+//
+// FromVM/FromNet count every packet entering the vSwitch (including
+// ones a crashed vSwitch immediately drops), and every such packet
+// terminates in exactly one of Sent (forwarded onto the fabric),
+// Delivered (handed to a local VM), a Drops bucket, or Absorbed
+// (consumed by the vSwitch itself: health probes answered, mutual
+// pongs, notify packets applied). Packets queued inside the CPU model
+// are reported by InFlightCPU. The chaos packet-conservation
+// invariant checks this ledger at event boundaries:
+//
+//	FromVM + FromNet == Sent + Delivered + TotalDrops + Absorbed + InFlightCPU
 type Counters struct {
 	FromVM      uint64
 	FromNet     uint64
 	Delivered   uint64
 	Sent        uint64
+	Absorbed    uint64
 	SlowPath    uint64
 	FastPath    uint64
 	NotifySent  uint64
@@ -208,8 +220,13 @@ type VSwitch struct {
 	vnics map[uint32]*vnicState
 	fes   map[uint32]*feInstance
 
-	deliver Delivery
-	crashed bool
+	deliver    Delivery
+	deliverObs Delivery // observer invoked alongside deliver (chaos)
+	crashed    bool
+
+	// inFlightCPU counts packets submitted to the CPU model whose
+	// completion callback has not fired yet (the ledger's in-NIC term).
+	inFlightCPU int
 
 	// mirrorSink receives clones of mirrored traffic (0 = count only).
 	mirrorSink packet.IPv4
@@ -288,6 +305,14 @@ func (vs *VSwitch) Learner() *fabric.Learner { return vs.learner }
 // SetDelivery installs the VM delivery callback.
 func (vs *VSwitch) SetDelivery(d Delivery) { vs.deliver = d }
 
+// SetDeliveryObserver installs a tap invoked for every VM delivery in
+// addition to the Delivery callback — the chaos engine's
+// no-duplicate-delivery hook. Nil removes it.
+func (vs *VSwitch) SetDeliveryObserver(d Delivery) { vs.deliverObs = d }
+
+// InFlightCPU reports packets currently queued in the CPU model.
+func (vs *VSwitch) InFlightCPU() int { return vs.inFlightCPU }
+
 // SetMirrorSink points traffic mirroring at a collector address
 // (0 disables forwarding; mirrored packets are then only counted).
 func (vs *VSwitch) SetMirrorSink(addr packet.IPv4) { vs.mirrorSink = addr }
@@ -312,6 +337,23 @@ func (vs *VSwitch) MemUtilization() float64 {
 
 // RuleMemBytes reports rule-table memory in use.
 func (vs *VSwitch) RuleMemBytes() int { return vs.mem.Used() }
+
+// InjectMemPressure reserves bytes of NIC memory, squeezing the
+// session-table budget the way a co-resident workload spike would.
+// The returned release func refunds the reservation; ok is false (and
+// nothing is charged) when the rule-table budget cannot fit the
+// spike. Chaos schedules use this to drive the memory-triggered
+// offload and DropNoMemory paths.
+func (vs *VSwitch) InjectMemPressure(bytes int) (release func(), ok bool) {
+	if bytes <= 0 || !vs.mem.Alloc(bytes) {
+		return nil, false
+	}
+	vs.refreshSessionBudget()
+	return func() {
+		vs.mem.Free(bytes)
+		vs.refreshSessionBudget()
+	}, true
+}
 
 func (vs *VSwitch) refreshSessionBudget() {
 	rest := vs.cfg.NetMemBytes - vs.mem.Used()
