@@ -3,16 +3,22 @@
 // (packet loss, jitter, link flaps, rolling partitions, crash/revive,
 // memory pressure) land on the rig while the engine continuously
 // checks packet conservation, single-copy state residency, the
-// failover detection bound, and no-duplicate-delivery.
+// failover detection bound, no-duplicate-delivery, and no-blackhole
+// (the gateway never routes a vNIC at an address without committed
+// rules of the current epoch).
 //
 // Every campaign is bit-reproducible from its seed; a violation
 // prints the seed and the schedule that produced it, and the process
-// exits non-zero.
+// exits non-zero. -midpush additionally crashes or partitions a
+// prepare target in the window between the two-phase commit's prepare
+// and commit on every campaign. -failfile collects failing seeds, one
+// per line, for CI artifact upload.
 //
 // Usage:
 //
 //	nezha-chaos [-seed 1] [-campaigns 10] [-duration 8s] [-servers 8]
-//	            [-clients 3] [-cps 250] [-events 12] [-v]
+//	            [-clients 3] [-cps 250] [-events 12] [-midpush]
+//	            [-failfile failing-seeds.txt] [-v]
 package main
 
 import (
@@ -34,11 +40,14 @@ func main() {
 		clients   = flag.Int("clients", 3, "client VMs hammering the BE's server VM")
 		cps       = flag.Float64("cps", 250, "per-client offered connections/sec")
 		events    = flag.Int("events", 12, "fault episodes per campaign")
+		midpush   = flag.Bool("midpush", false, "kill or partition a prepare target between prepare and commit")
+		failfile  = flag.String("failfile", "", "write failing seeds (one per line) to this file")
 		verbose   = flag.Bool("v", false, "print every campaign's schedule")
 	)
 	flag.Parse()
 
 	failed := 0
+	var failedSeeds []int64
 	for i := 0; i < *campaigns; i++ {
 		s := *seed + int64(i)
 		rep, err := chaos.RunCampaign(chaos.CampaignConfig{
@@ -48,6 +57,7 @@ func main() {
 			Clients:       *clients,
 			RatePerClient: *cps,
 			Events:        *events,
+			MidPushKill:   *midpush,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "seed %d: %v\n", s, err)
@@ -57,6 +67,7 @@ func main() {
 		if rep.Failed() {
 			verdict = fmt.Sprintf("FAIL (%d violations)", len(rep.Violations))
 			failed++
+			failedSeeds = append(failedSeeds, s)
 		}
 		fmt.Printf("seed %-4d %-22s completed=%-6d declared=%-2d failovers=%-2d digest=%016x\n",
 			s, verdict, rep.Completed, rep.Declared, rep.Failovers, rep.Digest)
@@ -69,8 +80,23 @@ func main() {
 			fmt.Printf("    %v\n", v)
 		}
 		if rep.Failed() {
-			fmt.Printf("    reproduce: nezha-chaos -seed %d -campaigns 1 -v\n", s)
+			repro := fmt.Sprintf("nezha-chaos -seed %d -campaigns 1 -v", s)
+			if *midpush {
+				repro += " -midpush"
+			}
+			fmt.Printf("    reproduce: %s\n", repro)
 		}
+	}
+	if *failfile != "" && len(failedSeeds) > 0 {
+		f, err := os.Create(*failfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "failfile: %v\n", err)
+			os.Exit(2)
+		}
+		for _, s := range failedSeeds {
+			fmt.Fprintf(f, "%d\n", s)
+		}
+		f.Close()
 	}
 	if failed > 0 {
 		fmt.Printf("%d/%d campaigns violated invariants\n", failed, *campaigns)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"nezha/internal/cluster"
+	"nezha/internal/controller"
 	"nezha/internal/monitor"
 	"nezha/internal/packet"
 	"nezha/internal/sim"
@@ -33,6 +34,15 @@ type CampaignConfig struct {
 	// UnaccountedDrops turns on the deliberate conservation bug, for
 	// negative tests that prove the checker catches it.
 	UnaccountedDrops bool
+	// MidPushKill arms a one-shot crash-or-partition of a prepare
+	// target in the window between prepare and commit (see
+	// Engine.ArmMidPushKill), on top of the generated schedule.
+	MidPushKill bool
+	// BypassTwoPhase makes the controller skip the prepare/commit
+	// protocol and flip the gateway fire-and-forget — the negative
+	// control proving the no-blackhole invariant fires when the
+	// two-phase commit is bypassed.
+	BypassTwoPhase bool
 }
 
 // Report is a campaign's outcome.
@@ -97,6 +107,13 @@ func RunCampaign(cfg CampaignConfig) (Report, error) {
 	// declaration needs Misses+2 rounds; slack covers the controller.
 	detectWindow := monCfg.ProbeInterval*sim.Time(monCfg.Misses+2) + 500*sim.Millisecond
 
+	// Majority quorum (instead of the default all-targets) keeps a
+	// single killed prepare target from aborting every offload the
+	// schedule provokes — the commit path itself must stay safe.
+	ctrlCfg := controller.DefaultConfig()
+	ctrlCfg.PrepareQuorumFrac = 0.5
+	ctrlCfg.UnsafeDirectCommit = cfg.BypassTwoPhase
+
 	c := cluster.New(cluster.Options{
 		Servers: cfg.Servers,
 		Seed:    cfg.Seed,
@@ -104,7 +121,8 @@ func RunCampaign(cfg CampaignConfig) (Report, error) {
 			vc.Cores = 2
 			vc.CoreHz = 500_000_000
 		},
-		Monitor: monCfg,
+		Controller: ctrlCfg,
+		Monitor:    monCfg,
 	})
 
 	// Server (BE) VM on server 0.
@@ -141,7 +159,7 @@ func RunCampaign(cfg CampaignConfig) (Report, error) {
 	// collides with the workload stream seeded directly from Seed).
 	rng := sim.NewRand(cfg.Seed ^ 0x6368616f73) // "chaos"
 	eng := NewEngine(System{
-		Loop: c.Loop, Fab: c.Fab, Switches: c.Switches, Mon: c.Mon, Ctrl: c.Ctrl,
+		Loop: c.Loop, Fab: c.Fab, GW: c.GW, Switches: c.Switches, Mon: c.Mon, Ctrl: c.Ctrl,
 	}, rng, Config{
 		CheckEvery:   cfg.CheckEvery,
 		DetectWindow: detectWindow,
@@ -165,6 +183,9 @@ func RunCampaign(cfg CampaignConfig) (Report, error) {
 		DetectWindow: detectWindow,
 	})
 	eng.Apply(sched)
+	if cfg.MidPushKill {
+		eng.ArmMidPushKill()
+	}
 
 	c.Start()
 	if err := c.Ctrl.ForceOffload(campaignVNIC); err != nil {
@@ -207,9 +228,12 @@ func RunCampaign(cfg CampaignConfig) (Report, error) {
 		}
 		d.add(uint64(vs.Sessions().Len()), uint64(vs.Sessions().MemBytes()))
 	}
-	d.add(c.Mon.ProbesSent, c.Mon.PongsSeen, c.Mon.Declared, c.Mon.GuardTrips)
+	d.add(c.Mon.ProbesSent, c.Mon.PongsSeen, c.Mon.StalePongs, c.Mon.Declared, c.Mon.GuardTrips)
 	e := c.Ctrl.Stats
 	d.add(e.Offloads, e.Fallbacks, e.ScaleOuts, e.ScaleIns, e.Failovers, e.FEsAdded)
+	d.add(e.Aborts, e.Rollbacks, e.DegradedEnters, e.DegradedExits, e.RepairRuns)
+	rs := c.Ctrl.RPCStats()
+	d.add(rs.Sent, rs.Retries, rs.Acked, rs.Nacked, rs.Expired, rs.DupAcks)
 	for _, vm := range clients {
 		d.add(vm.Started, vm.Completed, vm.Accepted, vm.KernelDrops)
 	}

@@ -26,7 +26,10 @@
 //     monitor and rebalanced away from by the controller within the
 //     configured detection window (§4.4, Fig 14's ~2 s claim);
 //   - no duplicate delivery: dual-running, failover, and rebalancing
-//     never deliver the same packet to a VM twice.
+//     never deliver the same packet to a VM twice;
+//   - no blackhole: the gateway never routes a vNIC at an address
+//     without committed rule tables of the current epoch — the
+//     transactional control plane's two-phase commit guarantee.
 package chaos
 
 import (
@@ -41,11 +44,13 @@ import (
 )
 
 // System is the slice of the simulation the engine injects faults
-// into and checks invariants over. Mon and Ctrl are optional; without
-// them the failover-bound invariant has nothing to check.
+// into and checks invariants over. Mon, Ctrl, and GW are optional;
+// without them the failover-bound and no-blackhole invariants have
+// nothing to check.
 type System struct {
 	Loop     *sim.Loop
 	Fab      *fabric.Fabric
+	GW       *fabric.Gateway
 	Switches []*vswitch.VSwitch
 	Mon      *monitor.Monitor
 	Ctrl     *controller.Controller
@@ -265,6 +270,56 @@ func mix(words ...uint64) uint64 {
 
 // hashFloat maps a hash to [0, 1) with 53-bit precision.
 func hashFloat(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// --- Mid-push kill ----------------------------------------------------
+
+// ArmMidPushKill arms a one-shot fault aimed at the transactional
+// control plane's window of maximum vulnerability: the gap between
+// prepare (FE rule installs in flight) and commit (gateway flip). On
+// the first prepare the controller starts, the engine picks one
+// prepare target and — after a short delay placed inside the prepare
+// window — either crashes it or partitions it from the controller's
+// RPC endpoint, forcing the transaction through its abort/rollback or
+// quorum path while the no-blackhole invariant watches the gateway.
+func (e *Engine) ArmMidPushKill() {
+	ctrl := e.sys.Ctrl
+	if ctrl == nil {
+		return
+	}
+	window := e.cfg.DetectWindow
+	if window <= 0 {
+		window = 2 * sim.Second
+	}
+	byAddr := make(map[packet.IPv4]int, len(e.sys.Switches))
+	for i, vs := range e.sys.Switches {
+		byAddr[vs.Addr()] = i
+	}
+	armed := true
+	ctrl.SetPrepareHook(func(vnic uint32, targets []packet.IPv4) {
+		if !armed || len(targets) == 0 {
+			return
+		}
+		armed = false
+		victim := targets[e.rng.Intn(len(targets))]
+		delay := 50*sim.Millisecond + sim.Time(e.rng.Float64()*float64(600*sim.Millisecond))
+		dur := window + 1500*sim.Millisecond
+		if e.rng.Intn(2) == 0 {
+			e.sys.Loop.Schedule(delay, func() {
+				if i, ok := byAddr[victim]; ok {
+					e.crash(i, dur)
+				}
+			})
+			return
+		}
+		rpcAddr := ctrl.RPCAddr()
+		e.sys.Loop.Schedule(delay, func() {
+			e.sys.Fab.Partition(rpcAddr, victim)
+		})
+		e.sys.Loop.Schedule(delay+dur, func() {
+			e.sys.Fab.Heal(rpcAddr, victim)
+		})
+	})
+}
 
 // --- Crash bookkeeping ----------------------------------------------
 

@@ -6,16 +6,21 @@ import (
 	"nezha/internal/flowcache"
 	"nezha/internal/packet"
 	"nezha/internal/sim"
+	"nezha/internal/vswitch"
 )
 
-// RegisterStandard installs the four built-in invariants:
-// packet conservation, single-copy session-state residency, the
-// failover detection bound, and no-duplicate-delivery.
+// RegisterStandard installs the built-in invariants: packet
+// conservation, single-copy session-state residency, the failover
+// detection bound, no-duplicate-delivery, and — when the system
+// carries a gateway — no-blackhole.
 func RegisterStandard(e *Engine) {
 	e.Register(PacketConservation(e.sys))
 	e.Register(StateResidency(e.sys))
 	e.Register(FailoverBound(e))
 	e.Register(NoDuplicateDelivery(e.sys))
+	if e.sys.GW != nil {
+		e.Register(NoBlackhole(e.sys))
+	}
 }
 
 // --- Packet conservation ---------------------------------------------
@@ -184,3 +189,61 @@ func NoDuplicateDelivery(sys System) Invariant {
 func (d *dupDelivery) Name() string { return "no-duplicate-delivery" }
 
 func (d *dupDelivery) Check(now sim.Time) error { return d.err }
+
+// --- No blackhole -----------------------------------------------------
+
+type noBlackhole struct {
+	sys       System
+	byAddr    map[packet.IPv4]*vswitch.VSwitch
+	lastEpoch map[uint32]uint64
+}
+
+// NoBlackhole checks the transactional control plane's commit
+// guarantee: the gateway never routes a vNIC at an address that has no
+// committed rule tables for it (neither an installed FE instance nor a
+// resident vNIC still holding its tables), never at an empty address
+// list, and a vNIC entry's config epoch never regresses. A crashed
+// vSwitch still counts as servable — it retains its configured tables,
+// and routing at a crash victim is the failover bound's business, not
+// a commit-ordering bug. The two-phase commit (prepare: install FE
+// rules and gather acks; commit: flip the gateway) makes this hold by
+// construction; the bypass knob in the controller exists to prove this
+// invariant fires when it is violated.
+func NoBlackhole(sys System) Invariant {
+	byAddr := make(map[packet.IPv4]*vswitch.VSwitch, len(sys.Switches))
+	for _, vs := range sys.Switches {
+		byAddr[vs.Addr()] = vs
+	}
+	return &noBlackhole{sys: sys, byAddr: byAddr, lastEpoch: make(map[uint32]uint64)}
+}
+
+func (c *noBlackhole) Name() string { return "no-blackhole" }
+
+func (c *noBlackhole) Check(now sim.Time) error {
+	var err error
+	c.sys.GW.Range(func(vnic uint32, addrs []packet.IPv4, epoch uint64) bool {
+		if last := c.lastEpoch[vnic]; epoch < last {
+			err = fmt.Errorf("gateway entry for vNIC %d regressed from epoch %d to %d", vnic, last, epoch)
+			return false
+		}
+		c.lastEpoch[vnic] = epoch
+		if len(addrs) == 0 {
+			err = fmt.Errorf("gateway routes vNIC %d at an empty address list (epoch %d)", vnic, epoch)
+			return false
+		}
+		for _, a := range addrs {
+			vs, known := c.byAddr[a]
+			if !known {
+				err = fmt.Errorf("gateway routes vNIC %d at unknown address %v (epoch %d)", vnic, a, epoch)
+				return false
+			}
+			if !vs.CanServe(vnic) {
+				err = fmt.Errorf("gateway routes vNIC %d at %v, which has no committed rules for it (epoch %d)",
+					vnic, a, epoch)
+				return false
+			}
+		}
+		return true
+	})
+	return err
+}

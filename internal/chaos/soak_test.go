@@ -61,3 +61,66 @@ func TestSoak(t *testing.T) {
 		t.Logf("sweep totals: declared=%d failovers=%d completed=%d", declared, failovers, completed)
 	}
 }
+
+// TestSoakMidPushKill is the acceptance sweep for the transactional
+// control plane: every campaign additionally crashes or partitions a
+// prepare target in the window between prepare and commit, and the
+// no-blackhole invariant must still hold — zero blackholes across the
+// sweep.
+func TestSoakMidPushKill(t *testing.T) {
+	seeds := make([]int64, 0, soakSeeds)
+	if *chaosSeed != 0 {
+		seeds = append(seeds, *chaosSeed)
+	} else {
+		for s := int64(1); s <= soakSeeds; s++ {
+			seeds = append(seeds, s)
+		}
+	}
+	var completed uint64
+	for _, seed := range seeds {
+		rep, err := RunCampaign(CampaignConfig{Seed: seed, MidPushKill: true})
+		if err != nil {
+			t.Fatalf("seed %d: campaign failed to build: %v", seed, err)
+		}
+		completed += rep.Completed
+		if rep.Completed == 0 {
+			t.Errorf("seed %d: no client exchange completed; the campaign exercised nothing", seed)
+		}
+		if rep.Failed() {
+			t.Errorf("seed %d: %d invariant violation(s) under mid-push kill; reproduce with:\n\tgo test ./internal/chaos -run SoakMidPushKill -chaos.seed=%d",
+				seed, len(rep.Violations), seed)
+			for _, v := range rep.Violations {
+				t.Logf("seed %d: %v", seed, v)
+			}
+		}
+	}
+	if *chaosSeed == 0 {
+		t.Logf("mid-push-kill sweep: completed=%d", completed)
+	}
+}
+
+// TestNoBlackholeNegativeControl proves the no-blackhole invariant
+// actually has teeth: with the two-phase commit bypassed (the gateway
+// flipped fire-and-forget while FE installs are still in flight), at
+// least one campaign must record a no-blackhole violation. If none
+// does, the invariant is vacuous and the acceptance sweep above means
+// nothing.
+func TestNoBlackholeNegativeControl(t *testing.T) {
+	fired := false
+	for seed := int64(1); seed <= 10 && !fired; seed++ {
+		rep, err := RunCampaign(CampaignConfig{Seed: seed, BypassTwoPhase: true})
+		if err != nil {
+			t.Fatalf("seed %d: campaign failed to build: %v", seed, err)
+		}
+		for _, v := range rep.Violations {
+			if v.Invariant == "no-blackhole" {
+				fired = true
+				t.Logf("seed %d: invariant fired as expected: %v", seed, v)
+				break
+			}
+		}
+	}
+	if !fired {
+		t.Fatal("two-phase commit bypassed but the no-blackhole invariant never fired — the invariant is not detecting uncommitted routing")
+	}
+}

@@ -84,7 +84,7 @@ func New(opts Options) *Cluster {
 	if ctrlCfg.InitialFEs == 0 {
 		ctrlCfg = controller.DefaultConfig()
 	}
-	c.Ctrl = controller.New(c.Loop, c.GW, ctrlCfg)
+	c.Ctrl = controller.New(c.Loop, c.Fab, c.GW, ctrlCfg)
 
 	monCfg := opts.Monitor
 	if monCfg.ProbeInterval == 0 {

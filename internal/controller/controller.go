@@ -4,13 +4,27 @@
 // idle vSwitches with similar attributes), remote-pool scale-out and
 // scale-in per the Fig 8 thresholds, and failover on FE crashes
 // reported by the health monitor.
+//
+// All mutations travel over the ctrlrpc transport: acked requests on
+// the fabric with bounded retries, exponential backoff, and per-vNIC
+// config epochs. Offload and scale-out are two-phase — prepare
+// (install rule tables on the target FEs, gather acks) then commit
+// (flip the BE config and the gateway) — so the gateway never steers
+// traffic at an FE that has not acknowledged its tables. A failed
+// prepare or commit rolls partially-installed FEs back and leaves the
+// vNIC in its previous, safe configuration; an aborted offload is
+// retriable after a cooldown, and a pool stuck below MinFEs enters an
+// explicit degraded state that a periodic repair loop keeps trying to
+// replenish and reconcile.
 package controller
 
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
+	"nezha/internal/ctrlrpc"
 	"nezha/internal/fabric"
 	"nezha/internal/metrics"
 	"nezha/internal/nic"
@@ -19,6 +33,12 @@ import (
 	"nezha/internal/tables"
 	"nezha/internal/vswitch"
 )
+
+// DefaultRPCAddr is the controller transport's fabric address.
+var DefaultRPCAddr = packet.MakeIP(10, 0, 0, 253)
+
+// DefaultGatewayAddr is the gateway agent's fabric address.
+var DefaultGatewayAddr = packet.MakeIP(10, 0, 0, 252)
 
 // Config holds the control-plane policy knobs, defaulting to the
 // paper's production values.
@@ -57,11 +77,41 @@ type Config struct {
 	// mutual ping (§C.1) is kept out of FE selection for that BE —
 	// without it, replenishment happily re-picks the partitioned FE.
 	BadLinkTTL sim.Time
+
+	// RPCAddr / GatewayAddr are the fabric addresses of the
+	// controller's RPC transport and the gateway's management agent.
+	RPCAddr     packet.IPv4
+	GatewayAddr packet.IPv4
+	// RPCTimeout / RPCMaxAttempts / RPCBackoff / RPCMaxBackoff tune
+	// the acked-request transport (see ctrlrpc.Options).
+	RPCTimeout     sim.Time
+	RPCMaxAttempts int
+	RPCBackoff     sim.Time
+	RPCMaxBackoff  sim.Time
+	// PrepareDeadline bounds the prepare phase: installs not acked by
+	// then are treated as failed and the transaction resolves.
+	PrepareDeadline sim.Time
+	// PrepareQuorumFrac is the fraction of prepare targets that must
+	// ack for an offload to commit (1.0 = all). Scale-out commits with
+	// any non-empty acked subset.
+	PrepareQuorumFrac float64
+	// OffloadRetryCooldown keeps an aborted offload fully local (and
+	// rejects retries) for this long.
+	OffloadRetryCooldown sim.Time
+	// RepairInterval paces the degraded-pool repair / reconciliation
+	// loop.
+	RepairInterval sim.Time
+	// UnsafeDirectCommit restores the pre-transactional behavior:
+	// fire-and-forget installs with the gateway flipped immediately,
+	// before any FE has acked its tables. It exists as a negative
+	// control so tests can prove the chaos no-blackhole invariant
+	// catches exactly this bug.
+	UnsafeDirectCommit bool
 }
 
 // DefaultConfig returns the production-calibrated policy.
 func DefaultConfig() Config {
-	return Config{
+	cfg := Config{
 		OffloadThreshold:      0.70,
 		ScaleThreshold:        0.40,
 		SafeLevel:             0.40,
@@ -75,6 +125,43 @@ func DefaultConfig() Config {
 		FallbackCheckInterval: 10 * sim.Second,
 		ScaleCooldown:         3 * sim.Second,
 		BadLinkTTL:            60 * sim.Second,
+	}
+	cfg.fill()
+	return cfg
+}
+
+// fill normalizes zero-valued transport and transaction knobs, so
+// configs built field-by-field keep working.
+func (cfg *Config) fill() {
+	if cfg.RPCAddr == 0 {
+		cfg.RPCAddr = DefaultRPCAddr
+	}
+	if cfg.GatewayAddr == 0 {
+		cfg.GatewayAddr = DefaultGatewayAddr
+	}
+	if cfg.RPCTimeout <= 0 {
+		cfg.RPCTimeout = 500 * sim.Millisecond
+	}
+	if cfg.RPCMaxAttempts <= 0 {
+		cfg.RPCMaxAttempts = 4
+	}
+	if cfg.RPCBackoff <= 0 {
+		cfg.RPCBackoff = 200 * sim.Millisecond
+	}
+	if cfg.RPCMaxBackoff <= 0 {
+		cfg.RPCMaxBackoff = sim.Second
+	}
+	if cfg.PrepareDeadline <= 0 {
+		cfg.PrepareDeadline = 4 * sim.Second
+	}
+	if cfg.PrepareQuorumFrac <= 0 {
+		cfg.PrepareQuorumFrac = 1.0
+	}
+	if cfg.OffloadRetryCooldown <= 0 {
+		cfg.OffloadRetryCooldown = 5 * sim.Second
+	}
+	if cfg.RepairInterval <= 0 {
+		cfg.RepairInterval = 2 * sim.Second
 	}
 }
 
@@ -92,6 +179,7 @@ type VNICInfo struct {
 
 type nodeState struct {
 	vs    *vswitch.VSwitch
+	agent *ctrlrpc.Agent
 	meter *nic.UtilMeter
 
 	lastLocal, lastRemote uint64
@@ -101,6 +189,46 @@ type nodeState struct {
 
 	fronted map[uint32]bool // vNICs this node serves as FE
 	down    bool
+	// pendingRemoval tracks FE teardowns this node has not acked yet
+	// (vNIC → epoch of the removal). The repair loop retries them so a
+	// node that was unreachable during cleanup does not keep tables
+	// forever.
+	pendingRemoval map[uint32]uint64
+}
+
+// txnKind classifies a two-phase transaction.
+type txnKind int
+
+const (
+	txnOffload txnKind = iota
+	txnScaleOut
+	txnFallback
+)
+
+// txn is one in-flight two-phase mutation of a vNIC's pool. A vNIC
+// has at most one transaction at a time.
+type txn struct {
+	kind    txnKind
+	epoch   uint64
+	targets []packet.IPv4
+	acked   map[packet.IPv4]bool
+	failed  map[packet.IPv4]bool
+	// committed, once set, is the FE subset the commit phase is
+	// installing; a straggler install ack outside it is rolled back.
+	committed map[packet.IPv4]bool
+	resolved  bool
+	deadline  sim.EventRef
+	t0        sim.Time
+}
+
+// settled reports whether every prepare target has acked or failed.
+func (tx *txn) settled() bool {
+	for _, fa := range tx.targets {
+		if !tx.acked[fa] && !tx.failed[fa] {
+			return false
+		}
+	}
+	return true
 }
 
 type vnicState struct {
@@ -108,9 +236,36 @@ type vnicState struct {
 	offloaded  bool
 	inProgress bool
 	fes        []packet.IPv4
+	// epoch is the vNIC's config-epoch counter: reserved (bumped) when
+	// a transaction or config push is created, so later pushes always
+	// carry higher epochs and a stale transaction loses its commit.
+	epoch      uint64
+	txn        *txn
 	memTrigger bool     // offload was triggered by memory, not CPU
 	lastScale  sim.Time // last scale-out, for the cooldown
 	scaling    bool     // a scale-out is in flight
+	// degraded marks a pool stuck below MinFEs with no candidates; the
+	// repair loop keeps trying to replenish it.
+	degraded bool
+	// dirty marks committed state whose propagation (gateway or BE
+	// push) failed; the repair loop re-pushes it at a fresh epoch.
+	dirty bool
+	// gwPushes counts in-flight gateway config pushes. FE teardowns
+	// and repair re-pushes wait for zero: until the gateway acks (or
+	// definitively fails) a push, removing an FE's tables could
+	// blackhole traffic the gateway still steers there.
+	gwPushes int
+	// retryAt blocks offload retries until the abort cooldown passes.
+	retryAt sim.Time
+	// pinned marks an operator-directed pool (§7.2): the controller
+	// keeps it alive but does not grow it back to MinFEs — the
+	// operator chose exactly those targets.
+	pinned bool
+	// staleFEs are installs from an aborted offload whose BE outcome
+	// is unknown (OffloadStart timed out): they must not be torn down
+	// until the BE acks an abort, or a revived BE could transmit at
+	// ruleless FEs. Reconciled on NodeUp / repair ticks.
+	staleFEs []packet.IPv4
 }
 
 // Events counts control-plane actions for the experiments.
@@ -121,14 +276,29 @@ type Events struct {
 	ScaleIns  uint64
 	Failovers uint64
 	FEsAdded  uint64
+	// Aborts counts transactions (offload, scale-out, fallback) that
+	// resolved without committing; Rollbacks counts FE installs torn
+	// back down because their transaction aborted or superseded them.
+	Aborts    uint64
+	Rollbacks uint64
+	// DegradedEnters / DegradedExits count pools crossing in and out
+	// of the alarmed below-MinFEs state; RepairRuns counts repair-loop
+	// replenish attempts.
+	DegradedEnters uint64
+	DegradedExits  uint64
+	RepairRuns     uint64
 }
 
 // Controller is the centralized Nezha control plane.
 type Controller struct {
 	loop *sim.Loop
+	fab  *fabric.Fabric
 	gw   *fabric.Gateway
 	rng  *sim.Rand
 	cfg  Config
+
+	rpc     *ctrlrpc.Transport
+	gwAgent *ctrlrpc.GatewayAgent
 
 	nodes map[packet.IPv4]*nodeState
 	vnics map[uint32]*vnicState
@@ -141,7 +311,14 @@ type Controller struct {
 	failoverAt    map[packet.IPv4]sim.Time
 	lastRebalance sim.Time
 
-	ticker *sim.Ticker
+	ticker       *sim.Ticker
+	repairTicker *sim.Ticker
+
+	// prepareHook observes prepare-phase starts (vNIC, targets) — the
+	// chaos engine uses it to kill or partition an FE mid-push.
+	prepareHook func(uint32, []packet.IPv4)
+	// onDegraded is the degraded-pool alarm callback.
+	onDegraded func(uint32)
 
 	// OffloadCompletion records, per offload, the time from trigger
 	// until all traffic flows through the FEs (Table 4).
@@ -149,13 +326,17 @@ type Controller struct {
 	Stats             Events
 }
 
-// New builds a controller.
-func New(loop *sim.Loop, gw *fabric.Gateway, cfg Config) *Controller {
+// New builds a controller. The fabric carries its config RPCs: the
+// transport and the gateway's management agent register themselves at
+// cfg.RPCAddr and cfg.GatewayAddr.
+func New(loop *sim.Loop, fab *fabric.Fabric, gw *fabric.Gateway, cfg Config) *Controller {
 	if cfg.InitialFEs == 0 {
 		cfg = DefaultConfig()
 	}
-	return &Controller{
+	cfg.fill()
+	c := &Controller{
 		loop:              loop,
+		fab:               fab,
 		gw:                gw,
 		rng:               sim.NewRand(int64(loop.Rand().Uint64())),
 		cfg:               cfg,
@@ -165,35 +346,53 @@ func New(loop *sim.Loop, gw *fabric.Gateway, cfg Config) *Controller {
 		failoverAt:        make(map[packet.IPv4]sim.Time),
 		OffloadCompletion: metrics.NewHistogram("offload-completion-ms"),
 	}
+	c.rpc = ctrlrpc.NewTransport(loop, fab, sim.NewRand(int64(loop.Rand().Uint64())), ctrlrpc.Options{
+		Addr:        cfg.RPCAddr,
+		Timeout:     cfg.RPCTimeout,
+		MaxAttempts: cfg.RPCMaxAttempts,
+		Backoff:     cfg.RPCBackoff,
+		MaxBackoff:  cfg.RPCMaxBackoff,
+	})
+	c.gwAgent = ctrlrpc.NewGatewayAgent(loop, fab, c.rpc, gw, cfg.GatewayAddr)
+	return c
 }
 
-// RegisterNode adds a vSwitch to the managed fleet.
+// RegisterNode adds a vSwitch to the managed fleet and attaches its
+// control-RPC agent.
 func (c *Controller) RegisterNode(vs *vswitch.VSwitch) {
 	c.nodes[vs.Addr()] = &nodeState{
-		vs:      vs,
-		meter:   nic.NewUtilMeter(vs.CPU()),
-		fronted: make(map[uint32]bool),
+		vs:             vs,
+		agent:          ctrlrpc.NewAgent(c.loop, c.fab, c.rpc, vs),
+		meter:          nic.NewUtilMeter(vs.CPU()),
+		fronted:        make(map[uint32]bool),
+		pendingRemoval: make(map[uint32]uint64),
 	}
 }
 
 // RegisterVNIC makes a vNIC manageable (it must already be installed
-// at its home vSwitch and present in the gateway).
+// at its home vSwitch and present in the gateway). The vNIC's epoch
+// counter picks up from the gateway's installed entry.
 func (c *Controller) RegisterVNIC(info VNICInfo) {
-	c.vnics[info.VNIC] = &vnicState{VNICInfo: info}
+	c.vnics[info.VNIC] = &vnicState{VNICInfo: info, epoch: c.gw.Epoch(info.VNIC)}
 }
 
-// Start begins the periodic monitoring/decision loop.
+// Start begins the periodic monitoring/decision loop and the
+// degraded-pool repair loop.
 func (c *Controller) Start() {
 	c.ticker = c.loop.Every(c.cfg.ReportInterval, c.tick)
+	c.repairTicker = c.loop.Every(c.cfg.RepairInterval, c.repairTick)
 	if c.cfg.FallbackCheckInterval > 0 {
 		c.loop.Every(c.cfg.FallbackCheckInterval, c.checkFallbacks)
 	}
 }
 
-// Stop halts the decision loop.
+// Stop halts the decision and repair loops.
 func (c *Controller) Stop() {
 	if c.ticker != nil {
 		c.ticker.Stop()
+	}
+	if c.repairTicker != nil {
+		c.repairTicker.Stop()
 	}
 }
 
@@ -211,6 +410,53 @@ func (c *Controller) FEsOf(vnic uint32) []packet.IPv4 {
 	return nil
 }
 
+// Epoch reports a vNIC's current config epoch counter.
+func (c *Controller) Epoch(vnic uint32) uint64 {
+	if v, ok := c.vnics[vnic]; ok {
+		return v.epoch
+	}
+	return 0
+}
+
+// Degraded reports whether a vNIC's pool is in the alarmed
+// below-MinFEs degraded state.
+func (c *Controller) Degraded(vnic uint32) bool {
+	v, ok := c.vnics[vnic]
+	return ok && v.degraded
+}
+
+// DegradedPools lists vNICs currently degraded, ascending.
+func (c *Controller) DegradedPools() []uint32 {
+	var out []uint32
+	for id, v := range c.vnics {
+		if v.degraded {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SetOnDegraded installs the degraded-pool alarm callback (fired once
+// per pool entering the degraded state).
+func (c *Controller) SetOnDegraded(fn func(vnic uint32)) { c.onDegraded = fn }
+
+// SetPrepareHook installs an observer fired when a prepare phase
+// starts, with the vNIC and its target FEs. The chaos engine uses it
+// to kill or partition targets mid-push.
+func (c *Controller) SetPrepareHook(fn func(vnic uint32, targets []packet.IPv4)) {
+	c.prepareHook = fn
+}
+
+// RPCAddr returns the controller transport's fabric address.
+func (c *Controller) RPCAddr() packet.IPv4 { return c.rpc.Addr() }
+
+// GatewayAgentAddr returns the gateway agent's fabric address.
+func (c *Controller) GatewayAgentAddr() packet.IPv4 { return c.gwAgent.Addr() }
+
+// RPCStats returns a copy of the transport's counters.
+func (c *Controller) RPCStats() ctrlrpc.Stats { return c.rpc.Stats }
+
 // NodeUtil returns the last sampled CPU utilization for a node
 // (for experiments).
 func (c *Controller) NodeUtil(addr packet.IPv4) float64 {
@@ -220,9 +466,33 @@ func (c *Controller) NodeUtil(addr packet.IPv4) float64 {
 	return 0
 }
 
+// sortedNodeAddrs returns registered node addresses ascending, so
+// decision order never depends on map iteration (the determinism
+// contract).
+func (c *Controller) sortedNodeAddrs() []packet.IPv4 {
+	addrs := make([]packet.IPv4, 0, len(c.nodes))
+	for a := range c.nodes {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	return addrs
+}
+
+// sortedVNICs returns registered vNIC ids ascending.
+func (c *Controller) sortedVNICs() []uint32 {
+	ids := make([]uint32, 0, len(c.vnics))
+	for id := range c.vnics {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
 // tick samples every node and applies the Fig 8 decision tree.
 func (c *Controller) tick() {
-	for _, n := range c.nodes {
+	addrs := c.sortedNodeAddrs()
+	for _, addr := range addrs {
+		n := c.nodes[addr]
 		if n.down {
 			continue
 		}
@@ -237,7 +507,8 @@ func (c *Controller) tick() {
 			n.remoteShare = 0
 		}
 	}
-	for addr, n := range c.nodes {
+	for _, addr := range addrs {
+		n := c.nodes[addr]
 		if n.down {
 			continue
 		}
@@ -268,6 +539,13 @@ func (c *Controller) tick() {
 // ErrNoIdleNodes reports that FE selection found no candidates.
 var ErrNoIdleNodes = errors.New("controller: no idle vSwitches available as FEs")
 
+// ErrCoolingDown reports an offload retry inside the abort cooldown.
+var ErrCoolingDown = errors.New("controller: offload cooling down after abort")
+
+// ErrBusy reports a mutation attempted while another transaction for
+// the same vNIC is in flight.
+var ErrBusy = errors.New("controller: vNIC has a transaction in flight")
+
 // offloadFrom offloads vNICs from a hot node, in descending order of
 // the triggering resource, until the projection falls to SafeLevel.
 func (c *Controller) offloadFrom(addr packet.IPv4, n *nodeState) {
@@ -291,7 +569,7 @@ func (c *Controller) offloadFrom(addr packet.IPv4, n *nodeState) {
 			break
 		}
 		v, ok := c.vnics[l.VNIC]
-		if !ok || v.offloaded || v.inProgress || v.Home != addr {
+		if !ok || v.offloaded || v.inProgress || v.txn != nil || v.Home != addr {
 			continue
 		}
 		if err := c.startOffload(v, nil); err != nil {
@@ -330,7 +608,7 @@ func (c *Controller) OffloadTo(vnic uint32, targets []packet.IPv4) error {
 	if !ok {
 		return fmt.Errorf("controller: unknown vNIC %d", vnic)
 	}
-	if v.offloaded || v.inProgress {
+	if v.offloaded || v.inProgress || v.txn != nil {
 		return fmt.Errorf("controller: vNIC %d already offloaded or in progress", vnic)
 	}
 	if len(targets) == 0 {
@@ -409,12 +687,42 @@ func (c *Controller) selectFEs(home packet.IPv4, count int, exclude map[packet.I
 	return out
 }
 
-// startOffload runs the §4.2.1 two-stage workflow asynchronously.
-// targets, when non-nil, bypasses FE selection (operator-directed
-// redirection, §7.2).
+// floorOf is the FE count below which a pool is considered short:
+// MinFEs normally, 1 for operator-pinned pools (which must stay
+// routable but are never grown beyond the operator's choice).
+func (c *Controller) floorOf(v *vnicState) int {
+	if v.pinned {
+		return 1
+	}
+	return c.cfg.MinFEs
+}
+
+// quorum is the number of acked prepare targets an offload needs.
+func (c *Controller) quorum(targets int) int {
+	q := int(math.Ceil(c.cfg.PrepareQuorumFrac * float64(targets)))
+	if q < 1 {
+		q = 1
+	}
+	if q > targets {
+		q = targets
+	}
+	return q
+}
+
+// startOffload runs the §4.2.1 workflow as a two-phase transaction:
+// prepare installs rule tables on every target over acked RPCs; the
+// commit phase flips the BE and then the gateway only once the
+// prepare quorum is in. targets, when non-nil, bypasses FE selection
+// (operator-directed redirection, §7.2).
 func (c *Controller) startOffload(v *vnicState, targets []packet.IPv4) error {
-	home, ok := c.nodes[v.Home]
-	if !ok {
+	if v.txn != nil {
+		return ErrBusy
+	}
+	now := c.loop.Now()
+	if now < v.retryAt {
+		return ErrCoolingDown
+	}
+	if _, ok := c.nodes[v.Home]; !ok {
 		return fmt.Errorf("controller: vNIC %d home %v not registered", v.VNIC, v.Home)
 	}
 	feAddrs := targets
@@ -425,48 +733,564 @@ func (c *Controller) startOffload(v *vnicState, targets []packet.IPv4) error {
 		return ErrNoIdleNodes
 	}
 	v.inProgress = true
-	t0 := c.loop.Now()
-
-	// Dual-running stage: 1) configure rule tables on all FEs,
-	// 2) configure BE/FE locations, 3) update the gateway.
-	var maxPush sim.Time
+	v.pinned = targets != nil
+	v.epoch++
+	tx := &txn{
+		kind:    txnOffload,
+		epoch:   v.epoch,
+		targets: feAddrs,
+		acked:   make(map[packet.IPv4]bool),
+		failed:  make(map[packet.IPv4]bool),
+		t0:      now,
+	}
+	v.txn = tx
+	if c.prepareHook != nil {
+		c.prepareHook(v.VNIC, feAddrs)
+	}
+	if c.cfg.UnsafeDirectCommit {
+		c.unsafeCommitOffload(v, tx)
+		return nil
+	}
 	for _, fa := range feAddrs {
 		fa := fa
-		d := c.pushDelay()
-		if d > maxPush {
-			maxPush = d
-		}
-		c.loop.Schedule(d, func() {
-			fn, ok := c.nodes[fa]
-			if !ok || fn.down {
-				return
-			}
-			if err := fn.vs.InstallFE(v.MakeRules(), v.Home, v.Decap); err != nil {
-				return
-			}
-			fn.fronted[v.VNIC] = true
-		})
+		c.rpc.Call(fa, &ctrlrpc.Request{
+			Op: ctrlrpc.OpInstallFE, VNIC: v.VNIC, Epoch: tx.epoch,
+			Rules: v.MakeRules(), BE: v.Home, Decap: v.Decap,
+			ApplyDelay: c.pushDelay(),
+		}, func(err error) { c.prepareAck(v, tx, fa, err) })
 	}
-	c.loop.Schedule(maxPush, func() {
-		if err := home.vs.OffloadStart(v.VNIC, feAddrs); err != nil {
-			v.inProgress = false
+	tx.deadline = c.loop.Schedule(c.cfg.PrepareDeadline, func() { c.resolvePrepare(v, tx) })
+	return nil
+}
+
+// prepareAck records one prepare target's outcome and resolves the
+// transaction when all targets settled. Acks arriving after
+// resolution are stragglers: an install that took hold but is not in
+// the committed set is torn back down.
+func (c *Controller) prepareAck(v *vnicState, tx *txn, fa packet.IPv4, err error) {
+	if tx.resolved {
+		if err == nil && !tx.committed[fa] {
+			c.rollbackFE(fa, v.VNIC, tx.epoch)
+		}
+		return
+	}
+	if err != nil {
+		tx.failed[fa] = true
+	} else {
+		tx.acked[fa] = true
+	}
+	if tx.settled() {
+		c.resolvePrepare(v, tx)
+	}
+}
+
+// failTxnTarget marks a prepare target unreachable (NodeDown /
+// LinkDown racing the push): even if its install acked, an offload
+// must not commit to an FE already reported dead.
+func (c *Controller) failTxnTarget(v *vnicState, fa packet.IPv4) {
+	tx := v.txn
+	if tx == nil || tx.resolved {
+		return
+	}
+	for _, t := range tx.targets {
+		if t == fa {
+			tx.failed[fa] = true
+			if tx.settled() {
+				c.resolvePrepare(v, tx)
+			}
 			return
 		}
-		c.gw.Set(v.VNIC, feAddrs...)
-		// All traffic flows via FEs once every learner refreshes.
-		completion := c.loop.Now() + fabric.LearnInterval - t0
-		c.OffloadCompletion.Observe(completion.Millis())
-		// Final stage after the learning interval + RTT.
-		c.loop.Schedule(fabric.LearnInterval+c.cfg.RTTAllowance, func() {
-			_ = home.vs.OffloadFinalize(v.VNIC)
-			v.offloaded = true
-			v.inProgress = false
-			v.fes = feAddrs
-			c.Stats.Offloads++
-			c.Stats.FEsAdded += uint64(len(feAddrs))
+	}
+}
+
+// resolvePrepare closes the prepare phase (all targets settled, or
+// the deadline fired) and either commits or aborts.
+func (c *Controller) resolvePrepare(v *vnicState, tx *txn) {
+	if tx.resolved || v.txn != tx {
+		return
+	}
+	tx.resolved = true
+	tx.deadline.Cancel()
+	good := make([]packet.IPv4, 0, len(tx.targets))
+	for _, fa := range tx.targets {
+		if !tx.acked[fa] || tx.failed[fa] {
+			continue
+		}
+		if n, ok := c.nodes[fa]; !ok || n.down {
+			continue
+		}
+		good = append(good, fa)
+	}
+	switch tx.kind {
+	case txnOffload:
+		if len(good) < c.quorum(len(tx.targets)) {
+			c.abortOffload(v, tx, false)
+			return
+		}
+		c.commitOffload(v, tx, good)
+	case txnScaleOut:
+		if len(good) == 0 {
+			c.abortScaleOut(v, tx)
+			return
+		}
+		c.commitScaleOut(v, tx, good)
+	}
+}
+
+// abortOffload rolls an uncommitted offload back: targets lose their
+// installs, the vNIC stays fully local, and retries are rejected for
+// the cooldown. beUnknown marks an abort whose OffloadStart timed out
+// — the BE may believe it is offloaded, so the installs are parked in
+// staleFEs and only torn down after the BE acks an abort (NodeUp /
+// repair reconciliation).
+func (c *Controller) abortOffload(v *vnicState, tx *txn, beUnknown bool) {
+	c.Stats.Aborts++
+	v.txn = nil
+	v.inProgress = false
+	v.retryAt = c.loop.Now() + c.cfg.OffloadRetryCooldown
+	if beUnknown {
+		v.staleFEs = append([]packet.IPv4(nil), tx.targets...)
+		c.reconcileStale(v)
+		return
+	}
+	c.rollbackTargets(v.VNIC, tx)
+}
+
+// rollbackTargets tears down every prepare target of an aborted
+// transaction. Targets whose install state is unknown (timeout) are
+// included: RemoveFE of an absent instance is a no-op.
+func (c *Controller) rollbackTargets(vnic uint32, tx *txn) {
+	for _, fa := range tx.targets {
+		c.rollbackFE(fa, vnic, tx.epoch)
+	}
+}
+
+// rollbackFE removes one FE install of an aborted transaction.
+func (c *Controller) rollbackFE(fa packet.IPv4, vnic uint32, epoch uint64) {
+	c.Stats.Rollbacks++
+	if n, ok := c.nodes[fa]; ok {
+		delete(n.fronted, vnic)
+	}
+	c.sendRemoveFE(fa, vnic, epoch)
+}
+
+// sendRemoveFE issues an acked FE teardown, tracked in the node's
+// pendingRemoval set until acked so the repair loop can retry nodes
+// that were unreachable.
+func (c *Controller) sendRemoveFE(fa packet.IPv4, vnic uint32, epoch uint64) {
+	if n, ok := c.nodes[fa]; ok {
+		if old, have := n.pendingRemoval[vnic]; !have || epoch > old {
+			n.pendingRemoval[vnic] = epoch
+		}
+	}
+	c.rpc.Call(fa, &ctrlrpc.Request{Op: ctrlrpc.OpRemoveFE, VNIC: vnic, Epoch: epoch}, func(err error) {
+		if err != nil {
+			return // left in pendingRemoval for the repair loop
+		}
+		if n, ok := c.nodes[fa]; ok && n.pendingRemoval[vnic] <= epoch {
+			delete(n.pendingRemoval, vnic)
+		}
+	})
+}
+
+// commitOffload runs the commit phase: acked OffloadStart at the BE,
+// then the acked gateway flip. Only after both does the controller
+// consider the vNIC offloaded.
+func (c *Controller) commitOffload(v *vnicState, tx *txn, good []packet.IPv4) {
+	tx.committed = make(map[packet.IPv4]bool, len(good))
+	for _, fa := range good {
+		tx.committed[fa] = true
+	}
+	c.rpc.Call(v.Home, &ctrlrpc.Request{
+		Op: ctrlrpc.OpOffloadStart, VNIC: v.VNIC, Epoch: tx.epoch, FEs: good,
+	}, func(err error) {
+		if err != nil {
+			// The startOffload leak fix: a BE that rejected (or never
+			// answered) OffloadStart must not leave the prepared FEs
+			// holding tables and fronted entries forever.
+			tx.committed = nil
+			c.abortOffload(v, tx, errors.Is(err, ctrlrpc.ErrTimeout))
+			return
+		}
+		c.rpc.Call(c.gwAgent.Addr(), &ctrlrpc.Request{
+			Op: ctrlrpc.OpGatewaySet, VNIC: v.VNIC, Epoch: tx.epoch, FEs: good,
+		}, func(gerr error) {
+			// The BE is dual-running: both the old route (BE, rules
+			// retained) and the new one (prepared FEs) can serve, so
+			// whatever the gateway did, adopting the commit is safe.
+			// A failed or unknown gateway push just marks the vNIC
+			// dirty for re-push at a fresh epoch.
+			c.finishOffload(v, tx, good, gerr != nil)
 		})
 	})
-	return nil
+}
+
+// finishOffload installs the committed state controller-side.
+func (c *Controller) finishOffload(v *vnicState, tx *txn, good []packet.IPv4, dirty bool) {
+	v.offloaded = true
+	v.fes = append([]packet.IPv4(nil), good...)
+	v.txn = nil
+	v.inProgress = false
+	v.dirty = dirty
+	for _, fa := range good {
+		if n, ok := c.nodes[fa]; ok {
+			n.fronted[v.VNIC] = true
+			delete(n.pendingRemoval, v.VNIC)
+		}
+	}
+	completion := c.loop.Now() + fabric.LearnInterval - tx.t0
+	c.OffloadCompletion.Observe(completion.Millis())
+	c.lastRebalance = c.loop.Now()
+	c.Stats.Offloads++
+	c.Stats.FEsAdded += uint64(len(good))
+	if len(v.fes) < c.floorOf(v) {
+		c.enterDegraded(v)
+	} else {
+		c.exitDegraded(v)
+	}
+	if !dirty {
+		epoch := tx.epoch
+		c.loop.Schedule(fabric.LearnInterval+c.cfg.RTTAllowance, func() {
+			// Final stage: the BE deletes its tables. A failed push
+			// leaves the vNIC dual-running — safe, just not reclaiming
+			// memory — and a later fallback/offload cycle re-resolves it.
+			c.rpc.Call(v.Home, &ctrlrpc.Request{
+				Op: ctrlrpc.OpOffloadFinalize, VNIC: v.VNIC, Epoch: epoch,
+			}, nil)
+		})
+	}
+	// When dirty the gateway may still route at the home: the BE stays
+	// dual-running (tables retained) until the repair loop lands a
+	// clean push. Finalizing now could delete rules traffic still uses.
+	c.pruneDown(v)
+}
+
+// unsafeCommitOffload is the negative-control path: fire-and-forget
+// installs with the BE and gateway flipped immediately — the gateway
+// steers traffic at FEs that have not acked tables yet, which is
+// precisely what the chaos no-blackhole invariant fires on.
+func (c *Controller) unsafeCommitOffload(v *vnicState, tx *txn) {
+	for _, fa := range tx.targets {
+		c.rpc.Call(fa, &ctrlrpc.Request{
+			Op: ctrlrpc.OpInstallFE, VNIC: v.VNIC, Epoch: tx.epoch,
+			Rules: v.MakeRules(), BE: v.Home, Decap: v.Decap,
+			ApplyDelay: c.pushDelay(),
+		}, nil)
+	}
+	c.rpc.Call(v.Home, &ctrlrpc.Request{
+		Op: ctrlrpc.OpOffloadStart, VNIC: v.VNIC, Epoch: tx.epoch, FEs: tx.targets,
+	}, nil)
+	c.rpc.Call(c.gwAgent.Addr(), &ctrlrpc.Request{
+		Op: ctrlrpc.OpGatewaySet, VNIC: v.VNIC, Epoch: tx.epoch, FEs: tx.targets,
+	}, nil)
+	tx.resolved = true
+	v.offloaded = true
+	v.fes = append([]packet.IPv4(nil), tx.targets...)
+	v.txn = nil
+	v.inProgress = false
+	for _, fa := range tx.targets {
+		if n, ok := c.nodes[fa]; ok {
+			n.fronted[v.VNIC] = true
+		}
+	}
+	c.Stats.Offloads++
+	c.Stats.FEsAdded += uint64(len(tx.targets))
+	epoch := tx.epoch
+	c.loop.Schedule(fabric.LearnInterval+c.cfg.RTTAllowance, func() {
+		c.rpc.Call(v.Home, &ctrlrpc.Request{
+			Op: ctrlrpc.OpOffloadFinalize, VNIC: v.VNIC, Epoch: epoch,
+		}, nil)
+	})
+}
+
+// --- Pool maintenance -------------------------------------------------
+
+// pushConfig propagates v's current committed pool to the gateway and
+// the BE at a fresh epoch. A failed push marks the vNIC dirty; the
+// repair loop re-pushes until both endpoints ack.
+func (c *Controller) pushConfig(v *vnicState) {
+	c.pushConfigThen(v, nil)
+}
+
+// pushConfigThen is pushConfig with a completion hook on the gateway
+// leg: then(gwErr) fires once the gateway push acks or definitively
+// fails. Teardown paths use it to order FE removal strictly after the
+// gateway stops steering traffic there. In-flight pushes are counted
+// in v.gwPushes so the repair loop does not race a pending ack.
+func (c *Controller) pushConfigThen(v *vnicState, then func(gwErr error)) {
+	if v.offloaded && len(v.fes) == 0 {
+		// An emptied pool has no pushable state: an empty gateway set
+		// routes at nothing, and flipping home is unsafe until the BE
+		// re-acks its tables. Keep the gateway's last entry (its FEs
+		// retain their tables) and stay dirty for the repair loop,
+		// which replenishes the pool or runs the acked fallback.
+		v.dirty = true
+		return
+	}
+	v.epoch++
+	epoch := v.epoch
+	v.dirty = false
+	set := []packet.IPv4{v.Home}
+	if v.offloaded {
+		set = append([]packet.IPv4(nil), v.fes...)
+	}
+	v.gwPushes++
+	c.rpc.Call(c.gwAgent.Addr(), &ctrlrpc.Request{
+		Op: ctrlrpc.OpGatewaySet, VNIC: v.VNIC, Epoch: epoch, FEs: set,
+	}, func(err error) {
+		v.gwPushes--
+		if err != nil && v.epoch == epoch {
+			v.dirty = true
+		}
+		if then != nil {
+			then(err)
+		}
+	})
+	if !v.offloaded {
+		return
+	}
+	if hn, ok := c.nodes[v.Home]; ok && !hn.down {
+		c.rpc.Call(v.Home, &ctrlrpc.Request{
+			Op: ctrlrpc.OpSetFEs, VNIC: v.VNIC, Epoch: epoch, FEs: set,
+		}, func(err error) {
+			if err != nil && v.epoch == epoch {
+				v.dirty = true
+			}
+		})
+	}
+}
+
+// removeFromPool drops fa from v's pool, pushes the shrunk config,
+// and tears the FE instance down — but only once the gateway ack
+// confirms traffic is no longer steered at fa (plus the learning
+// interval when graceful: stale senders may still steer there). If
+// the gateway push fails the removal is parked in pendingRemoval for
+// the repair loop rather than risking a blackhole. Reports whether fa
+// was a member.
+func (c *Controller) removeFromPool(v *vnicState, fa packet.IPv4, graceful bool) bool {
+	had := false
+	kept := v.fes[:0]
+	for _, a := range v.fes {
+		if a == fa {
+			had = true
+			continue
+		}
+		kept = append(kept, a)
+	}
+	if !had {
+		return false
+	}
+	v.fes = kept
+	c.lastRebalance = c.loop.Now()
+	if n, ok := c.nodes[fa]; ok {
+		delete(n.fronted, v.VNIC)
+	}
+	if v.offloaded && len(v.fes) == 0 {
+		// The pool just emptied (e.g. its last member crashed with no
+		// replacement candidates). Pushing the empty set would leave
+		// the gateway routing at nothing, and flipping home is unsafe
+		// until the BE re-acks its tables — so do neither: keep the
+		// gateway entry as-is (fa retains its tables; the removal is
+		// parked, not sent), flag the pool degraded, and let the
+		// repair loop either replenish it or run the acked two-step
+		// fallback.
+		c.enterDegraded(v)
+		if n, ok := c.nodes[fa]; ok {
+			if old, has := n.pendingRemoval[v.VNIC]; !has || old < v.epoch {
+				n.pendingRemoval[v.VNIC] = v.epoch
+			}
+		}
+		return true
+	}
+	vnic := v.VNIC
+	c.pushConfigThen(v, func(gwErr error) {
+		n, ok := c.nodes[fa]
+		epoch := v.epoch
+		if gwErr != nil {
+			// Gateway state unknown: it may still steer traffic at fa.
+			// Park the removal; the repair loop retries it only after a
+			// clean re-push (the vNIC is dirty until then).
+			if ok {
+				if old, has := n.pendingRemoval[vnic]; !has || old < epoch {
+					n.pendingRemoval[vnic] = epoch
+				}
+			}
+			return
+		}
+		if ok && n.down {
+			// Victim crashed: RemoveFE cannot apply; pendingRemoval
+			// handles it on revival (recorded by sendRemoveFE).
+			c.sendRemoveFE(fa, vnic, epoch)
+			return
+		}
+		if graceful {
+			c.loop.Schedule(fabric.LearnInterval+c.cfg.RTTAllowance, func() {
+				c.sendRemoveFE(fa, vnic, epoch)
+			})
+		} else {
+			c.sendRemoveFE(fa, vnic, epoch)
+		}
+	})
+	return true
+}
+
+// pruneDown sweeps pool members that were declared down while a
+// commit was in flight (the monitor's declaration raced the
+// transaction) and replenishes toward the floor.
+func (c *Controller) pruneDown(v *vnicState) {
+	if !v.offloaded {
+		return
+	}
+	for _, fa := range append([]packet.IPv4(nil), v.fes...) {
+		if n, ok := c.nodes[fa]; ok && n.down {
+			c.removeFromPool(v, fa, false)
+		}
+	}
+	if len(v.fes) < c.floorOf(v) {
+		c.scaleOutOpts(v, c.floorOf(v)-len(v.fes), true)
+	}
+}
+
+// enterDegraded flags a pool stuck below MinFEs and fires the alarm.
+func (c *Controller) enterDegraded(v *vnicState) {
+	if v.degraded {
+		return
+	}
+	v.degraded = true
+	c.Stats.DegradedEnters++
+	if c.onDegraded != nil {
+		c.onDegraded(v.VNIC)
+	}
+}
+
+func (c *Controller) exitDegraded(v *vnicState) {
+	if !v.degraded {
+		return
+	}
+	v.degraded = false
+	c.Stats.DegradedExits++
+}
+
+// reconcileStale retries the abort of an offload whose BE outcome was
+// unknown: once the BE acks OffloadAbort (it is definitively local),
+// the parked installs are safe to tear down.
+func (c *Controller) reconcileStale(v *vnicState) {
+	if len(v.staleFEs) == 0 {
+		return
+	}
+	hn, ok := c.nodes[v.Home]
+	if !ok || hn.down {
+		return // retried on NodeUp / next repair tick
+	}
+	epoch := v.epoch
+	stale := append([]packet.IPv4(nil), v.staleFEs...)
+	c.rpc.Call(v.Home, &ctrlrpc.Request{
+		Op: ctrlrpc.OpOffloadAbort, VNIC: v.VNIC, Epoch: epoch,
+	}, func(err error) {
+		if err != nil {
+			return
+		}
+		if v.offloaded || v.txn != nil {
+			// A newer offload won the race; its commit owns the pool
+			// and the stale set was absorbed or re-installed at a
+			// higher epoch (which rollback at `epoch` cannot touch).
+			v.staleFEs = nil
+			return
+		}
+		for _, fa := range stale {
+			c.rollbackFE(fa, v.VNIC, epoch)
+		}
+		v.staleFEs = nil
+	})
+}
+
+// repairTick is the periodic reconciliation loop: re-push dirty
+// config, replenish degraded pools, finish deferred fallback
+// cleanups, resolve unknown-BE aborts, and retry pending FE removals.
+func (c *Controller) repairTick() {
+	for _, vnic := range c.sortedVNICs() {
+		v := c.vnics[vnic]
+		if v.txn != nil {
+			continue
+		}
+		if len(v.staleFEs) > 0 {
+			c.reconcileStale(v)
+		}
+		if v.inProgress || v.gwPushes > 0 {
+			// A gateway push is still in flight (the RPC retry window
+			// can outlast a repair period); repairing on top of it
+			// would race the pending ack's dirty verdict.
+			continue
+		}
+		switch {
+		case v.offloaded && len(v.fes) == 0:
+			// Emptied pool: the gateway still routes at the last (dead
+			// or unreachable) member, whose tables are retained. First
+			// choice is replenishing; failing that, the acked two-step
+			// fallback returns the vNIC home safely.
+			c.enterDegraded(v)
+			c.Stats.RepairRuns++
+			if !c.scaleOutOpts(v, c.floorOf(v), true) {
+				c.startFallback(v)
+			}
+		case v.dirty:
+			c.Stats.RepairRuns++
+			c.pushConfig(v)
+		case v.offloaded && len(v.fes) < c.floorOf(v):
+			c.enterDegraded(v)
+			c.Stats.RepairRuns++
+			c.scaleOutOpts(v, c.floorOf(v)-len(v.fes), true)
+		case v.offloaded && len(v.fes) >= c.floorOf(v):
+			c.exitDegraded(v)
+		case !v.offloaded && len(v.fes) > 0:
+			// Fallback committed but its FE cleanup was deferred
+			// (gateway push had failed): the gateway now points home,
+			// so tear the old FEs down after the learning interval.
+			c.exitDegraded(v)
+			v.inProgress = true
+			fes := append([]packet.IPv4(nil), v.fes...)
+			v.fes = nil
+			c.loop.Schedule(fabric.LearnInterval+c.cfg.RTTAllowance, func() {
+				c.teardownFallbackFEs(v, fes)
+				v.inProgress = false
+			})
+		case !v.offloaded:
+			c.exitDegraded(v)
+		}
+	}
+	for _, addr := range c.sortedNodeAddrs() {
+		n := c.nodes[addr]
+		if n.down {
+			continue
+		}
+		c.retryPendingRemovals(addr, n)
+	}
+}
+
+// retryPendingRemovals re-sends parked FE teardowns on a reachable
+// node — but only for vNICs whose gateway view has converged. A
+// removal parks when its gateway shrink failed; until a clean push
+// lands, the gateway may still steer traffic at the FE, and tearing
+// its tables down would blackhole that traffic.
+func (c *Controller) retryPendingRemovals(addr packet.IPv4, n *nodeState) {
+	if len(n.pendingRemoval) == 0 {
+		return
+	}
+	vnics := make([]uint32, 0, len(n.pendingRemoval))
+	for id := range n.pendingRemoval {
+		vnics = append(vnics, id)
+	}
+	sort.Slice(vnics, func(i, j int) bool { return vnics[i] < vnics[j] })
+	for _, id := range vnics {
+		if v, ok := c.vnics[id]; ok &&
+			(v.dirty || v.txn != nil || v.inProgress || v.gwPushes > 0 ||
+				(v.offloaded && len(v.fes) == 0)) {
+			// The emptied-pool case never pushed its shrink at all —
+			// the gateway still routes at the parked FE by design.
+			continue
+		}
+		c.sendRemoveFE(addr, id, n.pendingRemoval[id])
+	}
 }
 
 // --- Scale-out / scale-in ---------------------------------------------
@@ -474,7 +1298,12 @@ func (c *Controller) startOffload(v *vnicState, targets []packet.IPv4) error {
 // scaleOutFrom relieves an FE-hosting node by doubling the FE pools
 // of the vNICs it fronts (Fig 11 scales 4 → 8).
 func (c *Controller) scaleOutFrom(addr packet.IPv4, n *nodeState) {
-	for vnic := range n.fronted {
+	vnics := make([]uint32, 0, len(n.fronted))
+	for id := range n.fronted {
+		vnics = append(vnics, id)
+	}
+	sort.Slice(vnics, func(i, j int) bool { return vnics[i] < vnics[j] })
+	for _, vnic := range vnics {
 		v, ok := c.vnics[vnic]
 		if !ok || !v.offloaded {
 			continue
@@ -487,12 +1316,22 @@ func (c *Controller) scaleOutFrom(addr packet.IPv4, n *nodeState) {
 // one pressure episode from scaling the same pool repeatedly while
 // the configuration is still propagating.
 func (c *Controller) scaleOut(v *vnicState, count int) {
+	c.scaleOutOpts(v, count, false)
+}
+
+// scaleOutOpts runs the scale-out two-phase transaction. The repair
+// loop and failover replenishment bypass the cooldown. Reports
+// whether a transaction was started.
+func (c *Controller) scaleOutOpts(v *vnicState, count int, bypassCooldown bool) bool {
 	if count < 1 {
 		count = 1
 	}
+	if !v.offloaded || v.txn != nil || v.inProgress || v.scaling {
+		return false
+	}
 	now := c.loop.Now()
-	if v.scaling || (v.lastScale > 0 && now-v.lastScale < c.cfg.ScaleCooldown) {
-		return
+	if !bypassCooldown && v.lastScale > 0 && now-v.lastScale < c.cfg.ScaleCooldown {
+		return false
 	}
 	exclude := map[packet.IPv4]bool{}
 	for _, fa := range v.fes {
@@ -500,55 +1339,113 @@ func (c *Controller) scaleOut(v *vnicState, count int) {
 	}
 	newFEs := c.selectFEs(v.Home, count, exclude)
 	if len(newFEs) == 0 {
-		return
+		// No candidates: a pool below the floor is now formally
+		// degraded (alarmed, repaired periodically) instead of
+		// silently staying short.
+		if len(v.fes) < c.floorOf(v) {
+			c.enterDegraded(v)
+		}
+		return false
 	}
 	v.scaling = true
 	v.lastScale = now
-	var maxPush sim.Time
+	v.epoch++
+	tx := &txn{
+		kind:    txnScaleOut,
+		epoch:   v.epoch,
+		targets: newFEs,
+		acked:   make(map[packet.IPv4]bool),
+		failed:  make(map[packet.IPv4]bool),
+		t0:      now,
+	}
+	v.txn = tx
+	if c.prepareHook != nil {
+		c.prepareHook(v.VNIC, newFEs)
+	}
 	for _, fa := range newFEs {
 		fa := fa
-		d := c.pushDelay()
-		if d > maxPush {
-			maxPush = d
-		}
-		c.loop.Schedule(d, func() {
-			fn, ok := c.nodes[fa]
-			if !ok || fn.down {
-				return
-			}
-			if err := fn.vs.InstallFE(v.MakeRules(), v.Home, v.Decap); err != nil {
-				return
-			}
-			fn.fronted[v.VNIC] = true
-		})
+		c.rpc.Call(fa, &ctrlrpc.Request{
+			Op: ctrlrpc.OpInstallFE, VNIC: v.VNIC, Epoch: tx.epoch,
+			Rules: v.MakeRules(), BE: v.Home, Decap: v.Decap,
+			ApplyDelay: c.pushDelay(),
+		}, func(err error) { c.prepareAck(v, tx, fa, err) })
 	}
-	c.loop.Schedule(maxPush, func() {
-		v.scaling = false
-		added := 0
-		for _, fa := range newFEs {
-			dup := false
-			for _, have := range v.fes {
-				if have == fa {
-					dup = true
-					break
-				}
+	tx.deadline = c.loop.Schedule(c.cfg.PrepareDeadline, func() { c.resolvePrepare(v, tx) })
+	return true
+}
+
+// abortScaleOut rolls an uncommitted scale-out back; the pool keeps
+// its previous membership.
+func (c *Controller) abortScaleOut(v *vnicState, tx *txn) {
+	c.Stats.Aborts++
+	v.txn = nil
+	v.scaling = false
+	c.rollbackTargets(v.VNIC, tx)
+	if v.offloaded && len(v.fes) < c.floorOf(v) {
+		c.enterDegraded(v)
+	}
+}
+
+// commitScaleOut merges the acked targets into the pool and pushes
+// the grown set to the BE and the gateway. Commit-phase failures
+// adopt the grown set anyway — every member holds acked rules, so the
+// superset is safe — and mark the vNIC dirty for re-push.
+func (c *Controller) commitScaleOut(v *vnicState, tx *txn, good []packet.IPv4) {
+	newSet := append([]packet.IPv4(nil), v.fes...)
+	added := 0
+	for _, fa := range good {
+		dup := false
+		for _, have := range newSet {
+			if have == fa {
+				dup = true
+				break
 			}
-			if dup {
-				continue
-			}
-			v.fes = append(v.fes, fa)
-			c.gw.Add(v.VNIC, fa)
+		}
+		if !dup {
+			newSet = append(newSet, fa)
 			added++
 		}
-		if added == 0 {
-			return
+	}
+	if added == 0 {
+		v.txn = nil
+		v.scaling = false
+		return
+	}
+	tx.committed = make(map[packet.IPv4]bool, len(good))
+	for _, fa := range good {
+		tx.committed[fa] = true
+	}
+	finish := func(dirty bool) {
+		v.fes = newSet
+		v.txn = nil
+		v.scaling = false
+		if dirty {
+			v.dirty = true
 		}
-		if hn, ok := c.nodes[v.Home]; ok {
-			_ = hn.vs.SetFEs(v.VNIC, v.fes)
+		for _, fa := range good {
+			if n, ok := c.nodes[fa]; ok {
+				n.fronted[v.VNIC] = true
+				delete(n.pendingRemoval, v.VNIC)
+			}
 		}
 		c.lastRebalance = c.loop.Now()
 		c.Stats.ScaleOuts++
 		c.Stats.FEsAdded += uint64(added)
+		if len(v.fes) >= c.floorOf(v) {
+			c.exitDegraded(v)
+		}
+		c.pruneDown(v)
+	}
+	c.rpc.Call(v.Home, &ctrlrpc.Request{
+		Op: ctrlrpc.OpSetFEs, VNIC: v.VNIC, Epoch: tx.epoch, FEs: newSet,
+	}, func(err error) {
+		if err != nil {
+			finish(true)
+			return
+		}
+		c.rpc.Call(c.gwAgent.Addr(), &ctrlrpc.Request{
+			Op: ctrlrpc.OpGatewaySet, VNIC: v.VNIC, Epoch: tx.epoch, FEs: newSet,
+		}, func(gerr error) { finish(gerr != nil) })
 	})
 }
 
@@ -566,49 +1463,31 @@ func (c *Controller) scaleIn(addr packet.IPv4, n *nodeState) {
 // evictFEHost removes a node from every FE pool it participates in.
 // immediate skips the grace period (failover).
 func (c *Controller) evictFEHost(addr packet.IPv4, n *nodeState, immediate bool) {
-	if len(n.fronted) > 0 {
-		c.lastRebalance = c.loop.Now()
+	vnics := make([]uint32, 0, len(n.fronted))
+	for id := range n.fronted {
+		vnics = append(vnics, id)
 	}
-	for vnic := range n.fronted {
+	sort.Slice(vnics, func(i, j int) bool { return vnics[i] < vnics[j] })
+	for _, vnic := range vnics {
 		v, ok := c.vnics[vnic]
 		if !ok {
+			delete(n.fronted, vnic)
 			continue
 		}
-		// Remove from BE config and gateway.
-		kept := v.fes[:0]
-		for _, fa := range v.fes {
-			if fa != addr {
-				kept = append(kept, fa)
-			}
-		}
-		v.fes = kept
-		if hn, ok := c.nodes[v.Home]; ok && !hn.down {
-			_ = hn.vs.SetFEs(vnic, v.fes)
-		}
-		c.gw.Remove(vnic, addr)
-		// Below the floor: add a replacement (§4.4).
-		if v.offloaded && len(v.fes) < c.cfg.MinFEs {
-			c.scaleOut(v, c.cfg.MinFEs-len(v.fes))
+		c.removeFromPool(v, addr, !immediate)
+		// Below the floor: add a replacement (§4.4); no candidates
+		// flags the pool degraded for the repair loop.
+		if v.offloaded && len(v.fes) < c.floorOf(v) {
+			c.scaleOutOpts(v, c.floorOf(v)-len(v.fes), true)
 		}
 	}
-	fronted := n.fronted
-	n.fronted = make(map[uint32]bool)
-	cleanup := func() {
-		for vnic := range fronted {
-			n.vs.RemoveFE(vnic)
-		}
-	}
-	if immediate {
-		cleanup()
-		return
-	}
-	c.loop.Schedule(fabric.LearnInterval+c.cfg.RTTAllowance, cleanup)
 }
 
 // --- Failover ---------------------------------------------------------
 
 // NodeDown is invoked by the health monitor when an FE host stops
-// answering probes (§4.4).
+// answering probes (§4.4). In-flight transactions targeting the node
+// are failed so they never commit to it.
 func (c *Controller) NodeDown(addr packet.IPv4) {
 	n, ok := c.nodes[addr]
 	if !ok || n.down {
@@ -618,6 +1497,9 @@ func (c *Controller) NodeDown(addr packet.IPv4) {
 	c.Stats.Failovers++
 	c.failoverAt[addr] = c.loop.Now()
 	c.evictFEHost(addr, n, true)
+	for _, vnic := range c.sortedVNICs() {
+		c.failTxnTarget(c.vnics[vnic], addr)
+	}
 }
 
 // FailoverTime reports when the controller last processed a crash
@@ -635,49 +1517,59 @@ func (c *Controller) LastRebalance() sim.Time { return c.lastRebalance }
 // LinkDown handles a BE-reported FE connectivity failure (§C.1):
 // the FE itself may be healthy (the central monitor still sees it),
 // but this BE cannot reach it, so it is removed from the pools of
-// vNICs homed at `home` only, with replenishment to the floor.
+// vNICs homed at `home` only, with replenishment to the floor. An
+// in-flight prepare targeting the FE fails that target, so the
+// transaction cannot commit to an FE its BE already cannot reach.
 func (c *Controller) LinkDown(home, fe packet.IPv4) {
 	if c.badLinks[home] == nil {
 		c.badLinks[home] = make(map[packet.IPv4]sim.Time)
 	}
 	c.badLinks[home][fe] = c.loop.Now()
-	for _, v := range c.vnics {
-		if v.Home != home || !v.offloaded {
+	for _, vnic := range c.sortedVNICs() {
+		v := c.vnics[vnic]
+		if v.Home != home {
 			continue
 		}
-		had := false
-		kept := v.fes[:0]
-		for _, a := range v.fes {
-			if a == fe {
-				had = true
-				continue
-			}
-			kept = append(kept, a)
-		}
-		if !had {
+		c.failTxnTarget(v, fe)
+		if !v.offloaded {
 			continue
 		}
-		v.fes = kept
-		c.lastRebalance = c.loop.Now()
-		if hn, ok := c.nodes[v.Home]; ok && !hn.down {
-			_ = hn.vs.SetFEs(v.VNIC, v.fes)
+		// Graceful: the FE is alive (only this BE's link to it is bad),
+		// and other senders may still be steered there until the
+		// gateway shrink propagates — tear down after LearnInterval.
+		if !c.removeFromPool(v, fe, true) {
+			continue
 		}
-		c.gw.Remove(v.VNIC, fe)
-		if fn, ok := c.nodes[fe]; ok {
-			delete(fn.fronted, v.VNIC)
-			fn.vs.RemoveFE(v.VNIC)
-		}
-		if len(v.fes) < c.cfg.MinFEs {
-			c.scaleOut(v, c.cfg.MinFEs-len(v.fes))
+		if len(v.fes) < c.floorOf(v) {
+			c.scaleOutOpts(v, c.floorOf(v)-len(v.fes), false)
 		}
 	}
 }
 
-// NodeUp marks a node healthy again (after repair).
+// NodeUp marks a node healthy again (after repair) and reconciles:
+// pools homed there re-push their config, unknown-BE aborts resolve,
+// and pending FE removals on the node are retried.
 func (c *Controller) NodeUp(addr packet.IPv4) {
-	if n, ok := c.nodes[addr]; ok {
-		n.down = false
+	n, ok := c.nodes[addr]
+	if !ok {
+		return
 	}
+	n.down = false
+	for _, vnic := range c.sortedVNICs() {
+		v := c.vnics[vnic]
+		if v.Home != addr {
+			continue
+		}
+		if len(v.staleFEs) > 0 && v.txn == nil {
+			c.reconcileStale(v)
+		}
+		if v.offloaded && v.txn == nil && !v.inProgress {
+			// The revived BE may hold arbitrarily stale FE config;
+			// re-push the committed state at a fresh epoch.
+			c.pushConfig(v)
+		}
+	}
+	c.retryPendingRemovals(addr, n)
 }
 
 // --- Fallback ----------------------------------------------------------
@@ -685,8 +1577,9 @@ func (c *Controller) NodeUp(addr packet.IPv4) {
 // checkFallbacks returns offloaded vNICs to local processing when the
 // home vSwitch could absorb them below the safe level (§4.2.2).
 func (c *Controller) checkFallbacks() {
-	for _, v := range c.vnics {
-		if !v.offloaded || v.inProgress {
+	for _, vnic := range c.sortedVNICs() {
+		v := c.vnics[vnic]
+		if !v.offloaded || v.inProgress || v.txn != nil {
 			continue
 		}
 		hn, ok := c.nodes[v.Home]
@@ -714,40 +1607,79 @@ func (c *Controller) ForceFallback(vnic uint32) error {
 	if !ok {
 		return fmt.Errorf("controller: unknown vNIC %d", vnic)
 	}
-	if !v.offloaded || v.inProgress {
+	if !v.offloaded || v.inProgress || v.txn != nil {
 		return nil
 	}
 	c.startFallback(v)
 	return nil
 }
 
-// startFallback runs the reverse two-stage workflow (§4.2.2).
+// startFallback runs the reverse two-stage workflow (§4.2.2) as a
+// transaction: an acked FallbackStart reinstalls the rule tables at
+// the BE, then the gateway flips home. A failed BE push aborts with
+// the FE pool untouched (the vNIC simply stays offloaded, retriable);
+// a failed gateway push commits dirty — the BE serves locally while
+// the FEs keep their tables, and the repair loop re-pushes the
+// gateway before the old FEs are torn down.
 func (c *Controller) startFallback(v *vnicState) {
-	hn, ok := c.nodes[v.Home]
-	if !ok {
+	if _, ok := c.nodes[v.Home]; !ok {
+		return
+	}
+	if v.txn != nil || v.inProgress {
 		return
 	}
 	v.inProgress = true
-	d := c.pushDelay()
-	c.loop.Schedule(d, func() {
-		if err := hn.vs.FallbackStart(v.VNIC, v.MakeRules()); err != nil {
+	v.epoch++
+	tx := &txn{kind: txnFallback, epoch: v.epoch, t0: c.loop.Now()}
+	v.txn = tx
+	c.rpc.Call(v.Home, &ctrlrpc.Request{
+		Op: ctrlrpc.OpFallbackStart, VNIC: v.VNIC, Epoch: tx.epoch,
+		Rules: v.MakeRules(), ApplyDelay: c.pushDelay(),
+	}, func(err error) {
+		if err != nil {
+			// Satellite fix: a BE that cannot take its tables back
+			// (e.g. memory pressure) aborts the fallback cleanly; the
+			// FE pool still serves and the periodic check retries.
+			v.txn = nil
 			v.inProgress = false
+			c.Stats.Aborts++
 			return
 		}
-		// Gateway points back at the BE.
-		c.gw.Set(v.VNIC, v.Home)
-		c.loop.Schedule(fabric.LearnInterval+c.cfg.RTTAllowance, func() {
-			_ = hn.vs.FallbackFinalize(v.VNIC)
-			for _, fa := range v.fes {
-				if fn, ok := c.nodes[fa]; ok {
-					fn.vs.RemoveFE(v.VNIC)
-					delete(fn.fronted, v.VNIC)
-				}
-			}
-			v.fes = nil
+		c.rpc.Call(c.gwAgent.Addr(), &ctrlrpc.Request{
+			Op: ctrlrpc.OpGatewaySet, VNIC: v.VNIC, Epoch: tx.epoch, FEs: []packet.IPv4{v.Home},
+		}, func(gerr error) {
 			v.offloaded = false
-			v.inProgress = false
+			v.txn = nil
 			c.Stats.Fallbacks++
+			if gerr != nil {
+				// Gateway state unknown: keep the FEs alive until the
+				// repair loop lands a fresh push, then clean up.
+				v.dirty = true
+				v.inProgress = false
+				return
+			}
+			fes := append([]packet.IPv4(nil), v.fes...)
+			v.fes = nil
+			c.loop.Schedule(fabric.LearnInterval+c.cfg.RTTAllowance, func() {
+				c.teardownFallbackFEs(v, fes)
+				v.inProgress = false
+			})
 		})
 	})
+}
+
+// teardownFallbackFEs finishes a fallback: the BE releases its FE
+// config and BE data, and the old FE instances are removed.
+func (c *Controller) teardownFallbackFEs(v *vnicState, fes []packet.IPv4) {
+	if hn, ok := c.nodes[v.Home]; ok && !hn.down {
+		c.rpc.Call(v.Home, &ctrlrpc.Request{
+			Op: ctrlrpc.OpFallbackFinalize, VNIC: v.VNIC, Epoch: v.epoch,
+		}, nil)
+	}
+	for _, fa := range fes {
+		if n, ok := c.nodes[fa]; ok {
+			delete(n.fronted, v.VNIC)
+		}
+		c.sendRemoveFE(fa, v.VNIC, v.epoch)
+	}
 }

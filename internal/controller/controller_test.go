@@ -25,7 +25,7 @@ func newRig(t *testing.T, n int, tors []int) *rig {
 	r := &rig{loop: sim.NewLoop(9)}
 	r.fab = fabric.New(r.loop)
 	r.gw = fabric.NewGateway(r.loop)
-	r.ctrl = New(r.loop, r.gw, DefaultConfig())
+	r.ctrl = New(r.loop, r.fab, r.gw, DefaultConfig())
 	for i := 0; i < n; i++ {
 		tor := 0
 		if tors != nil {
@@ -384,5 +384,206 @@ func TestOffloadToOperatorTargets(t *testing.T) {
 	}
 	if err := r.ctrl.OffloadTo(42, []packet.IPv4{ip(9, 9, 9, 9)}); err == nil {
 		t.Fatal("unknown target accepted")
+	}
+}
+
+// addVNIC wires vNIC 42 at sw[0] the way the cluster layer would.
+func addVNIC42(t *testing.T, r *rig) {
+	t.Helper()
+	if err := r.sw[0].AddVNIC(tables.NewRuleSet(42, 1), false); err != nil {
+		t.Fatal(err)
+	}
+	r.gw.Set(42, r.sw[0].Addr())
+	r.ctrl.RegisterVNIC(VNICInfo{VNIC: 42, Home: r.sw[0].Addr(), MakeRules: mkRules(42)})
+}
+
+func TestOffloadAbortedByCrashMidPrepare(t *testing.T) {
+	r := newRig(t, 6, nil)
+	addVNIC42(t, r)
+	byAddr := map[packet.IPv4]*vswitch.VSwitch{}
+	for _, vs := range r.sw {
+		byAddr[vs.Addr()] = vs
+	}
+	// One prepare target dies before it can ack its install. With the
+	// default all-targets quorum the transaction must abort.
+	var victim packet.IPv4
+	armed := true
+	r.ctrl.SetPrepareHook(func(vnic uint32, targets []packet.IPv4) {
+		if !armed {
+			return
+		}
+		armed = false
+		victim = targets[0]
+		byAddr[victim].Crash()
+	})
+	if err := r.ctrl.ForceOffload(42); err != nil {
+		t.Fatal(err)
+	}
+	r.loop.Run(6 * sim.Second)
+
+	if r.ctrl.Offloaded(42) {
+		t.Fatal("offload committed despite a crashed prepare target")
+	}
+	if r.ctrl.Stats.Aborts != 1 {
+		t.Fatalf("Aborts = %d, want 1", r.ctrl.Stats.Aborts)
+	}
+	if r.ctrl.Stats.Offloads != 0 {
+		t.Fatal("aborted offload counted as completed")
+	}
+	// Rollback: no healthy node keeps a prepared FE instance.
+	for _, vs := range r.sw {
+		if vs.Addr() != victim && vs.HostsFE(42) {
+			t.Fatalf("prepared FE leaked at %v after abort", vs.Addr())
+		}
+	}
+	// The gateway was never flipped: the vNIC is fully local.
+	if addrs, _ := r.gw.Lookup(42); len(addrs) != 1 || addrs[0] != r.sw[0].Addr() {
+		addrs, _ := r.gw.Lookup(42)
+		t.Fatalf("gateway after abort: %v, want just the home", addrs)
+	}
+	// Inside the cooldown the retry is refused...
+	if err := r.ctrl.ForceOffload(42); err != ErrCoolingDown {
+		t.Fatalf("retry inside cooldown: %v, want ErrCoolingDown", err)
+	}
+	// ...and past it the offload goes through.
+	byAddr[victim].Revive()
+	r.loop.Run(r.loop.Now() + 6*sim.Second)
+	if err := r.ctrl.ForceOffload(42); err != nil {
+		t.Fatalf("retry after cooldown: %v", err)
+	}
+	r.loop.Run(r.loop.Now() + 6*sim.Second)
+	if !r.ctrl.Offloaded(42) {
+		t.Fatal("retry after cooldown did not commit")
+	}
+	// The parked teardown on the revived victim eventually resolves.
+	r.ctrl.repairTick()
+	r.loop.Run(r.loop.Now() + 6*sim.Second)
+	if in := r.ctrl.nodes[victim].pendingRemoval; len(in) != 0 && !r.sw[0].HostsFE(42) {
+		t.Fatalf("victim teardown never reconciled: %v", in)
+	}
+}
+
+func TestScaleOutWithAllCandidatesExcluded(t *testing.T) {
+	// Exactly home + InitialFEs switches: after the offload there is
+	// no spare capacity anywhere.
+	r := newRig(t, 5, nil)
+	addVNIC42(t, r)
+	if err := r.ctrl.ForceOffload(42); err != nil {
+		t.Fatal(err)
+	}
+	r.loop.Run(5 * sim.Second)
+	if len(r.ctrl.FEsOf(42)) != 4 {
+		t.Fatalf("precondition: pool = %d", len(r.ctrl.FEsOf(42)))
+	}
+	v := r.ctrl.vnics[42]
+	// A scale-out with nothing to select is a clean no-op: no dangling
+	// transaction, pool at the floor so not degraded either.
+	if r.ctrl.scaleOutOpts(v, 2, true) {
+		t.Fatal("scale-out claims to have started with zero candidates")
+	}
+	if v.txn != nil || v.scaling {
+		t.Fatal("no-op scale-out left transaction state behind")
+	}
+	if r.ctrl.Degraded(42) {
+		t.Fatal("pool at the floor marked degraded")
+	}
+	// Losing a member with no replacement flags the pool degraded.
+	r.ctrl.NodeDown(r.ctrl.FEsOf(42)[0])
+	r.loop.Run(r.loop.Now() + 5*sim.Second)
+	if got := len(r.ctrl.FEsOf(42)); got != 3 {
+		t.Fatalf("pool after eviction = %d, want 3", got)
+	}
+	if !r.ctrl.Degraded(42) {
+		t.Fatal("short pool with no candidates not flagged degraded")
+	}
+	if r.ctrl.Stats.ScaleOuts != 0 {
+		t.Fatal("phantom scale-out committed")
+	}
+}
+
+func TestFallbackAbortsWhenBEPushFails(t *testing.T) {
+	r := newRig(t, 6, nil)
+	addVNIC42(t, r)
+	if err := r.ctrl.ForceOffload(42); err != nil {
+		t.Fatal(err)
+	}
+	r.loop.Run(5 * sim.Second)
+	if !r.ctrl.Offloaded(42) {
+		t.Fatal("precondition: not offloaded")
+	}
+	if got := r.sw[0].VNICRuleBytes(42); got != 0 {
+		t.Fatalf("precondition: home still holds %d rule bytes (finalize never ran)", got)
+	}
+	// Fill the home's config memory so FallbackStart cannot reinstall
+	// the rule tables.
+	free := r.sw[0].MemFreeBytes()
+	release, ok := r.sw[0].InjectMemPressure(free - 8)
+	if !ok {
+		t.Fatalf("could not inject %d bytes of pressure", free-8)
+	}
+	if err := r.ctrl.ForceFallback(42); err != nil {
+		t.Fatal(err)
+	}
+	r.loop.Run(r.loop.Now() + 5*sim.Second)
+	if !r.ctrl.Offloaded(42) {
+		t.Fatal("fallback committed despite the BE rejecting its tables")
+	}
+	if r.ctrl.Stats.Aborts != 1 || r.ctrl.Stats.Fallbacks != 0 {
+		t.Fatalf("Aborts=%d Fallbacks=%d, want 1/0", r.ctrl.Stats.Aborts, r.ctrl.Stats.Fallbacks)
+	}
+	if v := r.ctrl.vnics[42]; v.txn != nil || v.inProgress {
+		t.Fatal("aborted fallback left transaction state behind")
+	}
+	// Releasing the pressure makes the retry succeed.
+	release()
+	if err := r.ctrl.ForceFallback(42); err != nil {
+		t.Fatal(err)
+	}
+	r.loop.Run(r.loop.Now() + 10*sim.Second)
+	if r.ctrl.Offloaded(42) {
+		t.Fatal("fallback retry did not commit")
+	}
+	if r.sw[0].VNICRuleBytes(42) == 0 {
+		t.Fatal("rules not restored at home")
+	}
+}
+
+func TestDegradedPoolRepairConverges(t *testing.T) {
+	r := newRig(t, 5, nil)
+	addVNIC42(t, r)
+	// Drive the repair loop the way Start would, without the
+	// threshold-decision tickers muddying the scenario.
+	r.loop.Every(r.ctrl.cfg.RepairInterval, r.ctrl.repairTick)
+	if err := r.ctrl.ForceOffload(42); err != nil {
+		t.Fatal(err)
+	}
+	r.loop.Run(5 * sim.Second)
+
+	victims := r.ctrl.FEsOf(42)[:2]
+	for _, a := range victims {
+		r.ctrl.NodeDown(a)
+	}
+	r.loop.Run(r.loop.Now() + 5*sim.Second)
+	if !r.ctrl.Degraded(42) {
+		t.Fatal("pool at 2/4 with no candidates not degraded")
+	}
+	if r.ctrl.Stats.DegradedEnters == 0 {
+		t.Fatal("degraded entry not counted")
+	}
+
+	// Revival gives the repair loop candidates again; it must converge
+	// back to the floor and clear the alarm.
+	for _, a := range victims {
+		r.ctrl.NodeUp(a)
+	}
+	r.loop.Run(r.loop.Now() + 15*sim.Second)
+	if got := len(r.ctrl.FEsOf(42)); got != 4 {
+		t.Fatalf("pool after repair = %d, want 4", got)
+	}
+	if r.ctrl.Degraded(42) {
+		t.Fatal("alarm not cleared after the pool recovered")
+	}
+	if r.ctrl.Stats.DegradedExits == 0 {
+		t.Fatal("degraded exit not counted")
 	}
 }

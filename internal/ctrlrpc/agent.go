@@ -1,0 +1,186 @@
+package ctrlrpc
+
+import (
+	"fmt"
+
+	"nezha/internal/fabric"
+	"nezha/internal/packet"
+	"nezha/internal/sim"
+	"nezha/internal/vswitch"
+)
+
+// AgentStats counts agent-side RPC handling.
+type AgentStats struct {
+	Handled    uint64 // first-time requests accepted
+	Duplicates uint64 // retransmits deduplicated by request ID
+	Applied    uint64 // applies that ran to completion
+	Crashed    uint64 // applies abandoned because the vSwitch crashed
+}
+
+// pendingApply tracks one request through its apply delay, so
+// duplicate retransmits neither re-apply nor ack early.
+type pendingApply struct {
+	from packet.IPv4
+	done bool
+}
+
+// Agent is the per-vSwitch management endpoint: it receives control
+// packets on CtrlPort, applies them against the vSwitch after the
+// request's ApplyDelay (the local config-programming time), and acks
+// back over the fabric. Requests are deduplicated by ID; an applied
+// duplicate re-acks immediately, an in-flight duplicate is ignored
+// (its ack follows when the apply completes). If the vSwitch crashes
+// before the apply fires, the request is forgotten — a retransmit
+// landing after revival applies cleanly.
+type Agent struct {
+	loop *sim.Loop
+	fab  *fabric.Fabric
+	t    *Transport
+	vs   *vswitch.VSwitch
+	seen map[uint64]*pendingApply
+
+	Stats AgentStats
+}
+
+// NewAgent wires an agent to a vSwitch's control handler.
+func NewAgent(loop *sim.Loop, fab *fabric.Fabric, t *Transport, vs *vswitch.VSwitch) *Agent {
+	a := &Agent{loop: loop, fab: fab, t: t, vs: vs, seen: make(map[uint64]*pendingApply)}
+	vs.SetControlHandler(a.handle)
+	return a
+}
+
+func (a *Agent) handle(p *packet.Packet) {
+	id := p.ID
+	if st, ok := a.seen[id]; ok {
+		a.Stats.Duplicates++
+		if st.done {
+			a.ack(st.from, id)
+		}
+		return
+	}
+	req, from, ok := a.t.Body(id)
+	if !ok {
+		return // caller already gave up on this request
+	}
+	a.Stats.Handled++
+	st := &pendingApply{from: from}
+	a.seen[id] = st
+	a.loop.Schedule(req.ApplyDelay, func() {
+		if a.vs.Crashed() {
+			// Died mid-programming: the config never took. Forget the
+			// request so a post-revival retransmit applies fresh.
+			delete(a.seen, id)
+			a.Stats.Crashed++
+			return
+		}
+		st.done = true
+		a.Stats.Applied++
+		a.t.Verdict(id, a.apply(req))
+		a.ack(from, id)
+	})
+}
+
+// apply executes one operation against the vSwitch.
+func (a *Agent) apply(req *Request) error {
+	switch req.Op {
+	case OpInstallFE:
+		return a.vs.InstallFEEpoch(req.Rules, req.BE, req.Decap, req.Epoch)
+	case OpRemoveFE:
+		a.vs.RemoveFEEpoch(req.VNIC, req.Epoch)
+		return nil
+	case OpSetFEs:
+		return a.vs.SetFEsEpoch(req.VNIC, req.FEs, req.Epoch)
+	case OpOffloadStart:
+		return a.vs.OffloadStartEpoch(req.VNIC, req.FEs, req.Epoch)
+	case OpOffloadAbort:
+		return a.vs.OffloadAbort(req.VNIC)
+	case OpOffloadFinalize:
+		return a.vs.OffloadFinalize(req.VNIC)
+	case OpFallbackStart:
+		return a.vs.FallbackStart(req.VNIC, req.Rules)
+	case OpFallbackFinalize:
+		return a.vs.FallbackFinalize(req.VNIC)
+	default:
+		return fmt.Errorf("ctrlrpc: agent cannot apply op %v", req.Op)
+	}
+}
+
+// ack sends the reply packet. Like the vSwitch's probe pongs, it is a
+// fresh packet accounted by the fabric ledger.
+func (a *Agent) ack(to packet.IPv4, id uint64) {
+	p := packet.New(id, 0, 0, packet.FiveTuple{
+		SrcIP: a.vs.Addr(), DstIP: to,
+		SrcPort: vswitch.CtrlPort, DstPort: ctrlClientPort,
+		Proto: packet.ProtoUDP,
+	}, packet.DirTX, 0, 16)
+	p.SentAt = int64(a.loop.Now())
+	p.Encap(a.vs.Addr(), to)
+	a.fab.Send(a.vs.Addr(), to, p)
+}
+
+// GatewayAgent is the gateway's management endpoint: OpGatewaySet
+// requests update the global routing table, with the same dedup and
+// epoch discipline as vSwitch agents. The gateway itself never
+// crashes in this model, but the fabric between controller and
+// gateway can still lose or delay the request and the ack.
+type GatewayAgent struct {
+	loop *sim.Loop
+	fab  *fabric.Fabric
+	t    *Transport
+	gw   *fabric.Gateway
+	addr packet.IPv4
+	seen map[uint64]*pendingApply
+
+	Stats AgentStats
+}
+
+// NewGatewayAgent registers a gateway agent at addr on the fabric.
+func NewGatewayAgent(loop *sim.Loop, fab *fabric.Fabric, t *Transport, gw *fabric.Gateway, addr packet.IPv4) *GatewayAgent {
+	ga := &GatewayAgent{loop: loop, fab: fab, t: t, gw: gw, addr: addr, seen: make(map[uint64]*pendingApply)}
+	fab.Register(addr, -1, ga.handle)
+	return ga
+}
+
+// Addr returns the gateway agent's fabric address.
+func (ga *GatewayAgent) Addr() packet.IPv4 { return ga.addr }
+
+func (ga *GatewayAgent) handle(p *packet.Packet) {
+	id := p.ID
+	if st, ok := ga.seen[id]; ok {
+		ga.Stats.Duplicates++
+		if st.done {
+			ga.ack(st.from, id)
+		}
+		return
+	}
+	req, from, ok := ga.t.Body(id)
+	if !ok {
+		return
+	}
+	ga.Stats.Handled++
+	st := &pendingApply{from: from}
+	ga.seen[id] = st
+	ga.loop.Schedule(req.ApplyDelay, func() {
+		st.done = true
+		ga.Stats.Applied++
+		var err error
+		if req.Op == OpGatewaySet {
+			err = ga.gw.SetEpoch(req.VNIC, req.Epoch, req.FEs...)
+		} else {
+			err = fmt.Errorf("ctrlrpc: gateway cannot apply op %v", req.Op)
+		}
+		ga.t.Verdict(id, err)
+		ga.ack(from, id)
+	})
+}
+
+func (ga *GatewayAgent) ack(to packet.IPv4, id uint64) {
+	p := packet.New(id, 0, 0, packet.FiveTuple{
+		SrcIP: ga.addr, DstIP: to,
+		SrcPort: vswitch.CtrlPort, DstPort: ctrlClientPort,
+		Proto: packet.ProtoUDP,
+	}, packet.DirTX, 0, 16)
+	p.SentAt = int64(ga.loop.Now())
+	p.Encap(ga.addr, to)
+	ga.fab.Send(ga.addr, to, p)
+}

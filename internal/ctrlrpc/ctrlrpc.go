@@ -1,0 +1,287 @@
+// Package ctrlrpc is the transactional control-plane transport: every
+// controller mutation (InstallFE, SetFEs, OffloadStart, gateway
+// updates, ...) travels as a fabric packet to the target vSwitch's
+// management agent and must be acknowledged back. Because requests and
+// acks ride the same fabric as data traffic, chaos loss, jitter, and
+// partitions apply to config pushes exactly as the paper's §4.2
+// workflow must survive them.
+//
+// Delivery semantics are at-least-once with idempotent receivers: a
+// request that is not acked within its per-attempt timeout is
+// retransmitted with exponential backoff and jitter, up to a bounded
+// attempt budget, after which the call fails at the caller. Agents
+// deduplicate by request ID, so a retry whose predecessor was applied
+// (but whose ack was lost) re-acks without re-applying. Every config
+// payload carries the vNIC's monotonically increasing epoch; the
+// vSwitch and gateway reject pushes older than their installed config,
+// so stale or reordered retries can never regress newer state.
+//
+// Modeling note: like the fabric's wire mode, only packet identity and
+// timing ride the wire. Request bodies (rule-table pointers are not
+// serializable) and verdicts are kept in per-transport side registries
+// keyed by request ID; the fabric decides whether and when a message
+// arrives, the registry says what it meant.
+package ctrlrpc
+
+import (
+	"errors"
+	"fmt"
+
+	"nezha/internal/fabric"
+	"nezha/internal/packet"
+	"nezha/internal/sim"
+	"nezha/internal/tables"
+	"nezha/internal/vswitch"
+)
+
+// Op enumerates control-plane request types.
+type Op int
+
+// Control operations.
+const (
+	OpInstallFE Op = iota
+	OpRemoveFE
+	OpSetFEs
+	OpOffloadStart
+	OpOffloadAbort
+	OpOffloadFinalize
+	OpFallbackStart
+	OpFallbackFinalize
+	OpGatewaySet
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpInstallFE:
+		return "install-fe"
+	case OpRemoveFE:
+		return "remove-fe"
+	case OpSetFEs:
+		return "set-fes"
+	case OpOffloadStart:
+		return "offload-start"
+	case OpOffloadAbort:
+		return "offload-abort"
+	case OpOffloadFinalize:
+		return "offload-finalize"
+	case OpFallbackStart:
+		return "fallback-start"
+	case OpFallbackFinalize:
+		return "fallback-finalize"
+	case OpGatewaySet:
+		return "gateway-set"
+	default:
+		return "unknown"
+	}
+}
+
+// Request is one control-plane mutation. Which fields matter depends
+// on Op; Epoch versions every config-bearing operation.
+type Request struct {
+	ID    uint64
+	Op    Op
+	VNIC  uint32
+	Epoch uint64
+	// FEs is the FE address list (OpSetFEs, OpOffloadStart,
+	// OpGatewaySet).
+	FEs []packet.IPv4
+	// Rules carries rule tables (OpInstallFE, OpFallbackStart).
+	Rules *tables.RuleSet
+	// BE is the backend location an FE instance forwards to
+	// (OpInstallFE).
+	BE packet.IPv4
+	// Decap marks stateful decapsulation for the FE instance.
+	Decap bool
+	// ApplyDelay models the local config-programming time at the
+	// receiver (rule-table writes are the §4.2 lognormal push delay);
+	// the ack is sent only after the apply completes.
+	ApplyDelay sim.Time
+}
+
+// wireBytes approximates the request's on-wire payload size, so config
+// pushes charge realistic fabric bandwidth (rule tables dominate).
+func (r *Request) wireBytes() int {
+	n := 64 + 4*len(r.FEs)
+	if r.Rules != nil {
+		n += r.Rules.SizeBytes()
+	}
+	return n
+}
+
+// ErrTimeout reports that a call exhausted its attempt budget without
+// an ack.
+var ErrTimeout = errors.New("ctrlrpc: request timed out")
+
+// Options tunes the client transport.
+type Options struct {
+	// Addr is the transport's own fabric address.
+	Addr packet.IPv4
+	// Timeout is the per-attempt ack deadline (default 500 ms — covers
+	// the p99 lognormal rule push plus fabric RTT).
+	Timeout sim.Time
+	// MaxAttempts bounds retransmissions (default 4).
+	MaxAttempts int
+	// Backoff is the base retransmit spacing, doubled per attempt and
+	// capped at MaxBackoff (defaults 200 ms / 1 s). Each wait is
+	// jittered uniformly in [0.5, 1.5)x to avoid retry synchronization.
+	Backoff    sim.Time
+	MaxBackoff sim.Time
+}
+
+func (o *Options) fill() {
+	if o.Timeout <= 0 {
+		o.Timeout = 500 * sim.Millisecond
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 4
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 200 * sim.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = sim.Second
+	}
+}
+
+// Stats counts transport activity.
+type Stats struct {
+	Sent    uint64 // request packets sent (including retransmits)
+	Retries uint64 // retransmitted attempts
+	Acked   uint64 // calls completed OK
+	Nacked  uint64 // calls completed with a receiver error
+	Expired uint64 // calls that exhausted the attempt budget
+	DupAcks uint64 // acks for already-completed calls
+}
+
+type call struct {
+	req  *Request
+	to   packet.IPv4
+	done func(error)
+}
+
+// Transport is the controller-side RPC client. It owns a fabric
+// address; acks are packets delivered back to it.
+type Transport struct {
+	loop *sim.Loop
+	fab  *fabric.Fabric
+	rng  *sim.Rand
+	opts Options
+
+	nextID   uint64
+	pending  map[uint64]*call
+	verdicts map[uint64]error
+
+	Stats Stats
+}
+
+// NewTransport builds a transport and registers it on the fabric. rng
+// must be a dedicated deterministic stream (backoff jitter draws from
+// it).
+func NewTransport(loop *sim.Loop, fab *fabric.Fabric, rng *sim.Rand, opts Options) *Transport {
+	opts.fill()
+	t := &Transport{
+		loop:     loop,
+		fab:      fab,
+		rng:      rng,
+		opts:     opts,
+		pending:  make(map[uint64]*call),
+		verdicts: make(map[uint64]error),
+	}
+	fab.Register(opts.Addr, -1, t.handleAck)
+	return t
+}
+
+// Addr returns the transport's fabric address.
+func (t *Transport) Addr() packet.IPv4 { return t.opts.Addr }
+
+// Call sends req to the agent at `to` and invokes done exactly once:
+// with nil when the agent acked success, with the agent's error on a
+// nack, or with ErrTimeout after MaxAttempts unacked attempts. done
+// may be nil for best-effort calls.
+func (t *Transport) Call(to packet.IPv4, req *Request, done func(error)) {
+	t.nextID++
+	req.ID = t.nextID
+	if done == nil {
+		done = func(error) {}
+	}
+	cl := &call{req: req, to: to, done: done}
+	t.pending[req.ID] = cl
+	t.attempt(cl, 1)
+}
+
+func (t *Transport) attempt(cl *call, n int) {
+	if t.pending[cl.req.ID] != cl {
+		return // completed while a retry was queued
+	}
+	t.Stats.Sent++
+	if n > 1 {
+		t.Stats.Retries++
+	}
+	p := packet.New(cl.req.ID, 0, 0, packet.FiveTuple{
+		SrcIP: t.opts.Addr, DstIP: cl.to,
+		SrcPort: ctrlClientPort, DstPort: vswitch.CtrlPort,
+		Proto: packet.ProtoUDP,
+	}, packet.DirTX, 0, cl.req.wireBytes())
+	p.SentAt = int64(t.loop.Now())
+	p.Encap(t.opts.Addr, cl.to)
+	t.fab.Send(t.opts.Addr, cl.to, p)
+	t.loop.Schedule(t.opts.Timeout, func() {
+		if t.pending[cl.req.ID] != cl {
+			return
+		}
+		if n >= t.opts.MaxAttempts {
+			delete(t.pending, cl.req.ID)
+			delete(t.verdicts, cl.req.ID)
+			t.Stats.Expired++
+			cl.done(fmt.Errorf("%w: %v to %v after %d attempts", ErrTimeout, cl.req.Op, cl.to, n))
+			return
+		}
+		back := t.opts.Backoff << uint(n-1)
+		if back > t.opts.MaxBackoff {
+			back = t.opts.MaxBackoff
+		}
+		back = sim.Time(float64(back) * (0.5 + t.rng.Float64()))
+		t.loop.Schedule(back, func() { t.attempt(cl, n+1) })
+	})
+}
+
+// ctrlClientPort is the transport's source port for requests.
+const ctrlClientPort = 40002
+
+// Body looks up the request body for an in-flight request ID (the
+// agent side of the out-of-band payload registry). The reply-to
+// address is the transport's own.
+func (t *Transport) Body(id uint64) (*Request, packet.IPv4, bool) {
+	cl, ok := t.pending[id]
+	if !ok {
+		return nil, 0, false
+	}
+	return cl.req, t.opts.Addr, true
+}
+
+// Verdict records the agent's apply result for a request, consumed
+// when the ack packet is delivered. Re-acks of an applied duplicate
+// overwrite with the same value.
+func (t *Transport) Verdict(id uint64, err error) {
+	if _, ok := t.pending[id]; ok {
+		t.verdicts[id] = err
+	}
+}
+
+// handleAck completes the pending call an arriving ack packet names.
+func (t *Transport) handleAck(p *packet.Packet) {
+	cl, ok := t.pending[p.ID]
+	if !ok {
+		t.Stats.DupAcks++
+		return
+	}
+	res := t.verdicts[p.ID]
+	delete(t.pending, p.ID)
+	delete(t.verdicts, p.ID)
+	if res == nil {
+		t.Stats.Acked++
+	} else {
+		t.Stats.Nacked++
+	}
+	cl.done(res)
+}

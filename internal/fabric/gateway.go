@@ -1,6 +1,9 @@
 package fabric
 
 import (
+	"errors"
+	"sort"
+
 	"nezha/internal/packet"
 	"nezha/internal/sim"
 )
@@ -11,32 +14,88 @@ import (
 // dual-running stage exists to absorb exactly this.
 const LearnInterval = 200 * sim.Millisecond
 
+// ErrStaleEpoch reports a versioned gateway update older than the
+// entry it would replace. The transactional control plane assigns
+// every vNIC-config push a monotonically increasing epoch; a retried
+// or reordered push that lost the race must never regress newer state.
+var ErrStaleEpoch = errors.New("fabric: stale config epoch")
+
 // Gateway owns the global vNIC-server mapping table (the "global
 // routing table"). A vNIC maps to one server normally, or to the list
 // of FE servers once offloaded (Fig 7: "IP of FE 1-N"); senders pick
 // among them by Hash(5-tuple). The controller updates the table;
 // vSwitches learn entries on demand and cache them for LearnInterval.
+//
+// Mutations replace address lists copy-on-write: learners cache the
+// slices Lookup returns, and an in-place overwrite would leak new
+// state into caches that are supposed to stay stale for LearnInterval.
+//
+// Every entry carries the epoch of the config push that installed it.
+// SetEpoch rejects pushes older than the installed epoch; the legacy
+// unversioned mutators bump the epoch themselves, preserving the
+// single-writer ordering for callers that drive the gateway directly.
 type Gateway struct {
 	loop  *sim.Loop
-	table map[uint32][]packet.IPv4
+	table map[uint32]*gwEntry
+}
+
+type gwEntry struct {
+	addrs []packet.IPv4
+	epoch uint64
 }
 
 // NewGateway builds an empty gateway.
 func NewGateway(loop *sim.Loop) *Gateway {
-	return &Gateway{loop: loop, table: make(map[uint32][]packet.IPv4)}
+	return &Gateway{loop: loop, table: make(map[uint32]*gwEntry)}
 }
 
-// Set installs or replaces a vNIC's location list (controller action).
+// Set installs or replaces a vNIC's location list (controller action),
+// bumping the entry's epoch.
 func (g *Gateway) Set(vnic uint32, servers ...packet.IPv4) {
-	g.table[vnic] = append([]packet.IPv4(nil), servers...)
+	e := g.entry(vnic)
+	e.epoch++
+	e.addrs = append([]packet.IPv4(nil), servers...)
+}
+
+// SetEpoch installs a vNIC's location list at an explicit config
+// epoch. Pushes older than the installed entry are rejected with
+// ErrStaleEpoch; an equal epoch re-applies (idempotent retry).
+func (g *Gateway) SetEpoch(vnic uint32, epoch uint64, servers ...packet.IPv4) error {
+	e := g.entry(vnic)
+	if epoch < e.epoch {
+		return ErrStaleEpoch
+	}
+	e.epoch = epoch
+	e.addrs = append([]packet.IPv4(nil), servers...)
+	return nil
+}
+
+// Epoch reports the config epoch of a vNIC's entry (0 if absent).
+func (g *Gateway) Epoch(vnic uint32) uint64 {
+	if e, ok := g.table[vnic]; ok {
+		return e.epoch
+	}
+	return 0
+}
+
+func (g *Gateway) entry(vnic uint32) *gwEntry {
+	e, ok := g.table[vnic]
+	if !ok {
+		e = &gwEntry{}
+		g.table[vnic] = e
+	}
+	return e
 }
 
 // Remove deletes one address from a vNIC's list (scale-in / failover),
 // keeping the rest.
 func (g *Gateway) Remove(vnic uint32, server packet.IPv4) {
-	cur := g.table[vnic]
-	out := cur[:0]
-	for _, a := range cur {
+	e, ok := g.table[vnic]
+	if !ok {
+		return
+	}
+	out := make([]packet.IPv4, 0, len(e.addrs))
+	for _, a := range e.addrs {
 		if a != server {
 			out = append(out, a)
 		}
@@ -45,17 +104,20 @@ func (g *Gateway) Remove(vnic uint32, server packet.IPv4) {
 		delete(g.table, vnic)
 		return
 	}
-	g.table[vnic] = out
+	e.epoch++
+	e.addrs = out
 }
 
 // Add appends one address to a vNIC's list (scale-out).
 func (g *Gateway) Add(vnic uint32, server packet.IPv4) {
-	for _, a := range g.table[vnic] {
+	e := g.entry(vnic)
+	for _, a := range e.addrs {
 		if a == server {
 			return
 		}
 	}
-	g.table[vnic] = append(g.table[vnic], server)
+	e.epoch++
+	e.addrs = append(append([]packet.IPv4(nil), e.addrs...), server)
 }
 
 // Delete removes a vNIC entirely.
@@ -63,8 +125,28 @@ func (g *Gateway) Delete(vnic uint32) { delete(g.table, vnic) }
 
 // Lookup resolves a vNIC's current locations.
 func (g *Gateway) Lookup(vnic uint32) ([]packet.IPv4, bool) {
-	a, ok := g.table[vnic]
-	return a, ok
+	e, ok := g.table[vnic]
+	if !ok {
+		return nil, false
+	}
+	return e.addrs, true
+}
+
+// Range calls fn for every entry in ascending vNIC order (so callers
+// iterating the table — e.g. the chaos no-blackhole invariant — do not
+// depend on map order). Returning false stops the walk.
+func (g *Gateway) Range(fn func(vnic uint32, addrs []packet.IPv4, epoch uint64) bool) {
+	vnics := make([]uint32, 0, len(g.table))
+	for v := range g.table {
+		vnics = append(vnics, v)
+	}
+	sort.Slice(vnics, func(i, j int) bool { return vnics[i] < vnics[j] })
+	for _, v := range vnics {
+		e := g.table[v]
+		if !fn(v, e.addrs, e.epoch) {
+			return
+		}
+	}
 }
 
 // Len reports the table size.

@@ -47,6 +47,7 @@ type target struct {
 	missed     int
 	down       bool
 	pending    bool     // probe outstanding
+	pendingID  uint64   // ID of the outstanding probe
 	declaredAt sim.Time // when the current down state was declared
 }
 
@@ -65,6 +66,7 @@ type Monitor struct {
 	// Counters.
 	ProbesSent  uint64
 	PongsSeen   uint64
+	StalePongs  uint64
 	Declared    uint64
 	GuardTrips  uint64
 	guardActive bool
@@ -208,6 +210,7 @@ func (m *Monitor) round() {
 		t := m.targets[addr]
 		m.probeID++
 		t.pending = true
+		t.pendingID = m.probeID
 		probe := packet.New(m.probeID, 0, 0, packet.FiveTuple{
 			SrcIP: m.cfg.Addr, DstIP: addr,
 			SrcPort: 40000, DstPort: vswitch.ProbePort,
@@ -219,12 +222,21 @@ func (m *Monitor) round() {
 	}
 }
 
-// handlePong clears the pending flag for the answering target.
+// handlePong clears the pending flag for the answering target — but
+// only for the probe of the current round. The vSwitch echoes the
+// probe's ID in its pong; a late pong from round N-1 arriving after
+// round N's wave must not vouch for round N (a target that answered
+// once just before dying could otherwise stay "healthy" an extra
+// round per queued pong, stretching crash detection past its bound).
 func (m *Monitor) handlePong(p *packet.Packet) {
 	m.PongsSeen++
 	addr := p.OuterSrc
 	t, ok := m.targets[addr]
 	if !ok {
+		return
+	}
+	if !t.pending || p.ID != t.pendingID {
+		m.StalePongs++
 		return
 	}
 	t.pending = false

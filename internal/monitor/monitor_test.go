@@ -200,6 +200,87 @@ func TestHardCrashUnregisteredNode(t *testing.T) {
 	}
 }
 
+// TestStalePongIgnored is the regression test for probe-ID matching:
+// a pong must vouch only for the probe round it answers. Before the
+// fix, handlePong cleared the pending flag on any pong from the
+// target's address, so a delayed pong from round N-1 arriving after
+// round N's wave reset the miss counter and stretched crash detection
+// arbitrarily past its bound.
+func TestStalePongIgnored(t *testing.T) {
+	b := newBed(t, 2)
+	monAddr := ip(10, 0, 9, 9)
+	b.mon.round() // wave 1: probes outstanding
+	tgt := b.mon.targets[b.sw[0].Addr()]
+	if !tgt.pending {
+		t.Fatal("no probe outstanding after round")
+	}
+
+	mkPong := func(id uint64) *packet.Packet {
+		p := packet.New(id, 0, 0, packet.FiveTuple{
+			SrcIP: b.sw[0].Addr(), DstIP: monAddr,
+			SrcPort: vswitch.ProbePort, DstPort: 40000,
+			Proto: packet.ProtoUDP,
+		}, packet.DirTX, 0, 0)
+		p.Encap(b.sw[0].Addr(), monAddr)
+		return p
+	}
+
+	// A pong carrying a previous round's ID must not settle this one.
+	b.mon.handlePong(mkPong(tgt.pendingID + 100))
+	if !tgt.pending {
+		t.Fatal("stale pong cleared the pending probe")
+	}
+	if b.mon.StalePongs != 1 {
+		t.Fatalf("StalePongs = %d, want 1", b.mon.StalePongs)
+	}
+
+	// The matching pong settles it.
+	b.mon.handlePong(mkPong(tgt.pendingID))
+	if tgt.pending || tgt.missed != 0 {
+		t.Fatal("matching pong not accepted")
+	}
+
+	// A duplicate of the already-consumed pong is stale too.
+	b.mon.handlePong(mkPong(tgt.pendingID))
+	if b.mon.StalePongs != 2 {
+		t.Fatalf("StalePongs = %d, want 2", b.mon.StalePongs)
+	}
+}
+
+// TestLatePongDoesNotMaskCrash drives the full bug scenario: a target
+// whose pong from the final pre-crash round arrives after the next
+// wave must still be declared within the detection bound, because the
+// late pong cannot vouch for the newer outstanding probe.
+func TestLatePongDoesNotMaskCrash(t *testing.T) {
+	b := newBed(t, 2)
+	monAddr := ip(10, 0, 9, 9)
+	victim := b.sw[0].Addr()
+	b.mon.Start()
+	b.loop.Schedule(sim.Second, func() { b.sw[0].Crash() })
+	// Replay a captured pre-crash pong after every post-crash wave —
+	// exactly what a congested fabric queue would deliver.
+	b.loop.Every(DefaultConfig(0).ProbeInterval, func() {
+		if !b.sw[0].Crashed() {
+			return
+		}
+		tgt := b.mon.targets[victim]
+		p := packet.New(tgt.pendingID-1, 0, 0, packet.FiveTuple{
+			SrcIP: victim, DstIP: monAddr,
+			SrcPort: vswitch.ProbePort, DstPort: 40000,
+			Proto: packet.ProtoUDP,
+		}, packet.DirTX, 0, 0)
+		p.Encap(victim, monAddr)
+		b.mon.handlePong(p)
+	})
+	b.loop.Run(10 * sim.Second)
+	if len(b.down) != 1 || b.down[0] != victim {
+		t.Fatalf("crash masked by stale pongs: declared %v", b.down)
+	}
+	if b.mon.StalePongs == 0 {
+		t.Fatal("no stale pongs counted")
+	}
+}
+
 // TestClearGuardNoRetrigger is the regression guard for guard-state
 // handling after a mass FE failure: ClearGuard declares the targets
 // that accumulated misses while the guard was up, but a second

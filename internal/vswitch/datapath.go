@@ -53,6 +53,15 @@ func (vs *VSwitch) HandleUnderlay(p *packet.Packet) {
 		vs.handleMutualPong(p)
 		return
 	}
+	// Control-plane RPCs: flow-direct to the management agent. The
+	// packet is absorbed here; the agent's ack is a fresh packet.
+	if p.Tuple.Proto == packet.ProtoUDP && p.Tuple.DstPort == CtrlPort {
+		vs.Stats.Absorbed++
+		if vs.ctrlHandler != nil {
+			vs.ctrlHandler(p)
+		}
+		return
+	}
 
 	if p.Nezha != nil {
 		switch p.Nezha.Type {

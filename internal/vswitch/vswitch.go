@@ -30,6 +30,7 @@ package vswitch
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"nezha/internal/fabric"
 	"nezha/internal/flowcache"
@@ -42,6 +43,12 @@ import (
 // ProbePort is the UDP destination port health probes use; flow-direct
 // rules steer these straight to the vSwitch (§4.4).
 const ProbePort = 9999
+
+// CtrlPort is the UDP destination port control-plane RPCs use. Like
+// probes, a flow-direct rule steers these straight to the vSwitch's
+// management agent — but they still ride the fabric, so partitions,
+// loss, and jitter apply to config pushes exactly as to data traffic.
+const CtrlPort = 9998
 
 // BEDataBytes is the local memory an offloaded vNIC still needs at the
 // BE: FE locations and essential metadata ("2KB memory to store BE
@@ -152,6 +159,10 @@ type vnicState struct {
 	decap     bool
 	offloaded bool
 	fes       []packet.IPv4
+	// feEpoch versions the BE's FE-set config. Epoch-aware mutators
+	// reject pushes older than this, so a retried or reordered config
+	// RPC can never regress newer state.
+	feEpoch   uint64
 	beCharged bool
 	cycles    uint64 // cumulative CPU consumption, for offload selection
 	// pinned overrides the 5-tuple hash for specific sessions —
@@ -204,6 +215,10 @@ type feInstance struct {
 	ruleBytes int
 	beAddr    packet.IPv4
 	decap     bool
+	// epoch is the config epoch that installed (or last refreshed)
+	// this instance. Rollbacks carry the epoch they are undoing, so a
+	// straggling rollback never removes a newer install.
+	epoch uint64
 }
 
 // VSwitch is one SmartNIC's virtual switch.
@@ -223,6 +238,11 @@ type VSwitch struct {
 	deliver    Delivery
 	deliverObs Delivery // observer invoked alongside deliver (chaos)
 	crashed    bool
+
+	// ctrlHandler receives control-plane RPC packets (CtrlPort). The
+	// packets are absorbed by the vSwitch either way; without a handler
+	// they are counted and dropped on the floor.
+	ctrlHandler func(*packet.Packet)
 
 	// inFlightCPU counts packets submitted to the CPU model whose
 	// completion callback has not fired yet (the ledger's in-NIC term).
@@ -317,6 +337,10 @@ func (vs *VSwitch) InFlightCPU() int { return vs.inFlightCPU }
 // (0 disables forwarding; mirrored packets are then only counted).
 func (vs *VSwitch) SetMirrorSink(addr packet.IPv4) { vs.mirrorSink = addr }
 
+// SetControlHandler installs the receiver for control-plane RPC
+// packets addressed to CtrlPort (the ctrlrpc agent). Nil removes it.
+func (vs *VSwitch) SetControlHandler(h func(*packet.Packet)) { vs.ctrlHandler = h }
+
 // Crash simulates a vSwitch software crash: all packets (including
 // health probes) are silently dropped until Revive.
 func (vs *VSwitch) Crash() { vs.crashed = true }
@@ -337,6 +361,10 @@ func (vs *VSwitch) MemUtilization() float64 {
 
 // RuleMemBytes reports rule-table memory in use.
 func (vs *VSwitch) RuleMemBytes() int { return vs.mem.Used() }
+
+// MemFreeBytes reports unreserved config memory — what a new rule
+// table or pressure spike could still allocate.
+func (vs *VSwitch) MemFreeBytes() int { return vs.mem.Total() - vs.mem.Used() }
 
 // InjectMemPressure reserves bytes of NIC memory, squeezing the
 // session-table budget the way a co-resident workload spike would.
@@ -374,6 +402,11 @@ var ErrExists = errors.New("vswitch: already installed")
 
 // ErrUnknownVNIC reports an operation on an absent vNIC.
 var ErrUnknownVNIC = errors.New("vswitch: unknown vNIC")
+
+// ErrStaleEpoch reports an epoch-versioned config push older than the
+// state it would replace (a reordered or retried RPC that lost the
+// race to a newer push).
+var ErrStaleEpoch = errors.New("vswitch: stale config epoch")
 
 // AddVNIC installs a resident vNIC with its rule tables. decap
 // enables stateful decapsulation for it (§5.2).
@@ -441,11 +474,25 @@ func (vs *VSwitch) VNICLoads() []VNICLoad {
 
 // OffloadStart enters the dual-running stage for a resident vNIC:
 // TX traffic starts flowing via the FEs while the local rule tables
-// are retained for stale direct senders (§4.2.1).
+// are retained for stale direct senders (§4.2.1). The unversioned
+// form keeps the current FE-set epoch.
 func (vs *VSwitch) OffloadStart(vnic uint32, fes []packet.IPv4) error {
 	vn, ok := vs.vnics[vnic]
 	if !ok {
 		return ErrUnknownVNIC
+	}
+	return vs.OffloadStartEpoch(vnic, fes, vn.feEpoch)
+}
+
+// OffloadStartEpoch is OffloadStart with an explicit config epoch:
+// pushes older than the installed FE-set config are rejected.
+func (vs *VSwitch) OffloadStartEpoch(vnic uint32, fes []packet.IPv4, epoch uint64) error {
+	vn, ok := vs.vnics[vnic]
+	if !ok {
+		return ErrUnknownVNIC
+	}
+	if epoch < vn.feEpoch {
+		return ErrStaleEpoch
 	}
 	if !vn.beCharged {
 		if !vs.mem.Alloc(BEDataBytes) {
@@ -455,6 +502,27 @@ func (vs *VSwitch) OffloadStart(vnic uint32, fes []packet.IPv4) error {
 	}
 	vn.offloaded = true
 	vn.fes = append([]packet.IPv4(nil), fes...)
+	vn.feEpoch = epoch
+	vs.refreshSessionBudget()
+	return nil
+}
+
+// OffloadAbort undoes OffloadStart before finalization: the vNIC
+// returns to fully local processing (its rule tables were never
+// deleted during dual-running) and the BE data charge is released.
+// The two-phase controller uses this to roll back a commit whose
+// gateway flip failed.
+func (vs *VSwitch) OffloadAbort(vnic uint32) error {
+	vn, ok := vs.vnics[vnic]
+	if !ok {
+		return ErrUnknownVNIC
+	}
+	vn.offloaded = false
+	vn.fes = nil
+	if vn.beCharged {
+		vs.mem.Free(BEDataBytes)
+		vn.beCharged = false
+	}
 	vs.refreshSessionBudget()
 	return nil
 }
@@ -488,14 +556,36 @@ func (vs *VSwitch) OffloadFinalize(vnic uint32) error {
 }
 
 // SetFEs replaces the FE list for an offloaded vNIC (scale-out/in,
-// failover).
+// failover). The unversioned form keeps the current epoch.
 func (vs *VSwitch) SetFEs(vnic uint32, fes []packet.IPv4) error {
 	vn, ok := vs.vnics[vnic]
 	if !ok {
 		return ErrUnknownVNIC
 	}
+	return vs.SetFEsEpoch(vnic, fes, vn.feEpoch)
+}
+
+// SetFEsEpoch replaces the FE list at an explicit config epoch,
+// rejecting pushes older than the installed config.
+func (vs *VSwitch) SetFEsEpoch(vnic uint32, fes []packet.IPv4, epoch uint64) error {
+	vn, ok := vs.vnics[vnic]
+	if !ok {
+		return ErrUnknownVNIC
+	}
+	if epoch < vn.feEpoch {
+		return ErrStaleEpoch
+	}
 	vn.fes = append([]packet.IPv4(nil), fes...)
+	vn.feEpoch = epoch
 	return nil
+}
+
+// FESetEpoch reports the config epoch of the BE's FE-set for vnic.
+func (vs *VSwitch) FESetEpoch(vnic uint32) uint64 {
+	if vn, ok := vs.vnics[vnic]; ok {
+		return vn.feEpoch
+	}
+	return 0
 }
 
 // FEList returns the BE's current FE list for vnic.
@@ -647,13 +737,30 @@ func (vs *VSwitch) InstallFE(rules *tables.RuleSet, beAddr packet.IPv4, decap bo
 	if _, dup := vs.fes[rules.VNIC]; dup {
 		return ErrExists
 	}
+	return vs.InstallFEEpoch(rules, beAddr, decap, 0)
+}
+
+// InstallFEEpoch installs an FE instance at an explicit config epoch.
+// A duplicate install at the same or newer epoch refreshes the
+// instance and succeeds (idempotent RPC retry); an older push is
+// rejected with ErrStaleEpoch.
+func (vs *VSwitch) InstallFEEpoch(rules *tables.RuleSet, beAddr packet.IPv4, decap bool, epoch uint64) error {
+	if fe, dup := vs.fes[rules.VNIC]; dup {
+		if epoch < fe.epoch {
+			return ErrStaleEpoch
+		}
+		fe.beAddr = beAddr
+		fe.decap = decap
+		fe.epoch = epoch
+		return nil
+	}
 	sz := rules.SizeBytes()
 	if !vs.mem.Alloc(sz) {
 		return ErrNoRuleMemory
 	}
 	vs.fes[rules.VNIC] = &feInstance{
 		vnic: rules.VNIC, vpc: rules.VPC, rules: rules, ruleBytes: sz,
-		beAddr: beAddr, decap: decap,
+		beAddr: beAddr, decap: decap, epoch: epoch,
 	}
 	vs.refreshSessionBudget()
 	return nil
@@ -661,14 +768,57 @@ func (vs *VSwitch) InstallFE(rules *tables.RuleSet, beAddr packet.IPv4, decap bo
 
 // RemoveFE removes an FE instance, its rules, and its cached flows.
 func (vs *VSwitch) RemoveFE(vnic uint32) {
+	vs.RemoveFEEpoch(vnic, ^uint64(0))
+}
+
+// RemoveFEEpoch removes an FE instance unless it was installed by a
+// config push newer than epoch — a straggling rollback of an aborted
+// transaction must not tear down the instance a later, committed
+// transaction installed. Removing an absent instance is a no-op.
+func (vs *VSwitch) RemoveFEEpoch(vnic uint32, epoch uint64) {
 	fe, ok := vs.fes[vnic]
-	if !ok {
+	if !ok || fe.epoch > epoch {
 		return
 	}
 	vs.mem.Free(fe.ruleBytes)
 	delete(vs.fes, vnic)
 	vs.sessions.InvalidateVNIC(vnic)
 	vs.refreshSessionBudget()
+}
+
+// FEEpoch reports the config epoch of a hosted FE instance. ok is
+// false when no instance exists.
+func (vs *VSwitch) FEEpoch(vnic uint32) (uint64, bool) {
+	if fe, ok := vs.fes[vnic]; ok {
+		return fe.epoch, true
+	}
+	return 0, false
+}
+
+// CanServe reports whether a packet for vnic steered at this vSwitch
+// has rule tables to land on: either a hosted FE instance, or a
+// resident vNIC that still holds its tables (monolithic or
+// dual-running). The chaos no-blackhole invariant checks this for
+// every address the gateway routes a vNIC at.
+func (vs *VSwitch) CanServe(vnic uint32) bool {
+	if _, ok := vs.fes[vnic]; ok {
+		return true
+	}
+	vn, ok := vs.vnics[vnic]
+	return ok && vn.rules != nil
+}
+
+// OffloadedVNICs lists resident vNICs currently in the offloaded
+// (dual-running or final) stage, in ascending order.
+func (vs *VSwitch) OffloadedVNICs() []uint32 {
+	var out []uint32
+	for id, vn := range vs.vnics {
+		if vn.offloaded {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // HostsFE reports whether this vSwitch hosts an FE for vnic.
