@@ -1,0 +1,159 @@
+package nezha
+
+// Observability overhead benchmarks: the same datapath rig run with
+// the obs layer disabled and enabled, so the cost of instrumentation
+// (counter mirrors, queue-wait histogram, sampled flight tracing) is
+// quantified rather than assumed. TestObsOverheadGuard turns the pair
+// into a CI gate: with OBS_BENCH_GUARD=1 it fails when the obs-enabled
+// datapath is more than 10% slower, and writes the measurement to
+// BENCH_obs.json either way.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"nezha/internal/cluster"
+	"nezha/internal/obs"
+	"nezha/internal/packet"
+	"nezha/internal/sim"
+	"nezha/internal/tables"
+	"nezha/internal/vswitch"
+	"nezha/internal/workload"
+)
+
+// obsBenchSampleRate is the flight-trace sampling probability the
+// obs-on benchmark uses — the rate a production-style run would
+// deploy, so the guard measures the intended configuration.
+const obsBenchSampleRate = 0.01
+
+// runObsRig drives a small BE+clients cluster for 2 s of virtual time
+// and returns the number of packets the vSwitch datapaths processed.
+func runObsRig(ob *obs.Obs) uint64 {
+	const (
+		servers    = 4
+		clients    = 3
+		serverVNIC = 100
+		vpc        = 7
+	)
+	serverIP := packet.MakeIP(10, 0, 100, 1)
+	clientIP := func(i int) packet.IPv4 { return packet.MakeIP(10, 0, byte(1+i), 1) }
+	c := cluster.New(cluster.Options{
+		Servers: servers, Seed: 1,
+		VSwitch: func(i int, cfg *vswitch.Config) {
+			cfg.Cores = 2
+			cfg.CoreHz = 500_000_000
+		},
+		Obs: ob,
+	})
+	_, err := c.AddVM(cluster.VMSpec{
+		Server: clients, VNIC: serverVNIC, VPC: vpc, IP: serverIP, VCPUs: 64,
+		MakeRules: func() *tables.RuleSet {
+			rs := tables.NewRuleSet(serverVNIC, vpc)
+			for i := 0; i < clients; i++ {
+				rs.Route.Add(tables.MakePrefix(clientIP(i), 32), packet.IPv4(uint32(i+1)))
+			}
+			return rs
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	serverNet := tables.MakePrefix(packet.MakeIP(10, 0, 100, 0), 24)
+	var gens []*workload.CRR
+	for i := 0; i < clients; i++ {
+		vnic := uint32(i + 1)
+		vm, err := c.AddVM(cluster.VMSpec{
+			Server: i, VNIC: vnic, VPC: vpc, IP: clientIP(i), VCPUs: 8,
+			MakeRules: cluster.TwoSubnetRules(vnic, vpc, serverNet, serverVNIC),
+		})
+		if err != nil {
+			panic(err)
+		}
+		g := workload.NewCRR(c.Loop, c.Loop.Rand(), vm, serverIP, 1500)
+		gens = append(gens, g)
+		g.Start()
+	}
+	c.Start()
+	c.Loop.Run(2 * sim.Second)
+	for _, g := range gens {
+		g.Stop()
+	}
+	var pkts uint64
+	for _, vs := range c.Switches {
+		pkts += vs.Stats.FromVM + vs.Stats.FromNet
+	}
+	return pkts
+}
+
+func benchDatapath(b *testing.B, withObs bool) {
+	var pkts uint64
+	for i := 0; i < b.N; i++ {
+		var ob *obs.Obs
+		if withObs {
+			ob = obs.New(obs.Options{Seed: 1, SampleRate: obsBenchSampleRate})
+		}
+		pkts += runObsRig(ob)
+	}
+	b.ReportMetric(float64(pkts)/b.Elapsed().Seconds(), "pkts/s")
+}
+
+func BenchmarkDatapathObsOff(b *testing.B) { benchDatapath(b, false) }
+func BenchmarkDatapathObsOn(b *testing.B)  { benchDatapath(b, true) }
+
+// obsBenchResult is the BENCH_obs.json schema.
+type obsBenchResult struct {
+	ObsOffNsPerOp int64   `json:"obs_off_ns_per_op"`
+	ObsOnNsPerOp  int64   `json:"obs_on_ns_per_op"`
+	OverheadRatio float64 `json:"overhead_ratio"`
+	OverheadPct   float64 `json:"overhead_pct"`
+	SampleRate    float64 `json:"sample_rate"`
+	MaxRatio      float64 `json:"max_ratio"`
+	Reps          int     `json:"reps"`
+}
+
+// TestObsOverheadGuard is the CI benchmark gate (set OBS_BENCH_GUARD=1
+// to run): it benchmarks the datapath with obs off and on, takes the
+// best of three reps each to damp scheduler noise, writes the result
+// to BENCH_obs.json, and fails when the overhead exceeds 10%.
+func TestObsOverheadGuard(t *testing.T) {
+	if os.Getenv("OBS_BENCH_GUARD") == "" {
+		t.Skip("set OBS_BENCH_GUARD=1 to run the obs overhead gate")
+	}
+	const reps = 3
+	best := func(fn func(*testing.B)) int64 {
+		bestNs := int64(0)
+		for i := 0; i < reps; i++ {
+			r := testing.Benchmark(fn)
+			ns := r.NsPerOp()
+			if bestNs == 0 || ns < bestNs {
+				bestNs = ns
+			}
+		}
+		return bestNs
+	}
+	offNs := best(BenchmarkDatapathObsOff)
+	onNs := best(BenchmarkDatapathObsOn)
+	ratio := float64(onNs) / float64(offNs)
+	res := obsBenchResult{
+		ObsOffNsPerOp: offNs,
+		ObsOnNsPerOp:  onNs,
+		OverheadRatio: ratio,
+		OverheadPct:   (ratio - 1) * 100,
+		SampleRate:    obsBenchSampleRate,
+		MaxRatio:      1.10,
+		Reps:          reps,
+	}
+	out, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile("BENCH_obs.json", out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("obs off %d ns/op, on %d ns/op, overhead %.2f%%", offNs, onNs, res.OverheadPct)
+	if ratio > res.MaxRatio {
+		t.Errorf("obs-enabled datapath is %.1f%% slower than disabled (limit 10%%); see BENCH_obs.json", res.OverheadPct)
+	}
+}

@@ -19,6 +19,13 @@
 //	nezha-chaos [-seed 1] [-campaigns 10] [-duration 8s] [-servers 8]
 //	            [-clients 3] [-cps 250] [-events 12] [-midpush]
 //	            [-failfile failing-seeds.txt] [-v]
+//	            [-obs] [-obs-sample 1.0] [-obs-dir dumps/]
+//
+// With -obs (the default), every campaign runs with the observability
+// layer attached: a violation automatically writes a flight-recorder
+// dump — the control-plane event lead-up, transaction spans, and
+// hop-by-hop packet traces — and the failure line carries both the
+// failing seed and the dump path.
 package main
 
 import (
@@ -43,8 +50,16 @@ func main() {
 		midpush   = flag.Bool("midpush", false, "kill or partition a prepare target between prepare and commit")
 		failfile  = flag.String("failfile", "", "write failing seeds (one per line) to this file")
 		verbose   = flag.Bool("v", false, "print every campaign's schedule")
+		obsOn     = flag.Bool("obs", true, "attach the observability layer (flight-recorder dump on violation)")
+		obsSample = flag.Float64("obs-sample", 1.0, "flight-trace sampling probability")
+		obsDir    = flag.String("obs-dir", "", "directory for flight-recorder dumps (default: system temp dir)")
 	)
 	flag.Parse()
+
+	dumpDir := *obsDir
+	if *obsOn && dumpDir == "" {
+		dumpDir = os.TempDir()
+	}
 
 	failed := 0
 	var failedSeeds []int64
@@ -58,6 +73,9 @@ func main() {
 			RatePerClient: *cps,
 			Events:        *events,
 			MidPushKill:   *midpush,
+			Obs:           *obsOn,
+			ObsSampleRate: *obsSample,
+			ObsDumpDir:    dumpDir,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "seed %d: %v\n", s, err)
@@ -80,6 +98,9 @@ func main() {
 			fmt.Printf("    %v\n", v)
 		}
 		if rep.Failed() {
+			// The one-line failure handle: seed and dump together, so a
+			// CI log grep lands on everything needed to debug the run.
+			fmt.Printf("FAIL seed=%d dump=%s\n", s, rep.DumpPath)
 			repro := fmt.Sprintf("nezha-chaos -seed %d -campaigns 1 -v", s)
 			if *midpush {
 				repro += " -midpush"

@@ -8,16 +8,23 @@
 //
 //	nezha-sim [-servers 24] [-clients 8] [-cps 20000] [-duration 20s]
 //	          [-crash] [-no-nezha] [-seed 1]
+//	          [-obs run.jsonl] [-obs-sample 0.01] [-obs-prom metrics.prom]
+//
+// -obs streams one JSON telemetry snapshot per virtual second to the
+// given file ('-' = stdout) — the format nezha-top renders. -obs-prom
+// writes a final Prometheus text export at exit.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"time"
 
 	"nezha/internal/cluster"
 	"nezha/internal/controller"
 	"nezha/internal/nic"
+	"nezha/internal/obs"
 	"nezha/internal/packet"
 	"nezha/internal/sim"
 	"nezha/internal/tables"
@@ -36,8 +43,27 @@ func main() {
 		wire      = flag.Bool("wire", false, "serialize every packet through the real wire format")
 		noNezha   = flag.Bool("no-nezha", false, "disable the controller (baseline)")
 		seed      = flag.Int64("seed", 1, "random seed")
+		obsPath   = flag.String("obs", "", "write per-second JSON telemetry snapshots here ('-' = stdout); view with nezha-top")
+		obsSample = flag.Float64("obs-sample", 0.01, "flight-trace sampling probability when -obs is set")
+		obsProm   = flag.String("obs-prom", "", "write a final Prometheus text export to this file")
 	)
 	flag.Parse()
+
+	var ob *obs.Obs
+	var obsOut *os.File
+	if *obsPath != "" || *obsProm != "" {
+		ob = obs.New(obs.Options{Seed: *seed, SampleRate: *obsSample})
+	}
+	if *obsPath == "-" {
+		obsOut = os.Stdout
+	} else if *obsPath != "" {
+		f, err := os.Create(*obsPath)
+		if err != nil {
+			panic(err)
+		}
+		defer f.Close()
+		obsOut = f
+	}
 
 	const (
 		serverVNIC = 100
@@ -53,6 +79,7 @@ func main() {
 			cfg.Cores = 2
 			cfg.CoreHz = 500_000_000 // scaled: ~7.4K CPS monolithic
 		},
+		Obs: ob,
 	})
 
 	serverIdx := *nClients
@@ -118,6 +145,11 @@ func main() {
 			c.Loop.Now(), done, done-lastDone,
 			meter.Sample()*100, len(c.Ctrl.FEsOf(serverVNIC)), state)
 		lastDone = done
+		if obsOut != nil {
+			if err := ob.Snap(c.Loop.Now(), 10).WriteJSONLine(obsOut); err != nil {
+				panic(err)
+			}
+		}
 	})
 
 	if *crash {
@@ -170,4 +202,16 @@ func main() {
 		overload += vs.Stats.Drops[vswitch.DropOverload]
 	}
 	fmt.Printf("  drops: total %d (overload %d)\n", drops, overload)
+
+	if *obsProm != "" {
+		f, err := os.Create(*obsProm)
+		if err != nil {
+			panic(err)
+		}
+		if err := ob.Snap(c.Loop.Now(), 10).WritePrometheus(f); err != nil {
+			panic(err)
+		}
+		f.Close()
+		fmt.Printf("  wrote Prometheus export: %s\n", *obsProm)
+	}
 }

@@ -1,0 +1,231 @@
+// Command nezha-top renders the cluster telemetry stream that
+// nezha-sim and nezha-chaos emit with -obs: per-node utilization and
+// packet rates, per-vNIC offload state, control-plane transaction and
+// RPC activity, and the top-K flows by sampled packets.
+//
+// The input is a file of newline-delimited JSON snapshots (one per
+// virtual second), or '-' for stdin:
+//
+//	nezha-sim -obs run.jsonl &
+//	nezha-top -follow run.jsonl
+//
+// Without -follow the last snapshot is rendered once and the program
+// exits — useful for post-mortem inspection of a finished run. With
+// -follow the file is tailed and the screen redrawn as snapshots
+// arrive, top(1)-style.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"time"
+
+	"nezha/internal/obs"
+)
+
+func main() {
+	var (
+		follow   = flag.Bool("follow", false, "tail the file and redraw as snapshots arrive")
+		interval = flag.Duration("interval", 500*time.Millisecond, "poll period in -follow mode")
+		topK     = flag.Int("n", 10, "flows to show in the TOP FLOWS table")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: nezha-top [-follow] [-interval 500ms] [-n 10] <run.jsonl | ->")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+
+	var in io.Reader
+	if path == "-" {
+		in = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nezha-top: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	r := bufio.NewReader(in)
+	var last *obs.Snapshot
+	rendered := false
+	for {
+		line, err := r.ReadBytes('\n')
+		if len(line) > 1 {
+			var s obs.Snapshot
+			if jerr := json.Unmarshal(line, &s); jerr == nil {
+				last = &s
+				if *follow {
+					fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
+					render(os.Stdout, last, *topK)
+					rendered = true
+				}
+			}
+		}
+		if err != nil {
+			if err == io.EOF && *follow && path != "-" {
+				time.Sleep(*interval)
+				continue
+			}
+			break
+		}
+	}
+	if last == nil {
+		fmt.Fprintln(os.Stderr, "nezha-top: no snapshots in input")
+		os.Exit(1)
+	}
+	if !rendered {
+		render(os.Stdout, last, *topK)
+	}
+}
+
+// index groups a snapshot's points by metric name for cheap lookups.
+type index map[string][]obs.Point
+
+func makeIndex(s *obs.Snapshot) index {
+	idx := make(index)
+	for _, p := range s.Points {
+		idx[p.Name] = append(idx[p.Name], p)
+	}
+	return idx
+}
+
+// val returns the value of name with label k=v (0 if absent).
+func (idx index) val(name, k, v string) float64 {
+	for _, p := range idx[name] {
+		if p.Labels[k] == v {
+			return p.Value
+		}
+	}
+	return 0
+}
+
+// rate returns the windowed per-second rate of name with label k=v.
+func (idx index) rate(name, k, v string) float64 {
+	var t float64
+	for _, p := range idx[name] {
+		if p.Labels[k] == v {
+			t += p.Rate
+		}
+	}
+	return t
+}
+
+// total returns the summed value of every series of name.
+func (idx index) total(name string) float64 {
+	var t float64
+	for _, p := range idx[name] {
+		t += p.Value
+	}
+	return t
+}
+
+// labelValues returns the sorted distinct values of label k across
+// name's series.
+func (idx index) labelValues(name, k string) []string {
+	seen := make(map[string]bool)
+	for _, p := range idx[name] {
+		if v, ok := p.Labels[k]; ok && !seen[v] {
+			seen[v] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func render(w io.Writer, s *obs.Snapshot, topK int) {
+	idx := makeIndex(s)
+	fmt.Fprintf(w, "nezha-top  t=%v  series=%d\n\n", s.T, len(s.Points))
+
+	if nodes := idx.labelValues("vswitch_cpu_util", "node"); len(nodes) > 0 {
+		fmt.Fprintf(w, "NODES %-14s %6s %6s %8s %6s %5s %5s %10s %9s %6s\n",
+			"", "CPU%", "MEM%", "SESS", "VNICS", "OFF", "FES", "PPS", "DROP/s", "STATE")
+		for _, n := range nodes {
+			state := "up"
+			if idx.val("vswitch_crashed", "node", n) > 0 {
+				state = "CRASH"
+			} else if idx.val("controller_node_down", "node", n) > 0 {
+				state = "DOWN"
+			}
+			pps := idx.rate("vswitch_from_vm_total", "node", n) + idx.rate("vswitch_from_net_total", "node", n)
+			fmt.Fprintf(w, "  %-18s %5.1f%% %5.1f%% %8.0f %6.0f %5.0f %5.0f %10.0f %9.1f %6s\n",
+				n,
+				idx.val("vswitch_cpu_util", "node", n)*100,
+				idx.val("vswitch_mem_util", "node", n)*100,
+				idx.val("vswitch_sessions", "node", n),
+				idx.val("vswitch_vnics", "node", n),
+				idx.val("vswitch_vnics_offloaded", "node", n),
+				idx.val("vswitch_fes_hosted", "node", n),
+				pps,
+				idx.rate("vswitch_drops_total", "node", n),
+				state)
+		}
+		fmt.Fprintln(w)
+	}
+
+	if vnics := idx.labelValues("controller_vnic_offloaded", "vnic"); len(vnics) > 0 {
+		sort.Slice(vnics, func(i, j int) bool {
+			a, _ := strconv.Atoi(vnics[i])
+			b, _ := strconv.Atoi(vnics[j])
+			return a < b
+		})
+		fmt.Fprintf(w, "VNICS %-8s %10s %5s %7s %9s %6s\n", "", "STATE", "FES", "EPOCH", "DEGRADED", "DIRTY")
+		for _, v := range vnics {
+			state := "local"
+			if idx.val("controller_vnic_offloaded", "vnic", v) > 0 {
+				state = "offloaded"
+			}
+			fmt.Fprintf(w, "  %-12s %10s %5.0f %7.0f %9.0f %6.0f\n",
+				v, state,
+				idx.val("controller_vnic_fes", "vnic", v),
+				idx.val("controller_vnic_epoch", "vnic", v),
+				idx.val("controller_vnic_degraded", "vnic", v),
+				idx.val("controller_vnic_dirty", "vnic", v))
+		}
+		fmt.Fprintln(w)
+	}
+
+	fmt.Fprintf(w, "CONTROL offloads=%.0f fallbacks=%.0f scaleouts=%.0f failovers=%.0f aborts=%.0f rollbacks=%.0f degraded=%.0f txns-inflight=%.0f\n",
+		idx.total("controller_offloads_total"),
+		idx.total("controller_fallbacks_total"),
+		idx.total("controller_scaleouts_total"),
+		idx.total("controller_failovers_total"),
+		idx.total("controller_aborts_total"),
+		idx.total("controller_rollbacks_total"),
+		idx.total("controller_vnic_degraded"),
+		idx.total("controller_txns_inflight"))
+	fmt.Fprintf(w, "RPC     attempts=%.0f acked=%.0f retries=%.0f timeouts=%.0f pending=%.0f   MON probes=%.0f declared=%.0f down=%.0f guard=%.0f\n\n",
+		idx.total("ctrlrpc_attempts_total"),
+		idx.total("ctrlrpc_acked_total"),
+		idx.total("ctrlrpc_retries_total"),
+		idx.total("ctrlrpc_timeouts_total"),
+		idx.total("ctrlrpc_pending"),
+		idx.total("monitor_probes_sent_total"),
+		idx.total("monitor_declared_total"),
+		idx.total("monitor_targets_down"),
+		idx.total("monitor_guard_active"))
+
+	if len(s.Flows) > 0 {
+		fmt.Fprintf(w, "TOP FLOWS (sampled) %12s %12s\n", "PACKETS", "BYTES")
+		n := len(s.Flows)
+		if n > topK {
+			n = topK
+		}
+		for _, f := range s.Flows[:n] {
+			fmt.Fprintf(w, "  %-32s %10d %12d\n", f.Flow, f.Packets, f.Bytes)
+		}
+	}
+}

@@ -2,10 +2,12 @@ package chaos
 
 import (
 	"fmt"
+	"path/filepath"
 
 	"nezha/internal/cluster"
 	"nezha/internal/controller"
 	"nezha/internal/monitor"
+	"nezha/internal/obs"
 	"nezha/internal/packet"
 	"nezha/internal/sim"
 	"nezha/internal/tables"
@@ -43,6 +45,17 @@ type CampaignConfig struct {
 	// control proving the no-blackhole invariant fires when the
 	// two-phase commit is bypassed.
 	BypassTwoPhase bool
+	// Obs enables the observability layer: labeled telemetry, sampled
+	// packet flight tracing, transaction spans, and the flight recorder
+	// whose contents are dumped on the first invariant violation.
+	Obs bool
+	// ObsSampleRate is the flight-trace sampling probability (default
+	// 1.0 when Obs is on — campaign rigs are small enough to trace
+	// every packet).
+	ObsSampleRate float64
+	// ObsDumpDir, when non-empty, is where a violation's flight-recorder
+	// dump is written (nezha-dump-seed<N>.txt).
+	ObsDumpDir string
 }
 
 // Report is a campaign's outcome.
@@ -62,6 +75,13 @@ type Report struct {
 	// schedule actually exercised.
 	Declared  uint64
 	Failovers uint64
+	// TraceDigest fingerprints the sampled flight-trace hop stream
+	// (zero when Obs is off). Same seed + same sample rate must yield
+	// the same digest.
+	TraceDigest uint64
+	// DumpPath is the flight-recorder dump written on the first
+	// invariant violation ("" when none was written).
+	DumpPath string
 }
 
 // Failed reports whether any invariant broke.
@@ -114,6 +134,15 @@ func RunCampaign(cfg CampaignConfig) (Report, error) {
 	ctrlCfg.PrepareQuorumFrac = 0.5
 	ctrlCfg.UnsafeDirectCommit = cfg.BypassTwoPhase
 
+	var ob *obs.Obs
+	if cfg.Obs {
+		rate := cfg.ObsSampleRate
+		if rate <= 0 {
+			rate = 1.0
+		}
+		ob = obs.New(obs.Options{Seed: cfg.Seed, SampleRate: rate})
+	}
+
 	c := cluster.New(cluster.Options{
 		Servers: cfg.Servers,
 		Seed:    cfg.Seed,
@@ -123,6 +152,7 @@ func RunCampaign(cfg CampaignConfig) (Report, error) {
 		},
 		Controller: ctrlCfg,
 		Monitor:    monCfg,
+		Obs:        ob,
 	})
 
 	// Server (BE) VM on server 0.
@@ -166,6 +196,13 @@ func RunCampaign(cfg CampaignConfig) (Report, error) {
 	})
 	RegisterStandard(eng)
 	eng.SetUnaccountedDrops(cfg.UnaccountedDrops)
+	if ob != nil {
+		dumpPath := ""
+		if cfg.ObsDumpDir != "" {
+			dumpPath = filepath.Join(cfg.ObsDumpDir, fmt.Sprintf("nezha-dump-seed%d.txt", cfg.Seed))
+		}
+		eng.AttachObs(ob, dumpPath, cfg.Seed)
+	}
 
 	// Faults land after offload has settled and stop early enough
 	// that most crash windows resolve inside the run.
@@ -209,8 +246,12 @@ func RunCampaign(cfg CampaignConfig) (Report, error) {
 		Duration:   cfg.Duration,
 		Schedule:   sched,
 		Violations: eng.Violations(),
-		Declared:   c.Mon.Declared,
+		Declared:   c.Mon.Declared.Load(),
 		Failovers:  c.Ctrl.Stats.Failovers,
+	}
+	if ob != nil {
+		rep.TraceDigest = ob.Tracer.Digest()
+		rep.DumpPath = eng.DumpPath()
 	}
 	for _, vm := range clients {
 		rep.Completed += vm.Completed
@@ -228,7 +269,7 @@ func RunCampaign(cfg CampaignConfig) (Report, error) {
 		}
 		d.add(uint64(vs.Sessions().Len()), uint64(vs.Sessions().MemBytes()))
 	}
-	d.add(c.Mon.ProbesSent, c.Mon.PongsSeen, c.Mon.StalePongs, c.Mon.Declared, c.Mon.GuardTrips)
+	d.add(c.Mon.ProbesSent.Load(), c.Mon.PongsSeen.Load(), c.Mon.StalePongs.Load(), c.Mon.Declared.Load(), c.Mon.GuardTrips.Load())
 	e := c.Ctrl.Stats
 	d.add(e.Offloads, e.Fallbacks, e.ScaleOuts, e.ScaleIns, e.Failovers, e.FEsAdded)
 	d.add(e.Aborts, e.Rollbacks, e.DegradedEnters, e.DegradedExits, e.RepairRuns)

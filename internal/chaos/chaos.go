@@ -38,6 +38,7 @@ import (
 	"nezha/internal/controller"
 	"nezha/internal/fabric"
 	"nezha/internal/monitor"
+	"nezha/internal/obs"
 	"nezha/internal/packet"
 	"nezha/internal/sim"
 	"nezha/internal/vswitch"
@@ -135,6 +136,13 @@ type Engine struct {
 	invariants []Invariant
 	violations []Violation
 	nextCheck  sim.Time
+
+	// ob/dumpPath, when set by AttachObs, auto-dump the flight
+	// recorder on the first invariant violation.
+	ob       *obs.Obs
+	dumpPath string
+	dumpSeed int64
+	dumped   string // path actually written, "" until a violation dumps
 }
 
 // NewEngine wires an engine into the system: it installs the fabric
@@ -195,6 +203,7 @@ func (e *Engine) violate(name string, at sim.Time, err error) {
 		return
 	}
 	e.violations = append(e.violations, Violation{Invariant: name, At: at, Err: err})
+	e.dumpOnViolation(name, at, err)
 }
 
 // --- Fault model -----------------------------------------------------
@@ -331,11 +340,15 @@ func (e *Engine) crash(i int, dur sim.Time) {
 		return // overlapping schedule; the first episode governs
 	}
 	vs.Crash()
+	e.ob.Event(e.sys.Loop.Now(), "chaos-crash", vs.Addr(), 0, "dur=%v", dur)
 	ep := &crashEpisode{
 		addr:     vs.Addr(),
 		start:    e.sys.Loop.Now(),
 		reviveAt: e.sys.Loop.Now() + dur,
 	}
 	e.crashes = append(e.crashes, ep)
-	e.sys.Loop.Schedule(dur, vs.Revive)
+	e.sys.Loop.Schedule(dur, func() {
+		e.ob.Event(e.sys.Loop.Now(), "chaos-revive", vs.Addr(), 0, "")
+		vs.Revive()
+	})
 }

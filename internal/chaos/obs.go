@@ -1,0 +1,44 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+
+	"nezha/internal/obs"
+	"nezha/internal/sim"
+)
+
+// AttachObs connects an observability bundle to the engine: chaos
+// crash/revive episodes are recorded as flight-recorder events, and
+// the first invariant violation automatically writes a flight-recorder
+// dump — recent control-plane events, transaction spans, and sampled
+// per-packet hop traces — to dumpPath, stamped with the campaign seed
+// so the dump and the reproduction handle travel together. An empty
+// dumpPath records events but never writes a file.
+func (e *Engine) AttachObs(o *obs.Obs, dumpPath string, seed int64) {
+	e.ob = o
+	e.dumpPath = dumpPath
+	e.dumpSeed = seed
+}
+
+// DumpPath reports the dump file written on the first violation, or
+// "" when no violation occurred (or no dump path was configured).
+func (e *Engine) DumpPath() string { return e.dumped }
+
+// dumpOnViolation writes the flight-recorder dump exactly once, at
+// the moment the first invariant breaks, so the event ring still holds
+// the lead-up to the failure.
+func (e *Engine) dumpOnViolation(name string, at sim.Time, err error) {
+	if e.ob == nil || e.dumpPath == "" || e.dumped != "" {
+		return
+	}
+	f, ferr := os.Create(e.dumpPath)
+	if ferr != nil {
+		fmt.Fprintf(os.Stderr, "chaos: cannot write flight-recorder dump: %v\n", ferr)
+		return
+	}
+	defer f.Close()
+	e.dumped = e.dumpPath
+	meta := fmt.Sprintf("seed=%d invariant=%q t=%v err=%v", e.dumpSeed, name, at, err)
+	e.ob.WriteDump(f, meta)
+}

@@ -1,0 +1,112 @@
+package chaos
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestViolationDumpNegativeControl drives the known-bad configuration
+// (two-phase commit bypassed) with observability on and requires the
+// engine to auto-emit a flight-recorder dump at the moment the
+// no-blackhole invariant fires. The dump must carry the failing seed,
+// the control-plane event lead-up, and hop-by-hop packet traces —
+// the artifacts an engineer needs to debug the soak failure.
+func TestViolationDumpNegativeControl(t *testing.T) {
+	dir := t.TempDir()
+	var rep Report
+	for seed := int64(1); seed <= 10; seed++ {
+		r, err := RunCampaign(CampaignConfig{
+			Seed: seed, BypassTwoPhase: true,
+			Obs: true, ObsDumpDir: dir,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: campaign failed to build: %v", seed, err)
+		}
+		if r.Failed() {
+			rep = r
+			break
+		}
+	}
+	if !rep.Failed() {
+		t.Fatal("bypassed two-phase commit never violated an invariant; negative control is broken")
+	}
+	if rep.DumpPath == "" {
+		t.Fatal("invariant violated with obs enabled but no flight-recorder dump was written")
+	}
+	raw, err := os.ReadFile(rep.DumpPath)
+	if err != nil {
+		t.Fatalf("reading dump: %v", err)
+	}
+	dump := string(raw)
+	for _, want := range []string{
+		"# nezha flight-recorder dump",
+		"seed=" + strconv.FormatInt(rep.Seed, 10),
+		"invariant=",
+		"== spans",
+		"== events",
+		"== flights",
+		"unsafe-commit",
+		"flight id=",
+		"gw-pick", // hop-by-hop trace includes the gateway steering stage
+	} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump %s missing %q", rep.DumpPath, want)
+		}
+	}
+	if rep.TraceDigest == 0 {
+		t.Error("obs-enabled campaign produced a zero trace digest; tracing recorded nothing")
+	}
+}
+
+// TestTraceDigestDeterminism is the sampling-determinism guard: the
+// same seed and sample rate must produce a bit-identical flight-trace
+// digest across runs (the per-packet sample decision is a hash of
+// (seed, packet ID), not a shared rng stream), and a different seed
+// must diverge.
+func TestTraceDigestDeterminism(t *testing.T) {
+	cfg := CampaignConfig{Seed: 7, Obs: true, ObsSampleRate: 0.25}
+	a, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TraceDigest == 0 {
+		t.Fatal("trace digest is zero; sampling at 25% recorded no hops")
+	}
+	if a.TraceDigest != b.TraceDigest {
+		t.Errorf("trace digest diverged across identical runs: %#x vs %#x", a.TraceDigest, b.TraceDigest)
+	}
+	if a.Digest != b.Digest {
+		t.Errorf("end-state digest diverged with obs enabled: %#x vs %#x", a.Digest, b.Digest)
+	}
+	other, err := RunCampaign(CampaignConfig{Seed: 8, Obs: true, ObsSampleRate: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.TraceDigest == a.TraceDigest {
+		t.Errorf("seeds 7 and 8 produced identical trace digests (%#x); digest is not sensitive to the run", a.TraceDigest)
+	}
+}
+
+// TestObsDoesNotPerturbSimulation guards the observer effect: wiring
+// the obs layer into a campaign must not change the simulated
+// behavior — the end-state digest with obs on must equal the digest
+// with obs off for the same seed.
+func TestObsDoesNotPerturbSimulation(t *testing.T) {
+	plain, err := RunCampaign(CampaignConfig{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, err := RunCampaign(CampaignConfig{Seed: 9, Obs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Digest != observed.Digest {
+		t.Errorf("enabling obs changed the run: digest %#x (off) vs %#x (on)", plain.Digest, observed.Digest)
+	}
+}

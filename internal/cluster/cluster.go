@@ -11,6 +11,7 @@ import (
 	"nezha/internal/controller"
 	"nezha/internal/fabric"
 	"nezha/internal/monitor"
+	"nezha/internal/obs"
 	"nezha/internal/packet"
 	"nezha/internal/sim"
 	"nezha/internal/tables"
@@ -37,6 +38,9 @@ type Options struct {
 	Monitor monitor.Config
 	// SweepInterval paces session-table aging sweeps (default 1s).
 	SweepInterval sim.Time
+	// Obs, when non-nil, wires the observability bundle into every
+	// component (fabric, gateway, vSwitches, controller, monitor).
+	Obs *obs.Obs
 }
 
 // Cluster is a running simulated region.
@@ -46,6 +50,7 @@ type Cluster struct {
 	GW   *fabric.Gateway
 	Ctrl *controller.Controller
 	Mon  *monitor.Monitor
+	Obs  *obs.Obs
 
 	Switches []*vswitch.VSwitch
 	IDGen    uint64
@@ -75,16 +80,24 @@ func New(opts Options) *Cluster {
 	}
 	c := &Cluster{
 		Loop: sim.NewLoop(opts.Seed),
+		Obs:  opts.Obs,
 		vms:  make(map[packet.IPv4]map[uint32]*workload.VM),
 	}
 	c.Fab = fabric.New(c.Loop)
 	c.GW = fabric.NewGateway(c.Loop)
+	if c.Obs != nil {
+		c.Fab.EnableObs(c.Obs)
+		c.GW.EnableObs(c.Obs)
+	}
 
 	ctrlCfg := opts.Controller
 	if ctrlCfg.InitialFEs == 0 {
 		ctrlCfg = controller.DefaultConfig()
 	}
 	c.Ctrl = controller.New(c.Loop, c.Fab, c.GW, ctrlCfg)
+	if c.Obs != nil {
+		c.Ctrl.EnableObs(c.Obs)
+	}
 
 	monCfg := opts.Monitor
 	if monCfg.ProbeInterval == 0 {
@@ -94,6 +107,9 @@ func New(opts Options) *Cluster {
 	// A revived vSwitch answers probes again; without this the
 	// controller would exclude it from FE selection forever.
 	c.Mon.SetOnUp(c.Ctrl.NodeUp)
+	if c.Obs != nil {
+		c.Mon.EnableObs(c.Obs)
+	}
 
 	for i := 0; i < opts.Servers; i++ {
 		cfg := vswitch.Config{
@@ -105,6 +121,9 @@ func New(opts Options) *Cluster {
 		}
 		vs := vswitch.New(c.Loop, c.Fab, c.GW, cfg)
 		vs.SetDelivery(c.dispatch(vs.Addr()))
+		if c.Obs != nil {
+			vs.EnableObs(c.Obs)
+		}
 		c.Switches = append(c.Switches, vs)
 		c.Ctrl.RegisterNode(vs)
 		c.Mon.Watch(vs.Addr())

@@ -23,11 +23,13 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"nezha/internal/ctrlrpc"
 	"nezha/internal/fabric"
 	"nezha/internal/metrics"
 	"nezha/internal/nic"
+	"nezha/internal/obs"
 	"nezha/internal/packet"
 	"nezha/internal/sim"
 	"nezha/internal/tables"
@@ -307,7 +309,10 @@ type Controller struct {
 	badLinks map[packet.IPv4]map[packet.IPv4]sim.Time
 	// failoverAt records when NodeDown last ran for an address;
 	// lastRebalance is the most recent time any vNIC's FE pool
-	// changed. Both feed the chaos failover-bound invariant.
+	// changed. Both feed the chaos failover-bound invariant, whose
+	// checker (and CLI status printers) may read from outside the sim
+	// goroutine — statMu makes those reads race-free.
+	statMu        sync.Mutex
 	failoverAt    map[packet.IPv4]sim.Time
 	lastRebalance sim.Time
 
@@ -319,6 +324,10 @@ type Controller struct {
 	prepareHook func(uint32, []packet.IPv4)
 	// onDegraded is the degraded-pool alarm callback.
 	onDegraded func(uint32)
+
+	// ob, when set by EnableObs, publishes controller gauges and
+	// records transaction spans and lifecycle events.
+	ob *obs.Obs
 
 	// OffloadCompletion records, per offload, the time from trigger
 	// until all traffic flows through the FEs (Table 4).
@@ -744,6 +753,7 @@ func (c *Controller) startOffload(v *vnicState, targets []packet.IPv4) error {
 		t0:      now,
 	}
 	v.txn = tx
+	c.spanBegin("offload", v.VNIC, tx.epoch)
 	if c.prepareHook != nil {
 		c.prepareHook(v.VNIC, feAddrs)
 	}
@@ -845,6 +855,12 @@ func (c *Controller) resolvePrepare(v *vnicState, tx *txn) {
 // repair reconciliation).
 func (c *Controller) abortOffload(v *vnicState, tx *txn, beUnknown bool) {
 	c.Stats.Aborts++
+	outcome := "aborted"
+	if beUnknown {
+		outcome = "aborted-be-unknown"
+	}
+	c.spanEnd("offload", v.VNIC, tx.epoch, outcome)
+	c.ob.Event(c.loop.Now(), "txn-abort", v.Home, v.VNIC, "kind=offload epoch=%d be_unknown=%v", tx.epoch, beUnknown)
 	v.txn = nil
 	v.inProgress = false
 	v.retryAt = c.loop.Now() + c.cfg.OffloadRetryCooldown
@@ -868,6 +884,7 @@ func (c *Controller) rollbackTargets(vnic uint32, tx *txn) {
 // rollbackFE removes one FE install of an aborted transaction.
 func (c *Controller) rollbackFE(fa packet.IPv4, vnic uint32, epoch uint64) {
 	c.Stats.Rollbacks++
+	c.ob.Event(c.loop.Now(), "txn-rollback", fa, vnic, "epoch=%d", epoch)
 	if n, ok := c.nodes[fa]; ok {
 		delete(n.fronted, vnic)
 	}
@@ -927,6 +944,12 @@ func (c *Controller) commitOffload(v *vnicState, tx *txn, good []packet.IPv4) {
 
 // finishOffload installs the committed state controller-side.
 func (c *Controller) finishOffload(v *vnicState, tx *txn, good []packet.IPv4, dirty bool) {
+	outcome := "committed"
+	if dirty {
+		outcome = "committed-dirty"
+	}
+	c.spanEnd("offload", v.VNIC, tx.epoch, outcome)
+	c.ob.Event(c.loop.Now(), "txn-commit", v.Home, v.VNIC, "kind=offload epoch=%d fes=%d dirty=%v", tx.epoch, len(good), dirty)
 	v.offloaded = true
 	v.fes = append([]packet.IPv4(nil), good...)
 	v.txn = nil
@@ -940,7 +963,7 @@ func (c *Controller) finishOffload(v *vnicState, tx *txn, good []packet.IPv4, di
 	}
 	completion := c.loop.Now() + fabric.LearnInterval - tx.t0
 	c.OffloadCompletion.Observe(completion.Millis())
-	c.lastRebalance = c.loop.Now()
+	c.noteRebalance()
 	c.Stats.Offloads++
 	c.Stats.FEsAdded += uint64(len(good))
 	if len(v.fes) < c.floorOf(v) {
@@ -970,6 +993,8 @@ func (c *Controller) finishOffload(v *vnicState, tx *txn, good []packet.IPv4, di
 // steers traffic at FEs that have not acked tables yet, which is
 // precisely what the chaos no-blackhole invariant fires on.
 func (c *Controller) unsafeCommitOffload(v *vnicState, tx *txn) {
+	c.spanEnd("offload", v.VNIC, tx.epoch, "unsafe-commit")
+	c.ob.Event(c.loop.Now(), "unsafe-commit", v.Home, v.VNIC, "epoch=%d fes=%d", tx.epoch, len(tx.targets))
 	for _, fa := range tx.targets {
 		c.rpc.Call(fa, &ctrlrpc.Request{
 			Op: ctrlrpc.OpInstallFE, VNIC: v.VNIC, Epoch: tx.epoch,
@@ -1081,7 +1106,7 @@ func (c *Controller) removeFromPool(v *vnicState, fa packet.IPv4, graceful bool)
 		return false
 	}
 	v.fes = kept
-	c.lastRebalance = c.loop.Now()
+	c.noteRebalance()
 	if n, ok := c.nodes[fa]; ok {
 		delete(n.fronted, v.VNIC)
 	}
@@ -1158,6 +1183,7 @@ func (c *Controller) enterDegraded(v *vnicState) {
 	}
 	v.degraded = true
 	c.Stats.DegradedEnters++
+	c.ob.Event(c.loop.Now(), "degraded-enter", v.Home, v.VNIC, "fes=%d floor=%d", len(v.fes), c.floorOf(v))
 	if c.onDegraded != nil {
 		c.onDegraded(v.VNIC)
 	}
@@ -1169,6 +1195,7 @@ func (c *Controller) exitDegraded(v *vnicState) {
 	}
 	v.degraded = false
 	c.Stats.DegradedExits++
+	c.ob.Event(c.loop.Now(), "degraded-exit", v.Home, v.VNIC, "fes=%d", len(v.fes))
 }
 
 // reconcileStale retries the abort of an offload whose BE outcome was
@@ -1359,6 +1386,7 @@ func (c *Controller) scaleOutOpts(v *vnicState, count int, bypassCooldown bool) 
 		t0:      now,
 	}
 	v.txn = tx
+	c.spanBegin("scaleout", v.VNIC, tx.epoch)
 	if c.prepareHook != nil {
 		c.prepareHook(v.VNIC, newFEs)
 	}
@@ -1378,6 +1406,8 @@ func (c *Controller) scaleOutOpts(v *vnicState, count int, bypassCooldown bool) 
 // its previous membership.
 func (c *Controller) abortScaleOut(v *vnicState, tx *txn) {
 	c.Stats.Aborts++
+	c.spanEnd("scaleout", v.VNIC, tx.epoch, "aborted")
+	c.ob.Event(c.loop.Now(), "txn-abort", v.Home, v.VNIC, "kind=scaleout epoch=%d", tx.epoch)
 	v.txn = nil
 	v.scaling = false
 	c.rollbackTargets(v.VNIC, tx)
@@ -1407,6 +1437,7 @@ func (c *Controller) commitScaleOut(v *vnicState, tx *txn, good []packet.IPv4) {
 		}
 	}
 	if added == 0 {
+		c.spanEnd("scaleout", v.VNIC, tx.epoch, "noop")
 		v.txn = nil
 		v.scaling = false
 		return
@@ -1416,6 +1447,12 @@ func (c *Controller) commitScaleOut(v *vnicState, tx *txn, good []packet.IPv4) {
 		tx.committed[fa] = true
 	}
 	finish := func(dirty bool) {
+		outcome := "committed"
+		if dirty {
+			outcome = "committed-dirty"
+		}
+		c.spanEnd("scaleout", v.VNIC, tx.epoch, outcome)
+		c.ob.Event(c.loop.Now(), "txn-commit", v.Home, v.VNIC, "kind=scaleout epoch=%d added=%d dirty=%v", tx.epoch, added, dirty)
 		v.fes = newSet
 		v.txn = nil
 		v.scaling = false
@@ -1428,7 +1465,7 @@ func (c *Controller) commitScaleOut(v *vnicState, tx *txn, good []packet.IPv4) {
 				delete(n.pendingRemoval, v.VNIC)
 			}
 		}
-		c.lastRebalance = c.loop.Now()
+		c.noteRebalance()
 		c.Stats.ScaleOuts++
 		c.Stats.FEsAdded += uint64(added)
 		if len(v.fes) >= c.floorOf(v) {
@@ -1495,7 +1532,10 @@ func (c *Controller) NodeDown(addr packet.IPv4) {
 	}
 	n.down = true
 	c.Stats.Failovers++
+	c.statMu.Lock()
 	c.failoverAt[addr] = c.loop.Now()
+	c.statMu.Unlock()
+	c.ob.Event(c.loop.Now(), "node-down", addr, 0, "fronted=%d", len(n.fronted))
 	c.evictFEHost(addr, n, true)
 	for _, vnic := range c.sortedVNICs() {
 		c.failTxnTarget(c.vnics[vnic], addr)
@@ -1506,13 +1546,27 @@ func (c *Controller) NodeDown(addr packet.IPv4) {
 // declaration for addr (the rebalance away from it starts then). ok
 // is false if addr never failed over.
 func (c *Controller) FailoverTime(addr packet.IPv4) (sim.Time, bool) {
+	c.statMu.Lock()
+	defer c.statMu.Unlock()
 	t, ok := c.failoverAt[addr]
 	return t, ok
 }
 
 // LastRebalance reports the most recent time any vNIC's FE pool
 // changed (eviction, scale-out completion, or link failover).
-func (c *Controller) LastRebalance() sim.Time { return c.lastRebalance }
+func (c *Controller) LastRebalance() sim.Time {
+	c.statMu.Lock()
+	defer c.statMu.Unlock()
+	return c.lastRebalance
+}
+
+// noteRebalance stamps lastRebalance under statMu (readers may be
+// off-goroutine).
+func (c *Controller) noteRebalance() {
+	c.statMu.Lock()
+	c.lastRebalance = c.loop.Now()
+	c.statMu.Unlock()
+}
 
 // LinkDown handles a BE-reported FE connectivity failure (§C.1):
 // the FE itself may be healthy (the central monitor still sees it),
@@ -1525,6 +1579,7 @@ func (c *Controller) LinkDown(home, fe packet.IPv4) {
 		c.badLinks[home] = make(map[packet.IPv4]sim.Time)
 	}
 	c.badLinks[home][fe] = c.loop.Now()
+	c.ob.Event(c.loop.Now(), "link-down", fe, 0, "home=%v", home)
 	for _, vnic := range c.sortedVNICs() {
 		v := c.vnics[vnic]
 		if v.Home != home {
@@ -1555,6 +1610,7 @@ func (c *Controller) NodeUp(addr packet.IPv4) {
 		return
 	}
 	n.down = false
+	c.ob.Event(c.loop.Now(), "node-up", addr, 0, "")
 	for _, vnic := range c.sortedVNICs() {
 		v := c.vnics[vnic]
 		if v.Home != addr {
@@ -1632,6 +1688,7 @@ func (c *Controller) startFallback(v *vnicState) {
 	v.epoch++
 	tx := &txn{kind: txnFallback, epoch: v.epoch, t0: c.loop.Now()}
 	v.txn = tx
+	c.spanBegin("fallback", v.VNIC, tx.epoch)
 	c.rpc.Call(v.Home, &ctrlrpc.Request{
 		Op: ctrlrpc.OpFallbackStart, VNIC: v.VNIC, Epoch: tx.epoch,
 		Rules: v.MakeRules(), ApplyDelay: c.pushDelay(),
@@ -1643,6 +1700,8 @@ func (c *Controller) startFallback(v *vnicState) {
 			v.txn = nil
 			v.inProgress = false
 			c.Stats.Aborts++
+			c.spanEnd("fallback", v.VNIC, tx.epoch, "aborted")
+			c.ob.Event(c.loop.Now(), "txn-abort", v.Home, v.VNIC, "kind=fallback epoch=%d", tx.epoch)
 			return
 		}
 		c.rpc.Call(c.gwAgent.Addr(), &ctrlrpc.Request{
@@ -1651,6 +1710,12 @@ func (c *Controller) startFallback(v *vnicState) {
 			v.offloaded = false
 			v.txn = nil
 			c.Stats.Fallbacks++
+			outcome := "committed"
+			if gerr != nil {
+				outcome = "committed-dirty"
+			}
+			c.spanEnd("fallback", v.VNIC, tx.epoch, outcome)
+			c.ob.Event(c.loop.Now(), "txn-commit", v.Home, v.VNIC, "kind=fallback epoch=%d dirty=%v", tx.epoch, gerr != nil)
 			if gerr != nil {
 				// Gateway state unknown: keep the FEs alive until the
 				// repair loop lands a fresh push, then clean up.

@@ -1,0 +1,86 @@
+package controller
+
+import (
+	"strconv"
+
+	"nezha/internal/obs"
+)
+
+// EnableObs publishes the controller's transaction and pool state into
+// the registry and enables span/event recording at the transaction
+// lifecycle points. Counters are snapshot-time funcs over the plain
+// Stats fields (owned by the sim goroutine, which also runs
+// snapshots); the per-vNIC and per-node gauges are emitted by a
+// Collect callback so dynamic label sets (vNICs registered later,
+// nodes joining) need no pre-registration. Also wires the underlying
+// RPC transport's counters.
+func (c *Controller) EnableObs(o *obs.Obs) {
+	if o == nil {
+		return
+	}
+	c.ob = o
+	c.rpc.EnableObs(o)
+	r := o.Reg
+	r.CounterFunc("controller_offloads_total", nil, func() uint64 { return c.Stats.Offloads })
+	r.CounterFunc("controller_fallbacks_total", nil, func() uint64 { return c.Stats.Fallbacks })
+	r.CounterFunc("controller_scaleouts_total", nil, func() uint64 { return c.Stats.ScaleOuts })
+	r.CounterFunc("controller_scaleins_total", nil, func() uint64 { return c.Stats.ScaleIns })
+	r.CounterFunc("controller_failovers_total", nil, func() uint64 { return c.Stats.Failovers })
+	r.CounterFunc("controller_fes_added_total", nil, func() uint64 { return c.Stats.FEsAdded })
+	r.CounterFunc("controller_aborts_total", nil, func() uint64 { return c.Stats.Aborts })
+	r.CounterFunc("controller_rollbacks_total", nil, func() uint64 { return c.Stats.Rollbacks })
+	r.CounterFunc("controller_degraded_enters_total", nil, func() uint64 { return c.Stats.DegradedEnters })
+	r.CounterFunc("controller_degraded_exits_total", nil, func() uint64 { return c.Stats.DegradedExits })
+	r.CounterFunc("controller_repair_runs_total", nil, func() uint64 { return c.Stats.RepairRuns })
+	r.GaugeFunc("controller_txns_inflight", nil, func() float64 {
+		n := 0
+		for _, v := range c.vnics {
+			if v.txn != nil {
+				n++
+			}
+		}
+		return float64(n)
+	})
+	r.Collect(func(emit obs.Emit) {
+		for _, id := range c.sortedVNICs() {
+			v := c.vnics[id]
+			l := obs.L("vnic", strconv.FormatUint(uint64(id), 10))
+			emit("controller_vnic_offloaded", l, obs.KindGauge, b2f(v.offloaded))
+			emit("controller_vnic_fes", l, obs.KindGauge, float64(len(v.fes)))
+			emit("controller_vnic_epoch", l, obs.KindGauge, float64(v.epoch))
+			emit("controller_vnic_degraded", l, obs.KindGauge, b2f(v.degraded))
+			emit("controller_vnic_dirty", l, obs.KindGauge, b2f(v.dirty))
+		}
+		for _, addr := range c.sortedNodeAddrs() {
+			n := c.nodes[addr]
+			l := obs.L("node", addr.String())
+			emit("controller_node_down", l, obs.KindGauge, b2f(n.down))
+			emit("controller_node_cpu_util", l, obs.KindGauge, n.cpuUtil)
+			emit("controller_node_mem_util", l, obs.KindGauge, n.memUtil)
+			emit("controller_node_remote_share", l, obs.KindGauge, n.remoteShare)
+			emit("controller_node_fronted_vnics", l, obs.KindGauge, float64(len(n.fronted)))
+		}
+	})
+}
+
+// spanBegin opens a control-plane transaction span (no-op when obs is
+// disabled).
+func (c *Controller) spanBegin(kind string, vnic uint32, epoch uint64) {
+	if c.ob != nil {
+		c.ob.Spans.Begin(kind, vnic, epoch, c.loop.Now())
+	}
+}
+
+// spanEnd closes a transaction span with its outcome.
+func (c *Controller) spanEnd(kind string, vnic uint32, epoch uint64, outcome string) {
+	if c.ob != nil {
+		c.ob.Spans.End(kind, vnic, epoch, c.loop.Now(), outcome)
+	}
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -28,6 +28,7 @@ import (
 	"fmt"
 
 	"nezha/internal/fabric"
+	"nezha/internal/obs"
 	"nezha/internal/packet"
 	"nezha/internal/sim"
 	"nezha/internal/tables"
@@ -171,6 +172,9 @@ type Transport struct {
 	pending  map[uint64]*call
 	verdicts map[uint64]error
 
+	// ob, when set by EnableObs, records retry/expiry events.
+	ob *obs.Obs
+
 	Stats Stats
 }
 
@@ -216,6 +220,7 @@ func (t *Transport) attempt(cl *call, n int) {
 	t.Stats.Sent++
 	if n > 1 {
 		t.Stats.Retries++
+		t.ob.Event(t.loop.Now(), "rpc-retry", cl.to, cl.req.VNIC, "op=%v id=%d attempt=%d", cl.req.Op, cl.req.ID, n)
 	}
 	p := packet.New(cl.req.ID, 0, 0, packet.FiveTuple{
 		SrcIP: t.opts.Addr, DstIP: cl.to,
@@ -233,6 +238,7 @@ func (t *Transport) attempt(cl *call, n int) {
 			delete(t.pending, cl.req.ID)
 			delete(t.verdicts, cl.req.ID)
 			t.Stats.Expired++
+			t.ob.Event(t.loop.Now(), "rpc-timeout", cl.to, cl.req.VNIC, "op=%v id=%d attempts=%d", cl.req.Op, cl.req.ID, n)
 			cl.done(fmt.Errorf("%w: %v to %v after %d attempts", ErrTimeout, cl.req.Op, cl.to, n))
 			return
 		}

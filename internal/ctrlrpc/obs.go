@@ -1,0 +1,25 @@
+package ctrlrpc
+
+import (
+	"nezha/internal/obs"
+)
+
+// EnableObs publishes the transport's attempt/retry/dedup/timeout
+// counters into the registry and records retries and expiries into
+// the flight recorder. Counters are snapshot-time funcs over the
+// plain Stats fields (owned by the sim goroutine); the hot path only
+// pays for recorder events on the rare retry/expiry edges.
+func (t *Transport) EnableObs(o *obs.Obs) {
+	if o == nil {
+		return
+	}
+	t.ob = o
+	r := o.Reg
+	r.CounterFunc("ctrlrpc_attempts_total", nil, func() uint64 { return t.Stats.Sent })
+	r.CounterFunc("ctrlrpc_retries_total", nil, func() uint64 { return t.Stats.Retries })
+	r.CounterFunc("ctrlrpc_acked_total", nil, func() uint64 { return t.Stats.Acked })
+	r.CounterFunc("ctrlrpc_nacked_total", nil, func() uint64 { return t.Stats.Nacked })
+	r.CounterFunc("ctrlrpc_timeouts_total", nil, func() uint64 { return t.Stats.Expired })
+	r.CounterFunc("ctrlrpc_dup_acks_total", nil, func() uint64 { return t.Stats.DupAcks })
+	r.GaugeFunc("ctrlrpc_pending", nil, func() float64 { return float64(len(t.pending)) })
+}

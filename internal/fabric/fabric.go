@@ -12,6 +12,7 @@ package fabric
 import (
 	"fmt"
 
+	"nezha/internal/obs"
 	"nezha/internal/packet"
 	"nezha/internal/sim"
 )
@@ -71,6 +72,9 @@ type Fabric struct {
 	// faults, when set, injects stochastic loss and latency jitter per
 	// link (the chaos engine's hook point).
 	faults FaultInjector
+
+	// tr, when set by EnableObs, records wire hops for sampled packets.
+	tr *obs.FlightTracer
 
 	// inFlight counts packets accepted by Send whose delivery event has
 	// not yet resolved (delivered or lost).
@@ -184,6 +188,7 @@ func (f *Fabric) Send(from, to packet.IPv4, p *packet.Packet) {
 	dst, ok := f.nodes[to]
 	if !ok || f.partitions[pairKey(from, to)] {
 		f.Lost++
+		f.traceHop(p.ID, from, "wire-lost", to)
 		return
 	}
 	lat := f.Latency(from, to, p.SizeBytes)
@@ -193,6 +198,7 @@ func (f *Fabric) Send(from, to packet.IPv4, p *packet.Packet) {
 			if !v.SkipAccounting {
 				f.ChaosLost++
 			}
+			f.traceHop(p.ID, from, "chaos-lost", to)
 			return
 		}
 		if v.Jitter > 0 {
@@ -212,6 +218,7 @@ func (f *Fabric) Send(from, to packet.IPv4, p *packet.Packet) {
 		cur, ok := f.nodes[to]
 		if !ok || cur != dst || cur.handler == nil || f.partitions[pairKey(from, to)] {
 			f.Lost++
+			f.traceHop(p.ID, from, "wire-lost", to)
 			return
 		}
 		deliver := p
@@ -219,12 +226,14 @@ func (f *Fabric) Send(from, to packet.IPv4, p *packet.Packet) {
 			q, err := packet.Unmarshal(wire)
 			if err != nil {
 				f.Lost++
+				f.traceHop(p.ID, from, "wire-lost", to)
 				return
 			}
 			deliver = q
 		}
 		deliver.Hops++
 		f.Delivered++
+		f.traceHop(deliver.ID, from, "wire", to)
 		cur.handler(deliver)
 	})
 }

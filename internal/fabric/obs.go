@@ -1,0 +1,45 @@
+package fabric
+
+import (
+	"nezha/internal/obs"
+	"nezha/internal/packet"
+)
+
+// EnableObs publishes the fabric's packet-conservation ledger into
+// the registry and turns on per-hop flight tracing for sampled
+// packets. The counters are registered as snapshot-time funcs — the
+// fabric's plain fields are owned by the sim goroutine, which is also
+// where snapshots run — so the Send hot path only pays for tracing,
+// and only on sampled packets.
+func (f *Fabric) EnableObs(o *obs.Obs) {
+	if o == nil {
+		return
+	}
+	f.tr = o.Tracer
+	r := o.Reg
+	r.CounterFunc("fabric_sends_total", nil, func() uint64 { return f.Sends })
+	r.CounterFunc("fabric_delivered_total", nil, func() uint64 { return f.Delivered })
+	r.CounterFunc("fabric_lost_total", nil, func() uint64 { return f.Lost })
+	r.CounterFunc("fabric_chaos_lost_total", nil, func() uint64 { return f.ChaosLost })
+	r.CounterFunc("fabric_bytes_total", nil, func() uint64 { return f.BytesSent })
+	r.GaugeFunc("fabric_inflight", nil, func() float64 { return float64(f.inFlight) })
+	r.GaugeFunc("fabric_nodes", nil, func() float64 { return float64(len(f.nodes)) })
+	r.GaugeFunc("fabric_partitions", nil, func() float64 { return float64(len(f.partitions)) })
+}
+
+// EnableObs publishes the gateway table size into the registry.
+func (g *Gateway) EnableObs(o *obs.Obs) {
+	if o == nil {
+		return
+	}
+	o.Reg.GaugeFunc("gateway_table_size", nil, func() float64 { return float64(len(g.table)) })
+}
+
+// traceHop records a wire-stage hop; the note is only materialized
+// for sampled packets.
+func (f *Fabric) traceHop(id uint64, node packet.IPv4, stage string, to packet.IPv4) {
+	if f.tr == nil || !f.tr.Sampled(id) {
+		return
+	}
+	f.tr.Hop(id, obs.Hop{At: f.loop.Now(), Node: node, Stage: stage, Note: "to=" + to.String()})
+}

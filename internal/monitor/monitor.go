@@ -10,8 +10,10 @@ package monitor
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"nezha/internal/fabric"
+	"nezha/internal/obs"
 	"nezha/internal/packet"
 	"nezha/internal/sim"
 	"nezha/internal/vswitch"
@@ -49,6 +51,7 @@ type target struct {
 	pending    bool     // probe outstanding
 	pendingID  uint64   // ID of the outstanding probe
 	declaredAt sim.Time // when the current down state was declared
+	firstMiss  sim.Time // when the current miss streak started
 }
 
 // Monitor is the centralized health checker.
@@ -63,13 +66,20 @@ type Monitor struct {
 	ticker  *sim.Ticker
 	probeID uint64
 
-	// Counters.
-	ProbesSent  uint64
-	PongsSeen   uint64
-	StalePongs  uint64
-	Declared    uint64
-	GuardTrips  uint64
+	// Counters. These are read by tests and CLI status printers from
+	// outside the sim goroutine, so they are atomics: the probe loop
+	// pays a cheap atomic add, readers are race-free.
+	ProbesSent  atomic.Uint64
+	PongsSeen   atomic.Uint64
+	StalePongs  atomic.Uint64
+	Declared    atomic.Uint64
+	GuardTrips  atomic.Uint64
 	guardActive bool
+
+	// ob, when set by EnableObs, publishes detection latency and
+	// recorder events.
+	ob         *obs.Obs
+	declareLat *obs.Histogram
 }
 
 // New builds a monitor and registers it on the fabric. onDown fires
@@ -89,6 +99,40 @@ func New(loop *sim.Loop, fab *fabric.Fabric, cfg Config, onDown func(packet.IPv4
 // SetOnUp installs a recovery callback (fired when a down target
 // answers again).
 func (m *Monitor) SetOnUp(fn func(packet.IPv4)) { m.onUp = fn }
+
+// EnableObs publishes the monitor's counters, the crash-detection
+// latency histogram (first missed probe to declaration), and
+// flight-recorder events for declarations, recoveries, and guard
+// trips.
+func (m *Monitor) EnableObs(o *obs.Obs) {
+	if o == nil {
+		return
+	}
+	m.ob = o
+	m.declareLat = o.Reg.GetHistogram("monitor_declare_latency_ns", nil)
+	r := o.Reg
+	r.CounterFunc("monitor_probes_sent_total", nil, m.ProbesSent.Load)
+	r.CounterFunc("monitor_pongs_seen_total", nil, m.PongsSeen.Load)
+	r.CounterFunc("monitor_stale_pongs_total", nil, m.StalePongs.Load)
+	r.CounterFunc("monitor_declared_total", nil, m.Declared.Load)
+	r.CounterFunc("monitor_guard_trips_total", nil, m.GuardTrips.Load)
+	r.GaugeFunc("monitor_targets", nil, func() float64 { return float64(len(m.targets)) })
+	r.GaugeFunc("monitor_targets_down", nil, func() float64 {
+		n := 0
+		for _, t := range m.targets {
+			if t.down {
+				n++
+			}
+		}
+		return float64(n)
+	})
+	r.GaugeFunc("monitor_guard_active", nil, func() float64 {
+		if m.guardActive {
+			return 1
+		}
+		return 0
+	})
+}
 
 // Watch adds a vSwitch to the probe set.
 func (m *Monitor) Watch(addr packet.IPv4) {
@@ -127,7 +171,13 @@ func (m *Monitor) DeclaredAt(addr packet.IPv4) (sim.Time, bool) {
 func (m *Monitor) declare(addr packet.IPv4, t *target) {
 	t.down = true
 	t.declaredAt = m.loop.Now()
-	m.Declared++
+	m.Declared.Add(1)
+	if m.ob != nil {
+		if t.firstMiss > 0 {
+			m.declareLat.Observe(uint64(t.declaredAt - t.firstMiss))
+		}
+		m.ob.Event(t.declaredAt, "mon-declare", addr, 0, "missed=%d", t.missed)
+	}
 	if m.onDown != nil {
 		m.onDown(addr)
 	}
@@ -188,6 +238,9 @@ func (m *Monitor) round() {
 		if t.pending {
 			t.missed++
 			t.pending = false
+			if t.missed == 1 {
+				t.firstMiss = m.loop.Now()
+			}
 			if t.missed >= m.cfg.Misses && !t.down {
 				newlyDead = append(newlyDead, addr)
 			}
@@ -197,8 +250,11 @@ func (m *Monitor) round() {
 	// once, suspend automatic removal (likely a monitoring bug).
 	if m.cfg.GuardFraction > 0 && len(m.targets) > 1 &&
 		float64(len(newlyDead)) > m.cfg.GuardFraction*float64(len(m.targets)) {
-		m.GuardTrips++
+		m.GuardTrips.Add(1)
 		m.guardActive = true
+		if m.ob != nil {
+			m.ob.Event(m.loop.Now(), "mon-guard-trip", 0, 0, "newly_dead=%d targets=%d", len(newlyDead), len(m.targets))
+		}
 	}
 	if !m.guardActive {
 		for _, addr := range newlyDead {
@@ -217,7 +273,7 @@ func (m *Monitor) round() {
 			Proto: packet.ProtoUDP,
 		}, packet.DirTX, 0, 0)
 		probe.Encap(m.cfg.Addr, addr)
-		m.ProbesSent++
+		m.ProbesSent.Add(1)
 		m.fab.Send(m.cfg.Addr, addr, probe)
 	}
 }
@@ -229,20 +285,24 @@ func (m *Monitor) round() {
 // once just before dying could otherwise stay "healthy" an extra
 // round per queued pong, stretching crash detection past its bound).
 func (m *Monitor) handlePong(p *packet.Packet) {
-	m.PongsSeen++
+	m.PongsSeen.Add(1)
 	addr := p.OuterSrc
 	t, ok := m.targets[addr]
 	if !ok {
 		return
 	}
 	if !t.pending || p.ID != t.pendingID {
-		m.StalePongs++
+		m.StalePongs.Add(1)
 		return
 	}
 	t.pending = false
 	t.missed = 0
+	t.firstMiss = 0
 	if t.down {
 		t.down = false
+		if m.ob != nil {
+			m.ob.Event(m.loop.Now(), "mon-recover", addr, 0, "")
+		}
 		if m.onUp != nil {
 			m.onUp(addr)
 		}

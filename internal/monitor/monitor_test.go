@@ -50,10 +50,10 @@ func TestHealthyFleetNoDeclarations(t *testing.T) {
 	if len(b.down) != 0 {
 		t.Fatalf("declared %v down on a healthy fleet", b.down)
 	}
-	if b.mon.PongsSeen == 0 {
+	if b.mon.PongsSeen.Load() == 0 {
 		t.Fatal("no pongs seen")
 	}
-	if b.mon.ProbesSent == 0 {
+	if b.mon.ProbesSent.Load() == 0 {
 		t.Fatal("no probes sent")
 	}
 }
@@ -126,7 +126,7 @@ func TestWidespreadFailureGuard(t *testing.T) {
 		}
 	})
 	b.loop.Run(15 * sim.Second)
-	if b.mon.GuardTrips == 0 {
+	if b.mon.GuardTrips.Load() == 0 {
 		t.Fatal("guard did not trip on widespread failure")
 	}
 	if !b.mon.GuardActive() {
@@ -148,7 +148,7 @@ func TestSingleCrashDoesNotTripGuard(t *testing.T) {
 	b.mon.Start()
 	b.sw[0].Crash()
 	b.loop.Run(15 * sim.Second)
-	if b.mon.GuardTrips != 0 {
+	if b.mon.GuardTrips.Load() != 0 {
 		t.Fatal("guard tripped on a single crash")
 	}
 	if len(b.down) != 1 {
@@ -174,10 +174,10 @@ func TestStopHaltsProbing(t *testing.T) {
 	b := newBed(t, 2)
 	b.mon.Start()
 	b.loop.Run(2 * sim.Second)
-	sent := b.mon.ProbesSent
+	sent := b.mon.ProbesSent.Load()
 	b.mon.Stop()
 	b.loop.Run(10 * sim.Second)
-	if b.mon.ProbesSent != sent {
+	if b.mon.ProbesSent.Load() != sent {
 		t.Fatal("probes kept flowing after Stop")
 	}
 }
@@ -230,8 +230,8 @@ func TestStalePongIgnored(t *testing.T) {
 	if !tgt.pending {
 		t.Fatal("stale pong cleared the pending probe")
 	}
-	if b.mon.StalePongs != 1 {
-		t.Fatalf("StalePongs = %d, want 1", b.mon.StalePongs)
+	if b.mon.StalePongs.Load() != 1 {
+		t.Fatalf("StalePongs = %d, want 1", b.mon.StalePongs.Load())
 	}
 
 	// The matching pong settles it.
@@ -242,8 +242,8 @@ func TestStalePongIgnored(t *testing.T) {
 
 	// A duplicate of the already-consumed pong is stale too.
 	b.mon.handlePong(mkPong(tgt.pendingID))
-	if b.mon.StalePongs != 2 {
-		t.Fatalf("StalePongs = %d, want 2", b.mon.StalePongs)
+	if b.mon.StalePongs.Load() != 2 {
+		t.Fatalf("StalePongs = %d, want 2", b.mon.StalePongs.Load())
 	}
 }
 
@@ -276,7 +276,7 @@ func TestLatePongDoesNotMaskCrash(t *testing.T) {
 	if len(b.down) != 1 || b.down[0] != victim {
 		t.Fatalf("crash masked by stale pongs: declared %v", b.down)
 	}
-	if b.mon.StalePongs == 0 {
+	if b.mon.StalePongs.Load() == 0 {
 		t.Fatal("no stale pongs counted")
 	}
 }
@@ -304,24 +304,24 @@ func TestClearGuardNoRetrigger(t *testing.T) {
 	if len(b.down) != 5 {
 		t.Fatalf("first ClearGuard declared %d targets, want 5", len(b.down))
 	}
-	firstDeclared := b.mon.Declared
+	firstDeclared := b.mon.Declared.Load()
 
 	// Immediate second ClearGuard: all five are already down.
 	b.mon.ClearGuard()
 	if len(b.down) != 5 {
 		t.Fatalf("second ClearGuard re-fired onDown: %d callbacks, want 5", len(b.down))
 	}
-	if b.mon.Declared != firstDeclared {
-		t.Fatalf("second ClearGuard re-declared: %d, want %d", b.mon.Declared, firstDeclared)
+	if b.mon.Declared.Load() != firstDeclared {
+		t.Fatalf("second ClearGuard re-declared: %d, want %d", b.mon.Declared.Load(), firstDeclared)
 	}
 
 	// Let more probe rounds accumulate misses on the still-crashed
 	// targets, then clear again — still no re-trigger.
 	b.loop.Run(b.loop.Now() + 5*sim.Second)
 	b.mon.ClearGuard()
-	if len(b.down) != 5 || b.mon.Declared != firstDeclared {
+	if len(b.down) != 5 || b.mon.Declared.Load() != firstDeclared {
 		t.Fatalf("ClearGuard after more missed rounds re-triggered: callbacks=%d declared=%d",
-			len(b.down), b.mon.Declared)
+			len(b.down), b.mon.Declared.Load())
 	}
 }
 

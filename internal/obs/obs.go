@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"nezha/internal/packet"
+	"nezha/internal/sim"
+)
+
+// Obs bundles the observability layer handed to every component: the
+// labeled registry, the sampled flight tracer, the transaction span
+// log, the flight-recorder ring, and a top-K flow table fed from
+// sampled deliveries.
+type Obs struct {
+	Reg    *Registry
+	Tracer *FlightTracer
+	Spans  *SpanLog
+	Rec    *FlightRecorder
+	Flows  *FlowTop
+}
+
+// Options tunes an Obs bundle. Zero values select defaults.
+type Options struct {
+	Seed       int64   // trace-sampling seed (usually the campaign seed)
+	SampleRate float64 // fraction of packets flight-traced (0 disables)
+	MaxFlights int     // retained full flights (default 512)
+	RingSize   int     // flight-recorder events (default 4096)
+	MaxSpans   int     // retained completed spans (default 256)
+	MaxFlows   int     // flow table size (default 1024)
+}
+
+// New builds an Obs bundle.
+func New(opts Options) *Obs {
+	return &Obs{
+		Reg:    NewRegistry(),
+		Tracer: NewFlightTracer(opts.Seed, opts.SampleRate, opts.MaxFlights),
+		Spans:  NewSpanLog(opts.MaxSpans),
+		Rec:    NewFlightRecorder(opts.RingSize),
+		Flows:  NewFlowTop(opts.MaxFlows),
+	}
+}
+
+// Event records a flight-recorder event. Safe on a nil *Obs.
+func (o *Obs) Event(at sim.Time, kind string, node packet.IPv4, vnic uint32, format string, args ...any) {
+	if o == nil {
+		return
+	}
+	msg := format
+	if len(args) > 0 {
+		msg = fmt.Sprintf(format, args...)
+	}
+	o.Rec.Add(Event{At: at, Kind: kind, Node: node, VNIC: vnic, Msg: msg})
+}
+
+// Snap takes a registry snapshot at now and attaches the current
+// top-K flows.
+func (o *Obs) Snap(now sim.Time, topK int) *Snapshot {
+	s := o.Reg.Snapshot(now)
+	s.Flows = o.Flows.Top(topK)
+	return s
+}
+
+// WriteJSONLine writes the snapshot as one JSON line (the JSONL
+// stream format nezha-top consumes).
+func (s *Snapshot) WriteJSONLine(w io.Writer) error {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteDump writes a self-contained diagnostic dump: a meta line,
+// completed transaction spans, the flight-recorder ring, and every
+// retained sampled flight. The chaos engine calls this at the moment
+// an invariant violation is recorded, so the ring holds the events
+// leading up to the failure.
+func (o *Obs) WriteDump(w io.Writer, meta string) error {
+	if _, err := fmt.Fprintf(w, "# nezha flight-recorder dump\n%s\n", meta); err != nil {
+		return err
+	}
+	spans := o.Spans.Completed()
+	if _, err := fmt.Fprintf(w, "== spans (%d completed, %d active) ==\n",
+		len(spans), o.Spans.ActiveCount()); err != nil {
+		return err
+	}
+	for _, s := range spans {
+		if _, err := fmt.Fprintf(w, "%s\n", s); err != nil {
+			return err
+		}
+	}
+	if err := o.Rec.writeEvents(w); err != nil {
+		return err
+	}
+	return o.Tracer.writeFlights(w)
+}
+
+// FlowStat is one flow's delivered-packet count in a snapshot.
+type FlowStat struct {
+	Flow    string `json:"flow"`
+	Packets uint64 `json:"packets"`
+	Bytes   uint64 `json:"bytes"`
+}
+
+// FlowTop counts delivered packets per five-tuple for sampled
+// packets, bounded to maxFlows distinct flows (new flows beyond the
+// cap are dropped; sampling keeps the table small anyway).
+type FlowTop struct {
+	mu       sync.Mutex
+	counts   map[packet.FiveTuple]*flowCount
+	maxFlows int
+}
+
+type flowCount struct {
+	packets uint64
+	bytes   uint64
+}
+
+// NewFlowTop builds a flow table of at most maxFlows flows (default
+// 1024 when <= 0).
+func NewFlowTop(maxFlows int) *FlowTop {
+	if maxFlows <= 0 {
+		maxFlows = 1024
+	}
+	return &FlowTop{counts: make(map[packet.FiveTuple]*flowCount), maxFlows: maxFlows}
+}
+
+// Observe charges one delivered packet to its flow.
+func (f *FlowTop) Observe(ft packet.FiveTuple, bytes int) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	c, ok := f.counts[ft]
+	if !ok {
+		if len(f.counts) >= f.maxFlows {
+			f.mu.Unlock()
+			return
+		}
+		c = &flowCount{}
+		f.counts[ft] = c
+	}
+	c.packets++
+	c.bytes += uint64(bytes)
+	f.mu.Unlock()
+}
+
+// Top returns the k busiest flows by packet count (ties broken by
+// flow string for determinism).
+func (f *FlowTop) Top(k int) []FlowStat {
+	f.mu.Lock()
+	out := make([]FlowStat, 0, len(f.counts))
+	for ft, c := range f.counts {
+		out = append(out, FlowStat{Flow: ft.String(), Packets: c.packets, Bytes: c.bytes})
+	}
+	f.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Packets != out[j].Packets {
+			return out[i].Packets > out[j].Packets
+		}
+		return out[i].Flow < out[j].Flow
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"nezha/internal/packet"
+	"nezha/internal/sim"
+)
+
+// Event is one structured flight-recorder entry: a control-plane or
+// lifecycle occurrence worth having in hand when an invariant trips.
+type Event struct {
+	At   sim.Time    `json:"at"`
+	Kind string      `json:"kind"` // e.g. txn-prepare, txn-commit, rpc-retry, node-down
+	Node packet.IPv4 `json:"node,omitempty"`
+	VNIC uint32      `json:"vnic,omitempty"`
+	Msg  string      `json:"msg,omitempty"`
+}
+
+func (e Event) String() string {
+	s := fmt.Sprintf("[%v] %-16s", e.At, e.Kind)
+	if e.Node != 0 {
+		s += fmt.Sprintf(" node=%s", e.Node)
+	}
+	if e.VNIC != 0 {
+		s += fmt.Sprintf(" vnic=%d", e.VNIC)
+	}
+	if e.Msg != "" {
+		s += " " + e.Msg
+	}
+	return s
+}
+
+// FlightRecorder is a bounded ring of recent events. Writers pay one
+// mutex'd slot store; the ring never grows. The chaos engine dumps it
+// (alongside spans and sampled flights) the moment an invariant
+// violation is recorded.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	full  bool
+	total uint64
+}
+
+// NewFlightRecorder builds a ring holding the last n events (default
+// 4096 when n <= 0).
+func NewFlightRecorder(n int) *FlightRecorder {
+	if n <= 0 {
+		n = 4096
+	}
+	return &FlightRecorder{buf: make([]Event, n)}
+}
+
+// Add appends an event, evicting the oldest once the ring is full.
+func (r *FlightRecorder) Add(e Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (r *FlightRecorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]Event(nil), r.buf[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Len returns how many events are currently retained.
+func (r *FlightRecorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Total returns how many events were ever recorded.
+func (r *FlightRecorder) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// writeEvents dumps the retained events, oldest first.
+func (r *FlightRecorder) writeEvents(w io.Writer) error {
+	events := r.Events()
+	if _, err := fmt.Fprintf(w, "== events (last %d of %d) ==\n", len(events), r.Total()); err != nil {
+		return err
+	}
+	for _, e := range events {
+		if _, err := fmt.Fprintf(w, "%s\n", e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

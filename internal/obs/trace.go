@@ -1,0 +1,307 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"nezha/internal/packet"
+	"nezha/internal/sim"
+)
+
+// Hop is one stage of a packet's flight: where it was, what it cost,
+// and what the lookup decided. Stages seen in practice: ingress-vm,
+// cpu, lookup, local-tx, local-rx, gw-pick, be-tx, be-rx, fe-tx,
+// fe-rx, wire, wire-lost, chaos-lost, deliver, and drop:<reason>.
+type Hop struct {
+	At         sim.Time
+	Node       packet.IPv4
+	Stage      string
+	QueueWait  sim.Time
+	Cycles     uint64
+	TableHit   bool
+	EncapBytes int
+	Note       string
+}
+
+func (h Hop) String() string {
+	s := fmt.Sprintf("[%v] %-12s node=%s", h.At, h.Stage, h.Node)
+	if h.QueueWait != 0 {
+		s += fmt.Sprintf(" wait=%v", h.QueueWait)
+	}
+	if h.Cycles != 0 {
+		s += fmt.Sprintf(" cycles=%d", h.Cycles)
+	}
+	if h.Stage == "lookup" {
+		if h.TableHit {
+			s += " hit"
+		} else {
+			s += " miss"
+		}
+	}
+	if h.EncapBytes != 0 {
+		s += fmt.Sprintf(" encap=%dB", h.EncapBytes)
+	}
+	if h.Note != "" {
+		s += " " + h.Note
+	}
+	return s
+}
+
+// FlightTracer records sampled per-packet hop sequences. Sampling is
+// a deterministic hash of (seed, packet ID), so the same seed and
+// rate always trace the same packets, and the running digest over all
+// hops is reproducible: the sim loop is single-threaded, so hops
+// arrive in a deterministic order for a given seed.
+type FlightTracer struct {
+	seed uint64
+	rate float64
+
+	mu         sync.Mutex
+	digest     uint64
+	hops       uint64
+	flights    map[uint64][]Hop
+	order      []uint64 // flight IDs in first-hop order, for FIFO eviction
+	maxFlights int
+}
+
+// NewFlightTracer samples packets at rate (0..1) keyed on seed,
+// retaining at most maxFlights full hop sequences (digest and hop
+// count keep accumulating past the cap; old flights are evicted
+// FIFO). maxFlights <= 0 selects a default of 512.
+func NewFlightTracer(seed int64, rate float64, maxFlights int) *FlightTracer {
+	if maxFlights <= 0 {
+		maxFlights = 512
+	}
+	return &FlightTracer{
+		seed:       uint64(seed),
+		rate:       rate,
+		flights:    make(map[uint64][]Hop),
+		maxFlights: maxFlights,
+	}
+}
+
+// Sampled reports whether packet id is traced. Deterministic in
+// (seed, id); cheap enough to call on every packet.
+func (t *FlightTracer) Sampled(id uint64) bool {
+	if t == nil || t.rate <= 0 {
+		return false
+	}
+	if t.rate >= 1 {
+		return true
+	}
+	return hashFloat(obsMix(t.seed, id)) < t.rate
+}
+
+// Hop records one hop for packet id if it is sampled. Every field is
+// folded into the running digest in call order.
+func (t *FlightTracer) Hop(id uint64, h Hop) {
+	if !t.Sampled(id) {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.hops++
+	t.digest = foldFNV(t.digest, id, uint64(h.At), uint64(h.Node), uint64(h.QueueWait),
+		h.Cycles, uint64(h.EncapBytes), boolWord(h.TableHit))
+	t.digest = foldFNVString(t.digest, h.Stage)
+	t.digest = foldFNVString(t.digest, h.Note)
+	hops, ok := t.flights[id]
+	if !ok {
+		if len(t.order) >= t.maxFlights {
+			evict := t.order[0]
+			t.order = t.order[1:]
+			delete(t.flights, evict)
+		}
+		t.order = append(t.order, id)
+	}
+	t.flights[id] = append(hops, h)
+}
+
+// Trace returns the retained hop sequence for packet id (nil if not
+// sampled or evicted).
+func (t *FlightTracer) Trace(id uint64) []Hop {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Hop(nil), t.flights[id]...)
+}
+
+// Digest returns the running FNV digest over every hop recorded so
+// far. Same seed + same rate + same workload => same digest.
+func (t *FlightTracer) Digest() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.digest
+}
+
+// HopCount returns the total hops recorded (including for evicted
+// flights).
+func (t *FlightTracer) HopCount() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.hops
+}
+
+// Rate returns the configured sampling rate.
+func (t *FlightTracer) Rate() float64 { return t.rate }
+
+// writeFlights dumps every retained flight, oldest first.
+func (t *FlightTracer) writeFlights(w io.Writer) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, err := fmt.Fprintf(w, "== flights (%d retained, %d hops total, rate=%g) ==\n",
+		len(t.order), t.hops, t.rate); err != nil {
+		return err
+	}
+	for _, id := range t.order {
+		if _, err := fmt.Fprintf(w, "flight id=%d hops=%d\n", id, len(t.flights[id])); err != nil {
+			return err
+		}
+		for _, h := range t.flights[id] {
+			if _, err := fmt.Fprintf(w, "  %s\n", h); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Span is one control-plane transaction: an offload, scale-out,
+// rollback or similar, from first prepare to final outcome.
+type Span struct {
+	Kind    string      `json:"kind"`
+	VNIC    uint32      `json:"vnic"`
+	Epoch   uint64      `json:"epoch"`
+	Start   sim.Time    `json:"start"`
+	End     sim.Time    `json:"end"`
+	Outcome string      `json:"outcome"` // commit | abort | rollback | ...
+	Node    packet.IPv4 `json:"node,omitempty"`
+}
+
+func (s Span) String() string {
+	return fmt.Sprintf("span kind=%-9s vnic=%d epoch=%d start=%v end=%v took=%v outcome=%s",
+		s.Kind, s.VNIC, s.Epoch, s.Start, s.End, s.End-s.Start, s.Outcome)
+}
+
+// SpanLog tracks in-flight and completed control-plane transaction
+// spans, bounded to the most recent maxDone completed spans.
+type SpanLog struct {
+	mu      sync.Mutex
+	active  map[string]Span
+	done    []Span
+	maxDone int
+}
+
+// NewSpanLog builds a span log keeping the last maxDone completed
+// spans (default 256 when <= 0).
+func NewSpanLog(maxDone int) *SpanLog {
+	if maxDone <= 0 {
+		maxDone = 256
+	}
+	return &SpanLog{active: make(map[string]Span), maxDone: maxDone}
+}
+
+func spanKey(kind string, vnic uint32, epoch uint64) string {
+	return fmt.Sprintf("%s|%d|%d", kind, vnic, epoch)
+}
+
+// Begin opens a span. Re-beginning an open span restarts it.
+func (l *SpanLog) Begin(kind string, vnic uint32, epoch uint64, at sim.Time) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.active[spanKey(kind, vnic, epoch)] = Span{Kind: kind, VNIC: vnic, Epoch: epoch, Start: at}
+}
+
+// End closes a span with an outcome. Ending a span that was never
+// begun records a zero-start span (still useful in dumps).
+func (l *SpanLog) End(kind string, vnic uint32, epoch uint64, at sim.Time, outcome string) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	key := spanKey(kind, vnic, epoch)
+	s, ok := l.active[key]
+	if !ok {
+		s = Span{Kind: kind, VNIC: vnic, Epoch: epoch, Start: at}
+	}
+	delete(l.active, key)
+	s.End = at
+	s.Outcome = outcome
+	if len(l.done) >= l.maxDone {
+		l.done = l.done[1:]
+	}
+	l.done = append(l.done, s)
+}
+
+// Completed returns completed spans, oldest first.
+func (l *SpanLog) Completed() []Span {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Span(nil), l.done...)
+}
+
+// ActiveCount returns the number of open spans.
+func (l *SpanLog) ActiveCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.active)
+}
+
+// obsMix is a splitmix64-style stateless mixer: a deterministic hash
+// over the words, used to derive sampling verdicts from (seed, id)
+// without consuming RNG state (the same construction the chaos
+// engine uses for fault verdicts).
+func obsMix(words ...uint64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, w := range words {
+		h ^= w
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+		h *= 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	return h
+}
+
+// hashFloat maps a hash to [0,1).
+func hashFloat(h uint64) float64 {
+	return float64(h>>11) / float64(1<<53)
+}
+
+// foldFNV folds words into an FNV-1a style running digest.
+func foldFNV(h uint64, words ...uint64) uint64 {
+	const prime64 = 1099511628211
+	if h == 0 {
+		h = 14695981039346656037
+	}
+	for _, w := range words {
+		for i := 0; i < 8; i++ {
+			h ^= (w >> (8 * i)) & 0xff
+			h *= prime64
+		}
+	}
+	return h
+}
+
+func foldFNVString(h uint64, s string) uint64 {
+	const prime64 = 1099511628211
+	if h == 0 {
+		h = 14695981039346656037
+	}
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+func boolWord(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

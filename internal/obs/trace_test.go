@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"nezha/internal/packet"
+	"nezha/internal/sim"
+)
+
+func TestSamplingDeterministicInSeed(t *testing.T) {
+	a := NewFlightTracer(42, 0.1, 0)
+	b := NewFlightTracer(42, 0.1, 0)
+	c := NewFlightTracer(43, 0.1, 0)
+	sampled, differs := 0, false
+	for id := uint64(0); id < 10000; id++ {
+		if a.Sampled(id) != b.Sampled(id) {
+			t.Fatalf("same seed disagrees on id %d", id)
+		}
+		if a.Sampled(id) {
+			sampled++
+		}
+		if a.Sampled(id) != c.Sampled(id) {
+			differs = true
+		}
+	}
+	// ~10% of 10000, generous bounds.
+	if sampled < 500 || sampled > 2000 {
+		t.Fatalf("sampled %d of 10000 at rate 0.1", sampled)
+	}
+	if !differs {
+		t.Fatal("different seeds sampled identically")
+	}
+	if NewFlightTracer(1, 0, 0).Sampled(7) {
+		t.Fatal("rate 0 sampled a packet")
+	}
+	if !NewFlightTracer(1, 1, 0).Sampled(7) {
+		t.Fatal("rate 1 skipped a packet")
+	}
+}
+
+func TestHopDigestDeterministic(t *testing.T) {
+	run := func() uint64 {
+		tr := NewFlightTracer(7, 1, 4)
+		for id := uint64(1); id <= 10; id++ {
+			tr.Hop(id, Hop{At: sim.Time(id), Node: packet.MakeIP(10, 0, 0, byte(id)), Stage: "lookup", TableHit: id%2 == 0})
+			tr.Hop(id, Hop{At: sim.Time(id + 1), Stage: "deliver", Cycles: 100 * id})
+		}
+		return tr.Digest()
+	}
+	if run() != run() {
+		t.Fatal("identical hop sequences produced different digests")
+	}
+	// A single field difference must change the digest.
+	tr := NewFlightTracer(7, 1, 4)
+	tr.Hop(1, Hop{Stage: "lookup", TableHit: true})
+	tr2 := NewFlightTracer(7, 1, 4)
+	tr2.Hop(1, Hop{Stage: "lookup", TableHit: false})
+	if tr.Digest() == tr2.Digest() {
+		t.Fatal("digest insensitive to TableHit")
+	}
+}
+
+func TestFlightEvictionKeepsDigest(t *testing.T) {
+	tr := NewFlightTracer(7, 1, 2)
+	for id := uint64(1); id <= 5; id++ {
+		tr.Hop(id, Hop{Stage: "deliver"})
+	}
+	if got := tr.HopCount(); got != 5 {
+		t.Fatalf("hop count %d, want 5", got)
+	}
+	if tr.Trace(1) != nil {
+		t.Fatal("oldest flight should have been evicted")
+	}
+	if len(tr.Trace(5)) != 1 {
+		t.Fatal("newest flight missing")
+	}
+}
+
+func TestTraceRendering(t *testing.T) {
+	tr := NewFlightTracer(1, 1, 8)
+	tr.Hop(9, Hop{At: sim.Millisecond, Node: packet.MakeIP(10, 0, 0, 1), Stage: "lookup", TableHit: false})
+	tr.Hop(9, Hop{At: 2 * sim.Millisecond, Node: packet.MakeIP(10, 0, 0, 2), Stage: "be-tx", EncapBytes: 54})
+	var b strings.Builder
+	if err := tr.writeFlights(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"flight id=9 hops=2", "lookup", "miss", "be-tx", "encap=54B", "node=10.0.0.2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("flight dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpanLog(t *testing.T) {
+	l := NewSpanLog(2)
+	l.Begin("offload", 1, 3, sim.Second)
+	l.End("offload", 1, 3, 2*sim.Second, "commit")
+	l.Begin("offload", 2, 1, sim.Second)
+	l.End("offload", 2, 1, 3*sim.Second, "abort")
+	l.Begin("scaleout", 1, 4, sim.Second)
+	l.End("scaleout", 1, 4, 4*sim.Second, "commit")
+	done := l.Completed()
+	if len(done) != 2 {
+		t.Fatalf("retained %d spans, want 2 (bounded)", len(done))
+	}
+	if done[1].Kind != "scaleout" || done[1].Outcome != "commit" || done[1].End-done[1].Start != 3*sim.Second {
+		t.Fatalf("last span: %+v", done[1])
+	}
+	if l.ActiveCount() != 0 {
+		t.Fatalf("active %d, want 0", l.ActiveCount())
+	}
+}

@@ -12,6 +12,9 @@ import (
 // FromVM injects a TX packet from a local VM into the vSwitch.
 func (vs *VSwitch) FromVM(p *packet.Packet) {
 	vs.Stats.FromVM++
+	if vs.ob != nil {
+		vs.hop(p, "ingress-vm")
+	}
 	if vs.crashed {
 		vs.drop(p, DropCrashed)
 		return
@@ -128,11 +131,14 @@ func perByteCycles(p *packet.Packet) uint64 {
 func (vs *VSwitch) submit(p *packet.Packet, cycles uint64, egress func()) {
 	vs.cyclesLocal += cycles
 	vs.inFlightCPU++
-	vs.cpu.Submit(cycles, func(ok bool, _ sim.Time) {
+	vs.cpu.Submit(cycles, func(ok bool, d sim.Time) {
 		vs.inFlightCPU--
 		if !ok {
 			vs.drop(p, DropOverload)
 			return
+		}
+		if vs.ob != nil {
+			vs.hopCPU(p, cycles, d)
 		}
 		egress()
 	})
@@ -142,11 +148,14 @@ func (vs *VSwitch) submit(p *packet.Packet, cycles uint64, egress func()) {
 func (vs *VSwitch) submitRemote(p *packet.Packet, cycles uint64, egress func()) {
 	vs.cyclesRemote += cycles
 	vs.inFlightCPU++
-	vs.cpu.Submit(cycles, func(ok bool, _ sim.Time) {
+	vs.cpu.Submit(cycles, func(ok bool, d sim.Time) {
 		vs.inFlightCPU--
 		if !ok {
 			vs.drop(p, DropOverload)
 			return
+		}
+		if vs.ob != nil {
+			vs.hopCPU(p, cycles, d)
 		}
 		egress()
 	})
@@ -167,9 +176,15 @@ func (vs *VSwitch) lookupOrSlowPath(rules *tables.RuleSet, p *packet.Packet, cyc
 	e = vs.sessions.Lookup(key, now)
 	if e != nil && e.HasPre && e.PreVersion == rules.Version() {
 		vs.Stats.FastPath++
+		if vs.ob != nil {
+			vs.hopLookup(p, true)
+		}
 		return e, e.Pre, false
 	}
 	vs.Stats.SlowPath++
+	if vs.ob != nil {
+		vs.hopLookup(p, false)
+	}
 	txTuple := p.Tuple
 	if p.Dir == packet.DirRX {
 		txTuple = txTuple.Reverse()
@@ -238,6 +253,9 @@ func (vs *VSwitch) applyNAT(rules *tables.RuleSet, preTX tables.PreAction, p *pa
 // --- Monolithic datapath ---------------------------------------------
 
 func (vs *VSwitch) localTX(vn *vnicState, p *packet.Packet) {
+	if vs.ob != nil {
+		vs.hop(p, "local-tx")
+	}
 	cycles := perByteCycles(p) + nic.FastPathCycles + nic.ProcessPktCycles
 	e, pre, dropped := vs.lookupOrSlowPath(vn.rules, p, &cycles, true)
 	vn.cycles += cycles
@@ -297,6 +315,9 @@ func (vs *VSwitch) forwardOverlayVia(p *packet.Packet, peer uint32, staticHop pa
 		submit(p, cycles, func() { vs.drop(p, DropNoRoute) })
 		return
 	}
+	if vs.ob != nil {
+		vs.hopPick(p, addr)
+	}
 	cycles += nic.EncapCycles
 	submit(p, cycles, func() {
 		p.VNIC = peer
@@ -310,6 +331,9 @@ func (vs *VSwitch) forwardOverlayVia(p *packet.Packet, peer uint32, staticHop pa
 func (vs *VSwitch) localRX(vn *vnicState, p *packet.Packet) {
 	if !vs.rateAdmit(vn, p) {
 		return
+	}
+	if vs.ob != nil {
+		vs.hop(p, "local-rx")
 	}
 	cycles := perByteCycles(p) + nic.FastPathCycles + nic.ProcessPktCycles
 	e, pre, dropped := vs.lookupOrSlowPath(vn.rules, p, &cycles, true)
@@ -343,6 +367,9 @@ func (vs *VSwitch) localRX(vn *vnicState, p *packet.Packet) {
 
 func (vs *VSwitch) deliverToVM(vnic uint32, p *packet.Packet) {
 	vs.Stats.Delivered++
+	if vs.ob != nil {
+		vs.hopDeliver(p)
+	}
 	lat := vs.loop.Now() - sim.Time(p.SentAt)
 	if vs.deliverObs != nil {
 		vs.deliverObs(vnic, p, lat)
@@ -385,6 +412,9 @@ func (vs *VSwitch) beTX(vn *vnicState, p *packet.Packet) {
 		Dir:       packet.DirTX,
 		StateBlob: e.State.Encode(),
 	})
+	if vs.ob != nil {
+		vs.hopEncap(p, "be-tx", p.Nezha.WireSize())
+	}
 	vs.submit(p, cycles, func() {
 		p.Encap(vs.cfg.Addr, fe)
 		vs.Stats.Sent++
@@ -397,6 +427,9 @@ func (vs *VSwitch) beTX(vn *vnicState, p *packet.Packet) {
 func (vs *VSwitch) beRX(vn *vnicState, p *packet.Packet) {
 	if !vs.rateAdmit(vn, p) {
 		return
+	}
+	if vs.ob != nil {
+		vs.hop(p, "be-rx")
 	}
 	now := int64(vs.loop.Now())
 	cycles := perByteCycles(p) + nic.FastPathCycles + nic.StateCarryCycles + nic.ProcessPktCycles
@@ -477,6 +510,9 @@ func (vs *VSwitch) beNotify(vn *vnicState, p *packet.Packet) {
 // lookup for pre-actions, final action against the carried state,
 // then forwarding toward the peer.
 func (vs *VSwitch) feTX(fe *feInstance, p *packet.Packet) {
+	if vs.ob != nil {
+		vs.hop(p, "fe-tx")
+	}
 	cycles := perByteCycles(p) + nic.FastPathCycles + nic.StateCarryCycles + nic.ProcessPktCycles
 	carried, err := state.Decode(p.Nezha.StateBlob)
 	if err != nil {
@@ -550,6 +586,9 @@ func (vs *VSwitch) feRX(fe *feInstance, p *packet.Packet) {
 		PreActionBlob: pre.Encode(),
 		OrigOuterSrc:  orig,
 	})
+	if vs.ob != nil {
+		vs.hopEncap(p, "fe-rx", p.Nezha.WireSize())
+	}
 	beAddr := fe.beAddr
 	vs.submitRemote(p, cycles, func() {
 		// The FE replaces the outer source with its own (§3.2.2) —

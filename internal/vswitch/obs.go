@@ -1,0 +1,144 @@
+package vswitch
+
+import (
+	"nezha/internal/nic"
+	"nezha/internal/obs"
+	"nezha/internal/packet"
+	"nezha/internal/sim"
+)
+
+// vsObs holds the vSwitch's pre-bound observability handles. The hot
+// path pays nothing when vs.ob is nil; with obs enabled it pays one
+// histogram observe per CPU completion and, for sampled packets only,
+// hop recording.
+type vsObs struct {
+	bundle    *obs.Obs
+	tr        *obs.FlightTracer
+	flows     *obs.FlowTop
+	queueWait *obs.Histogram // CPU queueing+service delay, ns
+	util      *nic.UtilMeter
+}
+
+// EnableObs publishes this vSwitch's datapath statistics into the
+// registry and turns on flight tracing for sampled packets. Counter
+// mirrors are snapshot-time funcs over the plain Stats fields (owned
+// by the sim goroutine, where snapshots run); only the queue-wait
+// histogram and sampled hops touch the hot path.
+func (vs *VSwitch) EnableObs(o *obs.Obs) {
+	if o == nil {
+		return
+	}
+	node := vs.cfg.Addr.String()
+	lbl := obs.L("node", node)
+	vs.ob = &vsObs{
+		bundle:    o,
+		tr:        o.Tracer,
+		flows:     o.Flows,
+		queueWait: o.Reg.GetHistogram("vswitch_queue_wait_ns", lbl),
+		util:      nic.NewUtilMeter(vs.cpu),
+	}
+	r := o.Reg
+	mirror := func(name string, f *uint64) {
+		r.CounterFunc(name, lbl, func() uint64 { return *f })
+	}
+	mirror("vswitch_from_vm_total", &vs.Stats.FromVM)
+	mirror("vswitch_from_net_total", &vs.Stats.FromNet)
+	mirror("vswitch_delivered_total", &vs.Stats.Delivered)
+	mirror("vswitch_sent_total", &vs.Stats.Sent)
+	mirror("vswitch_absorbed_total", &vs.Stats.Absorbed)
+	mirror("vswitch_fastpath_total", &vs.Stats.FastPath)
+	mirror("vswitch_slowpath_total", &vs.Stats.SlowPath)
+	mirror("vswitch_notify_sent_total", &vs.Stats.NotifySent)
+	mirror("vswitch_notify_recv_total", &vs.Stats.NotifyRecv)
+	mirror("vswitch_probes_seen_total", &vs.Stats.ProbesSeen)
+	mirror("vswitch_mirrored_total", &vs.Stats.Mirrored)
+	mirror("vswitch_flow_logged_total", &vs.Stats.FlowLogged)
+	mirror("vswitch_nat_rewrites_total", &vs.Stats.NATRewrites)
+	mirror("vswitch_cycles_local_total", &vs.cyclesLocal)
+	mirror("vswitch_cycles_remote_total", &vs.cyclesRemote)
+	for reason := DropReason(0); reason < numDropReasons; reason++ {
+		f := &vs.Stats.Drops[reason]
+		r.CounterFunc("vswitch_drops_total", obs.L("node", node, "reason", reason.String()),
+			func() uint64 { return *f })
+	}
+	r.GaugeFunc("vswitch_sessions", lbl, func() float64 { return float64(vs.sessions.Len()) })
+	r.GaugeFunc("vswitch_mem_util", lbl, func() float64 { return vs.MemUtilization() })
+	r.GaugeFunc("vswitch_cpu_util", lbl, func() float64 { return vs.ob.util.Sample() })
+	r.GaugeFunc("vswitch_inflight_cpu", lbl, func() float64 { return float64(vs.inFlightCPU) })
+	r.GaugeFunc("vswitch_vnics", lbl, func() float64 { return float64(len(vs.vnics)) })
+	r.GaugeFunc("vswitch_fes_hosted", lbl, func() float64 { return float64(len(vs.fes)) })
+	r.GaugeFunc("vswitch_vnics_offloaded", lbl, func() float64 {
+		n := 0
+		for _, vn := range vs.vnics {
+			if vn.offloaded {
+				n++
+			}
+		}
+		return float64(n)
+	})
+	r.GaugeFunc("vswitch_crashed", lbl, func() float64 {
+		if vs.crashed {
+			return 1
+		}
+		return 0
+	})
+}
+
+// hop records a simple stage hop for a sampled packet.
+func (vs *VSwitch) hop(p *packet.Packet, stage string) {
+	if vs.ob == nil || !vs.ob.tr.Sampled(p.ID) {
+		return
+	}
+	vs.ob.tr.Hop(p.ID, obs.Hop{At: vs.loop.Now(), Node: vs.cfg.Addr, Stage: stage})
+}
+
+// hopEncap records a hop that added encapsulation bytes.
+func (vs *VSwitch) hopEncap(p *packet.Packet, stage string, encapBytes int) {
+	if vs.ob == nil || !vs.ob.tr.Sampled(p.ID) {
+		return
+	}
+	vs.ob.tr.Hop(p.ID, obs.Hop{At: vs.loop.Now(), Node: vs.cfg.Addr, Stage: stage, EncapBytes: encapBytes})
+}
+
+// hopLookup records the session-table verdict.
+func (vs *VSwitch) hopLookup(p *packet.Packet, hit bool) {
+	if vs.ob == nil || !vs.ob.tr.Sampled(p.ID) {
+		return
+	}
+	vs.ob.tr.Hop(p.ID, obs.Hop{At: vs.loop.Now(), Node: vs.cfg.Addr, Stage: "lookup", TableHit: hit})
+}
+
+// hopCPU records the CPU stage with the cycles charged and the queue
+// wait actually experienced, and feeds the queue-wait histogram.
+func (vs *VSwitch) hopCPU(p *packet.Packet, cycles uint64, wait sim.Time) {
+	vs.ob.queueWait.Observe(uint64(wait))
+	if !vs.ob.tr.Sampled(p.ID) {
+		return
+	}
+	vs.ob.tr.Hop(p.ID, obs.Hop{At: vs.loop.Now(), Node: vs.cfg.Addr, Stage: "cpu", Cycles: cycles, QueueWait: wait})
+}
+
+// hopPick records the gateway-learner pick that chose the next hop.
+func (vs *VSwitch) hopPick(p *packet.Packet, addr packet.IPv4) {
+	if vs.ob == nil || !vs.ob.tr.Sampled(p.ID) {
+		return
+	}
+	vs.ob.tr.Hop(p.ID, obs.Hop{At: vs.loop.Now(), Node: vs.cfg.Addr, Stage: "gw-pick", Note: "to=" + addr.String()})
+}
+
+// hopDrop records the packet's terminal drop with its reason.
+func (vs *VSwitch) hopDrop(p *packet.Packet, r DropReason) {
+	if vs.ob == nil || !vs.ob.tr.Sampled(p.ID) {
+		return
+	}
+	vs.ob.tr.Hop(p.ID, obs.Hop{At: vs.loop.Now(), Node: vs.cfg.Addr, Stage: "drop:" + r.String()})
+}
+
+// hopDeliver records final VM delivery and charges the flow table.
+func (vs *VSwitch) hopDeliver(p *packet.Packet) {
+	if vs.ob == nil || !vs.ob.tr.Sampled(p.ID) {
+		return
+	}
+	vs.ob.tr.Hop(p.ID, obs.Hop{At: vs.loop.Now(), Node: vs.cfg.Addr, Stage: "deliver"})
+	vs.ob.flows.Observe(p.Tuple, p.SizeBytes)
+}

@@ -264,6 +264,10 @@ type VSwitch struct {
 	cyclesLocal  uint64
 	cyclesRemote uint64
 
+	// ob, when set by EnableObs, holds pre-bound telemetry handles;
+	// nil means observability is off and the datapath pays nothing.
+	ob *vsObs
+
 	Stats Counters
 }
 
@@ -854,4 +858,7 @@ func (vs *VSwitch) SweepSessions() int {
 
 func (vs *VSwitch) drop(p *packet.Packet, r DropReason) {
 	vs.Stats.Drops[r]++
+	if vs.ob != nil {
+		vs.hopDrop(p, r)
+	}
 }
