@@ -1,0 +1,226 @@
+package nezha
+
+// Burst datapath benchmarks: the same A→B traffic pushed through the
+// scalar per-packet entry points (one CPU event and one fabric event
+// per packet, heap scheduler — the pre-burst datapath) and through the
+// burst pipeline (FromVMBurst → SubmitBurst completion waves →
+// SendBurst coalesced hops, calendar scheduler). Both rigs move the
+// identical packet stream — the differential tests prove the outputs
+// match bit for bit — so the pair measures pure pipeline overhead.
+// TestDatapathBurstGuard turns it into a CI gate: with
+// DATAPATH_BENCH_GUARD=1 it fails unless the burst pipeline moves at
+// least 2x the packets per second with at most half the allocations
+// per packet, and writes the measurement to BENCH_datapath.json.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"nezha/internal/fabric"
+	"nezha/internal/packet"
+	"nezha/internal/sim"
+	"nezha/internal/tables"
+	"nezha/internal/vswitch"
+)
+
+const (
+	dpBenchFlows  = 32  // distinct established flows
+	dpBenchBatch  = 128 // packets injected per tick
+	dpBenchRounds = 64  // injection ticks per op
+	dpBenchCores  = 32  // wide NIC so equal-cost packets complete in waves
+	dpBenchHz     = 2_000_000_000
+	dpClientVNIC  = 1
+	dpServerVNIC  = 2
+	dpVPC         = 7
+)
+
+type dpRig struct {
+	loop      *sim.Loop
+	fab       *fabric.Fabric
+	a, b      *vswitch.VSwitch
+	delivered uint64
+	id        uint64
+}
+
+var (
+	dpAddrA = packet.MakeIP(192, 168, 0, 1)
+	dpAddrB = packet.MakeIP(192, 168, 0, 2)
+	dpVMIPA = packet.MakeIP(10, 0, 1, 1)
+	dpVMIPB = packet.MakeIP(10, 0, 2, 1)
+)
+
+func newDatapathRig(kind sim.SchedulerKind) *dpRig {
+	r := &dpRig{loop: sim.NewLoopSched(1, kind)}
+	r.fab = fabric.New(r.loop)
+	gw := fabric.NewGateway(r.loop)
+	mk := func(addr packet.IPv4) *vswitch.VSwitch {
+		return vswitch.New(r.loop, r.fab, gw, vswitch.Config{
+			Addr: addr, Cores: dpBenchCores, CoreHz: dpBenchHz,
+		})
+	}
+	r.a, r.b = mk(dpAddrA), mk(dpAddrB)
+	r.b.SetDelivery(func(vnic uint32, p *packet.Packet, lat sim.Time) {
+		r.delivered++
+		p.Release()
+	})
+	crs := tables.NewRuleSet(dpClientVNIC, dpVPC)
+	crs.Route.Add(tables.MakePrefix(packet.MakeIP(10, 0, 2, 0), 24), packet.IPv4(dpServerVNIC))
+	srs := tables.NewRuleSet(dpServerVNIC, dpVPC)
+	srs.Route.Add(tables.MakePrefix(packet.MakeIP(10, 0, 1, 0), 24), packet.IPv4(dpClientVNIC))
+	if err := r.a.AddVNIC(crs, false); err != nil {
+		panic(err)
+	}
+	if err := r.b.AddVNIC(srs, false); err != nil {
+		panic(err)
+	}
+	gw.Set(dpClientVNIC, dpAddrA)
+	gw.Set(dpServerVNIC, dpAddrB)
+	return r
+}
+
+func (r *dpRig) pkt(sport uint16, flags packet.TCPFlags, payload int) *packet.Packet {
+	r.id++
+	ft := packet.FiveTuple{
+		SrcIP: dpVMIPA, DstIP: dpVMIPB,
+		SrcPort: sport, DstPort: 80, Proto: packet.ProtoTCP,
+	}
+	p := packet.Get(r.id, dpVPC, dpClientVNIC, ft, packet.DirTX, flags, payload)
+	p.SentAt = int64(r.loop.Now())
+	return p
+}
+
+// establish opens every bench flow (SYN through the slow path) so the
+// measured packets all ride the established fast path.
+func (r *dpRig) establish() {
+	for i := 0; i < dpBenchFlows; i++ {
+		r.a.FromVM(r.pkt(uint16(2000+i), packet.FlagSYN, 0))
+	}
+	r.loop.Run(10 * sim.Millisecond)
+	r.delivered = 0
+}
+
+// runDatapathRig injects rounds×batch equal-size packets over the
+// established flows and drains the loop, returning packets delivered.
+func runDatapathRig(kind sim.SchedulerKind, burst bool) uint64 {
+	r := newDatapathRig(kind)
+	r.establish()
+	base := r.loop.Now()
+	for round := 0; round < dpBenchRounds; round++ {
+		round := round
+		r.loop.At(base+sim.Time(round+1)*100*sim.Microsecond, func() {
+			ps := make([]*packet.Packet, 0, dpBenchBatch)
+			for i := 0; i < dpBenchBatch; i++ {
+				ps = append(ps, r.pkt(uint16(2000+i%dpBenchFlows), packet.FlagACK, 64))
+			}
+			if burst {
+				r.a.FromVMBurst(ps)
+			} else {
+				for _, p := range ps {
+					r.a.FromVM(p)
+				}
+			}
+		})
+	}
+	r.loop.Run(base + sim.Second)
+	return r.delivered
+}
+
+func benchDatapathPipeline(b *testing.B, kind sim.SchedulerKind, burst bool) {
+	var pkts uint64
+	for i := 0; i < b.N; i++ {
+		pkts += runDatapathRig(kind, burst)
+	}
+	if want := uint64(b.N) * dpBenchRounds * dpBenchBatch; pkts != want {
+		b.Fatalf("delivered %d packets, want %d — rig is dropping, measurement invalid", pkts, want)
+	}
+	b.ReportAllocs()
+	b.ReportMetric(float64(pkts)/b.Elapsed().Seconds(), "pkts/s")
+}
+
+// BenchmarkDatapathScalar is the pre-burst datapath: per-packet entry
+// points on the heap scheduler.
+func BenchmarkDatapathScalar(b *testing.B) {
+	benchDatapathPipeline(b, sim.SchedHeap, false)
+}
+
+// BenchmarkDatapathBurst is the burst pipeline on the calendar
+// scheduler — the shipped default.
+func BenchmarkDatapathBurst(b *testing.B) {
+	benchDatapathPipeline(b, sim.SchedCalendar, true)
+}
+
+// datapathBenchResult is the BENCH_datapath.json schema.
+type datapathBenchResult struct {
+	ScalarNsPerOp      int64   `json:"scalar_ns_per_op"`
+	BurstNsPerOp       int64   `json:"burst_ns_per_op"`
+	ScalarPktsPerSec   float64 `json:"scalar_pkts_per_sec"`
+	BurstPktsPerSec    float64 `json:"burst_pkts_per_sec"`
+	SpeedupRatio       float64 `json:"speedup_ratio"`
+	ScalarAllocsPerOp  int64   `json:"scalar_allocs_per_op"`
+	BurstAllocsPerOp   int64   `json:"burst_allocs_per_op"`
+	ScalarAllocsPerPkt float64 `json:"scalar_allocs_per_pkt"`
+	BurstAllocsPerPkt  float64 `json:"burst_allocs_per_pkt"`
+	AllocReductionPct  float64 `json:"alloc_reduction_pct"`
+	PktsPerOp          int     `json:"pkts_per_op"`
+	MinSpeedup         float64 `json:"min_speedup"`
+	MaxAllocFrac       float64 `json:"max_alloc_frac"`
+	Reps               int     `json:"reps"`
+}
+
+// TestDatapathBurstGuard is the CI benchmark gate (set
+// DATAPATH_BENCH_GUARD=1 to run): best of three reps each way, written
+// to BENCH_datapath.json; fails unless the burst pipeline is ≥2x the
+// scalar packets/sec with ≤50% of its allocations per packet.
+func TestDatapathBurstGuard(t *testing.T) {
+	if os.Getenv("DATAPATH_BENCH_GUARD") == "" {
+		t.Skip("set DATAPATH_BENCH_GUARD=1 to run the burst datapath gate")
+	}
+	const reps = 3
+	best := func(fn func(*testing.B)) (ns, allocs int64) {
+		for i := 0; i < reps; i++ {
+			r := testing.Benchmark(fn)
+			if ns == 0 || r.NsPerOp() < ns {
+				ns, allocs = r.NsPerOp(), r.AllocsPerOp()
+			}
+		}
+		return ns, allocs
+	}
+	scalarNs, scalarAllocs := best(BenchmarkDatapathScalar)
+	burstNs, burstAllocs := best(BenchmarkDatapathBurst)
+	const pktsPerOp = dpBenchRounds * dpBenchBatch
+	res := datapathBenchResult{
+		ScalarNsPerOp:      scalarNs,
+		BurstNsPerOp:       burstNs,
+		ScalarPktsPerSec:   float64(pktsPerOp) / (float64(scalarNs) / 1e9),
+		BurstPktsPerSec:    float64(pktsPerOp) / (float64(burstNs) / 1e9),
+		SpeedupRatio:       float64(scalarNs) / float64(burstNs),
+		ScalarAllocsPerOp:  scalarAllocs,
+		BurstAllocsPerOp:   burstAllocs,
+		ScalarAllocsPerPkt: float64(scalarAllocs) / pktsPerOp,
+		BurstAllocsPerPkt:  float64(burstAllocs) / pktsPerOp,
+		AllocReductionPct:  (1 - float64(burstAllocs)/float64(scalarAllocs)) * 100,
+		PktsPerOp:          pktsPerOp,
+		MinSpeedup:         2.0,
+		MaxAllocFrac:       0.5,
+		Reps:               reps,
+	}
+	out, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile("BENCH_datapath.json", out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("scalar %.0f pkts/s (%.2f allocs/pkt), burst %.0f pkts/s (%.2f allocs/pkt): %.2fx, %.0f%% fewer allocs",
+		res.ScalarPktsPerSec, res.ScalarAllocsPerPkt, res.BurstPktsPerSec, res.BurstAllocsPerPkt,
+		res.SpeedupRatio, res.AllocReductionPct)
+	if res.SpeedupRatio < res.MinSpeedup {
+		t.Errorf("burst pipeline is only %.2fx the scalar packets/sec (floor %.1fx); see BENCH_datapath.json", res.SpeedupRatio, res.MinSpeedup)
+	}
+	if float64(burstAllocs) > res.MaxAllocFrac*float64(scalarAllocs) {
+		t.Errorf("burst pipeline allocates %.2f/pkt vs scalar %.2f/pkt (ceiling %.0f%%); see BENCH_datapath.json",
+			res.BurstAllocsPerPkt, res.ScalarAllocsPerPkt, res.MaxAllocFrac*100)
+	}
+}

@@ -56,6 +56,10 @@ type CampaignConfig struct {
 	// ObsDumpDir, when non-empty, is where a violation's flight-recorder
 	// dump is written (nezha-dump-seed<N>.txt).
 	ObsDumpDir string
+	// Scheduler picks the simulation loop's event-queue implementation
+	// (default: calendar queue). Differential tests run the same seed
+	// under sim.SchedHeap and require identical digests.
+	Scheduler sim.SchedulerKind
 }
 
 // Report is a campaign's outcome.
@@ -144,8 +148,9 @@ func RunCampaign(cfg CampaignConfig) (Report, error) {
 	}
 
 	c := cluster.New(cluster.Options{
-		Servers: cfg.Servers,
-		Seed:    cfg.Seed,
+		Servers:   cfg.Servers,
+		Seed:      cfg.Seed,
+		Scheduler: cfg.Scheduler,
 		VSwitch: func(i int, vc *vswitch.Config) {
 			vc.Cores = 2
 			vc.CoreHz = 500_000_000

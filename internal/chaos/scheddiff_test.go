@@ -1,0 +1,50 @@
+package chaos
+
+import (
+	"testing"
+
+	"nezha/internal/sim"
+)
+
+// TestSchedulerDifferentialCampaign runs whole chaos campaigns — obs
+// on, full trace sampling — under both event-queue implementations and
+// requires bit-identical outcomes. The campaign digest folds in the
+// loop's Fired() count and final clock, so equality here proves the
+// calendar queue fired exactly the same events at exactly the same
+// times in exactly the same order as the binary heap, under faults,
+// cancellations, and multi-second idle gaps.
+func TestSchedulerDifferentialCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential campaigns are slow; skipping in -short")
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		base := CampaignConfig{Seed: seed, Obs: true, ObsSampleRate: 1.0}
+
+		heapCfg := base
+		heapCfg.Scheduler = sim.SchedHeap
+		h, err := RunCampaign(heapCfg)
+		if err != nil {
+			t.Fatalf("seed %d heap: %v", seed, err)
+		}
+
+		calCfg := base
+		calCfg.Scheduler = sim.SchedCalendar
+		c, err := RunCampaign(calCfg)
+		if err != nil {
+			t.Fatalf("seed %d calendar: %v", seed, err)
+		}
+
+		if h.Digest != c.Digest {
+			t.Errorf("seed %d: campaign digest diverges: heap %d, calendar %d", seed, h.Digest, c.Digest)
+		}
+		if h.TraceDigest != c.TraceDigest {
+			t.Errorf("seed %d: trace digest diverges: heap %d, calendar %d", seed, h.TraceDigest, c.TraceDigest)
+		}
+		if h.Completed != c.Completed {
+			t.Errorf("seed %d: completed diverges: heap %d, calendar %d", seed, h.Completed, c.Completed)
+		}
+		if h.Duration != c.Duration {
+			t.Errorf("seed %d: duration diverges: heap %v, calendar %v", seed, h.Duration, c.Duration)
+		}
+	}
+}

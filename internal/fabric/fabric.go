@@ -29,6 +29,11 @@ const (
 // Handler receives packets delivered to a node.
 type Handler func(p *packet.Packet)
 
+// BurstHandler receives a coalesced burst: packets that arrived on the
+// same link at the same instant, in send order. Nodes without one get
+// the burst unrolled through their per-packet Handler.
+type BurstHandler func(ps []*packet.Packet)
+
 // FaultVerdict is a fault injector's decision for one send.
 type FaultVerdict struct {
 	// Drop loses the packet at the link.
@@ -52,6 +57,7 @@ type node struct {
 	addr    packet.IPv4
 	tor     int
 	handler Handler
+	burst   BurstHandler
 }
 
 // Fabric is the underlay network.
@@ -152,6 +158,18 @@ func (f *Fabric) SetHandler(addr packet.IPv4, h Handler) error {
 	return nil
 }
 
+// SetBurstHandler installs a coalesced-delivery handler for a node.
+// SendBurst hands it whole same-instant bursts; per-packet Send still
+// goes through the plain Handler.
+func (f *Fabric) SetBurstHandler(addr packet.IPv4, h BurstHandler) error {
+	n, ok := f.nodes[addr]
+	if !ok {
+		return fmt.Errorf("fabric: no node at %v", addr)
+	}
+	n.burst = h
+	return nil
+}
+
 // ToROf returns the ToR a server sits under; -1 if unknown.
 func (f *Fabric) ToROf(addr packet.IPv4) int {
 	if n, ok := f.nodes[addr]; ok {
@@ -224,6 +242,7 @@ func (f *Fabric) Send(from, to packet.IPv4, p *packet.Packet) {
 		deliver := p
 		if wire != nil {
 			q, err := packet.Unmarshal(wire)
+			packet.PutBuf(wire)
 			if err != nil {
 				f.Lost++
 				f.traceHop(p.ID, from, "wire-lost", to)
@@ -235,6 +254,126 @@ func (f *Fabric) Send(from, to packet.IPv4, p *packet.Packet) {
 		f.Delivered++
 		f.traceHop(deliver.ID, from, "wire", to)
 		cur.handler(deliver)
+	})
+}
+
+// SendBurst delivers a batch of packets from one server to another,
+// coalescing consecutive packets that land at the same instant into a
+// single delivery event. Semantics match len(ps) individual Sends —
+// same counters, same fault-injector consultation order, same delivery
+// order (one burst event delivering in slice order is FIFO-equivalent
+// to the per-packet events it replaces) — but the receiver takes one
+// event (and, with a BurstHandler, one call) per deadline instead of
+// one per packet.
+//
+// Ownership: SendBurst takes every packet in ps. Packets lost at the
+// link, dropped by the fault injector, or lost in flight are released
+// back to the pool here; delivered packets pass ownership to the
+// handler. The caller must not touch ps or its packets afterward (the
+// slice itself is not retained).
+func (f *Fabric) SendBurst(from, to packet.IPv4, ps []*packet.Packet) {
+	var group []*packet.Packet
+	var groupLat sim.Time
+	flush := func() {
+		if len(group) > 0 {
+			f.deliverBurst(from, to, group, groupLat)
+			group = nil
+		}
+	}
+	for _, p := range ps {
+		p.CheckLive()
+		f.Sends++
+		if _, ok := f.nodes[to]; !ok || f.partitions[pairKey(from, to)] {
+			f.Lost++
+			f.traceHop(p.ID, from, "wire-lost", to)
+			p.Release()
+			continue
+		}
+		lat := f.Latency(from, to, p.SizeBytes)
+		if f.faults != nil {
+			v := f.faults(from, to, p)
+			if v.Drop {
+				if !v.SkipAccounting {
+					f.ChaosLost++
+				}
+				f.traceHop(p.ID, from, "chaos-lost", to)
+				p.Release()
+				continue
+			}
+			if v.Jitter > 0 {
+				lat += v.Jitter
+			}
+		}
+		f.BytesSent += uint64(p.SizeBytes)
+		if len(group) > 0 && lat != groupLat {
+			flush()
+		}
+		groupLat = lat
+		group = append(group, p)
+	}
+	flush()
+}
+
+// deliverBurst schedules one delivery event for a group of packets
+// sharing a deadline. Reachability is re-checked at delivery time, as
+// in Send; in wire mode each packet is marshaled now and decoded at
+// delivery, with the original released once its bytes are on the wire.
+func (f *Fabric) deliverBurst(from, to packet.IPv4, group []*packet.Packet, lat sim.Time) {
+	dst := f.nodes[to]
+	var wires [][]byte
+	var ids []uint64
+	if f.wireMode {
+		wires = make([][]byte, len(group))
+		ids = make([]uint64, len(group))
+		for i, p := range group {
+			wires[i] = p.Marshal()
+			ids[i] = p.ID
+			p.Release()
+		}
+	}
+	f.inFlight += uint64(len(group))
+	f.loop.Schedule(lat, func() {
+		f.inFlight -= uint64(len(group))
+		cur, ok := f.nodes[to]
+		if !ok || cur != dst || (cur.handler == nil && cur.burst == nil) || f.partitions[pairKey(from, to)] {
+			for i, p := range group {
+				f.Lost++
+				if wires != nil {
+					f.traceHop(ids[i], from, "wire-lost", to)
+					packet.PutBuf(wires[i])
+				} else {
+					f.traceHop(p.ID, from, "wire-lost", to)
+					p.Release()
+				}
+			}
+			return
+		}
+		deliver := group
+		if wires != nil {
+			deliver = deliver[:0]
+			for i, w := range wires {
+				q, err := packet.Unmarshal(w)
+				packet.PutBuf(w)
+				if err != nil {
+					f.Lost++
+					f.traceHop(ids[i], from, "wire-lost", to)
+					continue
+				}
+				deliver = append(deliver, q)
+			}
+		}
+		for _, q := range deliver {
+			q.Hops++
+			f.Delivered++
+			f.traceHop(q.ID, from, "wire", to)
+		}
+		if cur.burst != nil {
+			cur.burst(deliver)
+			return
+		}
+		for _, q := range deliver {
+			cur.handler(q)
+		}
 	})
 }
 

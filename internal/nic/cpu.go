@@ -75,6 +75,75 @@ func (c *CPU) Submit(cycles uint64, done func(ok bool, delay sim.Time)) {
 	}
 }
 
+// SubmitBurst enqueues a batch of work items in one call, equivalent
+// to len(costs) Submit calls item by item: the same earliest-free-core
+// placement, the same queueing-delay drop decision, the same counters,
+// and the same completion order (waves only merge *consecutive* equal
+// end times, which is exactly the set of events FIFO ordering already
+// glues together). What it amortizes is the event machinery: accepted
+// items whose completions land at consecutive identical instants share
+// one scheduled event — a "wave" — instead of one event each.
+//
+// each(i, false, 0) fires synchronously, in submission order, for
+// items dropped at admission. each(i, true, total) fires at the item's
+// completion. waveEnd, if non-nil, fires after the each() calls of a
+// completion wave with the indices that just completed — the flush
+// hook burst pipelines use to emit coalesced output. The members slice
+// is owned by the callback for the duration of the call only.
+func (c *CPU) SubmitBurst(costs []uint64, each func(i int, ok bool, delay sim.Time), waveEnd func(members []int32)) {
+	now := c.loop.Now()
+	var wave []int32
+	var waveAt sim.Time
+	flush := func() {
+		if len(wave) == 0 {
+			return
+		}
+		members, at := wave, waveAt
+		wave = nil
+		total := at - now
+		c.loop.At(at, func() {
+			if each != nil {
+				for _, i := range members {
+					each(int(i), true, total)
+				}
+			}
+			if waveEnd != nil {
+				waveEnd(members)
+			}
+		})
+	}
+	for i, cycles := range costs {
+		best := 0
+		for k := 1; k < len(c.cores); k++ {
+			if c.cores[k] < c.cores[best] {
+				best = k
+			}
+		}
+		start := c.cores[best]
+		if start < now {
+			start = now
+		}
+		if start-now > c.maxDelay {
+			c.dropped++
+			if each != nil {
+				each(i, false, 0)
+			}
+			continue
+		}
+		st := c.ServiceTime(cycles)
+		end := start + st
+		c.cores[best] = end
+		c.busy += st
+		c.processed++
+		if len(wave) > 0 && end != waveAt {
+			flush()
+		}
+		waveAt = end
+		wave = append(wave, int32(i))
+	}
+	flush()
+}
+
 // SubmitPriority enqueues cycles of work that is never dropped at
 // admission (it bypasses the queueing-delay bound). Used for work
 // that rides the datapath with priority, such as Sirius-style in-line

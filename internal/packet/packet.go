@@ -321,6 +321,10 @@ type Packet struct {
 	// Hops counts link traversals, to verify the "only one extra hop"
 	// property (§3.2.1).
 	Hops int
+
+	// poolState tracks the free-list lifecycle; only the simdebug
+	// build writes it (see pool.go).
+	poolState uint8
 }
 
 // Header sizes used for SizeBytes accounting.
@@ -330,12 +334,15 @@ const (
 )
 
 // New creates a packet with the wire size computed from payloadLen.
+// The datapath prefers Get, which recycles structs through the pool.
 func New(id uint64, vpc, vnic uint32, ft FiveTuple, dir Direction, flags TCPFlags, payloadLen int) *Packet {
-	return &Packet{
+	p := &Packet{
 		ID: id, VPC: vpc, VNIC: vnic, Tuple: ft, Dir: dir, Flags: flags,
 		PayloadLen: payloadLen,
 		SizeBytes:  baseHeaderBytes + payloadLen,
 	}
+	poolMarkLive(p)
+	return p
 }
 
 // Encap sets the underlay addresses (VXLAN-style) and charges the
@@ -367,18 +374,22 @@ func (p *Packet) SessionKey() (SessionKey, bool) {
 	return SessionKeyOf(p.VNIC, p.VPC, p.Tuple)
 }
 
-// Clone returns a deep copy (blobs included). Notify packets are
-// generated by cloning headers off a transit packet, which must not
-// alias the original's blobs.
+// Clone returns a pooled deep copy (blobs included). Notify packets
+// are generated by cloning headers off a transit packet, which must
+// not alias the original's blobs. The clone's lifecycle is independent
+// of p's.
 func (p *Packet) Clone() *Packet {
-	q := *p
+	q := getBlank()
+	st := q.poolState
+	*q = *p
+	q.poolState = st
 	if p.Nezha != nil {
 		h := *p.Nezha
 		h.StateBlob = append([]byte(nil), p.Nezha.StateBlob...)
 		h.PreActionBlob = append([]byte(nil), p.Nezha.PreActionBlob...)
 		q.Nezha = &h
 	}
-	return &q
+	return q
 }
 
 func (p *Packet) String() string {
@@ -413,7 +424,10 @@ var (
 	ErrBadHeader = errors.New("packet: invalid nezha header")
 )
 
-// Marshal encodes the packet into a self-describing byte slice.
+// Marshal encodes the packet into a self-describing byte slice. The
+// buffer comes from a scratch pool; callers that are done with it may
+// recycle it with PutBuf (the fabric does, right after decode), and
+// callers that keep it simply let the GC have it.
 func (p *Packet) Marshal() []byte {
 	hasNezha := byte(0)
 	if p.Nezha != nil && p.Nezha.Type != NezhaNone {
@@ -423,7 +437,7 @@ func (p *Packet) Marshal() []byte {
 	if hasNezha == 1 {
 		n += 1 + 4 + 1 + 4 + 2 + len(p.Nezha.StateBlob) + 2 + len(p.Nezha.PreActionBlob)
 	}
-	b := make([]byte, 0, n)
+	b := getBuf(n)
 	b = binary.BigEndian.AppendUint16(b, wireMagic)
 	b = append(b, wireVersion, hasNezha)
 	b = binary.BigEndian.AppendUint64(b, p.ID)
@@ -467,7 +481,7 @@ func Unmarshal(b []byte) (*Packet, error) {
 		return nil, ErrBadVersion
 	}
 	hasNezha := b[3]
-	p := &Packet{}
+	p := getBlank()
 	off := 4
 	p.ID = binary.BigEndian.Uint64(b[off:])
 	off += 8
@@ -509,6 +523,7 @@ func Unmarshal(b []byte) (*Packet, error) {
 		if h.Type == NezhaNone {
 			// A header flagged present must carry a real type, or the
 			// encoding would not round-trip.
+			p.Release()
 			return nil, ErrBadHeader
 		}
 		h.VNIC = binary.BigEndian.Uint32(b[off:])
@@ -520,6 +535,7 @@ func Unmarshal(b []byte) (*Packet, error) {
 		sl := int(binary.BigEndian.Uint16(b[off:]))
 		off += 2
 		if len(b) < off+sl+2 {
+			p.Release()
 			return nil, ErrTruncated
 		}
 		if sl > 0 {
@@ -529,6 +545,7 @@ func Unmarshal(b []byte) (*Packet, error) {
 		pl := int(binary.BigEndian.Uint16(b[off:]))
 		off += 2
 		if len(b) < off+pl {
+			p.Release()
 			return nil, ErrTruncated
 		}
 		if pl > 0 {

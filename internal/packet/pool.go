@@ -1,0 +1,117 @@
+package packet
+
+import "sync"
+
+// Free-list pool for Packet structs. The datapath allocates packets by
+// the million; pooling them removes the dominant allocation from the
+// hot path. Ownership rule (see DESIGN.md §10): a packet has exactly
+// one owner at a time, and whoever terminally consumes it — drop,
+// deliver, absorb, or lose on the wire — calls Release. Holding a
+// *Packet after releasing it is a bug; build with -tags simdebug to
+// turn double releases and use-after-release into panics.
+//
+// The simulation loop is single-threaded, so the mutex is uncontended
+// there; it exists because `go test` runs parallel tests in one
+// process and they share this pool.
+
+const (
+	poolStateNew  uint8 = iota // from New/&Packet{}, never pooled
+	poolStateLive              // handed out by Get (or recycled via Release)
+	poolStateFree              // sitting on the free list
+)
+
+var pktPool struct {
+	mu   sync.Mutex
+	free []*Packet
+}
+
+// Get returns a pooled packet initialized exactly like New. Callers
+// that finish a pooled packet must hand it to Release (directly or by
+// passing ownership down the datapath, whose drop/deliver paths
+// release it).
+func Get(id uint64, vpc, vnic uint32, ft FiveTuple, dir Direction, flags TCPFlags, payloadLen int) *Packet {
+	p := getBlank()
+	p.ID, p.VPC, p.VNIC, p.Tuple, p.Dir, p.Flags = id, vpc, vnic, ft, dir, flags
+	p.PayloadLen = payloadLen
+	p.SizeBytes = baseHeaderBytes + payloadLen
+	return p
+}
+
+// getBlank pops a fully zeroed packet off the free list (or allocates
+// one) and marks it live.
+func getBlank() *Packet {
+	pktPool.mu.Lock()
+	var p *Packet
+	if n := len(pktPool.free); n > 0 {
+		p = pktPool.free[n-1]
+		pktPool.free[n-1] = nil
+		pktPool.free = pktPool.free[:n-1]
+	}
+	pktPool.mu.Unlock()
+	if p == nil {
+		p = &Packet{}
+	} else {
+		poolCheckGet(p)
+		*p = Packet{}
+	}
+	poolMarkLive(p)
+	return p
+}
+
+// Release returns p to the free list. p must not be touched afterward.
+// Releasing a packet built by New (rather than Get) is allowed — it
+// simply joins the pool. Correctness never depends on Release being
+// called: an un-released packet is garbage-collected like any other
+// value, so raw handlers outside the datapath may keep packets
+// indefinitely.
+func (p *Packet) Release() {
+	poolCheckRelease(p)
+	poolMarkFree(p)
+	pktPool.mu.Lock()
+	pktPool.free = append(pktPool.free, p)
+	pktPool.mu.Unlock()
+}
+
+// CheckLive panics under -tags simdebug if p has been released; it
+// compiles to a no-op otherwise. Datapath entry points call it so
+// use-after-release surfaces at the point of misuse.
+func (p *Packet) CheckLive() { poolCheckLive(p) }
+
+// --- wire-buffer pool ------------------------------------------------
+
+// Marshal's output buffers cycle through the same pool: the fabric
+// marshals on send and frees the buffer right after decode on
+// delivery. Buffers that escape to callers that never PutBuf are
+// simply collected by the GC.
+
+var bufPool struct {
+	mu   sync.Mutex
+	free [][]byte
+}
+
+// getBuf returns a zero-length buffer with capacity >= n.
+func getBuf(n int) []byte {
+	bufPool.mu.Lock()
+	var b []byte
+	if ln := len(bufPool.free); ln > 0 {
+		b = bufPool.free[ln-1]
+		bufPool.free[ln-1] = nil
+		bufPool.free = bufPool.free[:ln-1]
+	}
+	bufPool.mu.Unlock()
+	if cap(b) < n {
+		b = make([]byte, 0, n)
+	}
+	return b[:0]
+}
+
+// PutBuf recycles a buffer produced by Marshal. The caller must not
+// use b afterward.
+func PutBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	bufPool.mu.Lock()
+	bufPool.free = append(bufPool.free, b)
+	bufPool.mu.Unlock()
+}

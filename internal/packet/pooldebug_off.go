@@ -1,0 +1,13 @@
+//go:build !simdebug
+
+package packet
+
+// Release-build pool guards: everything compiles to a no-op and the
+// poolState field is never written, so the pool costs nothing beyond
+// the free-list push/pop. Build with -tags simdebug to arm the checks.
+
+func poolMarkLive(*Packet)     {}
+func poolMarkFree(*Packet)     {}
+func poolCheckGet(*Packet)     {}
+func poolCheckRelease(*Packet) {}
+func poolCheckLive(*Packet)    {}

@@ -1,0 +1,29 @@
+//go:build simdebug
+
+package packet
+
+// Debug-build pool guards (-tags simdebug): pool lifecycle violations
+// panic at the point of misuse instead of corrupting a recycled
+// packet three owners later.
+
+func poolMarkLive(p *Packet) { p.poolState = poolStateLive }
+
+func poolMarkFree(p *Packet) { p.poolState = poolStateFree }
+
+func poolCheckGet(p *Packet) {
+	if p.poolState != poolStateFree {
+		panic("packet: pool corruption: free-list entry not marked free")
+	}
+}
+
+func poolCheckRelease(p *Packet) {
+	if p.poolState == poolStateFree {
+		panic("packet: double release")
+	}
+}
+
+func poolCheckLive(p *Packet) {
+	if p.poolState == poolStateFree {
+		panic("packet: use after release")
+	}
+}

@@ -1,0 +1,42 @@
+//go:build simdebug
+
+package packet
+
+import "testing"
+
+// These tests only exist under -tags simdebug, where pool lifecycle
+// violations panic. CI runs the package once with the tag to keep the
+// guards honest.
+
+func mustPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic %q, got none", want)
+		}
+		if s, ok := r.(string); !ok || s != want {
+			t.Fatalf("expected panic %q, got %v", want, r)
+		}
+	}()
+	fn()
+}
+
+// TestPoolDoubleReleasePanics deliberately double-frees a packet and
+// expects the guard to fire.
+func TestPoolDoubleReleasePanics(t *testing.T) {
+	p := Get(1, 1, 1, FiveTuple{}, DirTX, 0, 10)
+	p.Release()
+	// The guard fires before the second push, so the free list stays
+	// consistent and later tests can keep using the pool.
+	mustPanic(t, "packet: double release", func() { p.Release() })
+}
+
+// TestPoolUseAfterReleasePanics checks CheckLive trips on a released
+// packet — the assertion datapath entry points rely on.
+func TestPoolUseAfterReleasePanics(t *testing.T) {
+	p := Get(2, 1, 1, FiveTuple{}, DirTX, 0, 10)
+	p.CheckLive() // live: must not panic
+	p.Release()
+	mustPanic(t, "packet: use after release", func() { p.CheckLive() })
+}

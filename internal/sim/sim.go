@@ -10,7 +10,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -51,21 +50,27 @@ func (t Time) String() string {
 }
 
 // Event is a scheduled callback. Events with equal deadlines fire in
-// scheduling order (FIFO), which keeps runs deterministic.
+// scheduling order (FIFO), which keeps runs deterministic. Event
+// structs are recycled through a per-loop free list; gen distinguishes
+// incarnations so a stale EventRef cannot cancel a reused event.
 type event struct {
 	at   Time
 	seq  uint64 // tiebreaker: scheduling order
+	gen  uint32 // incarnation, bumped on recycle
 	fn   func()
 	dead bool
 }
 
 // EventRef identifies a scheduled event so it can be cancelled.
-type EventRef struct{ ev *event }
+type EventRef struct {
+	ev  *event
+	gen uint32
+}
 
 // Cancel prevents the event from firing. Cancelling an already-fired
 // or already-cancelled event is a no-op.
 func (r EventRef) Cancel() {
-	if r.ev != nil {
+	if r.ev != nil && r.ev.gen == r.gen {
 		r.ev.dead = true
 	}
 }
@@ -94,11 +99,12 @@ func (q *eventQueue) Pop() interface{} {
 // usable; construct with NewLoop.
 type Loop struct {
 	now       Time
-	queue     eventQueue
+	sched     scheduler
 	seq       uint64
 	rng       *Rand
 	nfired    uint64
 	observers []Observer
+	free      []*event // recycled event structs
 }
 
 // Observer receives control after every executed event, at the
@@ -125,9 +131,45 @@ func (l *Loop) notify() {
 }
 
 // NewLoop returns a loop whose clock starts at zero and whose random
-// source is seeded with seed.
+// source is seeded with seed, using the default calendar-queue
+// scheduler.
 func NewLoop(seed int64) *Loop {
-	return &Loop{rng: NewRand(seed)}
+	return NewLoopSched(seed, SchedCalendar)
+}
+
+// NewLoopSched is NewLoop with an explicit scheduler implementation,
+// for differential testing of the calendar queue against the heap.
+func NewLoopSched(seed int64, kind SchedulerKind) *Loop {
+	l := &Loop{rng: NewRand(seed)}
+	switch kind {
+	case SchedHeap:
+		l.sched = &heapSched{}
+	default:
+		l.sched = newCalendarQueue()
+	}
+	return l
+}
+
+func (l *Loop) newEvent(at Time, fn func()) *event {
+	var ev *event
+	if n := len(l.free); n > 0 {
+		ev = l.free[n-1]
+		l.free[n-1] = nil
+		l.free = l.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at, ev.seq, ev.fn, ev.dead = at, l.seq, fn, false
+	l.seq++
+	return ev
+}
+
+// recycle returns a popped event to the free list. The generation bump
+// invalidates every outstanding EventRef to this incarnation.
+func (l *Loop) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	l.free = append(l.free, ev)
 }
 
 // Now returns the current virtual time.
@@ -141,7 +183,7 @@ func (l *Loop) Fired() uint64 { return l.nfired }
 
 // Pending reports how many events are queued (including cancelled ones
 // not yet discarded).
-func (l *Loop) Pending() int { return len(l.queue) }
+func (l *Loop) Pending() int { return l.sched.len() }
 
 // Schedule runs fn after delay of virtual time. A negative delay is
 // treated as zero. It returns a reference that can cancel the event.
@@ -161,10 +203,9 @@ func (l *Loop) At(at Time, fn func()) EventRef {
 	if at < l.now {
 		at = l.now
 	}
-	ev := &event{at: at, seq: l.seq, fn: fn}
-	l.seq++
-	heap.Push(&l.queue, ev)
-	return EventRef{ev}
+	ev := l.newEvent(at, fn)
+	l.sched.push(ev)
+	return EventRef{ev: ev, gen: ev.gen}
 }
 
 // Every schedules fn to run every period, starting one period from
@@ -209,18 +250,20 @@ func (t *Ticker) Stop() {
 // until, whichever comes first. It returns the time of the last event
 // executed (or the current time if none ran).
 func (l *Loop) Run(until Time) Time {
-	for len(l.queue) > 0 {
-		ev := l.queue[0]
-		if ev.at > until {
+	for {
+		ev := l.sched.popLE(until)
+		if ev == nil {
 			break
 		}
-		heap.Pop(&l.queue)
 		if ev.dead {
+			l.recycle(ev)
 			continue
 		}
 		l.now = ev.at
 		l.nfired++
-		ev.fn()
+		fn := ev.fn
+		l.recycle(ev)
+		fn()
 		l.notify()
 	}
 	if until != MaxTime && l.now < until {
@@ -235,16 +278,21 @@ func (l *Loop) RunAll() Time { return l.Run(MaxTime) }
 // Step executes the single next pending live event, returning false if
 // the queue is empty.
 func (l *Loop) Step() bool {
-	for len(l.queue) > 0 {
-		ev := heap.Pop(&l.queue).(*event)
+	for {
+		ev := l.sched.popLE(MaxTime)
+		if ev == nil {
+			return false
+		}
 		if ev.dead {
+			l.recycle(ev)
 			continue
 		}
 		l.now = ev.at
 		l.nfired++
-		ev.fn()
+		fn := ev.fn
+		l.recycle(ev)
+		fn()
 		l.notify()
 		return true
 	}
-	return false
 }

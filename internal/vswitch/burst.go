@@ -1,0 +1,411 @@
+package vswitch
+
+// Burst datapath (DESIGN.md §10): opt-in entry points that move whole
+// batches of packets through the vSwitch with the per-packet semantics
+// of the scalar path — identical CPU placement, admission decisions,
+// cycle charges, and egress order — while amortizing everything that
+// is per-arrival bookkeeping rather than per-packet work: the vNIC
+// lookup, the CPU scheduler events (one per completion wave instead of
+// one per packet, via nic.CPU.SubmitBurst), and the fabric events (one
+// per same-deadline group instead of one per packet, via
+// fabric.SendBurst).
+//
+// The scalar entry points remain untouched, so everything built on
+// them — including the chaos campaigns and their golden digests — is
+// bit-identical with or without this file.
+
+import (
+	"nezha/internal/nic"
+	"nezha/internal/packet"
+	"nezha/internal/sim"
+)
+
+// burstAct is the planned egress side effect of one CPU-submitted
+// packet. The pre-CPU stages (lookup, state, admission) run at plan
+// time, exactly as the scalar path runs them at arrival; the act
+// executes when the CPU completes the packet.
+type burstAct struct {
+	p      *packet.Packet
+	cycles uint64
+	kind   uint8
+	to     packet.IPv4 // actForward / actRelay destination
+	peer   uint32      // actForward peer-vNIC rewrite
+	vnic   uint32      // actDeliver target vNIC
+	strip  bool        // strip the Nezha header before egress
+}
+
+const (
+	actForward uint8 = iota // overlay rewrite + encap + fabric send
+	actRelay                // encap + fabric send (BE→FE, FE→BE relays)
+	actDeliver              // hand to the local VM
+	actDropACL
+	actDropNoRoute
+)
+
+// pendSend is an egress waiting for the end of its completion wave,
+// when all same-destination sends of the wave leave as one fabric
+// burst.
+type pendSend struct {
+	to packet.IPv4
+	p  *packet.Packet
+}
+
+// FromVMBurst injects a batch of TX packets from local VMs, taking
+// ownership of each exactly as FromVM does. Packets are processed in
+// slice order; consecutive same-vNIC packets share one vNIC lookup and
+// one CPU/fabric event stream.
+func (vs *VSwitch) FromVMBurst(ps []*packet.Packet) {
+	for i := 0; i < len(ps); {
+		j := i + 1
+		for j < len(ps) && ps[j].VNIC == ps[i].VNIC {
+			j++
+		}
+		vs.fromVMRun(ps[i:j])
+		i = j
+	}
+}
+
+// fromVMRun is FromVM for a run of same-vNIC packets.
+func (vs *VSwitch) fromVMRun(ps []*packet.Packet) {
+	vs.Stats.FromVM += uint64(len(ps))
+	if vs.ob != nil {
+		for _, p := range ps {
+			p.CheckLive()
+			vs.hop(p, "ingress-vm")
+		}
+	}
+	if vs.crashed {
+		for _, p := range ps {
+			vs.drop(p, DropCrashed)
+		}
+		return
+	}
+	vn, ok := vs.vnics[ps[0].VNIC]
+	if !ok {
+		for _, p := range ps {
+			vs.drop(p, DropNoRules)
+		}
+		return
+	}
+	admitted := vs.admitBuf[:0]
+	for _, p := range ps {
+		if vs.rateAdmit(vn, p) {
+			admitted = append(admitted, p)
+		}
+	}
+	vs.admitBuf = admitted[:0]
+	if len(admitted) == 0 {
+		return
+	}
+	switch {
+	case vn.offloaded && len(vn.fes) > 0:
+		vs.beTXBurst(vn, admitted)
+	case vn.rules != nil:
+		vs.localTXBurst(vn, admitted)
+	default:
+		for _, p := range admitted {
+			vs.drop(p, DropNoRules)
+		}
+	}
+}
+
+// HandleUnderlayBurst receives a coalesced fabric burst. Runs of
+// consecutive packets that classify to the same batched RX pipeline
+// (hosted-FE RX, monolithic RX) move as a unit; everything else —
+// probes, pongs, control RPCs, Nezha-typed relays — takes the scalar
+// path packet by packet, in order.
+func (vs *VSwitch) HandleUnderlayBurst(ps []*packet.Packet) {
+	if vs.crashed || len(ps) == 1 {
+		for _, p := range ps {
+			vs.HandleUnderlay(p)
+		}
+		return
+	}
+	for i := 0; i < len(ps); {
+		cls, vnic := vs.classifyRX(ps[i])
+		j := i + 1
+		if cls != classOther {
+			for j < len(ps) {
+				c, v := vs.classifyRX(ps[j])
+				if c != cls || v != vnic {
+					break
+				}
+				j++
+			}
+		}
+		run := ps[i:j]
+		switch cls {
+		case classFeRX:
+			vs.Stats.FromNet += uint64(len(run))
+			vs.feRXBurst(vs.fes[vnic], run)
+		case classLocalRX:
+			vs.Stats.FromNet += uint64(len(run))
+			vs.localRXBurst(vs.vnics[vnic], run)
+		default:
+			vs.HandleUnderlay(run[0])
+		}
+		i = j
+	}
+}
+
+const (
+	classOther uint8 = iota // scalar HandleUnderlay handles it
+	classFeRX
+	classLocalRX
+)
+
+// classifyRX decides which batched pipeline (if any) an underlay
+// packet belongs to. It mirrors HandleUnderlay's dispatch order.
+func (vs *VSwitch) classifyRX(p *packet.Packet) (uint8, uint32) {
+	if p.Tuple.Proto == packet.ProtoUDP &&
+		(p.Tuple.DstPort == ProbePort || p.Tuple.DstPort == mutualPort || p.Tuple.DstPort == CtrlPort) {
+		return classOther, 0
+	}
+	if p.Nezha != nil && p.Nezha.Type != packet.NezhaNone {
+		return classOther, 0
+	}
+	if _, ok := vs.fes[p.VNIC]; ok {
+		return classFeRX, p.VNIC
+	}
+	if vn, ok := vs.vnics[p.VNIC]; ok && vn.rules != nil {
+		return classLocalRX, p.VNIC
+	}
+	return classOther, 0
+}
+
+// localTXBurst is localTX over a run: per-packet lookups, state
+// touches, and admission at plan time, then one batched CPU submission.
+func (vs *VSwitch) localTXBurst(vn *vnicState, ps []*packet.Packet) {
+	acts := make([]burstAct, 0, len(ps))
+	for _, p := range ps {
+		if vs.ob != nil {
+			vs.hop(p, "local-tx")
+		}
+		cycles := perByteCycles(p) + nic.FastPathCycles + nic.ProcessPktCycles
+		e, pre, dropped := vs.lookupOrSlowPath(vn.rules, p, &cycles, true)
+		vn.cycles += cycles
+		if dropped {
+			continue
+		}
+		if e.State.Policy != pre.TX.Stats {
+			st := e.State
+			st.Policy = pre.TX.Stats
+			_ = vs.sessions.SetState(e, st)
+		}
+		_ = vs.sessions.TouchState(e, packet.DirTX, p.Flags, p.PayloadLen, int64(vs.loop.Now()))
+		st := e.State
+		if !FinalAllow(pre, st, packet.DirTX) {
+			acts = append(acts, burstAct{p: p, cycles: cycles, kind: actDropACL})
+			continue
+		}
+		if !vs.qosAdmit(vn.id, pre.TX, p) {
+			continue
+		}
+		vs.maybeMirror(p, pre, packet.DirTX)
+		peer, nextHop := pre.TX.PeerVNIC, pre.TX.NextHop
+		vs.applyNAT(vn.rules, pre.TX, p, &peer, &nextHop, &cycles)
+		if st.DecapIP != 0 {
+			dp, dnh, c := vn.rules.ResolvePeer(st.DecapIP)
+			cycles += c
+			if dp != 0 {
+				peer, nextHop = dp, dnh
+			}
+		}
+		acts = vs.planForward(acts, p, peer, nextHop, cycles)
+	}
+	vs.runPlan(acts, false)
+}
+
+// beTXBurst is beTX over a run: the FE set and pinning map resolve
+// once, state updates happen per packet, and the relays leave in
+// same-FE fabric bursts.
+func (vs *VSwitch) beTXBurst(vn *vnicState, ps []*packet.Packet) {
+	now := int64(vs.loop.Now())
+	acts := make([]burstAct, 0, len(ps))
+	for _, p := range ps {
+		cycles := perByteCycles(p) + nic.FastPathCycles + nic.StateCarryCycles + nic.EncapCycles
+		key, _ := p.SessionKey()
+		vn.cycles += cycles
+		e, err := vs.sessions.GetOrCreate(key, vn.id, now)
+		if err != nil {
+			vs.drop(p, DropNoMemory)
+			continue
+		}
+		_ = vs.sessions.TouchState(e, packet.DirTX, p.Flags, p.PayloadLen, now)
+		fe := vn.fes[p.Tuple.Hash()%uint64(len(vn.fes))]
+		if vn.pinned != nil {
+			if dedicated, ok := vn.pinned[key]; ok {
+				fe = dedicated
+			}
+		}
+		p.AttachNezha(&packet.NezhaHeader{
+			Type:      packet.NezhaCarryState,
+			VNIC:      vn.id,
+			Dir:       packet.DirTX,
+			StateBlob: e.State.Encode(),
+		})
+		if vs.ob != nil {
+			vs.hopEncap(p, "be-tx", p.Nezha.WireSize())
+		}
+		acts = append(acts, burstAct{p: p, cycles: cycles, kind: actRelay, to: fe})
+	}
+	vs.runPlan(acts, false)
+}
+
+// feRXBurst is feRX over a run: stateless pre-action lookups per
+// packet, then one batched submission relaying toward the BE.
+func (vs *VSwitch) feRXBurst(fe *feInstance, ps []*packet.Packet) {
+	acts := make([]burstAct, 0, len(ps))
+	for _, p := range ps {
+		cycles := perByteCycles(p) + nic.FastPathCycles + nic.StateCarryCycles + nic.EncapCycles
+		_, pre, _ := vs.lookupOrSlowPath(fe.rules, p, &cycles, false)
+		orig := p.OuterSrc
+		p.AttachNezha(&packet.NezhaHeader{
+			Type:          packet.NezhaCarryPreActions,
+			VNIC:          fe.vnic,
+			Dir:           packet.DirRX,
+			PreActionBlob: pre.Encode(),
+			OrigOuterSrc:  orig,
+		})
+		if vs.ob != nil {
+			vs.hopEncap(p, "fe-rx", p.Nezha.WireSize())
+		}
+		acts = append(acts, burstAct{p: p, cycles: cycles, kind: actRelay, to: fe.beAddr})
+	}
+	vs.runPlan(acts, true)
+}
+
+// localRXBurst is localRX over a run.
+func (vs *VSwitch) localRXBurst(vn *vnicState, ps []*packet.Packet) {
+	acts := make([]burstAct, 0, len(ps))
+	for _, p := range ps {
+		if !vs.rateAdmit(vn, p) {
+			continue
+		}
+		if vs.ob != nil {
+			vs.hop(p, "local-rx")
+		}
+		cycles := perByteCycles(p) + nic.FastPathCycles + nic.ProcessPktCycles
+		e, pre, dropped := vs.lookupOrSlowPath(vn.rules, p, &cycles, true)
+		vn.cycles += cycles
+		if dropped {
+			continue
+		}
+		if e.State.Policy != pre.RX.Stats {
+			st := e.State
+			st.Policy = pre.RX.Stats
+			_ = vs.sessions.SetState(e, st)
+		}
+		if vn.decap && !e.State.Init && p.OuterSrc != 0 {
+			st := e.State
+			st.DecapIP = p.OuterSrc
+			_ = vs.sessions.SetState(e, st)
+		}
+		_ = vs.sessions.TouchState(e, packet.DirRX, p.Flags, p.PayloadLen, int64(vs.loop.Now()))
+		st := e.State
+		if !FinalAllow(pre, st, packet.DirRX) {
+			acts = append(acts, burstAct{p: p, cycles: cycles, kind: actDropACL})
+			continue
+		}
+		if !vs.qosAdmit(vn.id, pre.RX, p) {
+			continue
+		}
+		vs.maybeMirror(p, pre, packet.DirRX)
+		acts = append(acts, burstAct{p: p, cycles: cycles, kind: actDeliver, vnic: p.VNIC})
+	}
+	vs.runPlan(acts, false)
+}
+
+// planForward is forwardOverlay at plan time: resolve the peer now,
+// record the forward (or the no-route drop) for execution at CPU
+// completion.
+func (vs *VSwitch) planForward(acts []burstAct, p *packet.Packet, peer uint32, staticHop packet.IPv4, cycles uint64) []burstAct {
+	if peer == 0 && staticHop == 0 {
+		return append(acts, burstAct{p: p, cycles: cycles, kind: actDropNoRoute})
+	}
+	addr, ok := vs.learner.Pick(peer, p.Tuple.Hash())
+	if !ok {
+		addr = staticHop
+	}
+	if addr == 0 {
+		return append(acts, burstAct{p: p, cycles: cycles, kind: actDropNoRoute})
+	}
+	if vs.ob != nil {
+		vs.hopPick(p, addr)
+	}
+	cycles += nic.EncapCycles
+	return append(acts, burstAct{p: p, cycles: cycles, kind: actForward, to: addr, peer: peer})
+}
+
+// runPlan submits the planned packets to the CPU as one burst and
+// executes each act at its completion. Sends accumulate per wave and
+// leave as coalesced fabric bursts when the wave ends — the same
+// instant the scalar path would have sent them one by one.
+func (vs *VSwitch) runPlan(acts []burstAct, remote bool) {
+	if len(acts) == 0 {
+		return
+	}
+	costs := vs.burstCosts[:0]
+	for i := range acts {
+		costs = append(costs, acts[i].cycles)
+		if remote {
+			vs.cyclesRemote += acts[i].cycles
+		} else {
+			vs.cyclesLocal += acts[i].cycles
+		}
+	}
+	vs.burstCosts = costs
+	vs.inFlightCPU += len(acts)
+	vs.cpu.SubmitBurst(costs, func(i int, ok bool, d sim.Time) {
+		vs.inFlightCPU--
+		a := &acts[i]
+		if !ok {
+			vs.drop(a.p, DropOverload)
+			return
+		}
+		if vs.ob != nil {
+			vs.hopCPU(a.p, a.cycles, d)
+		}
+		switch a.kind {
+		case actForward:
+			a.p.VNIC = a.peer
+			a.p.Dir = packet.DirRX
+			a.p.Encap(vs.cfg.Addr, a.to)
+			vs.Stats.Sent++
+			vs.pend = append(vs.pend, pendSend{to: a.to, p: a.p})
+		case actRelay:
+			a.p.Encap(vs.cfg.Addr, a.to)
+			vs.Stats.Sent++
+			vs.pend = append(vs.pend, pendSend{to: a.to, p: a.p})
+		case actDeliver:
+			if a.strip {
+				a.p.StripNezha()
+			}
+			vs.deliverToVM(a.vnic, a.p)
+		case actDropACL:
+			vs.drop(a.p, DropACL)
+		case actDropNoRoute:
+			vs.drop(a.p, DropNoRoute)
+		}
+	}, func([]int32) { vs.flushPend() })
+}
+
+// flushPend ships the wave's accumulated sends, one fabric burst per
+// run of consecutive same-destination packets.
+func (vs *VSwitch) flushPend() {
+	pend := vs.pend
+	vs.pend = vs.pend[:0]
+	for i := 0; i < len(pend); {
+		j := i + 1
+		for j < len(pend) && pend[j].to == pend[i].to {
+			j++
+		}
+		buf := vs.sendBuf[:0]
+		for k := i; k < j; k++ {
+			buf = append(buf, pend[k].p)
+		}
+		vs.sendBuf = buf[:0]
+		vs.fab.SendBurst(vs.cfg.Addr, pend[i].to, buf)
+		i = j
+	}
+}

@@ -9,8 +9,11 @@ import (
 	"nezha/internal/tables"
 )
 
-// FromVM injects a TX packet from a local VM into the vSwitch.
+// FromVM injects a TX packet from a local VM into the vSwitch, which
+// takes ownership: the packet terminates in a drop (released), a
+// delivery (the delivery callback owns it), or a fabric send.
 func (vs *VSwitch) FromVM(p *packet.Packet) {
+	p.CheckLive()
 	vs.Stats.FromVM++
 	if vs.ob != nil {
 		vs.hop(p, "ingress-vm")
@@ -38,8 +41,10 @@ func (vs *VSwitch) FromVM(p *packet.Packet) {
 	vs.drop(p, DropNoRules)
 }
 
-// HandleUnderlay receives a packet from the fabric.
+// HandleUnderlay receives a packet from the fabric and takes
+// ownership, like FromVM.
 func (vs *VSwitch) HandleUnderlay(p *packet.Packet) {
+	p.CheckLive()
 	vs.Stats.FromNet++
 	if vs.crashed {
 		vs.drop(p, DropCrashed)
@@ -116,10 +121,12 @@ func (vs *VSwitch) HandleUnderlay(p *packet.Packet) {
 func (vs *VSwitch) handleProbe(p *packet.Packet) {
 	vs.Stats.ProbesSeen++
 	vs.Stats.Absorbed++
-	pong := packet.New(p.ID, 0, 0, p.Tuple.Reverse(), packet.DirTX, 0, 0)
+	pong := packet.Get(p.ID, 0, 0, p.Tuple.Reverse(), packet.DirTX, 0, 0)
 	pong.SentAt = p.SentAt
-	pong.Encap(vs.cfg.Addr, p.OuterSrc)
-	vs.fab.Send(vs.cfg.Addr, p.OuterSrc, pong)
+	to := p.OuterSrc
+	p.Release()
+	pong.Encap(vs.cfg.Addr, to)
+	vs.fab.Send(vs.cfg.Addr, to, pong)
 }
 
 func perByteCycles(p *packet.Packet) uint64 {
@@ -494,6 +501,7 @@ func (vs *VSwitch) beNotify(vn *vnicState, p *packet.Packet) {
 	}
 	vs.submit(p, nic.NotifyCycles, func() {
 		vs.Stats.Absorbed++
+		p.Release()
 		cur := vs.sessions.Peek(key)
 		if cur == nil {
 			return
@@ -559,7 +567,7 @@ func (vs *VSwitch) sendNotify(fe *feInstance, orig *packet.Packet, policy tables
 	var st state.State
 	st.InitFirst(orig.Nezha.Dir, int64(vs.loop.Now()))
 	st.Policy = policy
-	n := packet.New(orig.ID, orig.VPC, orig.VNIC, orig.Tuple, orig.Dir, 0, 0)
+	n := packet.Get(orig.ID, orig.VPC, orig.VNIC, orig.Tuple, orig.Dir, 0, 0)
 	n.SentAt = int64(vs.loop.Now())
 	n.AttachNezha(&packet.NezhaHeader{
 		Type:      packet.NezhaNotify,

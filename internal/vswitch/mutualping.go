@@ -1,6 +1,8 @@
 package vswitch
 
 import (
+	"sort"
+
 	"nezha/internal/packet"
 	"nezha/internal/sim"
 )
@@ -59,17 +61,25 @@ func (vs *VSwitch) mutualRound() {
 		return
 	}
 	m := vs.mutual
-	// Settle the previous round.
-	targets := make(map[packet.IPv4]bool)
+	// Settle the previous round. Targets are visited in address order:
+	// miss declarations and probe sends must not depend on map
+	// iteration, or the determinism contract (and the chaos trace
+	// digests) breaks.
+	seen := make(map[packet.IPv4]bool)
+	var targets []packet.IPv4
 	for _, vn := range vs.vnics {
 		if !vn.offloaded {
 			continue
 		}
 		for _, fe := range vn.fes {
-			targets[fe] = true
+			if !seen[fe] {
+				seen[fe] = true
+				targets = append(targets, fe)
+			}
 		}
 	}
-	for fe := range targets {
+	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+	for _, fe := range targets {
 		if m.pending[fe] {
 			m.missed[fe]++
 			if m.missed[fe] >= m.misses && !m.reported[fe] {
@@ -82,7 +92,7 @@ func (vs *VSwitch) mutualRound() {
 	}
 	// New round.
 	m.pending = make(map[packet.IPv4]bool)
-	for fe := range targets {
+	for _, fe := range targets {
 		m.pending[fe] = true
 		probe := packet.New(0, 0, 0, packet.FiveTuple{
 			SrcIP: packet.IPv4(vs.cfg.Addr), DstIP: packet.IPv4(fe),
@@ -93,14 +103,16 @@ func (vs *VSwitch) mutualRound() {
 	}
 }
 
-// handleMutualPong clears the pending mark for the answering FE.
+// handleMutualPong clears the pending mark for the answering FE. The
+// pong is absorbed (and released) here.
 func (vs *VSwitch) handleMutualPong(p *packet.Packet) {
 	vs.Stats.Absorbed++
+	fe := p.OuterSrc
+	p.Release()
 	m := vs.mutual
 	if m == nil {
 		return
 	}
-	fe := p.OuterSrc
 	delete(m.pending, fe)
 	m.missed[fe] = 0
 	if m.reported[fe] {

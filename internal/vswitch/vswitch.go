@@ -268,6 +268,16 @@ type VSwitch struct {
 	// nil means observability is off and the datapath pays nothing.
 	ob *vsObs
 
+	// Burst-pipeline scratch (see burst.go). The sim loop is
+	// single-threaded, so one set per vSwitch suffices: burstCosts is
+	// consumed synchronously by SubmitBurst, pend accumulates egress
+	// within one completion wave, admitBuf/sendBuf live only within
+	// one call.
+	burstCosts []uint64
+	pend       []pendSend
+	admitBuf   []*packet.Packet
+	sendBuf    []*packet.Packet
+
 	Stats Counters
 }
 
@@ -302,6 +312,9 @@ func New(loop *sim.Loop, fab *fabric.Fabric, gw *fabric.Gateway, cfg Config) *VS
 	})
 	vs.refreshSessionBudget()
 	fab.Register(cfg.Addr, cfg.ToR, vs.HandleUnderlay)
+	// Coalesced deliveries (from peers using SendBurst) enter through
+	// the burst pipeline; per-packet sends still use HandleUnderlay.
+	_ = fab.SetBurstHandler(cfg.Addr, vs.HandleUnderlayBurst)
 	return vs
 }
 
@@ -856,9 +869,12 @@ func (vs *VSwitch) SweepSessions() int {
 	return vs.sessions.Sweep(int64(vs.loop.Now()))
 }
 
+// drop terminally consumes a packet: it is counted, traced, and
+// returned to the pool. Callers must not touch p afterward.
 func (vs *VSwitch) drop(p *packet.Packet, r DropReason) {
 	vs.Stats.Drops[r]++
 	if vs.ob != nil {
 		vs.hopDrop(p, r)
 	}
+	p.Release()
 }

@@ -106,6 +106,11 @@ func NewFlowHolder(loop *sim.Loop, client *VM, dst packet.IPv4, keepalive sim.Ti
 // source IP is varied to keep 5-tuples distinct, as a multi-client
 // workload would.
 func (h *FlowHolder) OpenN(n int) {
+	if n <= 0 {
+		return
+	}
+	syns := make([]*packet.Packet, 0, n)
+	tuples := make([]packet.FiveTuple, 0, n)
 	for i := 0; i < n; i++ {
 		h.next++
 		if h.next < 1024 {
@@ -118,18 +123,24 @@ func (h *FlowHolder) OpenN(n int) {
 			Proto: packet.ProtoTCP,
 		}
 		h.open = append(h.open, ft)
-		p := packet.New(h.client.nextID(), h.client.VPC, h.client.VNIC, ft, packet.DirTX, packet.FlagSYN, 0)
+		tuples = append(tuples, ft)
+		p := packet.Get(h.client.nextID(), h.client.VPC, h.client.VNIC, ft, packet.DirTX, packet.FlagSYN, 0)
 		p.SentAt = int64(h.loop.Now())
-		h.client.vs.FromVM(p)
-		// Complete the handshake shortly after (the server's SYNACK
-		// is in flight): persistent flows must reach Established or
-		// the short SYN aging reclaims them (§7.3).
-		h.loop.Schedule(20*sim.Millisecond, func() {
-			ack := packet.New(h.client.nextID(), h.client.VPC, h.client.VNIC, ft, packet.DirTX, packet.FlagACK, 0)
-			ack.SentAt = int64(h.loop.Now())
-			h.client.vs.FromVM(ack)
-		})
+		syns = append(syns, p)
 	}
+	h.client.vs.FromVMBurst(syns)
+	// Complete the handshakes shortly after (the server SYNACKs are in
+	// flight): persistent flows must reach Established or the short SYN
+	// aging reclaims them (§7.3). One event acks the whole batch.
+	h.loop.Schedule(20*sim.Millisecond, func() {
+		acks := make([]*packet.Packet, 0, len(tuples))
+		for _, ft := range tuples {
+			ack := packet.Get(h.client.nextID(), h.client.VPC, h.client.VNIC, ft, packet.DirTX, packet.FlagACK, 0)
+			ack.SentAt = int64(h.loop.Now())
+			acks = append(acks, ack)
+		}
+		h.client.vs.FromVMBurst(acks)
+	})
 }
 
 // RampN opens n connections paced evenly over the window — an
@@ -145,13 +156,18 @@ func (h *FlowHolder) RampN(n int, window sim.Time) {
 }
 
 // KeepAlive re-touches every open flow once (call periodically to
-// defeat aging).
+// defeat aging). The touches enter the vSwitch as one burst.
 func (h *FlowHolder) KeepAlive() {
-	for _, ft := range h.open {
-		p := packet.New(h.client.nextID(), h.client.VPC, h.client.VNIC, ft, packet.DirTX, packet.FlagACK, 32)
-		p.SentAt = int64(h.loop.Now())
-		h.client.vs.FromVM(p)
+	if len(h.open) == 0 {
+		return
 	}
+	batch := make([]*packet.Packet, 0, len(h.open))
+	for _, ft := range h.open {
+		p := packet.Get(h.client.nextID(), h.client.VPC, h.client.VNIC, ft, packet.DirTX, packet.FlagACK, 32)
+		p.SentAt = int64(h.loop.Now())
+		batch = append(batch, p)
+	}
+	h.client.vs.FromVMBurst(batch)
 }
 
 // KeepAlivePaced spreads one keepalive per open flow evenly over the
@@ -165,7 +181,7 @@ func (h *FlowHolder) KeepAlivePaced(window sim.Time) {
 	for i, ft := range h.open {
 		ft := ft
 		h.loop.Schedule(gap*sim.Time(i), func() {
-			p := packet.New(h.client.nextID(), h.client.VPC, h.client.VNIC, ft, packet.DirTX, packet.FlagACK, 32)
+			p := packet.Get(h.client.nextID(), h.client.VPC, h.client.VNIC, ft, packet.DirTX, packet.FlagACK, 32)
 			p.SentAt = int64(h.loop.Now())
 			h.client.vs.FromVM(p)
 		})
@@ -224,7 +240,7 @@ func (f *SYNFlood) arm() {
 			SrcPort: uint16(1024 + f.rng.Intn(60000)), DstPort: ServerPort,
 			Proto: packet.ProtoTCP,
 		}
-		p := packet.New(*f.idGen, f.vpc, f.vnic, ft, packet.DirTX, packet.FlagSYN, 0)
+		p := packet.Get(*f.idGen, f.vpc, f.vnic, ft, packet.DirTX, packet.FlagSYN, 0)
 		p.SentAt = int64(f.loop.Now())
 		f.Sent++
 		f.vs.FromVM(p)
@@ -254,14 +270,14 @@ func (pg *Pinger) Run(rate float64, n int) {
 		SrcIP: pg.vm.IP, DstIP: pg.dst,
 		SrcPort: pg.sport, DstPort: ServerPort, Proto: packet.ProtoTCP,
 	}
-	syn := packet.New(pg.vm.nextID(), pg.vm.VPC, pg.vm.VNIC, ft, packet.DirTX, packet.FlagSYN, 0)
+	syn := packet.Get(pg.vm.nextID(), pg.vm.VPC, pg.vm.VNIC, ft, packet.DirTX, packet.FlagSYN, 0)
 	syn.SentAt = int64(pg.loop.Now())
 	pg.vm.vs.FromVM(syn)
 	gap := sim.Time(float64(sim.Second) / rate)
 	for i := 1; i <= n; i++ {
 		i := i
 		pg.loop.Schedule(gap*sim.Time(i), func() {
-			p := packet.New(pg.vm.nextID(), pg.vm.VPC, pg.vm.VNIC, ft, packet.DirTX, packet.FlagACK, 64)
+			p := packet.Get(pg.vm.nextID(), pg.vm.VPC, pg.vm.VNIC, ft, packet.DirTX, packet.FlagACK, 64)
 			p.SentAt = int64(pg.loop.Now())
 			pg.vm.vs.FromVM(p)
 		})

@@ -113,7 +113,7 @@ func (vm *VM) nextID() uint64 {
 }
 
 func (vm *VM) send(ft packet.FiveTuple, flags packet.TCPFlags, payload int, sentAt int64) {
-	p := packet.New(vm.nextID(), vm.VPC, vm.VNIC, ft, packet.DirTX, flags, payload)
+	p := packet.Get(vm.nextID(), vm.VPC, vm.VNIC, ft, packet.DirTX, flags, payload)
 	p.SentAt = sentAt
 	vm.vs.FromVM(p)
 }
@@ -142,23 +142,27 @@ func (vm *VM) Abort(sport uint16) {
 	delete(vm.conns, sport)
 }
 
-// OnDeliver is the vSwitch delivery callback target.
+// OnDeliver is the vSwitch delivery callback target. The VM is the
+// packet's terminal consumer: it is released back to the pool here,
+// after the handlers copy out what they need.
 func (vm *VM) OnDeliver(vnic uint32, p *packet.Packet, lat sim.Time) {
 	if vnic != vm.VNIC {
 		return
 	}
 	if p.Tuple.DstPort == ServerPort {
 		vm.serverHandle(p)
-		return
-	}
-	if p.Tuple.SrcPort == ServerPort {
+	} else if p.Tuple.SrcPort == ServerPort {
 		vm.clientHandle(p)
 	}
+	p.Release()
 }
 
 // serverHandle implements the passive side: accept, respond, close.
+// The kernel completions fire after OnDeliver releases p, so they
+// capture copies of its fields, never p itself.
 func (vm *VM) serverHandle(p *packet.Packet) {
 	reply := p.Tuple.Reverse()
+	sentAt := p.SentAt
 	switch {
 	case p.Flags.Has(packet.FlagSYN) && !p.Flags.Has(packet.FlagACK):
 		// New connection: charge the kernel; beyond capacity the
@@ -169,19 +173,19 @@ func (vm *VM) serverHandle(p *packet.Packet) {
 				return
 			}
 			vm.Accepted++
-			vm.send(reply, packet.FlagSYN|packet.FlagACK, 0, p.SentAt)
+			vm.send(reply, packet.FlagSYN|packet.FlagACK, 0, sentAt)
 		})
 	case p.Flags.Has(packet.FlagFIN):
 		vm.kernel.Submit(vm.pktCost, func(ok bool, _ sim.Time) {
 			if ok {
-				vm.send(reply, packet.FlagFIN|packet.FlagACK, 0, p.SentAt)
+				vm.send(reply, packet.FlagFIN|packet.FlagACK, 0, sentAt)
 			}
 		})
 	case p.PayloadLen > 0:
 		// Request: produce the response.
 		vm.kernel.Submit(vm.pktCost, func(ok bool, _ sim.Time) {
 			if ok {
-				vm.send(reply, packet.FlagACK, vm.respBytes, p.SentAt)
+				vm.send(reply, packet.FlagACK, vm.respBytes, sentAt)
 			}
 		})
 	}
