@@ -1,0 +1,147 @@
+package nezha
+
+// Attribution-profiler overhead benchmarks: the burst datapath rig
+// from bench_datapath_test.go run with the profiler detached and
+// attached. The profiler is always-on accounting (fixed-array adds
+// behind one nil check, no sampling), so its cost must stay in the
+// noise: TestProfOverheadGuard (PROF_BENCH_GUARD=1) fails if the
+// profiled rig moves less than 95% of the unprofiled packets/sec, and
+// writes the measurement to BENCH_prof.json plus a sample profile
+// dump to BENCH_prof_sample.pb.gz for artifact upload.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"nezha/internal/packet"
+	"nezha/internal/prof"
+	"nezha/internal/sim"
+)
+
+// runProfRig drives the standard burst datapath workload, optionally
+// with the profiler attached to both vSwitches, and returns packets
+// delivered plus the profiler (nil when off).
+func runProfRig(profiled bool) (uint64, *prof.Profiler) {
+	r := newDatapathRig(sim.SchedCalendar)
+	var pr *prof.Profiler
+	if profiled {
+		pr = prof.New()
+		pr.SetClock(r.loop.Now)
+		r.a.EnableProf(pr)
+		r.b.EnableProf(pr)
+	}
+	r.establish()
+	base := r.loop.Now()
+	for round := 0; round < dpBenchRounds; round++ {
+		r.loop.At(base+sim.Time(round+1)*100*sim.Microsecond, func() {
+			ps := make([]*packet.Packet, 0, dpBenchBatch)
+			for i := 0; i < dpBenchBatch; i++ {
+				ps = append(ps, r.pkt(uint16(2000+i%dpBenchFlows), packet.FlagACK, 64))
+			}
+			r.a.FromVMBurst(ps)
+		})
+	}
+	r.loop.Run(base + sim.Second)
+	return r.delivered, pr
+}
+
+func benchProfPipeline(b *testing.B, profiled bool) {
+	var pkts uint64
+	for i := 0; i < b.N; i++ {
+		n, _ := runProfRig(profiled)
+		pkts += n
+	}
+	if want := uint64(b.N) * dpBenchRounds * dpBenchBatch; pkts != want {
+		b.Fatalf("delivered %d packets, want %d — rig is dropping, measurement invalid", pkts, want)
+	}
+	b.ReportAllocs()
+	b.ReportMetric(float64(pkts)/b.Elapsed().Seconds(), "pkts/s")
+}
+
+// BenchmarkDatapathProfOff is the burst datapath with no profiler —
+// every charge site is one nil check.
+func BenchmarkDatapathProfOff(b *testing.B) {
+	benchProfPipeline(b, false)
+}
+
+// BenchmarkDatapathProfOn is the same workload with full cycle/byte
+// attribution accumulating into the per-vNIC fixed arrays.
+func BenchmarkDatapathProfOn(b *testing.B) {
+	benchProfPipeline(b, true)
+}
+
+// profBenchResult is the BENCH_prof.json schema.
+type profBenchResult struct {
+	OffNsPerOp     int64   `json:"off_ns_per_op"`
+	OnNsPerOp      int64   `json:"on_ns_per_op"`
+	OffPktsPerSec  float64 `json:"off_pkts_per_sec"`
+	OnPktsPerSec   float64 `json:"on_pkts_per_sec"`
+	OverheadPct    float64 `json:"overhead_pct"`
+	OffAllocsPerOp int64   `json:"off_allocs_per_op"`
+	OnAllocsPerOp  int64   `json:"on_allocs_per_op"`
+	PktsPerOp      int     `json:"pkts_per_op"`
+	MaxOverheadPct float64 `json:"max_overhead_pct"`
+	Reps           int     `json:"reps"`
+}
+
+// TestProfOverheadGuard is the CI profiler-overhead gate (set
+// PROF_BENCH_GUARD=1 to run): best of three reps each way, written to
+// BENCH_prof.json; fails if attribution costs more than 5% of the
+// unprofiled packets/sec. Also writes the profiled run's dump to
+// BENCH_prof_sample.pb.gz so CI archives a decodable profile.
+func TestProfOverheadGuard(t *testing.T) {
+	if os.Getenv("PROF_BENCH_GUARD") == "" {
+		t.Skip("set PROF_BENCH_GUARD=1 to run the profiler overhead gate")
+	}
+	const reps = 3
+	best := func(fn func(*testing.B)) (ns, allocs int64) {
+		for i := 0; i < reps; i++ {
+			r := testing.Benchmark(fn)
+			if ns == 0 || r.NsPerOp() < ns {
+				ns, allocs = r.NsPerOp(), r.AllocsPerOp()
+			}
+		}
+		return ns, allocs
+	}
+	offNs, offAllocs := best(BenchmarkDatapathProfOff)
+	onNs, onAllocs := best(BenchmarkDatapathProfOn)
+	const pktsPerOp = dpBenchRounds * dpBenchBatch
+	res := profBenchResult{
+		OffNsPerOp:     offNs,
+		OnNsPerOp:      onNs,
+		OffPktsPerSec:  float64(pktsPerOp) / (float64(offNs) / 1e9),
+		OnPktsPerSec:   float64(pktsPerOp) / (float64(onNs) / 1e9),
+		OverheadPct:    (float64(onNs)/float64(offNs) - 1) * 100,
+		OffAllocsPerOp: offAllocs,
+		OnAllocsPerOp:  onAllocs,
+		PktsPerOp:      pktsPerOp,
+		MaxOverheadPct: 5.0,
+		Reps:           reps,
+	}
+	out, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile("BENCH_prof.json", out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("prof off %.0f pkts/s, on %.0f pkts/s: %.2f%% overhead",
+		res.OffPktsPerSec, res.OnPktsPerSec, res.OverheadPct)
+	if res.OnPktsPerSec < (1-res.MaxOverheadPct/100)*res.OffPktsPerSec {
+		t.Errorf("profiler costs %.2f%% of datapath throughput (budget %.0f%%); see BENCH_prof.json",
+			res.OverheadPct, res.MaxOverheadPct)
+	}
+
+	// Archive a decodable sample profile from one profiled run.
+	_, pr := runProfRig(true)
+	f, err := os.Create("BENCH_prof_sample.pb.gz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := pr.WriteProfile(f, sim.Second, sim.Second); err != nil {
+		t.Fatalf("writing sample profile: %v", err)
+	}
+}

@@ -20,12 +20,18 @@
 //	            [-clients 3] [-cps 250] [-events 12] [-midpush]
 //	            [-failfile failing-seeds.txt] [-v]
 //	            [-obs] [-obs-sample 1.0] [-obs-dir dumps/]
+//	            [-prof] [-prof-dir profiles/]
 //
 // With -obs (the default), every campaign runs with the observability
 // layer attached: a violation automatically writes a flight-recorder
 // dump — the control-plane event lead-up, transaction spans, and
 // hop-by-hop packet traces — and the failure line carries both the
 // failing seed and the dump path.
+//
+// With -prof, the cycle/byte attribution profiler runs alongside and
+// every campaign writes a pprof-encoded profile (at the moment of the
+// first violation, or at campaign end when clean). Inspect with
+// `go tool pprof -top <dump>` or `nezha-prof top <dump>`.
 package main
 
 import (
@@ -53,12 +59,26 @@ func main() {
 		obsOn     = flag.Bool("obs", true, "attach the observability layer (flight-recorder dump on violation)")
 		obsSample = flag.Float64("obs-sample", 1.0, "flight-trace sampling probability")
 		obsDir    = flag.String("obs-dir", "", "directory for flight-recorder dumps (default: system temp dir)")
+		profOn    = flag.Bool("prof", false, "attach the cycle/byte attribution profiler (pprof dump per campaign)")
+		profDir   = flag.String("prof-dir", "", "directory for attribution profiles (default: system temp dir)")
 	)
 	flag.Parse()
 
 	dumpDir := *obsDir
 	if *obsOn && dumpDir == "" {
 		dumpDir = os.TempDir()
+	}
+	pDir := *profDir
+	if *profOn && pDir == "" {
+		pDir = os.TempDir()
+	}
+	for _, dir := range []string{dumpDir, pDir} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "nezha-chaos: %v\n", err)
+				os.Exit(2)
+			}
+		}
 	}
 
 	failed := 0
@@ -76,6 +96,8 @@ func main() {
 			Obs:           *obsOn,
 			ObsSampleRate: *obsSample,
 			ObsDumpDir:    dumpDir,
+			Prof:          *profOn,
+			ProfDir:       pDir,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "seed %d: %v\n", s, err)
@@ -89,6 +111,9 @@ func main() {
 		}
 		fmt.Printf("seed %-4d %-22s completed=%-6d declared=%-2d failovers=%-2d digest=%016x\n",
 			s, verdict, rep.Completed, rep.Declared, rep.Failovers, rep.Digest)
+		if !rep.Failed() && rep.ProfDumpPath != "" {
+			fmt.Printf("    prof: %s\n", rep.ProfDumpPath)
+		}
 		if *verbose || rep.Failed() {
 			for _, a := range rep.Schedule {
 				fmt.Printf("    schedule: %v\n", a)
@@ -100,7 +125,11 @@ func main() {
 		if rep.Failed() {
 			// The one-line failure handle: seed and dump together, so a
 			// CI log grep lands on everything needed to debug the run.
-			fmt.Printf("FAIL seed=%d dump=%s\n", s, rep.DumpPath)
+			if rep.ProfDumpPath != "" {
+				fmt.Printf("FAIL seed=%d dump=%s prof=%s\n", s, rep.DumpPath, rep.ProfDumpPath)
+			} else {
+				fmt.Printf("FAIL seed=%d dump=%s\n", s, rep.DumpPath)
+			}
 			repro := fmt.Sprintf("nezha-chaos -seed %d -campaigns 1 -v", s)
 			if *midpush {
 				repro += " -midpush"

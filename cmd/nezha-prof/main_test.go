@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"nezha/internal/prof"
+)
+
+func makeProfile(t *testing.T, hotCycles uint64) *prof.DecodedProfile {
+	t.Helper()
+	pr := prof.New()
+	n := pr.Node("10.0.0.1", 1)
+	n.Slot(1, prof.RoleLocal).Charge(prof.DirTX, prof.StageSlowpath, hotCycles)
+	n.Slot(2, prof.RoleLocal).Charge(prof.DirTX, prof.StageFastpath, 100)
+	n.Slot(2, prof.RoleLocal).MemAlloc(prof.CauseRuleTable, 512)
+	raw, err := pr.ProfileBytes(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := prof.DecodeProfile(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dp
+}
+
+func TestKeyTotalsRanksAndRendersKeys(t *testing.T) {
+	dp := makeProfile(t, 9000)
+	rows := keyTotals(dp, sampleIndex(dp, "cycles"))
+	if len(rows) != 2 {
+		t.Fatalf("want 2 cycle keys, got %+v", rows)
+	}
+	if rows[0].v != 9000 || !strings.Contains(rows[0].key, "stage:slowpath") || !strings.Contains(rows[0].key, "vnic:1/local") {
+		t.Fatalf("hot key wrong: %+v", rows[0])
+	}
+	if !strings.HasPrefix(rows[0].key, "node:10.0.0.1") {
+		t.Fatalf("key not rendered root-first: %q", rows[0].key)
+	}
+
+	brows := keyTotals(dp, sampleIndex(dp, "bytes"))
+	if len(brows) != 1 || brows[0].v != 512 || !strings.Contains(brows[0].key, "mem:rule-table") {
+		t.Fatalf("byte keys wrong: %+v", brows)
+	}
+}
+
+func TestSampleIndexNames(t *testing.T) {
+	dp := makeProfile(t, 1)
+	if i := sampleIndex(dp, "cycles"); i != 0 {
+		t.Fatalf("cycles index = %d, want 0", i)
+	}
+	if i := sampleIndex(dp, "bytes"); i != 1 {
+		t.Fatalf("bytes index = %d, want 1", i)
+	}
+}

@@ -9,10 +9,15 @@
 //	nezha-sim [-servers 24] [-clients 8] [-cps 20000] [-duration 20s]
 //	          [-crash] [-no-nezha] [-seed 1]
 //	          [-obs run.jsonl] [-obs-sample 0.01] [-obs-prom metrics.prom]
+//	          [-prof run.pb.gz]
 //
 // -obs streams one JSON telemetry snapshot per virtual second to the
 // given file ('-' = stdout) — the format nezha-top renders. -obs-prom
-// writes a final Prometheus text export at exit.
+// writes a final Prometheus text export at exit. -prof attaches the
+// cycle/byte attribution profiler and writes a pprof-encoded profile
+// at exit (inspect with `go tool pprof -top` or nezha-prof); when
+// combined with -obs the prof_* series appear in the snapshots and
+// nezha-top's PROF section.
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"nezha/internal/nic"
 	"nezha/internal/obs"
 	"nezha/internal/packet"
+	"nezha/internal/prof"
 	"nezha/internal/sim"
 	"nezha/internal/tables"
 	"nezha/internal/vswitch"
@@ -46,6 +52,7 @@ func main() {
 		obsPath   = flag.String("obs", "", "write per-second JSON telemetry snapshots here ('-' = stdout); view with nezha-top")
 		obsSample = flag.Float64("obs-sample", 0.01, "flight-trace sampling probability when -obs is set")
 		obsProm   = flag.String("obs-prom", "", "write a final Prometheus text export to this file")
+		profPath  = flag.String("prof", "", "attach the attribution profiler and write a pprof profile here at exit")
 	)
 	flag.Parse()
 
@@ -65,6 +72,11 @@ func main() {
 		obsOut = f
 	}
 
+	var pr *prof.Profiler
+	if *profPath != "" {
+		pr = prof.New()
+	}
+
 	const (
 		serverVNIC = 100
 		vpc        = 7
@@ -79,7 +91,8 @@ func main() {
 			cfg.Cores = 2
 			cfg.CoreHz = 500_000_000 // scaled: ~7.4K CPS monolithic
 		},
-		Obs: ob,
+		Obs:  ob,
+		Prof: pr,
 	})
 
 	serverIdx := *nClients
@@ -213,5 +226,16 @@ func main() {
 		}
 		f.Close()
 		fmt.Printf("  wrote Prometheus export: %s\n", *obsProm)
+	}
+	if *profPath != "" {
+		f, err := os.Create(*profPath)
+		if err != nil {
+			panic(err)
+		}
+		if err := pr.WriteProfile(f, c.Loop.Now(), c.Loop.Now()); err != nil {
+			panic(err)
+		}
+		f.Close()
+		fmt.Printf("  wrote attribution profile: %s\n", *profPath)
 	}
 }

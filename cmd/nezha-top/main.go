@@ -146,6 +146,102 @@ func (idx index) labelValues(name, k string) []string {
 	return out
 }
 
+// sumWhere sums the values of name's series whose labels pass match.
+func (idx index) sumWhere(name string, match func(l map[string]string) bool) float64 {
+	var t float64
+	for _, p := range idx[name] {
+		if match(p.Labels) {
+			t += p.Value
+		}
+	}
+	return t
+}
+
+// renderProf draws the attribution-profiler sections: a per-node
+// cycle/byte breakdown and the hottest still-resident vNICs by
+// relocatable work — the same signal Controller.SuggestOffload ranks.
+func renderProf(w io.Writer, idx index, topK int) {
+	nodes := idx.labelValues("prof_cycles_total", "node")
+	if len(nodes) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "PROF %-15s %14s  %-42s %10s %6s\n", "", "CYCLES", "TOP STAGES", "LIVE MEM", "CORE%")
+	for _, n := range nodes {
+		byNode := func(l map[string]string) bool { return l["node"] == n }
+		total := idx.sumWhere("prof_cycles_total", byNode)
+		type sc struct {
+			stage string
+			c     float64
+		}
+		var stages []sc
+		for _, st := range idx.labelValues("prof_cycles_total", "stage") {
+			c := idx.sumWhere("prof_cycles_total", func(l map[string]string) bool {
+				return l["node"] == n && l["stage"] == st
+			})
+			if c > 0 {
+				stages = append(stages, sc{st, c})
+			}
+		}
+		sort.Slice(stages, func(i, j int) bool { return stages[i].c > stages[j].c })
+		top := ""
+		for i, s := range stages {
+			if i == 3 {
+				break
+			}
+			if i > 0 {
+				top += " "
+			}
+			top += fmt.Sprintf("%s %.0f%%", s.stage, s.c/total*100)
+		}
+		live := idx.sumWhere("prof_mem_live_bytes", byNode)
+		var util, cores float64
+		for _, p := range idx["prof_core_util"] {
+			if p.Labels["node"] == n {
+				util += p.Value
+				cores++
+			}
+		}
+		if cores > 0 {
+			util = util / cores * 100
+		}
+		fmt.Fprintf(w, "  %-18s %14.0f  %-42s %9.0fK %5.1f%%\n", n, total, top, live/1024, util)
+	}
+
+	// Hottest resident vNICs by relocatable cycles (slow path + session
+	// installs on role=local slots): the offload-ranking signal.
+	type hot struct {
+		node, vnic string
+		cyc, bytes float64
+	}
+	var hots []hot
+	for _, n := range nodes {
+		for _, v := range idx.labelValues("prof_cycles_total", "vnic") {
+			reloc := idx.sumWhere("prof_cycles_total", func(l map[string]string) bool {
+				return l["node"] == n && l["vnic"] == v && l["role"] == "local" &&
+					(l["stage"] == "slowpath" || l["stage"] == "session-install")
+			})
+			if reloc == 0 {
+				continue
+			}
+			b := idx.sumWhere("prof_mem_live_bytes", func(l map[string]string) bool {
+				return l["node"] == n && l["vnic"] == v && l["role"] == "local"
+			})
+			hots = append(hots, hot{n, v, reloc, b})
+		}
+	}
+	sort.Slice(hots, func(i, j int) bool { return hots[i].cyc > hots[j].cyc })
+	if len(hots) > topK {
+		hots = hots[:topK]
+	}
+	if len(hots) > 0 {
+		fmt.Fprintf(w, "PROF HOT VNICS %-6s %-18s %16s %12s\n", "", "NODE", "RELOC CYCLES", "LIVE BYTES")
+		for _, h := range hots {
+			fmt.Fprintf(w, "  vnic %-10s %-18s %16.0f %12.0f\n", h.vnic, h.node, h.cyc, h.bytes)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
 func render(w io.Writer, s *obs.Snapshot, topK int) {
 	idx := makeIndex(s)
 	fmt.Fprintf(w, "nezha-top  t=%v  series=%d\n\n", s.T, len(s.Points))
@@ -217,6 +313,8 @@ func render(w io.Writer, s *obs.Snapshot, topK int) {
 		idx.total("monitor_declared_total"),
 		idx.total("monitor_targets_down"),
 		idx.total("monitor_guard_active"))
+
+	renderProf(w, idx, topK)
 
 	if len(s.Flows) > 0 {
 		fmt.Fprintf(w, "TOP FLOWS (sampled) %12s %12s\n", "PACKETS", "BYTES")

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"nezha/internal/obs"
+	"nezha/internal/prof"
+)
+
+// TestRenderProfSections feeds render a snapshot produced by a real
+// profiler drained through a real registry — the same JSONL pipeline
+// nezha-sim/nezha-chaos emit — and checks the PROF sections surface
+// the attribution series.
+func TestRenderProfSections(t *testing.T) {
+	pr := prof.New()
+	n := pr.Node("10.1.0.1", 2)
+	hot := n.Slot(100, prof.RoleLocal)
+	hot.Charge(prof.DirTX, prof.StageSlowpath, 900_000)
+	hot.Charge(prof.DirTX, prof.StageSessionInstall, 300_000)
+	hot.Charge(prof.DirTX, prof.StageFastpath, 50_000)
+	hot.MemAlloc(prof.CauseRuleTable, 4096)
+	cold := n.Slot(200, prof.RoleLocal)
+	cold.Charge(prof.DirTX, prof.StageSlowpath, 10_000)
+
+	reg := obs.NewRegistry()
+	pr.Attach(reg)
+	raw, err := json.Marshal(reg.Snapshot(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	render(&buf, &snap, 10)
+	out := buf.String()
+	for _, want := range []string{
+		"PROF",
+		"10.1.0.1",
+		"slowpath",
+		"PROF HOT VNICS",
+		"vnic 100",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q:\n%s", want, out)
+		}
+	}
+	// The hot vNIC must be listed before the cold one.
+	if i, j := strings.Index(out, "vnic 100"), strings.Index(out, "vnic 200"); j >= 0 && j < i {
+		t.Errorf("hot vNIC ranked after cold one:\n%s", out)
+	}
+}
+
+// TestRenderWithoutProfSeries pins the no-profiler path: snapshots
+// from runs without -prof must render with no PROF section.
+func TestRenderWithoutProfSeries(t *testing.T) {
+	var buf bytes.Buffer
+	render(&buf, &obs.Snapshot{}, 10)
+	if strings.Contains(buf.String(), "PROF") {
+		t.Errorf("PROF section rendered with no prof series:\n%s", buf.String())
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"nezha/internal/monitor"
 	"nezha/internal/obs"
 	"nezha/internal/packet"
+	"nezha/internal/prof"
 	"nezha/internal/sim"
 	"nezha/internal/tables"
 	"nezha/internal/vswitch"
@@ -56,6 +57,14 @@ type CampaignConfig struct {
 	// ObsDumpDir, when non-empty, is where a violation's flight-recorder
 	// dump is written (nezha-dump-seed<N>.txt).
 	ObsDumpDir string
+	// Prof enables the cycle/byte attribution profiler on every
+	// vSwitch and the controller.
+	Prof bool
+	// ProfDir, when non-empty (and Prof is on), is where the
+	// pprof-encoded attribution profile is written
+	// (nezha-prof-seed<N>.pb.gz) — at the first invariant violation,
+	// or at campaign end on a clean run.
+	ProfDir string
 	// Scheduler picks the simulation loop's event-queue implementation
 	// (default: calendar queue). Differential tests run the same seed
 	// under sim.SchedHeap and require identical digests.
@@ -86,6 +95,9 @@ type Report struct {
 	// DumpPath is the flight-recorder dump written on the first
 	// invariant violation ("" when none was written).
 	DumpPath string
+	// ProfDumpPath is the pprof-encoded attribution profile written at
+	// the first violation or at campaign end ("" when none).
+	ProfDumpPath string
 }
 
 // Failed reports whether any invariant broke.
@@ -146,6 +158,10 @@ func RunCampaign(cfg CampaignConfig) (Report, error) {
 		}
 		ob = obs.New(obs.Options{Seed: cfg.Seed, SampleRate: rate})
 	}
+	var pr *prof.Profiler
+	if cfg.Prof {
+		pr = prof.New()
+	}
 
 	c := cluster.New(cluster.Options{
 		Servers:   cfg.Servers,
@@ -158,6 +174,7 @@ func RunCampaign(cfg CampaignConfig) (Report, error) {
 		Controller: ctrlCfg,
 		Monitor:    monCfg,
 		Obs:        ob,
+		Prof:       pr,
 	})
 
 	// Server (BE) VM on server 0.
@@ -208,6 +225,9 @@ func RunCampaign(cfg CampaignConfig) (Report, error) {
 		}
 		eng.AttachObs(ob, dumpPath, cfg.Seed)
 	}
+	if pr != nil && cfg.ProfDir != "" {
+		eng.AttachProf(pr, filepath.Join(cfg.ProfDir, fmt.Sprintf("nezha-prof-seed%d.pb.gz", cfg.Seed)))
+	}
 
 	// Faults land after offload has settled and stop early enough
 	// that most crash windows resolve inside the run.
@@ -245,6 +265,7 @@ func RunCampaign(cfg CampaignConfig) (Report, error) {
 	eng.SetGlobalFault(0, 0)
 	c.Loop.Run(c.Loop.Now() + 2*sim.Second)
 	eng.CheckNow()
+	eng.DumpProfileFinal(c.Loop.Now())
 
 	rep := Report{
 		Seed:       cfg.Seed,
@@ -258,6 +279,7 @@ func RunCampaign(cfg CampaignConfig) (Report, error) {
 		rep.TraceDigest = ob.Tracer.Digest()
 		rep.DumpPath = eng.DumpPath()
 	}
+	rep.ProfDumpPath = eng.ProfDumpPath()
 	for _, vm := range clients {
 		rep.Completed += vm.Completed
 	}

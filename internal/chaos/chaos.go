@@ -40,6 +40,7 @@ import (
 	"nezha/internal/monitor"
 	"nezha/internal/obs"
 	"nezha/internal/packet"
+	"nezha/internal/prof"
 	"nezha/internal/sim"
 	"nezha/internal/vswitch"
 )
@@ -143,6 +144,12 @@ type Engine struct {
 	dumpPath string
 	dumpSeed int64
 	dumped   string // path actually written, "" until a violation dumps
+
+	// prof/profDumpPath, when set by AttachProf, write a pprof-encoded
+	// attribution profile alongside the flight-recorder dump.
+	prof         *prof.Profiler
+	profDumpPath string
+	profDumped   string
 }
 
 // NewEngine wires an engine into the system: it installs the fabric
@@ -204,6 +211,7 @@ func (e *Engine) violate(name string, at sim.Time, err error) {
 	}
 	e.violations = append(e.violations, Violation{Invariant: name, At: at, Err: err})
 	e.dumpOnViolation(name, at, err)
+	e.profDumpOnViolation(at)
 }
 
 // --- Fault model -----------------------------------------------------

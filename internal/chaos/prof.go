@@ -1,0 +1,60 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+
+	"nezha/internal/prof"
+	"nezha/internal/sim"
+)
+
+// AttachProf connects the cycle/byte attribution profiler: the first
+// invariant violation writes a pprof-encoded profile next to the
+// flight-recorder dump, so the dump answers "what happened" and the
+// profile answers "where the cycles and bytes were going" at the
+// moment things broke. An empty dumpPath records nothing.
+func (e *Engine) AttachProf(p *prof.Profiler, dumpPath string) {
+	e.prof = p
+	e.profDumpPath = dumpPath
+}
+
+// ProfDumpPath reports the profile file actually written, or "" when
+// none was (no violation and no final dump, or no path configured).
+func (e *Engine) ProfDumpPath() string { return e.profDumped }
+
+// profDumpOnViolation writes the attribution profile exactly once, at
+// the first invariant violation.
+func (e *Engine) profDumpOnViolation(at sim.Time) {
+	if e.prof == nil || e.profDumpPath == "" || e.profDumped != "" {
+		return
+	}
+	if err := e.writeProfile(at); err != nil {
+		fmt.Fprintf(os.Stderr, "chaos: cannot write attribution profile: %v\n", err)
+	}
+}
+
+// DumpProfileFinal writes the attribution profile at campaign end when
+// no violation already wrote one, so a clean -prof run still yields a
+// profile to feed `go tool pprof`.
+func (e *Engine) DumpProfileFinal(at sim.Time) {
+	if e.prof == nil || e.profDumpPath == "" || e.profDumped != "" {
+		return
+	}
+	if err := e.writeProfile(at); err != nil {
+		fmt.Fprintf(os.Stderr, "chaos: cannot write attribution profile: %v\n", err)
+	}
+}
+
+func (e *Engine) writeProfile(at sim.Time) error {
+	f, err := os.Create(e.profDumpPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	// The campaign clock starts at zero, so elapsed run time == at.
+	if err := e.prof.WriteProfile(f, at, at); err != nil {
+		return err
+	}
+	e.profDumped = e.profDumpPath
+	return nil
+}

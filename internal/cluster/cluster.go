@@ -13,6 +13,7 @@ import (
 	"nezha/internal/monitor"
 	"nezha/internal/obs"
 	"nezha/internal/packet"
+	"nezha/internal/prof"
 	"nezha/internal/sim"
 	"nezha/internal/tables"
 	"nezha/internal/vswitch"
@@ -45,6 +46,10 @@ type Options struct {
 	// Obs, when non-nil, wires the observability bundle into every
 	// component (fabric, gateway, vSwitches, controller, monitor).
 	Obs *obs.Obs
+	// Prof, when non-nil, wires the cycle/byte attribution profiler
+	// into every vSwitch and the controller. When Obs is also set the
+	// profiler's series are attached to the same registry.
+	Prof *prof.Profiler
 }
 
 // Cluster is a running simulated region.
@@ -55,6 +60,7 @@ type Cluster struct {
 	Ctrl *controller.Controller
 	Mon  *monitor.Monitor
 	Obs  *obs.Obs
+	Prof *prof.Profiler
 
 	Switches []*vswitch.VSwitch
 	IDGen    uint64
@@ -85,7 +91,14 @@ func New(opts Options) *Cluster {
 	c := &Cluster{
 		Loop: sim.NewLoopSched(opts.Seed, opts.Scheduler),
 		Obs:  opts.Obs,
+		Prof: opts.Prof,
 		vms:  make(map[packet.IPv4]map[uint32]*workload.VM),
+	}
+	if c.Prof != nil {
+		c.Prof.SetClock(c.Loop.Now)
+		if c.Obs != nil {
+			c.Prof.Attach(c.Obs.Reg)
+		}
 	}
 	c.Fab = fabric.New(c.Loop)
 	c.GW = fabric.NewGateway(c.Loop)
@@ -101,6 +114,9 @@ func New(opts Options) *Cluster {
 	c.Ctrl = controller.New(c.Loop, c.Fab, c.GW, ctrlCfg)
 	if c.Obs != nil {
 		c.Ctrl.EnableObs(c.Obs)
+	}
+	if c.Prof != nil {
+		c.Ctrl.EnableProf(c.Prof)
 	}
 
 	monCfg := opts.Monitor
@@ -127,6 +143,9 @@ func New(opts Options) *Cluster {
 		vs.SetDelivery(c.dispatch(vs.Addr()))
 		if c.Obs != nil {
 			vs.EnableObs(c.Obs)
+		}
+		if c.Prof != nil {
+			vs.EnableProf(c.Prof)
 		}
 		c.Switches = append(c.Switches, vs)
 		c.Ctrl.RegisterNode(vs)

@@ -31,6 +31,7 @@ import (
 	"nezha/internal/nic"
 	"nezha/internal/obs"
 	"nezha/internal/packet"
+	"nezha/internal/prof"
 	"nezha/internal/sim"
 	"nezha/internal/tables"
 	"nezha/internal/vswitch"
@@ -329,6 +330,10 @@ type Controller struct {
 	// records transaction spans and lifecycle events.
 	ob *obs.Obs
 
+	// prof, when set by EnableProf, is the attribution profiler the
+	// controller consults for offload suggestions.
+	prof *prof.Profiler
+
 	// OffloadCompletion records, per offload, the time from trigger
 	// until all traffic flows through the FEs (Table 4).
 	OffloadCompletion *metrics.Histogram
@@ -465,6 +470,33 @@ func (c *Controller) GatewayAgentAddr() packet.IPv4 { return c.gwAgent.Addr() }
 
 // RPCStats returns a copy of the transport's counters.
 func (c *Controller) RPCStats() ctrlrpc.Stats { return c.rpc.Stats }
+
+// EnableProf attaches the attribution profiler whose drained samples
+// back SuggestOffload rankings.
+func (c *Controller) EnableProf(p *prof.Profiler) { c.prof = p }
+
+// SuggestOffload returns the profiler's ranked offload candidates —
+// (vnic, table) pairs by relocatable cycles/bytes — filtered to vNICs
+// this controller could actually act on: registered, not already
+// offloaded, and with no transaction in flight. k bounds the result
+// (0 = all). Returns nil when no profiler is attached.
+func (c *Controller) SuggestOffload(k int) []prof.Candidate {
+	if c.prof == nil {
+		return nil
+	}
+	var out []prof.Candidate
+	for _, cand := range c.prof.SuggestOffload(0) {
+		v, ok := c.vnics[cand.VNIC]
+		if !ok || v.offloaded || v.inProgress {
+			continue
+		}
+		out = append(out, cand)
+		if k > 0 && len(out) == k {
+			break
+		}
+	}
+	return out
+}
 
 // NodeUtil returns the last sampled CPU utilization for a node
 // (for experiments).

@@ -1,0 +1,80 @@
+package controller
+
+import (
+	"testing"
+
+	"nezha/internal/packet"
+	"nezha/internal/prof"
+	"nezha/internal/sim"
+	"nezha/internal/tables"
+)
+
+// TestSuggestOffloadRanksHotVNIC drives skewed slow-path load through
+// two resident vNICs and checks the attribution-backed suggestion
+// ranks the hot one first — and drops vNICs the controller could not
+// act on.
+func TestSuggestOffloadRanksHotVNIC(t *testing.T) {
+	r := newRig(t, 2, nil)
+	pr := prof.New()
+	pr.SetClock(r.loop.Now)
+	for _, vs := range r.sw {
+		vs.EnableProf(pr)
+	}
+	r.ctrl.EnableProf(pr)
+
+	home := r.sw[0]
+	const hotVNIC, coldVNIC = 100, 200
+	for _, vnic := range []uint32{hotVNIC, coldVNIC} {
+		if err := home.AddVNIC(tables.NewRuleSet(vnic, 1), false); err != nil {
+			t.Fatal(err)
+		}
+		r.gw.Set(vnic, home.Addr())
+		r.ctrl.RegisterVNIC(VNICInfo{VNIC: vnic, Home: home.Addr(), MakeRules: mkRules(vnic)})
+	}
+
+	// Each distinct flow runs the slow path and a session install —
+	// the relocatable work the ranking is built on. 40 flows on the
+	// hot vNIC, 3 on the cold one.
+	send := func(vnic uint32, flows int) {
+		for i := 0; i < flows; i++ {
+			ft := packet.FiveTuple{
+				SrcIP: ip(10, 9, 0, 1), DstIP: ip(10, 9, 0, 2),
+				SrcPort: uint16(5000 + i), DstPort: 80, Proto: packet.ProtoTCP,
+			}
+			p := packet.New(uint64(vnic)<<16|uint64(i), 1, vnic, ft, packet.DirTX, packet.FlagSYN, 64)
+			p.SentAt = int64(r.loop.Now())
+			home.FromVM(p)
+		}
+	}
+	send(hotVNIC, 40)
+	send(coldVNIC, 3)
+	r.loop.Run(100 * sim.Millisecond)
+
+	cands := r.ctrl.SuggestOffload(10)
+	if len(cands) < 2 {
+		t.Fatalf("want both vNICs as candidates, got %+v", cands)
+	}
+	if cands[0].VNIC != hotVNIC {
+		t.Fatalf("hot vNIC not ranked first: %+v", cands)
+	}
+	if cands[0].RelocCycles <= cands[1].RelocCycles {
+		t.Fatalf("ranking not strictly decreasing: %+v", cands)
+	}
+	if cands[0].Node != home.Addr().String() {
+		t.Fatalf("candidate node = %q, want %q", cands[0].Node, home.Addr().String())
+	}
+
+	// An already-offloaded vNIC must drop out of the suggestions.
+	r.ctrl.vnics[hotVNIC].offloaded = true
+	for _, cand := range r.ctrl.SuggestOffload(0) {
+		if cand.VNIC == hotVNIC {
+			t.Fatalf("offloaded vNIC still suggested: %+v", cand)
+		}
+	}
+
+	// No profiler attached → no suggestions, not a panic.
+	r2 := newRig(t, 1, nil)
+	if got := r2.ctrl.SuggestOffload(5); got != nil {
+		t.Fatalf("profiler-less controller suggested %+v", got)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"nezha/internal/fabric"
+	"nezha/internal/nic"
 	"nezha/internal/packet"
 	"nezha/internal/sim"
 	"nezha/internal/vswitch"
@@ -75,6 +76,7 @@ func (a *Agent) handle(p *packet.Packet) {
 		}
 		st.done = true
 		a.Stats.Applied++
+		a.vs.ProfCtrl(req.VNIC, nic.CtrlApplyCycles)
 		a.t.Verdict(id, a.apply(req))
 		a.ack(from, id)
 	})

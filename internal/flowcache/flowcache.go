@@ -57,6 +57,13 @@ type Entry struct {
 	LastSeen int64
 }
 
+// SizeOf reports the bytes e occupies under this table's layout — the
+// accounting the profiler uses to attribute session-table residency
+// per vNIC at drain time.
+func (t *Table) SizeOf(e *Entry) int {
+	return e.sizeBytes(!t.cfg.VariableState)
+}
+
 func (e *Entry) sizeBytes(fixedState bool) int {
 	n := EntryOverheadBytes
 	if e.HasPre {

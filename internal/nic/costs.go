@@ -37,6 +37,14 @@ const (
 	StateCarryCycles     = 800   // encode/decode state or pre-actions into header
 	NotifyCycles         = 3000  // generate or absorb a notify packet
 	PerByteCycles        = 8     // DMA/copy cost per packet byte
+
+	// Control-plane cycle costs. These are attribution-only today:
+	// flow-direct control packets bypass the CPU queue (absorbed at
+	// the port check) and RPC applies run off the datapath, so these
+	// constants feed the profiler's ctrl-stage accounting without
+	// changing admission or timing.
+	CtrlRPCCycles   = 4000  // parse/dispatch one control RPC
+	CtrlApplyCycles = 20000 // apply a config mutation (table install/remove)
 )
 
 // DefaultSessionTableBytes is the default partition of vSwitch memory

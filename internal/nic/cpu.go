@@ -1,6 +1,10 @@
 package nic
 
-import "nezha/internal/sim"
+import (
+	"sync/atomic"
+
+	"nezha/internal/sim"
+)
 
 // CPU is a multi-core queueing server on the simulation loop. Work is
 // submitted in cycles; each item is serviced by the earliest-free
@@ -13,7 +17,8 @@ type CPU struct {
 	hz       uint64
 	maxDelay sim.Time
 
-	busy      sim.Time // cumulative busy time across cores
+	busy      sim.Time   // cumulative busy time across cores
+	coreBusy  []sim.Time // cumulative busy time per core
 	processed uint64
 	dropped   uint64
 }
@@ -29,7 +34,11 @@ func NewCPU(loop *sim.Loop, cores int, hz uint64, maxDelay sim.Time) *CPU {
 	if maxDelay <= 0 {
 		maxDelay = DefaultMaxQueueDelay
 	}
-	return &CPU{loop: loop, cores: make([]sim.Time, cores), hz: hz, maxDelay: maxDelay}
+	return &CPU{
+		loop: loop, cores: make([]sim.Time, cores),
+		coreBusy: make([]sim.Time, cores),
+		hz:       hz, maxDelay: maxDelay,
+	}
 }
 
 // Cores returns the core count.
@@ -68,6 +77,7 @@ func (c *CPU) Submit(cycles uint64, done func(ok bool, delay sim.Time)) {
 	end := start + st
 	c.cores[best] = end
 	c.busy += st
+	c.coreBusy[best] += st
 	c.processed++
 	if done != nil {
 		total := end - now
@@ -134,6 +144,7 @@ func (c *CPU) SubmitBurst(costs []uint64, each func(i int, ok bool, delay sim.Ti
 		end := start + st
 		c.cores[best] = end
 		c.busy += st
+		c.coreBusy[best] += st
 		c.processed++
 		if len(wave) > 0 && end != waveAt {
 			flush()
@@ -164,6 +175,7 @@ func (c *CPU) SubmitPriority(cycles uint64, done func(delay sim.Time)) {
 	end := start + st
 	c.cores[best] = end
 	c.busy += st
+	c.coreBusy[best] += st
 	c.processed++
 	if done != nil {
 		total := end - now
@@ -189,6 +201,12 @@ func (c *CPU) TrySubmit(cycles uint64, done func(delay sim.Time)) bool {
 
 // BusyTime returns cumulative busy core-time.
 func (c *CPU) BusyTime() sim.Time { return c.busy }
+
+// CoreBusyTimes appends each core's cumulative busy time to out and
+// returns it — the sampler behind per-core utilization timelines.
+func (c *CPU) CoreBusyTimes(out []sim.Time) []sim.Time {
+	return append(out, c.coreBusy...)
+}
 
 // Processed and Dropped return the admission counters.
 func (c *CPU) Processed() uint64 { return c.processed }
@@ -224,14 +242,17 @@ func (m *UtilMeter) Sample() float64 {
 	return u
 }
 
-// Memory is a byte-accounted budget.
+// Memory is a byte-accounted budget. Mutations happen on the sim
+// goroutine, but monitor/controller code (and tests running them on
+// other goroutines) read Used/Utilization concurrently, so the
+// accounting is atomic.
 type Memory struct {
-	total int
-	used  int
+	total int64
+	used  atomic.Int64
 }
 
 // NewMemory builds a budget of total bytes.
-func NewMemory(total int) *Memory { return &Memory{total: total} }
+func NewMemory(total int) *Memory { return &Memory{total: int64(total)} }
 
 // Alloc charges n bytes, reporting false (and charging nothing) if
 // the budget cannot fit them.
@@ -239,29 +260,39 @@ func (m *Memory) Alloc(n int) bool {
 	if n < 0 {
 		return false
 	}
-	if m.used+n > m.total {
-		return false
+	for {
+		used := m.used.Load()
+		if used+int64(n) > m.total {
+			return false
+		}
+		if m.used.CompareAndSwap(used, used+int64(n)) {
+			return true
+		}
 	}
-	m.used += n
-	return true
 }
 
 // Free refunds n bytes.
 func (m *Memory) Free(n int) {
-	m.used -= n
-	if m.used < 0 {
-		m.used = 0
+	for {
+		used := m.used.Load()
+		next := used - int64(n)
+		if next < 0 {
+			next = 0
+		}
+		if m.used.CompareAndSwap(used, next) {
+			return
+		}
 	}
 }
 
 // Used and Total return the accounting.
-func (m *Memory) Used() int  { return m.used }
-func (m *Memory) Total() int { return m.total }
+func (m *Memory) Used() int  { return int(m.used.Load()) }
+func (m *Memory) Total() int { return int(m.total) }
 
 // Utilization returns used/total in 0..1.
 func (m *Memory) Utilization() float64 {
 	if m.total == 0 {
 		return 0
 	}
-	return float64(m.used) / float64(m.total)
+	return float64(m.used.Load()) / float64(m.total)
 }

@@ -128,10 +128,12 @@ const histBuckets = 65
 
 // Histogram accumulates uint64 observations (cycles, nanoseconds,
 // bytes) into power-of-two buckets. Observe is a few atomic adds;
-// quantiles are approximate (bucket upper bound).
+// quantiles are approximate (bucket midpoint, clamped to the largest
+// value observed).
 type Histogram struct {
 	count   atomic.Uint64
 	sum     atomic.Uint64
+	max     atomic.Uint64
 	buckets [histBuckets]atomic.Uint64
 }
 
@@ -140,15 +142,25 @@ func (h *Histogram) Observe(v uint64) {
 	h.count.Add(1)
 	h.sum.Add(v)
 	h.buckets[bits.Len64(v)].Add(1)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // Count and Sum return the totals.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 func (h *Histogram) Sum() uint64   { return h.sum.Load() }
 
-// Quantile returns an upper bound on the q-th quantile (0 < q <= 1):
-// the upper edge of the first bucket at which the cumulative count
-// reaches q*total. Returns 0 for an empty histogram.
+// Max returns the largest value observed.
+func (h *Histogram) Max() uint64 { return h.max.Load() }
+
+// Quantile returns an estimate of the q-th quantile (0 < q <= 1): the
+// midpoint of the first bucket at which the cumulative count reaches
+// q*total, clamped to the largest observed value so small counts
+// can't overshoot the data. Returns 0 for an empty histogram.
 func (h *Histogram) Quantile(q float64) uint64 {
 	total := h.count.Load()
 	if total == 0 {
@@ -158,6 +170,12 @@ func (h *Histogram) Quantile(q float64) uint64 {
 	if want == 0 {
 		want = 1
 	}
+	max := h.max.Load()
+	if want >= total {
+		// The quantile is the last observation — that is the max,
+		// exactly.
+		return max
+	}
 	var cum uint64
 	for i := 0; i < histBuckets; i++ {
 		cum += h.buckets[i].Load()
@@ -165,13 +183,20 @@ func (h *Histogram) Quantile(q float64) uint64 {
 			if i == 0 {
 				return 0
 			}
-			if i == 64 {
-				return math.MaxUint64
+			// Bucket i spans [2^(i-1), 2^i).
+			lo := uint64(1) << uint(i-1)
+			hi := uint64(math.MaxUint64)
+			if i < 64 {
+				hi = 1<<uint(i) - 1
 			}
-			return 1<<uint(i) - 1
+			mid := lo + (hi-lo)/2
+			if mid > max {
+				return max
+			}
+			return mid
 		}
 	}
-	return math.MaxUint64
+	return max
 }
 
 // Kind discriminates series types in snapshots.

@@ -43,11 +43,45 @@ func TestCounterGaugeHistogram(t *testing.T) {
 	if h.Count() != 11 || h.Sum() != 2047 {
 		t.Fatalf("hist count=%d sum=%d", h.Count(), h.Sum())
 	}
-	if q := h.Quantile(1.0); q < 1024 {
-		t.Fatalf("p100 = %d, want >= 1024", q)
+	// p100 clamps to the observed max exactly (the old upper-bound
+	// estimate returned 2047 here).
+	if q := h.Quantile(1.0); q != 1024 {
+		t.Fatalf("p100 = %d, want 1024", q)
 	}
-	if q := h.Quantile(0.5); q == 0 || q > 63 {
-		t.Fatalf("p50 = %d, want in (0,63]", q)
+	// The 6th of 11 observations is 32, in bucket [32,63]: the
+	// midpoint estimate is 47 (the old code returned the upper edge).
+	if q := h.Quantile(0.5); q != 47 {
+		t.Fatalf("p50 = %d, want 47", q)
+	}
+	if h.Max() != 1024 {
+		t.Fatalf("max = %d, want 1024", h.Max())
+	}
+}
+
+// TestQuantileSmallCountNoOvershoot is the regression for the old
+// bucket-upper-bound quantile: one observation of 1000 lands in
+// bucket [512,1023], and every quantile of that histogram must be
+// exactly 1000, not the bucket edge.
+func TestQuantileSmallCountNoOvershoot(t *testing.T) {
+	var h Histogram
+	h.Observe(1000)
+	for _, q := range []float64{0.5, 0.99, 1.0} {
+		if got := h.Quantile(q); got != 1000 {
+			t.Fatalf("Quantile(%v) = %d, want 1000 (single observation)", q, got)
+		}
+	}
+	// With two observations the lower bucket's midpoint is used but
+	// still can't exceed the max.
+	h.Observe(4)
+	if got := h.Quantile(0.5); got != 5 { // bucket [4,7] midpoint
+		t.Fatalf("Quantile(0.5) = %d, want 5", got)
+	}
+	if got := h.Quantile(0.99); got != 1000 {
+		t.Fatalf("Quantile(0.99) = %d, want 1000", got)
+	}
+	var empty Histogram
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Fatalf("empty Quantile = %d, want 0", got)
 	}
 }
 

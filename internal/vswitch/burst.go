@@ -17,6 +17,7 @@ package vswitch
 import (
 	"nezha/internal/nic"
 	"nezha/internal/packet"
+	"nezha/internal/prof"
 	"nezha/internal/sim"
 )
 
@@ -176,13 +177,16 @@ func (vs *VSwitch) classifyRX(p *packet.Packet) (uint8, uint32) {
 // localTXBurst is localTX over a run: per-packet lookups, state
 // touches, and admission at plan time, then one batched CPU submission.
 func (vs *VSwitch) localTXBurst(vn *vnicState, ps []*packet.Packet) {
+	vp := vs.profVNIC(vn)
 	acts := make([]burstAct, 0, len(ps))
 	for _, p := range ps {
 		if vs.ob != nil {
 			vs.hop(p, "local-tx")
 		}
+		profCharge(vp, prof.DirTX, prof.StagePerByte, perByteCycles(p))
+		profCharge(vp, prof.DirTX, prof.StageFastpath, nic.FastPathCycles+nic.ProcessPktCycles)
 		cycles := perByteCycles(p) + nic.FastPathCycles + nic.ProcessPktCycles
-		e, pre, dropped := vs.lookupOrSlowPath(vn.rules, p, &cycles, true)
+		e, pre, dropped := vs.lookupOrSlowPath(vn.rules, p, &cycles, true, vp, prof.DirTX)
 		vn.cycles += cycles
 		if dropped {
 			continue
@@ -203,15 +207,16 @@ func (vs *VSwitch) localTXBurst(vn *vnicState, ps []*packet.Packet) {
 		}
 		vs.maybeMirror(p, pre, packet.DirTX)
 		peer, nextHop := pre.TX.PeerVNIC, pre.TX.NextHop
-		vs.applyNAT(vn.rules, pre.TX, p, &peer, &nextHop, &cycles)
+		vs.applyNAT(vn.rules, pre.TX, p, &peer, &nextHop, &cycles, vp)
 		if st.DecapIP != 0 {
 			dp, dnh, c := vn.rules.ResolvePeer(st.DecapIP)
 			cycles += c
+			profCharge(vp, prof.DirTX, prof.StageSlowpath, c)
 			if dp != 0 {
 				peer, nextHop = dp, dnh
 			}
 		}
-		acts = vs.planForward(acts, p, peer, nextHop, cycles)
+		acts = vs.planForward(acts, p, peer, nextHop, cycles, vp)
 	}
 	vs.runPlan(acts, false)
 }
@@ -221,8 +226,13 @@ func (vs *VSwitch) localTXBurst(vn *vnicState, ps []*packet.Packet) {
 // same-FE fabric bursts.
 func (vs *VSwitch) beTXBurst(vn *vnicState, ps []*packet.Packet) {
 	now := int64(vs.loop.Now())
+	vp := vs.profVNIC(vn)
 	acts := make([]burstAct, 0, len(ps))
 	for _, p := range ps {
+		profCharge(vp, prof.DirTX, prof.StagePerByte, perByteCycles(p))
+		profCharge(vp, prof.DirTX, prof.StageFastpath, nic.FastPathCycles)
+		profCharge(vp, prof.DirTX, prof.StageStateCarry, nic.StateCarryCycles)
+		profCharge(vp, prof.DirTX, prof.StageEncap, nic.EncapCycles)
 		cycles := perByteCycles(p) + nic.FastPathCycles + nic.StateCarryCycles + nic.EncapCycles
 		key, _ := p.SessionKey()
 		vn.cycles += cycles
@@ -255,10 +265,15 @@ func (vs *VSwitch) beTXBurst(vn *vnicState, ps []*packet.Packet) {
 // feRXBurst is feRX over a run: stateless pre-action lookups per
 // packet, then one batched submission relaying toward the BE.
 func (vs *VSwitch) feRXBurst(fe *feInstance, ps []*packet.Packet) {
+	vp := vs.profFE(fe)
 	acts := make([]burstAct, 0, len(ps))
 	for _, p := range ps {
+		profCharge(vp, prof.DirRX, prof.StagePerByte, perByteCycles(p))
+		profCharge(vp, prof.DirRX, prof.StageFastpath, nic.FastPathCycles)
+		profCharge(vp, prof.DirRX, prof.StageStateCarry, nic.StateCarryCycles)
+		profCharge(vp, prof.DirRX, prof.StageEncap, nic.EncapCycles)
 		cycles := perByteCycles(p) + nic.FastPathCycles + nic.StateCarryCycles + nic.EncapCycles
-		_, pre, _ := vs.lookupOrSlowPath(fe.rules, p, &cycles, false)
+		_, pre, _ := vs.lookupOrSlowPath(fe.rules, p, &cycles, false, vp, prof.DirRX)
 		orig := p.OuterSrc
 		p.AttachNezha(&packet.NezhaHeader{
 			Type:          packet.NezhaCarryPreActions,
@@ -277,6 +292,7 @@ func (vs *VSwitch) feRXBurst(fe *feInstance, ps []*packet.Packet) {
 
 // localRXBurst is localRX over a run.
 func (vs *VSwitch) localRXBurst(vn *vnicState, ps []*packet.Packet) {
+	vp := vs.profVNIC(vn)
 	acts := make([]burstAct, 0, len(ps))
 	for _, p := range ps {
 		if !vs.rateAdmit(vn, p) {
@@ -285,8 +301,10 @@ func (vs *VSwitch) localRXBurst(vn *vnicState, ps []*packet.Packet) {
 		if vs.ob != nil {
 			vs.hop(p, "local-rx")
 		}
+		profCharge(vp, prof.DirRX, prof.StagePerByte, perByteCycles(p))
+		profCharge(vp, prof.DirRX, prof.StageFastpath, nic.FastPathCycles+nic.ProcessPktCycles)
 		cycles := perByteCycles(p) + nic.FastPathCycles + nic.ProcessPktCycles
-		e, pre, dropped := vs.lookupOrSlowPath(vn.rules, p, &cycles, true)
+		e, pre, dropped := vs.lookupOrSlowPath(vn.rules, p, &cycles, true, vp, prof.DirRX)
 		vn.cycles += cycles
 		if dropped {
 			continue
@@ -319,7 +337,7 @@ func (vs *VSwitch) localRXBurst(vn *vnicState, ps []*packet.Packet) {
 // planForward is forwardOverlay at plan time: resolve the peer now,
 // record the forward (or the no-route drop) for execution at CPU
 // completion.
-func (vs *VSwitch) planForward(acts []burstAct, p *packet.Packet, peer uint32, staticHop packet.IPv4, cycles uint64) []burstAct {
+func (vs *VSwitch) planForward(acts []burstAct, p *packet.Packet, peer uint32, staticHop packet.IPv4, cycles uint64, vp *prof.VNICProf) []burstAct {
 	if peer == 0 && staticHop == 0 {
 		return append(acts, burstAct{p: p, cycles: cycles, kind: actDropNoRoute})
 	}
@@ -334,6 +352,7 @@ func (vs *VSwitch) planForward(acts []burstAct, p *packet.Packet, peer uint32, s
 		vs.hopPick(p, addr)
 	}
 	cycles += nic.EncapCycles
+	profCharge(vp, prof.DirTX, prof.StageEncap, nic.EncapCycles)
 	return append(acts, burstAct{p: p, cycles: cycles, kind: actForward, to: addr, peer: peer})
 }
 

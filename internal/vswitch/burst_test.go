@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"nezha/internal/packet"
+	"nezha/internal/prof"
 	"nezha/internal/sim"
 	"nezha/internal/tables"
 )
@@ -96,6 +97,7 @@ type burstOutcome struct {
 	deliv    uint64
 	lost     uint64
 	bytes    uint64
+	samples  []prof.Sample // full attribution drain, per-key totals
 }
 
 // runBurstScenario drives the generated batches through a fresh world
@@ -107,6 +109,15 @@ func runBurstScenario(t *testing.T, batches [][]burstOp, burst, offload bool) bu
 		nFEs = 2
 	}
 	w := newWorld(t, nFEs, nil)
+	// Profile both runs: the drained attribution totals are part of the
+	// scalar/burst contract — every charge site must fire identically.
+	pr := prof.New()
+	pr.SetClock(w.loop.Now)
+	w.A.EnableProf(pr)
+	w.B.EnableProf(pr)
+	for _, f := range w.fes {
+		f.EnableProf(pr)
+	}
 	var out burstOutcome
 	w.A.SetDelivery(func(vnic uint32, p *packet.Packet, lat sim.Time) {
 		out.log = append(out.log, fmt.Sprintf("A:%d@%d", p.ID, lat))
@@ -179,6 +190,7 @@ func runBurstScenario(t *testing.T, batches [][]burstOp, burst, offload bool) bu
 	}
 	out.sends, out.deliv, out.lost = w.fab.Sends, w.fab.Delivered, w.fab.Lost
 	out.bytes = w.fab.BytesSent
+	out.samples = pr.Samples()
 	return out
 }
 
@@ -210,6 +222,23 @@ func diffOutcomes(t *testing.T, name string, scalar, burst burstOutcome) {
 		t.Errorf("%s: fabric counters diverge: scalar sends=%d deliv=%d lost=%d bytes=%d, burst sends=%d deliv=%d lost=%d bytes=%d",
 			name, scalar.sends, scalar.deliv, scalar.lost, scalar.bytes,
 			burst.sends, burst.deliv, burst.lost, burst.bytes)
+	}
+	if !reflect.DeepEqual(scalar.samples, burst.samples) {
+		n := len(scalar.samples)
+		if len(burst.samples) < n {
+			n = len(burst.samples)
+		}
+		for i := 0; i < n; i++ {
+			if scalar.samples[i] != burst.samples[i] {
+				t.Errorf("%s: attribution sample %d diverges:\nscalar %+v\nburst  %+v",
+					name, i, scalar.samples[i], burst.samples[i])
+			}
+		}
+		t.Fatalf("%s: attribution totals diverge: scalar %d samples, burst %d",
+			name, len(scalar.samples), len(burst.samples))
+	}
+	if len(scalar.samples) == 0 {
+		t.Fatalf("%s: profiler drained no samples — the differential proves nothing", name)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"nezha/internal/flowcache"
 	"nezha/internal/nic"
 	"nezha/internal/packet"
+	"nezha/internal/prof"
 	"nezha/internal/sim"
 	"nezha/internal/state"
 	"nezha/internal/tables"
@@ -64,6 +65,7 @@ func (vs *VSwitch) HandleUnderlay(p *packet.Packet) {
 	// Control-plane RPCs: flow-direct to the management agent. The
 	// packet is absorbed here; the agent's ack is a fresh packet.
 	if p.Tuple.Proto == packet.ProtoUDP && p.Tuple.DstPort == CtrlPort {
+		vs.ProfCtrl(0, nic.CtrlRPCCycles)
 		vs.Stats.Absorbed++
 		if vs.ctrlHandler != nil {
 			vs.ctrlHandler(p)
@@ -177,7 +179,7 @@ func (vs *VSwitch) submitRemote(p *packet.Packet, cycles uint64, egress func()) 
 // (dropped=true, the #concurrent-flows overload); an FE caller
 // (needEntry=false) is stateless and simply processes the packet from
 // the slow-path result without caching when memory is tight.
-func (vs *VSwitch) lookupOrSlowPath(rules *tables.RuleSet, p *packet.Packet, cycles *uint64, needEntry bool) (e *flowcache.Entry, pre tables.PreActions, dropped bool) {
+func (vs *VSwitch) lookupOrSlowPath(rules *tables.RuleSet, p *packet.Packet, cycles *uint64, needEntry bool, vp *prof.VNICProf, dir prof.Dir) (e *flowcache.Entry, pre tables.PreActions, dropped bool) {
 	now := int64(vs.loop.Now())
 	key, _ := p.SessionKey()
 	e = vs.sessions.Lookup(key, now)
@@ -198,6 +200,8 @@ func (vs *VSwitch) lookupOrSlowPath(rules *tables.RuleSet, p *packet.Packet, cyc
 	}
 	res := rules.Lookup(txTuple)
 	*cycles += res.Cycles + nic.SessionInstallCycles
+	profCharge(vp, dir, prof.StageSlowpath, res.Cycles)
+	profCharge(vp, dir, prof.StageSessionInstall, nic.SessionInstallCycles)
 	if e == nil {
 		var err error
 		e, err = vs.sessions.GetOrCreate(key, p.VNIC, now)
@@ -241,7 +245,7 @@ func (vs *VSwitch) maybeMirror(p *packet.Packet, pre tables.PreActions, dir pack
 
 // applyNAT rewrites the TX destination per the pre-action and
 // re-resolves the peer for the translated address.
-func (vs *VSwitch) applyNAT(rules *tables.RuleSet, preTX tables.PreAction, p *packet.Packet, peer *uint32, nextHop *packet.IPv4, cycles *uint64) {
+func (vs *VSwitch) applyNAT(rules *tables.RuleSet, preTX tables.PreAction, p *packet.Packet, peer *uint32, nextHop *packet.IPv4, cycles *uint64, vp *prof.VNICProf) {
 	if !preTX.NAT {
 		return
 	}
@@ -252,6 +256,7 @@ func (vs *VSwitch) applyNAT(rules *tables.RuleSet, preTX tables.PreAction, p *pa
 	}
 	dp, dnh, c := rules.ResolvePeer(preTX.NATIP)
 	*cycles += c
+	profCharge(vp, prof.DirTX, prof.StageSlowpath, c)
 	if dp != 0 {
 		*peer, *nextHop = dp, dnh
 	}
@@ -263,8 +268,11 @@ func (vs *VSwitch) localTX(vn *vnicState, p *packet.Packet) {
 	if vs.ob != nil {
 		vs.hop(p, "local-tx")
 	}
+	vp := vs.profVNIC(vn)
+	profCharge(vp, prof.DirTX, prof.StagePerByte, perByteCycles(p))
+	profCharge(vp, prof.DirTX, prof.StageFastpath, nic.FastPathCycles+nic.ProcessPktCycles)
 	cycles := perByteCycles(p) + nic.FastPathCycles + nic.ProcessPktCycles
-	e, pre, dropped := vs.lookupOrSlowPath(vn.rules, p, &cycles, true)
+	e, pre, dropped := vs.lookupOrSlowPath(vn.rules, p, &cycles, true, vp, prof.DirTX)
 	vn.cycles += cycles
 	if dropped {
 		return
@@ -290,26 +298,27 @@ func (vs *VSwitch) localTX(vn *vnicState, p *packet.Packet) {
 	}
 	vs.maybeMirror(p, pre, packet.DirTX)
 	peer, nextHop := pre.TX.PeerVNIC, pre.TX.NextHop
-	vs.applyNAT(vn.rules, pre.TX, p, &peer, &nextHop, &cycles)
+	vs.applyNAT(vn.rules, pre.TX, p, &peer, &nextHop, &cycles, vp)
 	if st.DecapIP != 0 {
 		// Stateful decap: route the response to the recorded LB
 		// address, not the packet's own destination (§5.2).
 		dp, dnh, c := vn.rules.ResolvePeer(st.DecapIP)
 		cycles += c
+		profCharge(vp, prof.DirTX, prof.StageSlowpath, c)
 		if dp != 0 {
 			peer, nextHop = dp, dnh
 		}
 	}
-	vs.forwardOverlay(p, peer, nextHop, cycles)
+	vs.forwardOverlay(p, peer, nextHop, cycles, vp)
 }
 
 // forwardOverlay resolves the peer's current location and sends the
 // packet, after charging cycles.
-func (vs *VSwitch) forwardOverlay(p *packet.Packet, peer uint32, staticHop packet.IPv4, cycles uint64) {
-	vs.forwardOverlayVia(p, peer, staticHop, cycles, vs.submit)
+func (vs *VSwitch) forwardOverlay(p *packet.Packet, peer uint32, staticHop packet.IPv4, cycles uint64, vp *prof.VNICProf) {
+	vs.forwardOverlayVia(p, peer, staticHop, cycles, vs.submit, vp)
 }
 
-func (vs *VSwitch) forwardOverlayVia(p *packet.Packet, peer uint32, staticHop packet.IPv4, cycles uint64, submit func(*packet.Packet, uint64, func())) {
+func (vs *VSwitch) forwardOverlayVia(p *packet.Packet, peer uint32, staticHop packet.IPv4, cycles uint64, submit func(*packet.Packet, uint64, func()), vp *prof.VNICProf) {
 	if peer == 0 && staticHop == 0 {
 		submit(p, cycles, func() { vs.drop(p, DropNoRoute) })
 		return
@@ -326,6 +335,7 @@ func (vs *VSwitch) forwardOverlayVia(p *packet.Packet, peer uint32, staticHop pa
 		vs.hopPick(p, addr)
 	}
 	cycles += nic.EncapCycles
+	profCharge(vp, prof.DirTX, prof.StageEncap, nic.EncapCycles)
 	submit(p, cycles, func() {
 		p.VNIC = peer
 		p.Dir = packet.DirRX
@@ -342,8 +352,11 @@ func (vs *VSwitch) localRX(vn *vnicState, p *packet.Packet) {
 	if vs.ob != nil {
 		vs.hop(p, "local-rx")
 	}
+	vp := vs.profVNIC(vn)
+	profCharge(vp, prof.DirRX, prof.StagePerByte, perByteCycles(p))
+	profCharge(vp, prof.DirRX, prof.StageFastpath, nic.FastPathCycles+nic.ProcessPktCycles)
 	cycles := perByteCycles(p) + nic.FastPathCycles + nic.ProcessPktCycles
-	e, pre, dropped := vs.lookupOrSlowPath(vn.rules, p, &cycles, true)
+	e, pre, dropped := vs.lookupOrSlowPath(vn.rules, p, &cycles, true, vp, prof.DirRX)
 	vn.cycles += cycles
 	if dropped {
 		return
@@ -392,6 +405,11 @@ func (vs *VSwitch) deliverToVM(vnic uint32, p *packet.Packet) {
 // the packet header (red flow of Fig 5).
 func (vs *VSwitch) beTX(vn *vnicState, p *packet.Packet) {
 	now := int64(vs.loop.Now())
+	vp := vs.profVNIC(vn)
+	profCharge(vp, prof.DirTX, prof.StagePerByte, perByteCycles(p))
+	profCharge(vp, prof.DirTX, prof.StageFastpath, nic.FastPathCycles)
+	profCharge(vp, prof.DirTX, prof.StageStateCarry, nic.StateCarryCycles)
+	profCharge(vp, prof.DirTX, prof.StageEncap, nic.EncapCycles)
 	cycles := perByteCycles(p) + nic.FastPathCycles + nic.StateCarryCycles + nic.EncapCycles
 	key, _ := p.SessionKey()
 	vn.cycles += cycles
@@ -439,6 +457,10 @@ func (vs *VSwitch) beRX(vn *vnicState, p *packet.Packet) {
 		vs.hop(p, "be-rx")
 	}
 	now := int64(vs.loop.Now())
+	vp := vs.profVNIC(vn)
+	profCharge(vp, prof.DirRX, prof.StagePerByte, perByteCycles(p))
+	profCharge(vp, prof.DirRX, prof.StageFastpath, nic.FastPathCycles+nic.ProcessPktCycles)
+	profCharge(vp, prof.DirRX, prof.StageStateCarry, nic.StateCarryCycles)
 	cycles := perByteCycles(p) + nic.FastPathCycles + nic.StateCarryCycles + nic.ProcessPktCycles
 	pre, err := tables.DecodePreActions(p.Nezha.PreActionBlob)
 	if err != nil {
@@ -499,6 +521,7 @@ func (vs *VSwitch) beNotify(vn *vnicState, p *packet.Packet) {
 		vs.drop(p, DropNoMemory)
 		return
 	}
+	profCharge(vs.profVNIC(vn), prof.DirRX, prof.StageNotify, nic.NotifyCycles)
 	vs.submit(p, nic.NotifyCycles, func() {
 		vs.Stats.Absorbed++
 		p.Release()
@@ -521,13 +544,17 @@ func (vs *VSwitch) feTX(fe *feInstance, p *packet.Packet) {
 	if vs.ob != nil {
 		vs.hop(p, "fe-tx")
 	}
+	vp := vs.profFE(fe)
+	profCharge(vp, prof.DirTX, prof.StagePerByte, perByteCycles(p))
+	profCharge(vp, prof.DirTX, prof.StageFastpath, nic.FastPathCycles+nic.ProcessPktCycles)
+	profCharge(vp, prof.DirTX, prof.StageStateCarry, nic.StateCarryCycles)
 	cycles := perByteCycles(p) + nic.FastPathCycles + nic.StateCarryCycles + nic.ProcessPktCycles
 	carried, err := state.Decode(p.Nezha.StateBlob)
 	if err != nil {
 		vs.drop(p, DropMalformed)
 		return
 	}
-	_, pre, _ := vs.lookupOrSlowPath(fe.rules, p, &cycles, false)
+	_, pre, _ := vs.lookupOrSlowPath(fe.rules, p, &cycles, false, vp, prof.DirTX)
 
 	// Rule-table-involved state for TX flows: notify the BE when the
 	// freshly looked-up policy differs from what the packet carried
@@ -536,6 +563,7 @@ func (vs *VSwitch) feTX(fe *feInstance, p *packet.Packet) {
 	if pre.TX.Stats != carried.Policy {
 		vs.sendNotify(fe, p, pre.TX.Stats)
 		cycles += nic.NotifyCycles
+		profCharge(vp, prof.DirTX, prof.StageNotify, nic.NotifyCycles)
 	}
 
 	if !FinalAllow(pre, carried, packet.DirTX) {
@@ -548,16 +576,17 @@ func (vs *VSwitch) feTX(fe *feInstance, p *packet.Packet) {
 	}
 	vs.maybeMirror(p, pre, packet.DirTX)
 	peer, nextHop := pre.TX.PeerVNIC, pre.TX.NextHop
-	vs.applyNAT(fe.rules, pre.TX, p, &peer, &nextHop, &cycles)
+	vs.applyNAT(fe.rules, pre.TX, p, &peer, &nextHop, &cycles, vp)
 	if carried.DecapIP != 0 {
 		dp, dnh, c := fe.rules.ResolvePeer(carried.DecapIP)
 		cycles += c
+		profCharge(vp, prof.DirTX, prof.StageSlowpath, c)
 		if dp != 0 {
 			peer, nextHop = dp, dnh
 		}
 	}
 	p.StripNezha()
-	vs.forwardOverlayVia(p, peer, nextHop, cycles, vs.submitRemote)
+	vs.forwardOverlayVia(p, peer, nextHop, cycles, vs.submitRemote, vp)
 }
 
 // sendNotify emits a designated notify packet to the BE carrying the
@@ -583,8 +612,13 @@ func (vs *VSwitch) sendNotify(fe *feInstance, orig *packet.Packet, policy tables
 // then forward to the BE with the pre-actions (and the information
 // needed for state initialization) in the header.
 func (vs *VSwitch) feRX(fe *feInstance, p *packet.Packet) {
+	vp := vs.profFE(fe)
+	profCharge(vp, prof.DirRX, prof.StagePerByte, perByteCycles(p))
+	profCharge(vp, prof.DirRX, prof.StageFastpath, nic.FastPathCycles)
+	profCharge(vp, prof.DirRX, prof.StageStateCarry, nic.StateCarryCycles)
+	profCharge(vp, prof.DirRX, prof.StageEncap, nic.EncapCycles)
 	cycles := perByteCycles(p) + nic.FastPathCycles + nic.StateCarryCycles + nic.EncapCycles
-	_, pre, _ := vs.lookupOrSlowPath(fe.rules, p, &cycles, false)
+	_, pre, _ := vs.lookupOrSlowPath(fe.rules, p, &cycles, false, vp, prof.DirRX)
 
 	orig := p.OuterSrc
 	p.AttachNezha(&packet.NezhaHeader{

@@ -1,0 +1,169 @@
+package vswitch
+
+import (
+	"testing"
+
+	"nezha/internal/packet"
+	"nezha/internal/prof"
+	"nezha/internal/sim"
+)
+
+// profSlot fetches the (vnic, role) accumulator a vSwitch charges.
+func profSlot(pr *prof.Profiler, vs *VSwitch, vnic uint32, role prof.Role) *prof.VNICProf {
+	return pr.Node(vs.Addr().String(), 0).Slot(vnic, role)
+}
+
+// TestProfMemoryLifecycle walks the offload/fallback lifecycle and
+// checks the per-vNIC live-byte ledger tracks every rule-table and
+// BE-data alloc/free pair the vSwitch makes.
+func TestProfMemoryLifecycle(t *testing.T) {
+	w := newWorld(t, 2, nil)
+	pr := prof.New()
+	w.A.EnableProf(pr)
+	w.B.EnableProf(pr)
+	for _, f := range w.fes {
+		f.EnableProf(pr)
+	}
+	w.installLocal(t, false)
+
+	sb := profSlot(pr, w.B, serverVNIC, prof.RoleLocal)
+	ruleSz := uint64(w.B.VNICRuleBytes(serverVNIC))
+	if ruleSz == 0 {
+		t.Fatal("server vNIC has no rule bytes — scenario proves nothing")
+	}
+	if got := sb.LiveBytes(prof.CauseRuleTable); got != ruleSz {
+		t.Fatalf("after AddVNIC: rule-table live = %d, want %d", got, ruleSz)
+	}
+
+	w.offloadServer(t, false, true)
+	if got := sb.LiveBytes(prof.CauseRuleTable); got != 0 {
+		t.Fatalf("after OffloadFinalize: rule-table live = %d, want 0", got)
+	}
+	if got := sb.LiveBytes(prof.CauseBEData); got != BEDataBytes {
+		t.Fatalf("after offload: be-data live = %d, want %d", got, BEDataBytes)
+	}
+	for _, f := range w.fes {
+		fs := profSlot(pr, f, serverVNIC, prof.RoleFE)
+		if got := fs.LiveBytes(prof.CauseRuleTable); got == 0 {
+			t.Fatalf("FE %v: rule-table live = 0, want the installed copy", f.Addr())
+		}
+	}
+
+	if err := w.B.FallbackStart(serverVNIC, serverRules()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.B.FallbackFinalize(serverVNIC); err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.LiveBytes(prof.CauseRuleTable); got != ruleSz {
+		t.Fatalf("after fallback: rule-table live = %d, want %d", got, ruleSz)
+	}
+	if got := sb.LiveBytes(prof.CauseBEData); got != 0 {
+		t.Fatalf("after fallback: be-data live = %d, want 0", got)
+	}
+
+	fe := w.fes[0]
+	fe.RemoveFE(serverVNIC)
+	if got := profSlot(pr, fe, serverVNIC, prof.RoleFE).LiveBytes(prof.CauseRuleTable); got != 0 {
+		t.Fatalf("after RemoveFE: rule-table live = %d, want 0", got)
+	}
+
+	w.B.RemoveVNIC(serverVNIC)
+	if got := sb.LiveBytes(prof.CauseRuleTable); got != 0 {
+		t.Fatalf("after RemoveVNIC: rule-table live = %d, want 0", got)
+	}
+}
+
+// TestProfEnableBackfillsExistingConfig enables profiling after the
+// vNICs and FE instances are installed: the live-byte ledger must pick
+// up the already-resident tables.
+func TestProfEnableBackfillsExistingConfig(t *testing.T) {
+	w := newWorld(t, 1, nil)
+	w.installLocal(t, false)
+	w.offloadServer(t, false, false)
+
+	pr := prof.New()
+	w.B.EnableProf(pr)
+	w.fes[0].EnableProf(pr)
+
+	sb := profSlot(pr, w.B, serverVNIC, prof.RoleLocal)
+	if got := sb.LiveBytes(prof.CauseRuleTable); got != uint64(w.B.VNICRuleBytes(serverVNIC)) {
+		t.Fatalf("backfill rule-table live = %d, want %d", got, w.B.VNICRuleBytes(serverVNIC))
+	}
+	if got := sb.LiveBytes(prof.CauseBEData); got != BEDataBytes {
+		t.Fatalf("backfill be-data live = %d, want %d", got, BEDataBytes)
+	}
+	fs := profSlot(pr, w.fes[0], serverVNIC, prof.RoleFE)
+	if got := fs.LiveBytes(prof.CauseRuleTable); got == 0 {
+		t.Fatal("backfill missed the hosted FE's rule copy")
+	}
+}
+
+// TestProfDatapathStagesAndLiveWalker drives an established flow and
+// checks (a) cycles land in the expected stages per direction, (b) the
+// drain-time walker reports session-table residency for the vNICs.
+func TestProfDatapathStagesAndLiveWalker(t *testing.T) {
+	w := newWorld(t, 0, nil)
+	pr := prof.New()
+	pr.SetClock(w.loop.Now)
+	w.A.EnableProf(pr)
+	w.B.EnableProf(pr)
+	w.installLocal(t, false)
+
+	w.clientSend(1000, packet.FlagSYN)
+	w.loop.Run(10 * sim.Millisecond)
+	for i := 0; i < 5; i++ {
+		w.clientSend(1000, packet.FlagACK)
+	}
+	w.loop.Run(20 * sim.Millisecond)
+
+	ca := profSlot(pr, w.A, clientVNIC, prof.RoleLocal)
+	for _, s := range []prof.Stage{prof.StageFastpath, prof.StagePerByte, prof.StageEncap} {
+		if ca.Cycles(prof.DirTX, s) == 0 {
+			t.Errorf("client TX stage %v: no cycles charged", s)
+		}
+	}
+	if ca.Cycles(prof.DirTX, prof.StageSlowpath) == 0 || ca.Cycles(prof.DirTX, prof.StageSessionInstall) == 0 {
+		t.Error("client TX: first packet must charge slowpath + session-install")
+	}
+	sb := profSlot(pr, w.B, serverVNIC, prof.RoleLocal)
+	if sb.Cycles(prof.DirRX, prof.StageFastpath) == 0 {
+		t.Error("server RX: no fastpath cycles charged")
+	}
+	if sb.Cycles(prof.DirRX, prof.StageEncap) != 0 {
+		t.Error("server RX: encap charged on a deliver-only path")
+	}
+
+	var sessBytes uint64
+	for _, s := range pr.Samples() {
+		if s.Node == w.B.Addr().String() && s.VNIC == serverVNIC && s.Cause == prof.CauseSessionTable {
+			sessBytes += s.Bytes
+		}
+	}
+	if sessBytes == 0 {
+		t.Fatal("live walker reported no session-table bytes for the server vNIC")
+	}
+}
+
+// TestProfCtrlPacketCharged checks a control-plane RPC packet arriving
+// on CtrlPort charges the node's ctrl slot.
+func TestProfCtrlPacketCharged(t *testing.T) {
+	w := newWorld(t, 0, nil)
+	pr := prof.New()
+	w.A.EnableProf(pr)
+	w.A.SetControlHandler(func(p *packet.Packet) { p.Release() })
+
+	pktID++
+	ft := packet.FiveTuple{
+		SrcIP: addrB, DstIP: addrA, SrcPort: 555, DstPort: CtrlPort, Proto: packet.ProtoUDP,
+	}
+	p := packet.New(pktID, 0, 0, ft, packet.DirTX, 0, 32)
+	p.Encap(addrB, addrA)
+	w.fab.Send(addrB, addrA, p)
+	w.loop.Run(10 * sim.Millisecond)
+
+	ctrl := profSlot(pr, w.A, 0, prof.RoleCtrl)
+	if ctrl.Cycles(prof.DirNone, prof.StageCtrl) == 0 {
+		t.Fatal("ctrl RPC packet charged no ctrl-stage cycles")
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"nezha/internal/flowcache"
 	"nezha/internal/nic"
 	"nezha/internal/packet"
+	"nezha/internal/prof"
 	"nezha/internal/sim"
 	"nezha/internal/tables"
 )
@@ -174,6 +175,9 @@ type vnicState struct {
 	// Sirius-style pool, which needs distributed rate limiting across
 	// cards (§2.3.3).
 	limiter *tokenBucket
+
+	// prof is the cached attribution slot (nil with profiling off).
+	prof *prof.VNICProf
 }
 
 // tokenBucket is a byte-rate limiter on virtual time.
@@ -219,6 +223,9 @@ type feInstance struct {
 	// this instance. Rollbacks carry the epoch they are undoing, so a
 	// straggling rollback never removes a newer install.
 	epoch uint64
+
+	// prof is the cached attribution slot (nil with profiling off).
+	prof *prof.VNICProf
 }
 
 // VSwitch is one SmartNIC's virtual switch.
@@ -267,6 +274,10 @@ type VSwitch struct {
 	// ob, when set by EnableObs, holds pre-bound telemetry handles;
 	// nil means observability is off and the datapath pays nothing.
 	ob *vsObs
+
+	// prof, when set by EnableProf, holds the attribution-profiler
+	// bindings; nil means profiling is off.
+	prof *vsProf
 
 	// Burst-pipeline scratch (see burst.go). The sim loop is
 	// single-threaded, so one set per vSwitch suffices: burstCosts is
@@ -393,9 +404,11 @@ func (vs *VSwitch) InjectMemPressure(bytes int) (release func(), ok bool) {
 	if bytes <= 0 || !vs.mem.Alloc(bytes) {
 		return nil, false
 	}
+	vs.profMemCtrl(prof.CausePressure, true, bytes)
 	vs.refreshSessionBudget()
 	return func() {
 		vs.mem.Free(bytes)
+		vs.profMemCtrl(prof.CausePressure, false, bytes)
 		vs.refreshSessionBudget()
 	}, true
 }
@@ -435,8 +448,12 @@ func (vs *VSwitch) AddVNIC(rules *tables.RuleSet, decap bool) error {
 	if !vs.mem.Alloc(sz) {
 		return ErrNoRuleMemory
 	}
-	vs.vnics[rules.VNIC] = &vnicState{
+	vn := &vnicState{
 		id: rules.VNIC, vpc: rules.VPC, rules: rules, ruleBytes: sz, decap: decap,
+	}
+	vs.vnics[rules.VNIC] = vn
+	if vp := vs.profVNIC(vn); vp != nil {
+		vp.MemAlloc(prof.CauseRuleTable, uint64(sz))
 	}
 	vs.refreshSessionBudget()
 	return nil
@@ -451,6 +468,12 @@ func (vs *VSwitch) RemoveVNIC(vnic uint32) {
 	vs.mem.Free(vn.ruleBytes)
 	if vn.beCharged {
 		vs.mem.Free(BEDataBytes)
+	}
+	if vp := vs.profVNIC(vn); vp != nil {
+		vp.MemFree(prof.CauseRuleTable, uint64(vn.ruleBytes))
+		if vn.beCharged {
+			vp.MemFree(prof.CauseBEData, BEDataBytes)
+		}
 	}
 	delete(vs.vnics, vnic)
 	vs.sessions.InvalidateVNIC(vnic)
@@ -516,6 +539,9 @@ func (vs *VSwitch) OffloadStartEpoch(vnic uint32, fes []packet.IPv4, epoch uint6
 			return ErrNoRuleMemory
 		}
 		vn.beCharged = true
+		if vp := vs.profVNIC(vn); vp != nil {
+			vp.MemAlloc(prof.CauseBEData, BEDataBytes)
+		}
 	}
 	vn.offloaded = true
 	vn.fes = append([]packet.IPv4(nil), fes...)
@@ -539,6 +565,9 @@ func (vs *VSwitch) OffloadAbort(vnic uint32) error {
 	if vn.beCharged {
 		vs.mem.Free(BEDataBytes)
 		vn.beCharged = false
+		if vp := vs.profVNIC(vn); vp != nil {
+			vp.MemFree(prof.CauseBEData, BEDataBytes)
+		}
 	}
 	vs.refreshSessionBudget()
 	return nil
@@ -558,6 +587,9 @@ func (vs *VSwitch) OffloadFinalize(vnic uint32) error {
 	}
 	if vn.rules != nil {
 		vs.mem.Free(vn.ruleBytes)
+		if vp := vs.profVNIC(vn); vp != nil {
+			vp.MemFree(prof.CauseRuleTable, uint64(vn.ruleBytes))
+		}
 		vn.rules = nil
 		vn.ruleBytes = 0
 	}
@@ -716,6 +748,9 @@ func (vs *VSwitch) FallbackStart(vnic uint32, rules *tables.RuleSet) error {
 		}
 		vn.rules = rules
 		vn.ruleBytes = sz
+		if vp := vs.profVNIC(vn); vp != nil {
+			vp.MemAlloc(prof.CauseRuleTable, uint64(sz))
+		}
 	}
 	// TX switches back to local processing immediately.
 	vn.offloaded = false
@@ -735,6 +770,9 @@ func (vs *VSwitch) FallbackFinalize(vnic uint32) error {
 	if vn.beCharged {
 		vs.mem.Free(BEDataBytes)
 		vn.beCharged = false
+		if vp := vs.profVNIC(vn); vp != nil {
+			vp.MemFree(prof.CauseBEData, BEDataBytes)
+		}
 	}
 	vs.refreshSessionBudget()
 	return nil
@@ -775,9 +813,13 @@ func (vs *VSwitch) InstallFEEpoch(rules *tables.RuleSet, beAddr packet.IPv4, dec
 	if !vs.mem.Alloc(sz) {
 		return ErrNoRuleMemory
 	}
-	vs.fes[rules.VNIC] = &feInstance{
+	fe := &feInstance{
 		vnic: rules.VNIC, vpc: rules.VPC, rules: rules, ruleBytes: sz,
 		beAddr: beAddr, decap: decap, epoch: epoch,
+	}
+	vs.fes[rules.VNIC] = fe
+	if vp := vs.profFE(fe); vp != nil {
+		vp.MemAlloc(prof.CauseRuleTable, uint64(sz))
 	}
 	vs.refreshSessionBudget()
 	return nil
@@ -798,6 +840,9 @@ func (vs *VSwitch) RemoveFEEpoch(vnic uint32, epoch uint64) {
 		return
 	}
 	vs.mem.Free(fe.ruleBytes)
+	if vp := vs.profFE(fe); vp != nil {
+		vp.MemFree(prof.CauseRuleTable, uint64(fe.ruleBytes))
+	}
 	delete(vs.fes, vnic)
 	vs.sessions.InvalidateVNIC(vnic)
 	vs.refreshSessionBudget()
