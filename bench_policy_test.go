@@ -1,0 +1,103 @@
+package nezha
+
+// Policy-loop regression gate: the autonomous offload policy driving
+// the deterministic diurnal scenario, scored against the offline
+// oracle (full-trace hindsight sizing). TestPolicyBenchGuard
+// (POLICY_BENCH_GUARD=1) runs the scenario, writes the measurement to
+// BENCH_policy.json and the full decision log to
+// BENCH_policy_decisions.log for artifact upload, and fails when the
+// policy's converged oracle gap exceeds the floor, when it thrashes,
+// or when any chaos invariant (no-blackhole included) tripped.
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"nezha/internal/chaos"
+)
+
+// policyBenchResult is the BENCH_policy.json schema.
+type policyBenchResult struct {
+	Seed             int64   `json:"seed"`
+	Profile          string  `json:"profile"`
+	Decisions        int     `json:"decisions"`
+	OracleGapPct     float64 `json:"oracle_gap_pct"` // converged-windows gap
+	MeanGapPct       float64 `json:"mean_gap_pct"`   // every scored window, ramps included
+	ConvergedWindows int     `json:"converged_windows"`
+	SiriusCards      int     `json:"sirius_static_cards"`
+	PeakPolicyPool   int     `json:"peak_policy_pool"`
+	ThrashCount      int     `json:"thrash_count"`
+	Violations       int     `json:"violations"`
+	Completed        uint64  `json:"completed"`
+	P99RampUs        float64 `json:"p99_ramp_us"`
+	P99Us            float64 `json:"p99_us"`
+	MaxOracleGapPct  float64 `json:"max_oracle_gap_pct"`
+	MaxThrash        int     `json:"max_thrash"`
+}
+
+// TestPolicyBenchGuard is the CI policy-quality gate (set
+// POLICY_BENCH_GUARD=1 to run): one full diurnal scenario at the
+// golden seed, gated on the oracle gap staying under 20% and on zero
+// thrash / zero invariant violations.
+func TestPolicyBenchGuard(t *testing.T) {
+	if os.Getenv("POLICY_BENCH_GUARD") == "" {
+		t.Skip("set POLICY_BENCH_GUARD=1 to run the policy quality gate")
+	}
+	res, err := chaos.RunScenario(chaos.ScenarioConfig{Seed: 1, Profile: chaos.ProfileDiurnal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := 0
+	for _, p := range res.Pools {
+		if p > peak {
+			peak = p
+		}
+	}
+	out := policyBenchResult{
+		Seed:             res.Seed,
+		Profile:          res.Profile.String(),
+		Decisions:        len(res.Decisions),
+		OracleGapPct:     res.Score.ConvergedGapPct,
+		MeanGapPct:       res.Score.MeanGapPct,
+		ConvergedWindows: res.Score.ConvergedWindows,
+		SiriusCards:      res.SiriusCards,
+		PeakPolicyPool:   peak,
+		ThrashCount:      res.ThrashCount,
+		Violations:       len(res.Violations),
+		Completed:        res.Completed,
+		P99RampUs:        res.P99RampMicros,
+		P99Us:            res.P99Micros,
+		MaxOracleGapPct:  20.0,
+		MaxThrash:        0,
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile("BENCH_policy.json", buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	log := strings.Join(res.DecisionLog, "\n") + "\n"
+	if err := os.WriteFile("BENCH_policy_decisions.log", []byte(log), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("policy vs oracle: converged gap %.2f%% over %d windows (mean %.2f%%), peak pool %d vs %d Sirius cards, p99 ramp %.0fus",
+		out.OracleGapPct, out.ConvergedWindows, out.MeanGapPct, out.PeakPolicyPool, out.SiriusCards, out.P99RampUs)
+
+	if out.ConvergedWindows == 0 {
+		t.Error("oracle never converged — the gap measurement is vacuous; see BENCH_policy.json")
+	}
+	if out.OracleGapPct > out.MaxOracleGapPct {
+		t.Errorf("policy pool diverges %.2f%% from the offline oracle (budget %.0f%%); see BENCH_policy.json",
+			out.OracleGapPct, out.MaxOracleGapPct)
+	}
+	if out.ThrashCount > out.MaxThrash {
+		t.Errorf("policy thrashed %d times (budget %d); see BENCH_policy_decisions.log", out.ThrashCount, out.MaxThrash)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("invariant violated under policy churn: %v", v)
+	}
+}

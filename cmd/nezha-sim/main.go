@@ -7,7 +7,7 @@
 // Usage:
 //
 //	nezha-sim [-servers 24] [-clients 8] [-cps 20000] [-duration 20s]
-//	          [-crash] [-no-nezha] [-seed 1]
+//	          [-crash] [-no-nezha] [-policy] [-seed 1]
 //	          [-obs run.jsonl] [-obs-sample 0.01] [-obs-prom metrics.prom]
 //	          [-prof run.pb.gz]
 //
@@ -18,6 +18,13 @@
 // at exit (inspect with `go tool pprof -top` or nezha-prof); when
 // combined with -obs the prof_* series appear in the snapshots and
 // nezha-top's PROF section.
+//
+// -policy replaces the controller's built-in offload trigger with the
+// autonomous policy loop (internal/policy): trend-extrapolated
+// offload / fallback / scale-out / scale-in decisions driven from the
+// attribution profiler, every decision routed through the same
+// two-phase transactions. The summary prints the full decision log;
+// with -obs the policy_* series appear in nezha-top's POLICY section.
 package main
 
 import (
@@ -26,11 +33,13 @@ import (
 	"os"
 	"time"
 
+	"nezha/internal/chaos"
 	"nezha/internal/cluster"
 	"nezha/internal/controller"
 	"nezha/internal/nic"
 	"nezha/internal/obs"
 	"nezha/internal/packet"
+	"nezha/internal/policy"
 	"nezha/internal/prof"
 	"nezha/internal/sim"
 	"nezha/internal/tables"
@@ -48,6 +57,7 @@ func main() {
 		partition = flag.Bool("partition", false, "sever the BE-FE link to one FE mid-run (§C.1 mutual ping path)")
 		wire      = flag.Bool("wire", false, "serialize every packet through the real wire format")
 		noNezha   = flag.Bool("no-nezha", false, "disable the controller (baseline)")
+		usePolicy = flag.Bool("policy", false, "let the autonomous policy loop drive offload/fallback/scaling (implies -prof attachment)")
 		seed      = flag.Int64("seed", 1, "random seed")
 		obsPath   = flag.String("obs", "", "write per-second JSON telemetry snapshots here ('-' = stdout); view with nezha-top")
 		obsSample = flag.Float64("obs-sample", 0.01, "flight-trace sampling probability when -obs is set")
@@ -73,8 +83,25 @@ func main() {
 	}
 
 	var pr *prof.Profiler
-	if *profPath != "" {
+	if *profPath != "" || *usePolicy {
 		pr = prof.New()
+	}
+
+	var polCfg *policy.Config
+	if *usePolicy {
+		if *noNezha {
+			fmt.Fprintln(os.Stderr, "nezha-sim: -policy needs the controller; drop -no-nezha")
+			os.Exit(2)
+		}
+		// The chaos scenario calibration matches this command's scaled
+		// 2-core / 500 MHz vSwitches; only the pool ceiling is re-derived
+		// from the topology (every server not hosting a VM is a candidate
+		// FE).
+		cfg := chaos.ScenarioPolicyConfig()
+		if idle := *servers - *nClients - 1; idle > cfg.MaxFEs {
+			cfg.MaxFEs = idle
+		}
+		polCfg = &cfg
 	}
 
 	const (
@@ -91,8 +118,9 @@ func main() {
 			cfg.Cores = 2
 			cfg.CoreHz = 500_000_000 // scaled: ~7.4K CPS monolithic
 		},
-		Obs:  ob,
-		Prof: pr,
+		Obs:    ob,
+		Prof:   pr,
+		Policy: polCfg,
 	})
 
 	serverIdx := *nClients
@@ -215,6 +243,15 @@ func main() {
 		overload += vs.Stats.Drops[vswitch.DropOverload]
 	}
 	fmt.Printf("  drops: total %d (overload %d)\n", drops, overload)
+
+	if c.Policy != nil {
+		st := c.Policy.Stats
+		fmt.Printf("\npolicy: steps=%d applied=%d rejected=%d thrash=%d\n",
+			st.Steps, st.Applied, st.Rejected, len(c.Policy.Engine().ThrashEvents()))
+		for _, line := range c.Policy.Engine().Log() {
+			fmt.Printf("  %s\n", line)
+		}
+	}
 
 	if *obsProm != "" {
 		f, err := os.Create(*obsProm)

@@ -314,6 +314,19 @@ func render(w io.Writer, s *obs.Snapshot, topK int) {
 		idx.total("monitor_targets_down"),
 		idx.total("monitor_guard_active"))
 
+	// The POLICY line appears only when the autonomous policy loop is
+	// attached (nezha-sim -policy / chaos campaigns with Options.Policy).
+	if idx.total("policy_steps_total") > 0 {
+		fmt.Fprintf(w, "POLICY  steps=%.0f offloads=%.0f fallbacks=%.0f scale-outs=%.0f scale-ins=%.0f rejected=%.0f thrash=%.0f\n\n",
+			idx.total("policy_steps_total"),
+			idx.val("policy_decisions_total", "action", "offload"),
+			idx.val("policy_decisions_total", "action", "fallback"),
+			idx.val("policy_decisions_total", "action", "scale-out"),
+			idx.val("policy_decisions_total", "action", "scale-in"),
+			idx.total("policy_rejected_total"),
+			idx.total("policy_thrash_total"))
+	}
+
 	renderProf(w, idx, topK)
 
 	if len(s.Flows) > 0 {

@@ -1,0 +1,80 @@
+package baseline
+
+import "testing"
+
+func testOracle() OracleConfig {
+	return OracleConfig{FECapacityHz: 1e6, TargetUtil: 0.5, MinFEs: 2, MaxFEs: 8}
+}
+
+func TestOraclePoolFor(t *testing.T) {
+	oc := testOracle()
+	// Per-FE budget 0.5 MHz.
+	cases := []struct {
+		load float64
+		want int
+	}{
+		{0, 2},      // clamped to MinFEs
+		{0.4e6, 2},  // ceil(0.8)=1 → MinFEs
+		{1.6e6, 4},  // ceil(3.2)
+		{100e6, 8},  // clamped to MaxFEs
+		{2.0e6, 4},  // exact boundary
+		{2.01e6, 5}, // just past it
+	}
+	for _, c := range cases {
+		if got := oc.PoolFor(c.load); got != c.want {
+			t.Errorf("PoolFor(%.2g) = %d, want %d", c.load, got, c.want)
+		}
+	}
+}
+
+func TestScoreAgainstOracle(t *testing.T) {
+	oc := testOracle()
+	// 8 windows of steady 1.6 MHz: oracle plan is a stable 4.
+	loads := make([]float64, 8)
+	for i := range loads {
+		loads[i] = 1.6e6
+	}
+	// Policy runs 4 except two windows at 5 (25% off).
+	pools := []int{4, 4, 4, 5, 5, 4, 4, 4}
+	s := oc.ScoreAgainstOracle(pools, loads)
+	// Stability run reaches StableRun at window index 3: windows 3..7
+	// are converged (5 of them), two of which are 25% off.
+	if s.ConvergedWindows != 5 {
+		t.Fatalf("converged windows = %d, want 5", s.ConvergedWindows)
+	}
+	wantGap := 100 * (2 * 0.25) / 5
+	if diff := s.ConvergedGapPct - wantGap; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("converged gap = %.4f%%, want %.4f%%", s.ConvergedGapPct, wantGap)
+	}
+	if s.MeanGapPct <= 0 || s.MeanGapPct >= 25 {
+		t.Fatalf("mean gap = %.2f%%, want in (0, 25)", s.MeanGapPct)
+	}
+
+	// A perfect policy scores zero on both.
+	perfect := oc.ScoreAgainstOracle(oc.OraclePlan(loads), loads)
+	if perfect.MeanGapPct != 0 || perfect.ConvergedGapPct != 0 {
+		t.Fatalf("perfect policy scored %+v", perfect)
+	}
+
+	// A ramp breaks the stability run: alternating oracle sizes never
+	// converge.
+	var rampLoads []float64
+	for i := 0; i < 8; i++ {
+		rampLoads = append(rampLoads, float64(i+1)*0.5e6)
+	}
+	if s := oc.ScoreAgainstOracle([]int{2, 2, 3, 4, 5, 6, 7, 8}, rampLoads); s.ConvergedWindows != 0 {
+		t.Fatalf("ramp scored %d converged windows, want 0", s.ConvergedWindows)
+	}
+}
+
+func TestSiriusStaticCards(t *testing.T) {
+	oc := testOracle()
+	// Peak 1.6 MHz → 4 FEs → 8 cards with in-line replication.
+	loads := []float64{0.2e6, 1.6e6, 0.8e6}
+	if got := oc.SiriusStaticCards(loads); got != 8 {
+		t.Fatalf("SiriusStaticCards = %d, want 8", got)
+	}
+	if got := oc.SiriusStaticCards(nil); got != 2*oc.MinFEs {
+		t.Fatalf("empty trace sized %d, want floor pool doubled", got)
+	}
+}

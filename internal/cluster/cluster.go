@@ -13,6 +13,7 @@ import (
 	"nezha/internal/monitor"
 	"nezha/internal/obs"
 	"nezha/internal/packet"
+	"nezha/internal/policy"
 	"nezha/internal/prof"
 	"nezha/internal/sim"
 	"nezha/internal/tables"
@@ -50,6 +51,13 @@ type Options struct {
 	// into every vSwitch and the controller. When Obs is also set the
 	// profiler's series are attached to the same registry.
 	Prof *prof.Profiler
+	// Policy, when non-nil, hands offload/fallback/scale decisions to
+	// the self-driving policy loop (internal/policy) instead of the
+	// controller's built-in threshold tree: the controller runs with
+	// ExternalPolicy set and the loop drives it through the Actuator
+	// interface. Requires Prof (the loop consumes attribution windows);
+	// New panics otherwise.
+	Policy *policy.Config
 }
 
 // Cluster is a running simulated region.
@@ -61,6 +69,9 @@ type Cluster struct {
 	Mon  *monitor.Monitor
 	Obs  *obs.Obs
 	Prof *prof.Profiler
+	// Policy is the running policy loop when Options.Policy was set
+	// (nil otherwise).
+	Policy *policy.Loop
 
 	Switches []*vswitch.VSwitch
 	IDGen    uint64
@@ -111,6 +122,12 @@ func New(opts Options) *Cluster {
 	if ctrlCfg.InitialFEs == 0 {
 		ctrlCfg = controller.DefaultConfig()
 	}
+	if opts.Policy != nil {
+		if opts.Prof == nil {
+			panic("cluster: Options.Policy requires Options.Prof (the loop consumes attribution windows)")
+		}
+		ctrlCfg.ExternalPolicy = true
+	}
 	c.Ctrl = controller.New(c.Loop, c.Fab, c.GW, ctrlCfg)
 	if c.Obs != nil {
 		c.Ctrl.EnableObs(c.Obs)
@@ -158,6 +175,15 @@ func New(opts Options) *Cluster {
 			vs.SweepSessions()
 		}
 	})
+
+	if opts.Policy != nil {
+		eng := policy.New(*opts.Policy)
+		src := prof.NewSeriesReader(c.Prof)
+		c.Policy = policy.NewLoop(c.Loop, eng, src, c.Ctrl)
+		if c.Obs != nil {
+			c.Policy.EnableObs(c.Obs)
+		}
+	}
 	return c
 }
 
@@ -167,6 +193,9 @@ func New(opts Options) *Cluster {
 func (c *Cluster) Start() {
 	c.Ctrl.Start()
 	c.Mon.Start()
+	if c.Policy != nil {
+		c.Policy.Start()
+	}
 	for _, vs := range c.Switches {
 		vs := vs
 		vs.StartMutualPing(2*sim.Second, 3, func(fe packet.IPv4) {

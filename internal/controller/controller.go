@@ -104,6 +104,12 @@ type Config struct {
 	// RepairInterval paces the degraded-pool repair / reconciliation
 	// loop.
 	RepairInterval sim.Time
+	// ExternalPolicy disables the controller's built-in threshold
+	// decision tree (tick-driven offload/scale/fallback): monitoring,
+	// failover, and repair keep running, but offload/fallback/scale
+	// decisions are expected from an external driver — the
+	// internal/policy loop — through the Actuator methods.
+	ExternalPolicy bool
 	// UnsafeDirectCommit restores the pre-transactional behavior:
 	// fire-and-forget installs with the gateway flipped immediately,
 	// before any FE has acked its tables. It exists as a negative
@@ -331,8 +337,13 @@ type Controller struct {
 	ob *obs.Obs
 
 	// prof, when set by EnableProf, is the attribution profiler the
-	// controller consults for offload suggestions.
-	prof *prof.Profiler
+	// controller consults for offload suggestions. The raw ranking is
+	// cached per drain generation: between drains the attribution
+	// snapshot cannot have changed, so neither may the ranking.
+	prof       *prof.Profiler
+	profGen    uint64
+	profRank   []prof.Candidate
+	profRanked bool
 
 	// OffloadCompletion records, per offload, the time from trigger
 	// until all traffic flows through the FEs (Table 4).
@@ -395,7 +406,7 @@ func (c *Controller) RegisterVNIC(info VNICInfo) {
 func (c *Controller) Start() {
 	c.ticker = c.loop.Every(c.cfg.ReportInterval, c.tick)
 	c.repairTicker = c.loop.Every(c.cfg.RepairInterval, c.repairTick)
-	if c.cfg.FallbackCheckInterval > 0 {
+	if c.cfg.FallbackCheckInterval > 0 && !c.cfg.ExternalPolicy {
 		c.loop.Every(c.cfg.FallbackCheckInterval, c.checkFallbacks)
 	}
 }
@@ -480,12 +491,23 @@ func (c *Controller) EnableProf(p *prof.Profiler) { c.prof = p }
 // this controller could actually act on: registered, not already
 // offloaded, and with no transaction in flight. k bounds the result
 // (0 = all). Returns nil when no profiler is attached.
+//
+// The underlying ranking is recomputed only when the profiler's drain
+// generation has moved (a series read or obs snapshot drained fresh
+// attribution); between drains repeated calls serve the cached
+// ranking, so the answer is stable — only the liveness filter below
+// reflects current transaction state.
 func (c *Controller) SuggestOffload(k int) []prof.Candidate {
 	if c.prof == nil {
 		return nil
 	}
+	if gen := c.prof.DrainGen(); !c.profRanked || gen != c.profGen {
+		c.profRank = c.prof.SuggestOffload(0)
+		c.profGen = gen
+		c.profRanked = true
+	}
 	var out []prof.Candidate
-	for _, cand := range c.prof.SuggestOffload(0) {
+	for _, cand := range c.profRank {
 		v, ok := c.vnics[cand.VNIC]
 		if !ok || v.offloaded || v.inProgress {
 			continue
@@ -547,6 +569,11 @@ func (c *Controller) tick() {
 		} else {
 			n.remoteShare = 0
 		}
+	}
+	if c.cfg.ExternalPolicy {
+		// Meters sampled above stay fresh (NodeUtil, experiments);
+		// the decision tree below belongs to the external policy loop.
+		return
 	}
 	for _, addr := range addrs {
 		n := c.nodes[addr]

@@ -1,0 +1,81 @@
+package controller
+
+import (
+	"reflect"
+	"testing"
+
+	"nezha/internal/packet"
+	"nezha/internal/prof"
+	"nezha/internal/sim"
+	"nezha/internal/tables"
+)
+
+// TestSuggestOffloadStableBetweenDrains pins the drain-generation
+// cache: the profiler's accumulators are live, so an uncached ranking
+// would shift under every call as traffic accrues. SuggestOffload must
+// return the identical ranking until the next series drain, and only
+// then fold in what accumulated since.
+func TestSuggestOffloadStableBetweenDrains(t *testing.T) {
+	r := newRig(t, 2, nil)
+	pr := prof.New()
+	pr.SetClock(r.loop.Now)
+	for _, vs := range r.sw {
+		vs.EnableProf(pr)
+	}
+	r.ctrl.EnableProf(pr)
+	reader := prof.NewSeriesReader(pr)
+
+	home := r.sw[0]
+	const hotVNIC, coldVNIC = 100, 200
+	for _, vnic := range []uint32{hotVNIC, coldVNIC} {
+		if err := home.AddVNIC(tables.NewRuleSet(vnic, 1), false); err != nil {
+			t.Fatal(err)
+		}
+		r.gw.Set(vnic, home.Addr())
+		r.ctrl.RegisterVNIC(VNICInfo{VNIC: vnic, Home: home.Addr(), MakeRules: mkRules(vnic)})
+	}
+
+	flowID := 0
+	send := func(vnic uint32, flows int) {
+		for i := 0; i < flows; i++ {
+			flowID++
+			ft := packet.FiveTuple{
+				SrcIP: ip(10, 9, 0, 1), DstIP: ip(10, 9, 0, 2),
+				SrcPort: uint16(5000 + flowID), DstPort: 80, Proto: packet.ProtoTCP,
+			}
+			p := packet.New(uint64(vnic)<<32|uint64(flowID), 1, vnic, ft, packet.DirTX, packet.FlagSYN, 64)
+			p.SentAt = int64(r.loop.Now())
+			home.FromVM(p)
+		}
+	}
+
+	send(hotVNIC, 40)
+	send(coldVNIC, 3)
+	r.loop.Run(100 * sim.Millisecond)
+	reader.Read(r.loop.Now()) // drain: the ranking below is pinned to this snapshot
+
+	first := r.ctrl.SuggestOffload(0)
+	if len(first) < 2 || first[0].VNIC != hotVNIC {
+		t.Fatalf("setup: hot vNIC not ranked first: %+v", first)
+	}
+
+	// Invert the skew WITHOUT draining: the cold vNIC now dwarfs the
+	// hot one in the live accumulators, but the ranking must not move.
+	send(coldVNIC, 300)
+	r.loop.Run(r.loop.Now() + 100*sim.Millisecond)
+
+	between := r.ctrl.SuggestOffload(0)
+	if !reflect.DeepEqual(first, between) {
+		t.Fatalf("ranking shifted between drains:\nfirst:   %+v\nbetween: %+v", first, between)
+	}
+
+	// After the next drain the accumulated inversion must show.
+	reader.Read(r.loop.Now())
+	after := r.ctrl.SuggestOffload(0)
+	if len(after) < 2 || after[0].VNIC != coldVNIC {
+		t.Fatalf("post-drain ranking did not fold in new traffic: %+v", after)
+	}
+	if reflect.DeepEqual(first, after) {
+		t.Fatal("post-drain ranking identical to pre-drain — the cache never invalidated")
+	}
+}

@@ -363,6 +363,9 @@ type Profiler struct {
 	nodes map[string]*NodeProf
 	order []*NodeProf
 	clock func() sim.Time
+	// drainGen counts drains (series reads, obs snapshots); consumers
+	// cache rankings per generation (see series.go).
+	drainGen uint64
 }
 
 // New builds an empty profiler.
@@ -554,6 +557,7 @@ func (p *Profiler) Attach(reg *obs.Registry) {
 		if p.clock != nil {
 			p.Advance(p.clock())
 		}
+		p.noteDrain()
 		for _, s := range p.Samples() {
 			vnic := fmt.Sprintf("%d", s.VNIC)
 			if s.VNIC == OverflowVNIC {

@@ -1,0 +1,111 @@
+package prof
+
+import (
+	"testing"
+
+	"nezha/internal/sim"
+)
+
+// TestSeriesReaderWindowsAreDeltas drives cumulative charges through
+// two reads and checks each window reports only what accrued since the
+// previous one, with zero-delta entries dropped.
+func TestSeriesReaderWindowsAreDeltas(t *testing.T) {
+	p := New()
+	n := p.Node("10.1.0.1", 2)
+	v := n.Slot(7, RoleLocal)
+	r := NewSeriesReader(p)
+
+	v.Charge(DirTX, StageSlowpath, 1000)
+	v.Charge(DirRX, StageSessionInstall, 250)
+	v.MemAlloc(CauseSessionTable, 4096)
+
+	w1 := r.Read(500 * sim.Millisecond)
+	if w1.T0 != 0 || w1.T1 != 500*sim.Millisecond {
+		t.Fatalf("window bounds %v..%v, want 0..500ms", w1.T0, w1.T1)
+	}
+	if len(w1.VNICs) != 1 {
+		t.Fatalf("got %d vnic series, want 1: %+v", len(w1.VNICs), w1.VNICs)
+	}
+	s := w1.VNICs[0]
+	if s.Node != "10.1.0.1" || s.VNIC != 7 || s.Role != RoleLocal {
+		t.Fatalf("series identity %+v", s)
+	}
+	if s.RuleCycles != 1000 || s.SessCycles != 250 {
+		t.Fatalf("first window cycles rule=%d sess=%d, want 1000/250", s.RuleCycles, s.SessCycles)
+	}
+	if s.TableBytes != 4096 {
+		t.Fatalf("first window bytes %d, want 4096", s.TableBytes)
+	}
+	if s.RelocCycles() != 1250 {
+		t.Fatalf("RelocCycles %d, want 1250", s.RelocCycles())
+	}
+
+	// Second window: only the delta.
+	v.Charge(DirTX, StageSlowpath, 300)
+	w2 := r.Read(sim.Second)
+	if w2.T0 != 500*sim.Millisecond || w2.T1 != sim.Second {
+		t.Fatalf("second window bounds %v..%v", w2.T0, w2.T1)
+	}
+	if len(w2.VNICs) != 1 || w2.VNICs[0].RuleCycles != 300 || w2.VNICs[0].SessCycles != 0 {
+		t.Fatalf("second window %+v, want rule delta 300", w2.VNICs)
+	}
+
+	// Third window: no cycles accrued — the series keeps reporting the
+	// live table residency (a level, not a delta) with zero cycle
+	// deltas.
+	w3 := r.Read(1500 * sim.Millisecond)
+	if len(w3.VNICs) != 1 {
+		t.Fatalf("idle window lost the live-bytes series: %+v", w3.VNICs)
+	}
+	if s := w3.VNICs[0]; s.RelocCycles() != 0 || s.TableBytes != 4096 {
+		t.Fatalf("idle window %+v, want zero cycles and 4096 live bytes", s)
+	}
+
+	// Free the bytes: with zero cycles and zero residency the vNIC
+	// drops out entirely.
+	v.MemFree(CauseSessionTable, 4096)
+	w4 := r.Read(2 * sim.Second)
+	if len(w4.VNICs) != 0 {
+		t.Fatalf("fully idle window still has series: %+v", w4.VNICs)
+	}
+}
+
+// TestSeriesReaderBumpsDrainGen pins the contract SuggestOffload
+// caching relies on: every Read is a drain.
+func TestSeriesReaderBumpsDrainGen(t *testing.T) {
+	p := New()
+	p.Node("n", 1).Slot(1, RoleLocal).Charge(DirTX, StageSlowpath, 10)
+	r := NewSeriesReader(p)
+	g0 := p.DrainGen()
+	r.Read(sim.Second)
+	g1 := p.DrainGen()
+	if g1 == g0 {
+		t.Fatal("Read did not bump the drain generation")
+	}
+	r.Read(2 * sim.Second)
+	if g2 := p.DrainGen(); g2 <= g1 {
+		t.Fatalf("second Read did not bump again: %d after %d", g2, g1)
+	}
+}
+
+// TestSeriesReaderReportsNodeUtil feeds a synthetic busy timeline and
+// checks the window carries the node's mean core utilization.
+func TestSeriesReaderReportsNodeUtil(t *testing.T) {
+	p := New()
+	n := p.Node("n", 2)
+	busy := []sim.Time{0, 0}
+	n.SetCoreBusy(func(out []sim.Time) []sim.Time { return append(out, busy...) })
+	r := NewSeriesReader(p)
+	// The first advance only establishes the cumulative-busy baseline.
+	r.Read(50 * sim.Millisecond)
+	// One core fully busy, one idle over the next 100 ms.
+	busy[0] = 100 * sim.Millisecond
+	w := r.Read(150 * sim.Millisecond)
+	if len(w.Nodes) != 1 {
+		t.Fatalf("got %d node series, want 1", len(w.Nodes))
+	}
+	got := w.Nodes[0].Util
+	if got < 0.45 || got > 0.55 {
+		t.Fatalf("node util %.3f, want ~0.5", got)
+	}
+}

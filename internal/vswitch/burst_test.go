@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"nezha/internal/packet"
+	"nezha/internal/policy"
 	"nezha/internal/prof"
 	"nezha/internal/sim"
 	"nezha/internal/tables"
@@ -98,6 +99,11 @@ type burstOutcome struct {
 	lost     uint64
 	bytes    uint64
 	samples  []prof.Sample // full attribution drain, per-key totals
+	// policyLog is a dry-run policy engine's decision log, driven from
+	// the same profiler: the decision stream derives purely from drained
+	// attribution windows, so scalar and burst runs must produce it
+	// byte for byte.
+	policyLog []string
 }
 
 // runBurstScenario drives the generated batches through a fresh world
@@ -159,6 +165,34 @@ func runBurstScenario(t *testing.T, batches [][]burstOp, burst, offload bool) bu
 		}
 	}
 
+	// A dry-run policy engine observes the run through windowed series
+	// reads. Tiny capacities so the generated traffic crosses the
+	// hysteresis bands, and SustainWindows 1 because the traffic is
+	// front-loaded: the session caches warm inside the first window, so
+	// the trend fit falls off a cliff right after it and a two-window
+	// sustain would never arm. One hot window triggers the offload, the
+	// silence after the batches drain triggers the fallback.
+	eng := policy.New(policy.Config{
+		Interval:       500 * sim.Microsecond,
+		Windows:        4,
+		Horizon:        sim.Millisecond,
+		BECapacityHz:   2e6,
+		FECapacityHz:   1e6,
+		TargetUtil:     0.5,
+		OffloadHigh:    0.5,
+		FallbackLow:    0.1,
+		MinFEs:         1,
+		MaxFEs:         4,
+		SustainWindows: 1,
+		FlipCooldown:   5 * sim.Millisecond,
+		ScaleCooldown:  2 * sim.Millisecond,
+	})
+	reader := prof.NewSeriesReader(pr)
+	w.loop.Every(500*sim.Microsecond, func() {
+		now := w.loop.Now()
+		eng.Step(now, reader.Read(now), nil)
+	})
+
 	var id uint64 = 1 << 20 // private ID space, identical across runs
 	for bi, batch := range batches {
 		batch := batch
@@ -191,6 +225,7 @@ func runBurstScenario(t *testing.T, batches [][]burstOp, burst, offload bool) bu
 	out.sends, out.deliv, out.lost = w.fab.Sends, w.fab.Delivered, w.fab.Lost
 	out.bytes = w.fab.BytesSent
 	out.samples = pr.Samples()
+	out.policyLog = append([]string(nil), eng.Log()...)
 	return out
 }
 
@@ -239,6 +274,13 @@ func diffOutcomes(t *testing.T, name string, scalar, burst burstOutcome) {
 	}
 	if len(scalar.samples) == 0 {
 		t.Fatalf("%s: profiler drained no samples — the differential proves nothing", name)
+	}
+	if !reflect.DeepEqual(scalar.policyLog, burst.policyLog) {
+		t.Errorf("%s: policy decision logs diverge:\nscalar:\n%v\nburst:\n%v",
+			name, scalar.policyLog, burst.policyLog)
+	}
+	if len(scalar.policyLog) == 0 {
+		t.Fatalf("%s: the observing policy engine never decided — the decision-log differential proves nothing", name)
 	}
 }
 

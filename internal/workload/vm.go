@@ -70,6 +70,11 @@ type VM struct {
 	Accepted    uint64 // server connections accepted
 	KernelDrops uint64 // connections dropped by the kernel backlog
 	Latency     *metrics.Histogram
+	// OnComplete, when set, observes every completed client
+	// connection's latency — scenario harnesses use it to bucket
+	// latencies by phase (e.g. p99 during load ramps) without a second
+	// histogram inside the VM.
+	OnComplete func(lat sim.Time)
 }
 
 // NewVM attaches a VM with the given vCPU count to a vSwitch-resident
@@ -206,7 +211,11 @@ func (vm *VM) clientHandle(p *packet.Packet) {
 	case p.Flags.Has(packet.FlagFIN):
 		c.completed = true
 		vm.Completed++
-		vm.Latency.Observe((vm.loop.Now() - c.start).Micros())
+		lat := vm.loop.Now() - c.start
+		vm.Latency.Observe(lat.Micros())
+		if vm.OnComplete != nil {
+			vm.OnComplete(lat)
+		}
 		delete(vm.conns, sport)
 		if c.onDone != nil {
 			c.onDone()
