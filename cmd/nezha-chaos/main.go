@@ -11,13 +11,23 @@
 // prints the seed and the schedule that produced it, and the process
 // exits non-zero. -midpush additionally crashes or partitions a
 // prepare target in the window between the two-phase commit's prepare
-// and commit on every campaign. -failfile collects failing seeds, one
-// per line, for CI artifact upload.
+// and commit on every campaign. -ctrl-crash crashes the CONTROLLER
+// itself mid-run (journaled WAL, crash, journal-replay recovery with
+// live-world reconciliation) and arms the crash-recovery invariants:
+// epoch monotonicity across the restart, no duplicate side effects
+// from replay, and the recovery-time bound; -ctrl-crash-at moves the
+// crash from the default mid-run instant to the controller's first
+// prepare window (value "prepare"), to the commit gap between the
+// gateway flip and its ack (value "commit-gap"), or to a fixed virtual
+// time. -failfile
+// collects failing seeds, one per line, for CI artifact upload.
 //
 // Usage:
 //
 //	nezha-chaos [-seed 1] [-campaigns 10] [-duration 8s] [-servers 8]
 //	            [-clients 3] [-cps 250] [-events 12] [-midpush]
+//	            [-ctrl-crash] [-ctrl-crash-at 4s|prepare|commit-gap]
+//	            [-ctrl-outage 1.5s]
 //	            [-failfile failing-seeds.txt] [-v]
 //	            [-obs] [-obs-sample 1.0] [-obs-dir dumps/]
 //	            [-prof] [-prof-dir profiles/]
@@ -46,23 +56,43 @@ import (
 
 func main() {
 	var (
-		seed      = flag.Int64("seed", 1, "first campaign seed (campaign i runs seed+i)")
-		campaigns = flag.Int("campaigns", 10, "number of seeded campaigns")
-		duration  = flag.Duration("duration", 8*time.Second, "virtual time per campaign")
-		servers   = flag.Int("servers", 8, "region size (BE on server 0)")
-		clients   = flag.Int("clients", 3, "client VMs hammering the BE's server VM")
-		cps       = flag.Float64("cps", 250, "per-client offered connections/sec")
-		events    = flag.Int("events", 12, "fault episodes per campaign")
-		midpush   = flag.Bool("midpush", false, "kill or partition a prepare target between prepare and commit")
-		failfile  = flag.String("failfile", "", "write failing seeds (one per line) to this file")
-		verbose   = flag.Bool("v", false, "print every campaign's schedule")
-		obsOn     = flag.Bool("obs", true, "attach the observability layer (flight-recorder dump on violation)")
-		obsSample = flag.Float64("obs-sample", 1.0, "flight-trace sampling probability")
-		obsDir    = flag.String("obs-dir", "", "directory for flight-recorder dumps (default: system temp dir)")
-		profOn    = flag.Bool("prof", false, "attach the cycle/byte attribution profiler (pprof dump per campaign)")
-		profDir   = flag.String("prof-dir", "", "directory for attribution profiles (default: system temp dir)")
+		seed       = flag.Int64("seed", 1, "first campaign seed (campaign i runs seed+i)")
+		campaigns  = flag.Int("campaigns", 10, "number of seeded campaigns")
+		duration   = flag.Duration("duration", 8*time.Second, "virtual time per campaign")
+		servers    = flag.Int("servers", 8, "region size (BE on server 0)")
+		clients    = flag.Int("clients", 3, "client VMs hammering the BE's server VM")
+		cps        = flag.Float64("cps", 250, "per-client offered connections/sec")
+		events     = flag.Int("events", 12, "fault episodes per campaign")
+		midpush    = flag.Bool("midpush", false, "kill or partition a prepare target between prepare and commit")
+		ctrlCrash  = flag.Bool("ctrl-crash", false, "crash and journal-recover the controller mid-campaign")
+		ctrlAt     = flag.String("ctrl-crash-at", "", "controller crash time (duration, e.g. 4s), 'prepare' to crash inside the first prepare window, or 'commit-gap' to crash between the gateway flip and its ack (implies -ctrl-crash)")
+		ctrlOutage = flag.Duration("ctrl-outage", 1500*time.Millisecond, "how long the controller stays dead before recovery")
+		failfile   = flag.String("failfile", "", "write failing seeds (one per line) to this file")
+		verbose    = flag.Bool("v", false, "print every campaign's schedule")
+		obsOn      = flag.Bool("obs", true, "attach the observability layer (flight-recorder dump on violation)")
+		obsSample  = flag.Float64("obs-sample", 1.0, "flight-trace sampling probability")
+		obsDir     = flag.String("obs-dir", "", "directory for flight-recorder dumps (default: system temp dir)")
+		profOn     = flag.Bool("prof", false, "attach the cycle/byte attribution profiler (pprof dump per campaign)")
+		profDir    = flag.String("prof-dir", "", "directory for attribution profiles (default: system temp dir)")
 	)
 	flag.Parse()
+
+	crashOn := *ctrlCrash || *ctrlAt != ""
+	crashOnPrepare := *ctrlAt == "prepare"
+	crashAtGap := *ctrlAt == "commit-gap"
+	var crashAt sim.Time
+	if *ctrlAt != "" && !crashOnPrepare && !crashAtGap {
+		d, err := time.ParseDuration(*ctrlAt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nezha-chaos: -ctrl-crash-at: %v\n", err)
+			os.Exit(2)
+		}
+		crashAt = sim.Time(d)
+	}
+	if crashOnPrepare && *midpush {
+		fmt.Fprintln(os.Stderr, "nezha-chaos: -ctrl-crash-at=prepare and -midpush both need the prepare hook; pick one")
+		os.Exit(2)
+	}
 
 	dumpDir := *obsDir
 	if *obsOn && dumpDir == "" {
@@ -86,18 +116,23 @@ func main() {
 	for i := 0; i < *campaigns; i++ {
 		s := *seed + int64(i)
 		rep, err := chaos.RunCampaign(chaos.CampaignConfig{
-			Seed:          s,
-			Duration:      sim.Time(*duration),
-			Servers:       *servers,
-			Clients:       *clients,
-			RatePerClient: *cps,
-			Events:        *events,
-			MidPushKill:   *midpush,
-			Obs:           *obsOn,
-			ObsSampleRate: *obsSample,
-			ObsDumpDir:    dumpDir,
-			Prof:          *profOn,
-			ProfDir:       pDir,
+			Seed:                 s,
+			Duration:             sim.Time(*duration),
+			Servers:              *servers,
+			Clients:              *clients,
+			RatePerClient:        *cps,
+			Events:               *events,
+			MidPushKill:          *midpush,
+			CtrlCrash:            crashOn && !crashOnPrepare && !crashAtGap,
+			CtrlCrashAt:          crashAt,
+			CtrlOutage:           sim.Time(*ctrlOutage),
+			CtrlCrashOnPrepare:   crashOnPrepare,
+			CtrlCrashAtCommitGap: crashAtGap,
+			Obs:                  *obsOn,
+			ObsSampleRate:        *obsSample,
+			ObsDumpDir:           dumpDir,
+			Prof:                 *profOn,
+			ProfDir:              pDir,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "seed %d: %v\n", s, err)
@@ -109,8 +144,12 @@ func main() {
 			failed++
 			failedSeeds = append(failedSeeds, s)
 		}
-		fmt.Printf("seed %-4d %-22s completed=%-6d declared=%-2d failovers=%-2d digest=%016x\n",
-			s, verdict, rep.Completed, rep.Declared, rep.Failovers, rep.Digest)
+		recovery := "-"
+		if crashOn {
+			recovery = fmt.Sprintf("%d/%.1fms", rep.Recoveries, rep.RecoveryMs)
+		}
+		fmt.Printf("seed %-4d %-22s completed=%-6d declared=%-2d failovers=%-2d recovery=%-10s digest=%016x\n",
+			s, verdict, rep.Completed, rep.Declared, rep.Failovers, recovery, rep.Digest)
 		if !rep.Failed() && rep.ProfDumpPath != "" {
 			fmt.Printf("    prof: %s\n", rep.ProfDumpPath)
 		}
@@ -130,9 +169,21 @@ func main() {
 			} else {
 				fmt.Printf("FAIL seed=%d dump=%s\n", s, rep.DumpPath)
 			}
+			if rep.JournalPath != "" {
+				fmt.Printf("    journal: %s\n", rep.JournalPath)
+			}
 			repro := fmt.Sprintf("nezha-chaos -seed %d -campaigns 1 -v", s)
 			if *midpush {
 				repro += " -midpush"
+			}
+			if crashOn {
+				repro += " -ctrl-crash"
+				if *ctrlAt != "" {
+					repro += " -ctrl-crash-at=" + *ctrlAt
+				}
+				if *ctrlOutage != 1500*time.Millisecond {
+					repro += fmt.Sprintf(" -ctrl-outage=%v", *ctrlOutage)
+				}
 			}
 			fmt.Printf("    reproduce: %s\n", repro)
 		}

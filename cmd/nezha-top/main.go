@@ -314,6 +314,24 @@ func render(w io.Writer, s *obs.Snapshot, topK int) {
 		idx.total("monitor_targets_down"),
 		idx.total("monitor_guard_active"))
 
+	// The CTRL line appears only when the controller publishes its
+	// liveness series (always, on obs-enabled runs): process liveness,
+	// crash-recovery counters, and the write-ahead journal's footprint.
+	if len(idx["ctrl_up"]) > 0 {
+		state := "up"
+		if idx.total("ctrl_up") == 0 {
+			state = "DOWN"
+		}
+		fmt.Fprintf(w, "CTRL    %s recoveries=%.0f last-recovery=%.1fms journal=%.1fK appends=%.0f snapshots=%.0f dup-effects=%.0f\n\n",
+			state,
+			idx.total("ctrl_recoveries_total"),
+			idx.total("ctrl_recovery_ms"),
+			idx.total("journal_bytes")/1024,
+			idx.total("journal_appends_total"),
+			idx.total("journal_snapshots_total"),
+			idx.total("ctrl_dup_side_effects_total"))
+	}
+
 	// The POLICY line appears only when the autonomous policy loop is
 	// attached (nezha-sim -policy / chaos campaigns with Options.Policy).
 	if idx.total("policy_steps_total") > 0 {

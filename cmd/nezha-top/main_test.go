@@ -65,3 +65,61 @@ func TestRenderWithoutProfSeries(t *testing.T) {
 		t.Errorf("PROF section rendered with no prof series:\n%s", buf.String())
 	}
 }
+
+// TestRenderCtrlLine round-trips the controller liveness series
+// through the registry → JSON → snapshot pipeline and checks the CTRL
+// line surfaces recovery and journal state; a snapshot taken during an
+// outage must flag the controller DOWN.
+func TestRenderCtrlLine(t *testing.T) {
+	up := 1.0
+	reg := obs.NewRegistry()
+	reg.GaugeFunc("ctrl_up", nil, func() float64 { return up })
+	reg.CounterFunc("ctrl_recoveries_total", nil, func() uint64 { return 2 })
+	reg.GaugeFunc("ctrl_recovery_ms", nil, func() float64 { return 3.5 })
+	reg.GaugeFunc("journal_bytes", nil, func() float64 { return 2048 })
+	reg.CounterFunc("journal_appends_total", nil, func() uint64 { return 42 })
+	reg.CounterFunc("journal_snapshots_total", nil, func() uint64 { return 1 })
+	reg.CounterFunc("ctrl_dup_side_effects_total", nil, func() uint64 { return 0 })
+
+	roundTrip := func() string {
+		raw, err := json.Marshal(reg.Snapshot(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snap obs.Snapshot
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		render(&buf, &snap, 10)
+		return buf.String()
+	}
+
+	out := roundTrip()
+	for _, want := range []string{
+		"CTRL    up",
+		"recoveries=2",
+		"last-recovery=3.5ms",
+		"journal=2.0K",
+		"appends=42",
+		"snapshots=1",
+		"dup-effects=0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q:\n%s", want, out)
+		}
+	}
+
+	up = 0
+	if out := roundTrip(); !strings.Contains(out, "CTRL    DOWN") {
+		t.Errorf("outage snapshot not flagged DOWN:\n%s", out)
+	}
+
+	// Snapshots from runs predating the liveness series render no CTRL
+	// line at all.
+	var buf bytes.Buffer
+	render(&buf, &obs.Snapshot{}, 10)
+	if strings.Contains(buf.String(), "CTRL") {
+		t.Errorf("CTRL line rendered with no ctrl series:\n%s", buf.String())
+	}
+}

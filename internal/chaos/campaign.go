@@ -1,11 +1,14 @@
 package chaos
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"path/filepath"
 
 	"nezha/internal/cluster"
 	"nezha/internal/controller"
+	"nezha/internal/journal"
 	"nezha/internal/monitor"
 	"nezha/internal/obs"
 	"nezha/internal/packet"
@@ -46,6 +49,32 @@ type CampaignConfig struct {
 	// control proving the no-blackhole invariant fires when the
 	// two-phase commit is bypassed.
 	BypassTwoPhase bool
+	// CtrlCrash arms one controller crash/revive episode on top of the
+	// generated schedule: the controller journals to an in-memory WAL,
+	// crashes at CtrlCrashAt (default mid-run), and recovers after
+	// CtrlOutage (default 1.5 s).
+	CtrlCrash bool
+	// CtrlCrashAt is the crash time (0 = Duration/2).
+	CtrlCrashAt sim.Time
+	// CtrlOutage is how long the controller stays dead (0 = 1.5 s).
+	CtrlOutage sim.Time
+	// CtrlCrashOnPrepare replaces the fixed-time crash with one armed on
+	// the controller's first prepare, landing at a short random offset so
+	// seeds sample both sides of the commit point. Mutually exclusive
+	// with MidPushKill (both want the single prepare-hook slot).
+	CtrlCrashOnPrepare bool
+	// CtrlCrashAtCommitGap replaces the fixed-time crash with a
+	// deterministic one landing in the gap between the gateway
+	// installing the campaign vNIC's offload flip and the controller
+	// journaling the resolve — the window where recovery MUST adopt a
+	// commit the dead incarnation never heard the ack for.
+	CtrlCrashAtCommitGap bool
+	// SkipReconcile makes recovery skip the live-world reconciliation
+	// and blindly roll back open intents — the negative control proving
+	// the crash-recovery invariants fire when reconciliation is broken.
+	SkipReconcile bool
+	// RecoveryBound overrides the recovery-time allowance (0 = 5 s).
+	RecoveryBound sim.Time
 	// Obs enables the observability layer: labeled telemetry, sampled
 	// packet flight tracing, transaction spans, and the flight recorder
 	// whose contents are dumped on the first invariant violation.
@@ -98,6 +127,14 @@ type Report struct {
 	// ProfDumpPath is the pprof-encoded attribution profile written at
 	// the first violation or at campaign end ("" when none).
 	ProfDumpPath string
+	// Recoveries / RecoveryMs summarize controller crash handling: how
+	// many recoveries completed and how long the last one took from
+	// revive to settled (zero when no controller crash was armed).
+	Recoveries uint64
+	RecoveryMs float64
+	// JournalPath is the journal dump written next to the flight
+	// recorder on a failing crash campaign ("" when none).
+	JournalPath string
 }
 
 // Failed reports whether any invariant broke.
@@ -213,8 +250,9 @@ func RunCampaign(cfg CampaignConfig) (Report, error) {
 	eng := NewEngine(System{
 		Loop: c.Loop, Fab: c.Fab, GW: c.GW, Switches: c.Switches, Mon: c.Mon, Ctrl: c.Ctrl,
 	}, rng, Config{
-		CheckEvery:   cfg.CheckEvery,
-		DetectWindow: detectWindow,
+		CheckEvery:    cfg.CheckEvery,
+		DetectWindow:  detectWindow,
+		RecoveryBound: cfg.RecoveryBound,
 	})
 	RegisterStandard(eng)
 	eng.SetUnaccountedDrops(cfg.UnaccountedDrops)
@@ -248,6 +286,28 @@ func RunCampaign(cfg CampaignConfig) (Report, error) {
 	if cfg.MidPushKill {
 		eng.ArmMidPushKill()
 	}
+	var jrn *journal.Journal
+	if cfg.CtrlCrash || cfg.CtrlCrashOnPrepare || cfg.CtrlCrashAtCommitGap {
+		jrn = journal.NewMem()
+		c.Ctrl.AttachJournal(jrn)
+		outage := cfg.CtrlOutage
+		if outage <= 0 {
+			outage = 1500 * sim.Millisecond
+		}
+		opts := controller.RecoverOpts{SkipReconcile: cfg.SkipReconcile}
+		switch {
+		case cfg.CtrlCrashAtCommitGap:
+			eng.ArmControllerCrashAtCommitGap(campaignVNIC, outage, opts)
+		case cfg.CtrlCrashOnPrepare:
+			eng.ArmControllerCrashOnPrepare(outage, opts)
+		default:
+			at := cfg.CtrlCrashAt
+			if at <= 0 {
+				at = cfg.Duration / 2
+			}
+			eng.ArmControllerCrash(at, outage, opts)
+		}
+	}
 
 	c.Start()
 	if err := c.Ctrl.ForceOffload(campaignVNIC); err != nil {
@@ -274,6 +334,15 @@ func RunCampaign(cfg CampaignConfig) (Report, error) {
 		Violations: eng.Violations(),
 		Declared:   c.Mon.Declared.Load(),
 		Failovers:  c.Ctrl.Stats.Failovers,
+		Recoveries: c.Ctrl.Recoveries(),
+	}
+	if start, end, ok := c.Ctrl.LastRecovery(); ok && end != 0 {
+		// The settle time measured from the revive (start) — replay,
+		// buffered declarations, and per-vNIC reconciliation round trips.
+		rep.RecoveryMs = (end - start).Millis()
+	}
+	if jrn != nil && eng.Failed() && cfg.ObsDumpDir != "" {
+		rep.JournalPath = dumpJournal(jrn, cfg.ObsDumpDir, cfg.Seed)
 	}
 	if ob != nil {
 		rep.TraceDigest = ob.Tracer.Digest()
@@ -302,11 +371,41 @@ func RunCampaign(cfg CampaignConfig) (Report, error) {
 	d.add(e.Aborts, e.Rollbacks, e.DegradedEnters, e.DegradedExits, e.RepairRuns)
 	rs := c.Ctrl.RPCStats()
 	d.add(rs.Sent, rs.Retries, rs.Acked, rs.Nacked, rs.Expired, rs.DupAcks)
+	if jrn != nil {
+		// Folded in only when a crash was armed, so crash-free campaign
+		// digests stay bit-identical to the committed goldens.
+		d.add(c.Ctrl.Recoveries(), c.Ctrl.DupSideEffects(), uint64(jrn.SizeBytes()))
+	}
 	for _, vm := range clients {
 		d.add(vm.Started, vm.Completed, vm.Accepted, vm.KernelDrops)
 	}
 	rep.Digest = d.sum
 	return rep, nil
+}
+
+// dumpJournal writes the journal's replayable record stream as JSONL —
+// the artifact a failing crash-campaign seed uploads so the recovery
+// decision trail can be audited offline. Returns "" on any error (a
+// failing dump must not mask the violation being reported).
+func dumpJournal(j *journal.Journal, dir string, seed int64) string {
+	recs, err := j.Replay()
+	if err != nil {
+		return ""
+	}
+	path := filepath.Join(dir, fmt.Sprintf("nezha-journal-seed%d.jsonl", seed))
+	var buf []byte
+	for i := range recs {
+		line, err := json.Marshal(&recs[i])
+		if err != nil {
+			return ""
+		}
+		buf = append(buf, line...)
+		buf = append(buf, '\n')
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return ""
+	}
+	return path
 }
 
 // digest is FNV-1a 64 over a stream of counters.

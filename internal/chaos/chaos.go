@@ -70,6 +70,10 @@ type Config struct {
 	DetectWindow sim.Time
 	// MaxViolations caps recorded violations (default 64).
 	MaxViolations int
+	// RecoveryBound is the allowance for a revived controller to finish
+	// recovery — journal replay plus live-world reconciliation (default
+	// 5 s). Judged by the ctrl-recovery-bound invariant.
+	RecoveryBound sim.Time
 }
 
 // Invariant is a property checked on sim-loop hooks. Check returns
@@ -134,6 +138,11 @@ type Engine struct {
 
 	crashes []*crashEpisode
 
+	// ctrlOutages are controller crash/revive episodes; ctrlReviveHook
+	// runs just before each Recover (see ctrlcrash.go).
+	ctrlOutages    []*ctrlOutage
+	ctrlReviveHook func(now sim.Time)
+
 	invariants []Invariant
 	violations []Violation
 	nextCheck  sim.Time
@@ -162,6 +171,9 @@ func NewEngine(sys System, rng *sim.Rand, cfg Config) *Engine {
 	}
 	if cfg.MaxViolations <= 0 {
 		cfg.MaxViolations = 64
+	}
+	if cfg.RecoveryBound <= 0 {
+		cfg.RecoveryBound = 5 * sim.Second
 	}
 	e := &Engine{
 		sys:       sys,

@@ -21,6 +21,13 @@ func RegisterStandard(e *Engine) {
 	if e.sys.GW != nil {
 		e.Register(NoBlackhole(e.sys))
 	}
+	if e.sys.Ctrl != nil {
+		e.Register(NoDuplicateReplay(e.sys))
+		e.Register(CtrlRecoveryBound(e))
+		if e.sys.GW != nil {
+			e.Register(CtrlEpochMonotonic(e.sys))
+		}
+	}
 }
 
 // --- Packet conservation ---------------------------------------------
@@ -129,6 +136,16 @@ func (c *failoverBound) Check(now sim.Time) error {
 			ep.exempt = true
 		}
 		deadline := ep.start + window
+		if c.eng.sys.Ctrl != nil {
+			// A controller outage overlapping the window buffers the
+			// monitor's declaration; the rebalance clock restarts when
+			// recovery drains it.
+			adj, wait := c.eng.ctrlDeadline(ep.start, deadline, window)
+			if wait {
+				continue
+			}
+			deadline = adj
+		}
 		if now < deadline {
 			continue
 		}

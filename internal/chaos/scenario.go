@@ -7,6 +7,7 @@ import (
 	"nezha/internal/baseline"
 	"nezha/internal/cluster"
 	"nezha/internal/controller"
+	"nezha/internal/journal"
 	"nezha/internal/metrics"
 	"nezha/internal/monitor"
 	"nezha/internal/packet"
@@ -80,6 +81,13 @@ type ScenarioConfig struct {
 	// Flaps injects that many link flaps across the run (satellite
 	// churn for the hysteresis property test).
 	Flaps int
+	// CtrlCrashAt, when positive, crashes the controller at that time
+	// and recovers it after CtrlOutage (default 1 s). The policy loop
+	// backs off during the outage and resumes from journal-rehydrated
+	// cooldown state with a freshly primed attribution reader.
+	CtrlCrashAt sim.Time
+	// CtrlOutage is how long the controller stays dead (0 = 1 s).
+	CtrlOutage sim.Time
 	// CheckEvery paces invariant evaluation (default 50 ms).
 	CheckEvery sim.Time
 	// Scheduler picks the event-queue implementation.
@@ -114,6 +122,10 @@ type ScenarioResult struct {
 	ThrashCount int
 	Violations  []Violation
 	Completed   uint64
+	// Recoveries / PolicyBackoffs summarize a controller-crash episode:
+	// completed recoveries and policy ticks skipped during the outage.
+	Recoveries     uint64
+	PolicyBackoffs uint64
 	// P99RampMicros is the p99 connection latency restricted to ramp
 	// phases (|load slope| above half its theoretical max), where an
 	// under-provisioned pool shows up first.
@@ -386,6 +398,30 @@ func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 		eng.Apply(sched)
 	}
 
+	if cfg.CtrlCrashAt > 0 {
+		jrn := journal.NewMem()
+		c.Ctrl.AttachJournal(jrn)
+		c.Policy.SetJournal(jrn)
+		outage := cfg.CtrlOutage
+		if outage <= 0 {
+			outage = sim.Second
+		}
+		// At revive, rebuild the policy half of the crashed process:
+		// cooldown state rehydrated from the journal (observation history
+		// is deliberately dropped — the engine re-observes before acting)
+		// and a fresh attribution reader primed at the revive instant so
+		// its first window is an exact delta, not cumulative-since-boot.
+		eng.SetCtrlReviveHook(func(now sim.Time) {
+			if recs, err := jrn.Replay(); err == nil {
+				c.Policy.Engine().Restore(recs)
+			}
+			src := prof.NewSeriesReader(pr)
+			src.Prime(now)
+			c.Policy.SetSource(src)
+		})
+		eng.ArmControllerCrash(cfg.CtrlCrashAt, outage, controller.RecoverOpts{})
+	}
+
 	c.Start()
 	for _, g := range gens {
 		g.Start()
@@ -410,7 +446,9 @@ func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 		Pools:       pools,
 		ThrashCount: len(pe.ThrashEvents()),
 		Violations:  eng.Violations(),
+		Recoveries:  c.Ctrl.Recoveries(),
 	}
+	res.PolicyBackoffs = c.Policy.Stats.Backoffs
 	for _, vm := range clients {
 		res.Completed += vm.Completed
 	}

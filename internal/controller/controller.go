@@ -27,6 +27,7 @@ import (
 
 	"nezha/internal/ctrlrpc"
 	"nezha/internal/fabric"
+	"nezha/internal/journal"
 	"nezha/internal/metrics"
 	"nezha/internal/nic"
 	"nezha/internal/obs"
@@ -325,6 +326,28 @@ type Controller struct {
 
 	ticker       *sim.Ticker
 	repairTicker *sim.Ticker
+	fbTicker     *sim.Ticker
+
+	// journal, when attached, is the write-ahead log every control
+	// plane mutation lands on before its RPCs leave the controller.
+	journal *journal.Journal
+	// down marks a crashed controller; gen is bumped at every crash so
+	// callbacks and scheduled events captured by a dead incarnation
+	// no-op instead of mutating the recovered one's state.
+	down bool
+	gen  uint64
+	// bufferedEvents holds monitor declarations (node down/up, bad
+	// links) that arrived during an outage; Recover drains them in
+	// arrival order once the journal is replayed.
+	bufferedEvents []monEvent
+	// recoverWait counts outstanding per-vNIC reconciliation chains;
+	// recovery is complete when it reaches zero.
+	recoverWait int
+	// recoveries / recoverStart / recoveredAt (under statMu: the chaos
+	// recovery-bound checker reads them off-goroutine) time recoveries.
+	recoveries   uint64
+	recoverStart sim.Time
+	recoveredAt  sim.Time
 
 	// prepareHook observes prepare-phase starts (vNIC, targets) — the
 	// chaos engine uses it to kill or partition an FE mid-push.
@@ -398,7 +421,9 @@ func (c *Controller) RegisterNode(vs *vswitch.VSwitch) {
 // at its home vSwitch and present in the gateway). The vNIC's epoch
 // counter picks up from the gateway's installed entry.
 func (c *Controller) RegisterVNIC(info VNICInfo) {
-	c.vnics[info.VNIC] = &vnicState{VNICInfo: info, epoch: c.gw.Epoch(info.VNIC)}
+	v := &vnicState{VNICInfo: info, epoch: c.gw.Epoch(info.VNIC)}
+	c.vnics[info.VNIC] = v
+	c.journalPlacement(v)
 }
 
 // Start begins the periodic monitoring/decision loop and the
@@ -407,17 +432,20 @@ func (c *Controller) Start() {
 	c.ticker = c.loop.Every(c.cfg.ReportInterval, c.tick)
 	c.repairTicker = c.loop.Every(c.cfg.RepairInterval, c.repairTick)
 	if c.cfg.FallbackCheckInterval > 0 && !c.cfg.ExternalPolicy {
-		c.loop.Every(c.cfg.FallbackCheckInterval, c.checkFallbacks)
+		c.fbTicker = c.loop.Every(c.cfg.FallbackCheckInterval, c.checkFallbacks)
 	}
 }
 
-// Stop halts the decision and repair loops.
+// Stop halts the decision, repair, and fallback loops.
 func (c *Controller) Stop() {
 	if c.ticker != nil {
 		c.ticker.Stop()
 	}
 	if c.repairTicker != nil {
 		c.repairTicker.Stop()
+	}
+	if c.fbTicker != nil {
+		c.fbTicker.Stop()
 	}
 }
 
@@ -812,6 +840,7 @@ func (c *Controller) startOffload(v *vnicState, targets []packet.IPv4) error {
 		t0:      now,
 	}
 	v.txn = tx
+	c.journalIntent(v, tx)
 	c.spanBegin("offload", v.VNIC, tx.epoch)
 	if c.prepareHook != nil {
 		c.prepareHook(v.VNIC, feAddrs)
@@ -822,13 +851,13 @@ func (c *Controller) startOffload(v *vnicState, targets []packet.IPv4) error {
 	}
 	for _, fa := range feAddrs {
 		fa := fa
-		c.rpc.Call(fa, &ctrlrpc.Request{
+		c.call(fa, &ctrlrpc.Request{
 			Op: ctrlrpc.OpInstallFE, VNIC: v.VNIC, Epoch: tx.epoch,
 			Rules: v.MakeRules(), BE: v.Home, Decap: v.Decap,
 			ApplyDelay: c.pushDelay(),
 		}, func(err error) { c.prepareAck(v, tx, fa, err) })
 	}
-	tx.deadline = c.loop.Schedule(c.cfg.PrepareDeadline, func() { c.resolvePrepare(v, tx) })
+	tx.deadline = c.schedule(c.cfg.PrepareDeadline, func() { c.resolvePrepare(v, tx) })
 	return nil
 }
 
@@ -923,11 +952,14 @@ func (c *Controller) abortOffload(v *vnicState, tx *txn, beUnknown bool) {
 	v.txn = nil
 	v.inProgress = false
 	v.retryAt = c.loop.Now() + c.cfg.OffloadRetryCooldown
+	c.journalResolve(v.VNIC, tx.epoch, false, nil)
 	if beUnknown {
 		v.staleFEs = append([]packet.IPv4(nil), tx.targets...)
+		c.journalPlacement(v)
 		c.reconcileStale(v)
 		return
 	}
+	c.journalPlacement(v)
 	c.rollbackTargets(v.VNIC, tx)
 }
 
@@ -957,14 +989,16 @@ func (c *Controller) sendRemoveFE(fa packet.IPv4, vnic uint32, epoch uint64) {
 	if n, ok := c.nodes[fa]; ok {
 		if old, have := n.pendingRemoval[vnic]; !have || epoch > old {
 			n.pendingRemoval[vnic] = epoch
+			c.journalRemoval(fa, vnic, epoch, false)
 		}
 	}
-	c.rpc.Call(fa, &ctrlrpc.Request{Op: ctrlrpc.OpRemoveFE, VNIC: vnic, Epoch: epoch}, func(err error) {
+	c.call(fa, &ctrlrpc.Request{Op: ctrlrpc.OpRemoveFE, VNIC: vnic, Epoch: epoch}, func(err error) {
 		if err != nil {
 			return // left in pendingRemoval for the repair loop
 		}
 		if n, ok := c.nodes[fa]; ok && n.pendingRemoval[vnic] <= epoch {
 			delete(n.pendingRemoval, vnic)
+			c.journalRemoval(fa, vnic, epoch, true)
 		}
 	})
 }
@@ -977,7 +1011,7 @@ func (c *Controller) commitOffload(v *vnicState, tx *txn, good []packet.IPv4) {
 	for _, fa := range good {
 		tx.committed[fa] = true
 	}
-	c.rpc.Call(v.Home, &ctrlrpc.Request{
+	c.call(v.Home, &ctrlrpc.Request{
 		Op: ctrlrpc.OpOffloadStart, VNIC: v.VNIC, Epoch: tx.epoch, FEs: good,
 	}, func(err error) {
 		if err != nil {
@@ -988,7 +1022,7 @@ func (c *Controller) commitOffload(v *vnicState, tx *txn, good []packet.IPv4) {
 			c.abortOffload(v, tx, errors.Is(err, ctrlrpc.ErrTimeout))
 			return
 		}
-		c.rpc.Call(c.gwAgent.Addr(), &ctrlrpc.Request{
+		c.call(c.gwAgent.Addr(), &ctrlrpc.Request{
 			Op: ctrlrpc.OpGatewaySet, VNIC: v.VNIC, Epoch: tx.epoch, FEs: good,
 		}, func(gerr error) {
 			// The BE is dual-running: both the old route (BE, rules
@@ -1014,10 +1048,12 @@ func (c *Controller) finishOffload(v *vnicState, tx *txn, good []packet.IPv4, di
 	v.txn = nil
 	v.inProgress = false
 	v.dirty = dirty
+	c.journalResolve(v.VNIC, tx.epoch, true, good)
+	c.journalPlacement(v)
 	for _, fa := range good {
 		if n, ok := c.nodes[fa]; ok {
 			n.fronted[v.VNIC] = true
-			delete(n.pendingRemoval, v.VNIC)
+			c.clearRemoval(n, fa, v.VNIC)
 		}
 	}
 	completion := c.loop.Now() + fabric.LearnInterval - tx.t0
@@ -1032,11 +1068,11 @@ func (c *Controller) finishOffload(v *vnicState, tx *txn, good []packet.IPv4, di
 	}
 	if !dirty {
 		epoch := tx.epoch
-		c.loop.Schedule(fabric.LearnInterval+c.cfg.RTTAllowance, func() {
+		c.schedule(fabric.LearnInterval+c.cfg.RTTAllowance, func() {
 			// Final stage: the BE deletes its tables. A failed push
 			// leaves the vNIC dual-running — safe, just not reclaiming
 			// memory — and a later fallback/offload cycle re-resolves it.
-			c.rpc.Call(v.Home, &ctrlrpc.Request{
+			c.call(v.Home, &ctrlrpc.Request{
 				Op: ctrlrpc.OpOffloadFinalize, VNIC: v.VNIC, Epoch: epoch,
 			}, nil)
 		})
@@ -1055,16 +1091,16 @@ func (c *Controller) unsafeCommitOffload(v *vnicState, tx *txn) {
 	c.spanEnd("offload", v.VNIC, tx.epoch, "unsafe-commit")
 	c.ob.Event(c.loop.Now(), "unsafe-commit", v.Home, v.VNIC, "epoch=%d fes=%d", tx.epoch, len(tx.targets))
 	for _, fa := range tx.targets {
-		c.rpc.Call(fa, &ctrlrpc.Request{
+		c.call(fa, &ctrlrpc.Request{
 			Op: ctrlrpc.OpInstallFE, VNIC: v.VNIC, Epoch: tx.epoch,
 			Rules: v.MakeRules(), BE: v.Home, Decap: v.Decap,
 			ApplyDelay: c.pushDelay(),
 		}, nil)
 	}
-	c.rpc.Call(v.Home, &ctrlrpc.Request{
+	c.call(v.Home, &ctrlrpc.Request{
 		Op: ctrlrpc.OpOffloadStart, VNIC: v.VNIC, Epoch: tx.epoch, FEs: tx.targets,
 	}, nil)
-	c.rpc.Call(c.gwAgent.Addr(), &ctrlrpc.Request{
+	c.call(c.gwAgent.Addr(), &ctrlrpc.Request{
 		Op: ctrlrpc.OpGatewaySet, VNIC: v.VNIC, Epoch: tx.epoch, FEs: tx.targets,
 	}, nil)
 	tx.resolved = true
@@ -1072,6 +1108,8 @@ func (c *Controller) unsafeCommitOffload(v *vnicState, tx *txn) {
 	v.fes = append([]packet.IPv4(nil), tx.targets...)
 	v.txn = nil
 	v.inProgress = false
+	c.journalResolve(v.VNIC, tx.epoch, true, tx.targets)
+	c.journalPlacement(v)
 	for _, fa := range tx.targets {
 		if n, ok := c.nodes[fa]; ok {
 			n.fronted[v.VNIC] = true
@@ -1080,8 +1118,8 @@ func (c *Controller) unsafeCommitOffload(v *vnicState, tx *txn) {
 	c.Stats.Offloads++
 	c.Stats.FEsAdded += uint64(len(tx.targets))
 	epoch := tx.epoch
-	c.loop.Schedule(fabric.LearnInterval+c.cfg.RTTAllowance, func() {
-		c.rpc.Call(v.Home, &ctrlrpc.Request{
+	c.schedule(fabric.LearnInterval+c.cfg.RTTAllowance, func() {
+		c.call(v.Home, &ctrlrpc.Request{
 			Op: ctrlrpc.OpOffloadFinalize, VNIC: v.VNIC, Epoch: epoch,
 		}, nil)
 	})
@@ -1114,12 +1152,13 @@ func (c *Controller) pushConfigThen(v *vnicState, then func(gwErr error)) {
 	v.epoch++
 	epoch := v.epoch
 	v.dirty = false
+	c.journalPlacement(v)
 	set := []packet.IPv4{v.Home}
 	if v.offloaded {
 		set = append([]packet.IPv4(nil), v.fes...)
 	}
 	v.gwPushes++
-	c.rpc.Call(c.gwAgent.Addr(), &ctrlrpc.Request{
+	c.call(c.gwAgent.Addr(), &ctrlrpc.Request{
 		Op: ctrlrpc.OpGatewaySet, VNIC: v.VNIC, Epoch: epoch, FEs: set,
 	}, func(err error) {
 		v.gwPushes--
@@ -1134,7 +1173,7 @@ func (c *Controller) pushConfigThen(v *vnicState, then func(gwErr error)) {
 		return
 	}
 	if hn, ok := c.nodes[v.Home]; ok && !hn.down {
-		c.rpc.Call(v.Home, &ctrlrpc.Request{
+		c.call(v.Home, &ctrlrpc.Request{
 			Op: ctrlrpc.OpSetFEs, VNIC: v.VNIC, Epoch: epoch, FEs: set,
 		}, func(err error) {
 			if err != nil && v.epoch == epoch {
@@ -1182,8 +1221,10 @@ func (c *Controller) removeFromPool(v *vnicState, fa packet.IPv4, graceful bool)
 		if n, ok := c.nodes[fa]; ok {
 			if old, has := n.pendingRemoval[v.VNIC]; !has || old < v.epoch {
 				n.pendingRemoval[v.VNIC] = v.epoch
+				c.journalRemoval(fa, v.VNIC, v.epoch, false)
 			}
 		}
+		c.journalPlacement(v)
 		return true
 	}
 	vnic := v.VNIC
@@ -1197,6 +1238,7 @@ func (c *Controller) removeFromPool(v *vnicState, fa packet.IPv4, graceful bool)
 			if ok {
 				if old, has := n.pendingRemoval[vnic]; !has || old < epoch {
 					n.pendingRemoval[vnic] = epoch
+					c.journalRemoval(fa, vnic, epoch, false)
 				}
 			}
 			return
@@ -1208,7 +1250,7 @@ func (c *Controller) removeFromPool(v *vnicState, fa packet.IPv4, graceful bool)
 			return
 		}
 		if graceful {
-			c.loop.Schedule(fabric.LearnInterval+c.cfg.RTTAllowance, func() {
+			c.schedule(fabric.LearnInterval+c.cfg.RTTAllowance, func() {
 				c.sendRemoveFE(fa, vnic, epoch)
 			})
 		} else {
@@ -1270,7 +1312,7 @@ func (c *Controller) reconcileStale(v *vnicState) {
 	}
 	epoch := v.epoch
 	stale := append([]packet.IPv4(nil), v.staleFEs...)
-	c.rpc.Call(v.Home, &ctrlrpc.Request{
+	c.call(v.Home, &ctrlrpc.Request{
 		Op: ctrlrpc.OpOffloadAbort, VNIC: v.VNIC, Epoch: epoch,
 	}, func(err error) {
 		if err != nil {
@@ -1281,12 +1323,14 @@ func (c *Controller) reconcileStale(v *vnicState) {
 			// and the stale set was absorbed or re-installed at a
 			// higher epoch (which rollback at `epoch` cannot touch).
 			v.staleFEs = nil
+			c.journalPlacement(v)
 			return
 		}
 		for _, fa := range stale {
 			c.rollbackFE(fa, v.VNIC, epoch)
 		}
 		v.staleFEs = nil
+		c.journalPlacement(v)
 	})
 }
 
@@ -1336,7 +1380,8 @@ func (c *Controller) repairTick() {
 			v.inProgress = true
 			fes := append([]packet.IPv4(nil), v.fes...)
 			v.fes = nil
-			c.loop.Schedule(fabric.LearnInterval+c.cfg.RTTAllowance, func() {
+			c.journalPlacement(v)
+			c.schedule(fabric.LearnInterval+c.cfg.RTTAllowance, func() {
 				c.teardownFallbackFEs(v, fes)
 				v.inProgress = false
 			})
@@ -1445,19 +1490,20 @@ func (c *Controller) scaleOutOpts(v *vnicState, count int, bypassCooldown bool) 
 		t0:      now,
 	}
 	v.txn = tx
+	c.journalIntent(v, tx)
 	c.spanBegin("scaleout", v.VNIC, tx.epoch)
 	if c.prepareHook != nil {
 		c.prepareHook(v.VNIC, newFEs)
 	}
 	for _, fa := range newFEs {
 		fa := fa
-		c.rpc.Call(fa, &ctrlrpc.Request{
+		c.call(fa, &ctrlrpc.Request{
 			Op: ctrlrpc.OpInstallFE, VNIC: v.VNIC, Epoch: tx.epoch,
 			Rules: v.MakeRules(), BE: v.Home, Decap: v.Decap,
 			ApplyDelay: c.pushDelay(),
 		}, func(err error) { c.prepareAck(v, tx, fa, err) })
 	}
-	tx.deadline = c.loop.Schedule(c.cfg.PrepareDeadline, func() { c.resolvePrepare(v, tx) })
+	tx.deadline = c.schedule(c.cfg.PrepareDeadline, func() { c.resolvePrepare(v, tx) })
 	return true
 }
 
@@ -1469,6 +1515,7 @@ func (c *Controller) abortScaleOut(v *vnicState, tx *txn) {
 	c.ob.Event(c.loop.Now(), "txn-abort", v.Home, v.VNIC, "kind=scaleout epoch=%d", tx.epoch)
 	v.txn = nil
 	v.scaling = false
+	c.journalResolve(v.VNIC, tx.epoch, false, nil)
 	c.rollbackTargets(v.VNIC, tx)
 	if v.offloaded && len(v.fes) < c.floorOf(v) {
 		c.enterDegraded(v)
@@ -1499,6 +1546,7 @@ func (c *Controller) commitScaleOut(v *vnicState, tx *txn, good []packet.IPv4) {
 		c.spanEnd("scaleout", v.VNIC, tx.epoch, "noop")
 		v.txn = nil
 		v.scaling = false
+		c.journalResolve(v.VNIC, tx.epoch, true, v.fes)
 		return
 	}
 	tx.committed = make(map[packet.IPv4]bool, len(good))
@@ -1518,10 +1566,12 @@ func (c *Controller) commitScaleOut(v *vnicState, tx *txn, good []packet.IPv4) {
 		if dirty {
 			v.dirty = true
 		}
+		c.journalResolve(v.VNIC, tx.epoch, true, newSet)
+		c.journalPlacement(v)
 		for _, fa := range good {
 			if n, ok := c.nodes[fa]; ok {
 				n.fronted[v.VNIC] = true
-				delete(n.pendingRemoval, v.VNIC)
+				c.clearRemoval(n, fa, v.VNIC)
 			}
 		}
 		c.noteRebalance()
@@ -1532,14 +1582,14 @@ func (c *Controller) commitScaleOut(v *vnicState, tx *txn, good []packet.IPv4) {
 		}
 		c.pruneDown(v)
 	}
-	c.rpc.Call(v.Home, &ctrlrpc.Request{
+	c.call(v.Home, &ctrlrpc.Request{
 		Op: ctrlrpc.OpSetFEs, VNIC: v.VNIC, Epoch: tx.epoch, FEs: newSet,
 	}, func(err error) {
 		if err != nil {
 			finish(true)
 			return
 		}
-		c.rpc.Call(c.gwAgent.Addr(), &ctrlrpc.Request{
+		c.call(c.gwAgent.Addr(), &ctrlrpc.Request{
 			Op: ctrlrpc.OpGatewaySet, VNIC: v.VNIC, Epoch: tx.epoch, FEs: newSet,
 		}, func(gerr error) { finish(gerr != nil) })
 	})
@@ -1585,11 +1635,16 @@ func (c *Controller) evictFEHost(addr packet.IPv4, n *nodeState, immediate bool)
 // answering probes (§4.4). In-flight transactions targeting the node
 // are failed so they never commit to it.
 func (c *Controller) NodeDown(addr packet.IPv4) {
+	if c.down {
+		c.bufferedEvents = append(c.bufferedEvents, monEvent{kind: evNodeDown, a: addr})
+		return
+	}
 	n, ok := c.nodes[addr]
 	if !ok || n.down {
 		return
 	}
 	n.down = true
+	c.journalNode(addr, true)
 	c.Stats.Failovers++
 	c.statMu.Lock()
 	c.failoverAt[addr] = c.loop.Now()
@@ -1634,6 +1689,10 @@ func (c *Controller) noteRebalance() {
 // in-flight prepare targeting the FE fails that target, so the
 // transaction cannot commit to an FE its BE already cannot reach.
 func (c *Controller) LinkDown(home, fe packet.IPv4) {
+	if c.down {
+		c.bufferedEvents = append(c.bufferedEvents, monEvent{kind: evLinkDown, a: home, b: fe})
+		return
+	}
 	if c.badLinks[home] == nil {
 		c.badLinks[home] = make(map[packet.IPv4]sim.Time)
 	}
@@ -1664,11 +1723,16 @@ func (c *Controller) LinkDown(home, fe packet.IPv4) {
 // pools homed there re-push their config, unknown-BE aborts resolve,
 // and pending FE removals on the node are retried.
 func (c *Controller) NodeUp(addr packet.IPv4) {
+	if c.down {
+		c.bufferedEvents = append(c.bufferedEvents, monEvent{kind: evNodeUp, a: addr})
+		return
+	}
 	n, ok := c.nodes[addr]
 	if !ok {
 		return
 	}
 	n.down = false
+	c.journalNode(addr, false)
 	c.ob.Event(c.loop.Now(), "node-up", addr, 0, "")
 	for _, vnic := range c.sortedVNICs() {
 		v := c.vnics[vnic]
@@ -1747,8 +1811,9 @@ func (c *Controller) startFallback(v *vnicState) {
 	v.epoch++
 	tx := &txn{kind: txnFallback, epoch: v.epoch, t0: c.loop.Now()}
 	v.txn = tx
+	c.journalIntent(v, tx)
 	c.spanBegin("fallback", v.VNIC, tx.epoch)
-	c.rpc.Call(v.Home, &ctrlrpc.Request{
+	c.call(v.Home, &ctrlrpc.Request{
 		Op: ctrlrpc.OpFallbackStart, VNIC: v.VNIC, Epoch: tx.epoch,
 		Rules: v.MakeRules(), ApplyDelay: c.pushDelay(),
 	}, func(err error) {
@@ -1759,11 +1824,12 @@ func (c *Controller) startFallback(v *vnicState) {
 			v.txn = nil
 			v.inProgress = false
 			c.Stats.Aborts++
+			c.journalResolve(v.VNIC, tx.epoch, false, nil)
 			c.spanEnd("fallback", v.VNIC, tx.epoch, "aborted")
 			c.ob.Event(c.loop.Now(), "txn-abort", v.Home, v.VNIC, "kind=fallback epoch=%d", tx.epoch)
 			return
 		}
-		c.rpc.Call(c.gwAgent.Addr(), &ctrlrpc.Request{
+		c.call(c.gwAgent.Addr(), &ctrlrpc.Request{
 			Op: ctrlrpc.OpGatewaySet, VNIC: v.VNIC, Epoch: tx.epoch, FEs: []packet.IPv4{v.Home},
 		}, func(gerr error) {
 			v.offloaded = false
@@ -1775,16 +1841,19 @@ func (c *Controller) startFallback(v *vnicState) {
 			}
 			c.spanEnd("fallback", v.VNIC, tx.epoch, outcome)
 			c.ob.Event(c.loop.Now(), "txn-commit", v.Home, v.VNIC, "kind=fallback epoch=%d dirty=%v", tx.epoch, gerr != nil)
+			c.journalResolve(v.VNIC, tx.epoch, true, nil)
 			if gerr != nil {
 				// Gateway state unknown: keep the FEs alive until the
 				// repair loop lands a fresh push, then clean up.
 				v.dirty = true
 				v.inProgress = false
+				c.journalPlacement(v)
 				return
 			}
 			fes := append([]packet.IPv4(nil), v.fes...)
 			v.fes = nil
-			c.loop.Schedule(fabric.LearnInterval+c.cfg.RTTAllowance, func() {
+			c.journalPlacement(v)
+			c.schedule(fabric.LearnInterval+c.cfg.RTTAllowance, func() {
 				c.teardownFallbackFEs(v, fes)
 				v.inProgress = false
 			})
@@ -1796,7 +1865,7 @@ func (c *Controller) startFallback(v *vnicState) {
 // config and BE data, and the old FE instances are removed.
 func (c *Controller) teardownFallbackFEs(v *vnicState, fes []packet.IPv4) {
 	if hn, ok := c.nodes[v.Home]; ok && !hn.down {
-		c.rpc.Call(v.Home, &ctrlrpc.Request{
+		c.call(v.Home, &ctrlrpc.Request{
 			Op: ctrlrpc.OpFallbackFinalize, VNIC: v.VNIC, Epoch: v.epoch,
 		}, nil)
 	}

@@ -32,6 +32,34 @@ func (c *Controller) EnableObs(o *obs.Obs) {
 	r.CounterFunc("controller_degraded_enters_total", nil, func() uint64 { return c.Stats.DegradedEnters })
 	r.CounterFunc("controller_degraded_exits_total", nil, func() uint64 { return c.Stats.DegradedExits })
 	r.CounterFunc("controller_repair_runs_total", nil, func() uint64 { return c.Stats.RepairRuns })
+	r.GaugeFunc("ctrl_up", nil, func() float64 { return b2f(!c.down) })
+	r.CounterFunc("ctrl_recoveries_total", nil, func() uint64 { return c.Recoveries() })
+	r.GaugeFunc("ctrl_recovery_ms", nil, func() float64 {
+		start, end, ok := c.LastRecovery()
+		if !ok || end == 0 {
+			return 0
+		}
+		return (end - start).Millis()
+	})
+	r.CounterFunc("ctrl_dup_side_effects_total", nil, func() uint64 { return c.DupSideEffects() })
+	r.GaugeFunc("journal_bytes", nil, func() float64 {
+		if c.journal == nil {
+			return 0
+		}
+		return float64(c.journal.SizeBytes())
+	})
+	r.CounterFunc("journal_appends_total", nil, func() uint64 {
+		if c.journal == nil {
+			return 0
+		}
+		return c.journal.Stats.Appends
+	})
+	r.CounterFunc("journal_snapshots_total", nil, func() uint64 {
+		if c.journal == nil {
+			return 0
+		}
+		return c.journal.Stats.Snapshots
+	})
 	r.GaugeFunc("controller_txns_inflight", nil, func() float64 {
 		n := 0
 		for _, v := range c.vnics {

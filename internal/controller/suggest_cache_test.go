@@ -79,3 +79,70 @@ func TestSuggestOffloadStableBetweenDrains(t *testing.T) {
 		t.Fatal("post-drain ranking identical to pre-drain — the cache never invalidated")
 	}
 }
+
+// TestSuggestOffloadCacheAcrossReaderRebuild models recovery: the
+// profiler (off-box telemetry) survives a controller crash, the
+// SeriesReader does not. Rebuilding and priming a fresh reader must
+// not perturb the cached ranking — Prime is not a drain — and the
+// rebuilt reader's first Read must invalidate it like any other drain.
+func TestSuggestOffloadCacheAcrossReaderRebuild(t *testing.T) {
+	r := newRig(t, 2, nil)
+	pr := prof.New()
+	pr.SetClock(r.loop.Now)
+	for _, vs := range r.sw {
+		vs.EnableProf(pr)
+	}
+	r.ctrl.EnableProf(pr)
+	reader := prof.NewSeriesReader(pr)
+
+	home := r.sw[0]
+	const hotVNIC, coldVNIC = 100, 200
+	for _, vnic := range []uint32{hotVNIC, coldVNIC} {
+		if err := home.AddVNIC(tables.NewRuleSet(vnic, 1), false); err != nil {
+			t.Fatal(err)
+		}
+		r.gw.Set(vnic, home.Addr())
+		r.ctrl.RegisterVNIC(VNICInfo{VNIC: vnic, Home: home.Addr(), MakeRules: mkRules(vnic)})
+	}
+
+	flowID := 0
+	send := func(vnic uint32, flows int) {
+		for i := 0; i < flows; i++ {
+			flowID++
+			ft := packet.FiveTuple{
+				SrcIP: ip(10, 9, 0, 1), DstIP: ip(10, 9, 0, 2),
+				SrcPort: uint16(5000 + flowID), DstPort: 80, Proto: packet.ProtoTCP,
+			}
+			p := packet.New(uint64(vnic)<<32|uint64(flowID), 1, vnic, ft, packet.DirTX, packet.FlagSYN, 64)
+			p.SentAt = int64(r.loop.Now())
+			home.FromVM(p)
+		}
+	}
+
+	send(hotVNIC, 40)
+	send(coldVNIC, 3)
+	r.loop.Run(100 * sim.Millisecond)
+	reader.Read(r.loop.Now())
+	first := r.ctrl.SuggestOffload(0)
+	if len(first) < 2 || first[0].VNIC != hotVNIC {
+		t.Fatalf("setup: hot vNIC not ranked first: %+v", first)
+	}
+
+	// Crash boundary: the reader dies with the controller; recovery
+	// builds and primes a replacement. The cached ranking must hold.
+	rebuilt := prof.NewSeriesReader(pr)
+	rebuilt.Prime(r.loop.Now())
+	if got := r.ctrl.SuggestOffload(0); !reflect.DeepEqual(first, got) {
+		t.Fatalf("priming a rebuilt reader shifted the ranking:\nbefore: %+v\nafter:  %+v", first, got)
+	}
+
+	// Invert the skew, then drain through the rebuilt reader: the
+	// cache must invalidate and fold in the accumulated inversion.
+	send(coldVNIC, 300)
+	r.loop.Run(r.loop.Now() + 100*sim.Millisecond)
+	rebuilt.Read(r.loop.Now())
+	after := r.ctrl.SuggestOffload(0)
+	if len(after) < 2 || after[0].VNIC != coldVNIC {
+		t.Fatalf("rebuilt reader's drain did not invalidate the cache: %+v", after)
+	}
+}

@@ -16,6 +16,33 @@ type AgentStats struct {
 	Duplicates uint64 // retransmits deduplicated by request ID
 	Applied    uint64 // applies that ran to completion
 	Crashed    uint64 // applies abandoned because the vSwitch crashed
+	// DupSideEffects counts side-effectful ops applied twice for the
+	// same (op, vnic, epoch) under *different* request IDs — the
+	// signature of a recovered controller re-issuing work its journal
+	// already resolved. Same-ID retransmits are normal at-least-once
+	// delivery and do not count.
+	DupSideEffects uint64
+}
+
+// appKey identifies one logical side effect for duplicate detection.
+type appKey struct {
+	op    Op
+	vnic  uint32
+	epoch uint64
+}
+
+// noteEffect records a successful side-effectful apply and flags
+// replays: a second distinct request ID for the same key means the
+// effect ran twice.
+func noteEffect(applied map[appKey]uint64, st *AgentStats, op Op, vnic uint32, epoch uint64, id uint64) {
+	k := appKey{op: op, vnic: vnic, epoch: epoch}
+	if first, ok := applied[k]; ok {
+		if first != id {
+			st.DupSideEffects++
+		}
+		return
+	}
+	applied[k] = id
 }
 
 // pendingApply tracks one request through its apply delay, so
@@ -34,18 +61,20 @@ type pendingApply struct {
 // before the apply fires, the request is forgotten — a retransmit
 // landing after revival applies cleanly.
 type Agent struct {
-	loop *sim.Loop
-	fab  *fabric.Fabric
-	t    *Transport
-	vs   *vswitch.VSwitch
-	seen map[uint64]*pendingApply
+	loop    *sim.Loop
+	fab     *fabric.Fabric
+	t       *Transport
+	vs      *vswitch.VSwitch
+	seen    map[uint64]*pendingApply
+	applied map[appKey]uint64
 
 	Stats AgentStats
 }
 
 // NewAgent wires an agent to a vSwitch's control handler.
 func NewAgent(loop *sim.Loop, fab *fabric.Fabric, t *Transport, vs *vswitch.VSwitch) *Agent {
-	a := &Agent{loop: loop, fab: fab, t: t, vs: vs, seen: make(map[uint64]*pendingApply)}
+	a := &Agent{loop: loop, fab: fab, t: t, vs: vs,
+		seen: make(map[uint64]*pendingApply), applied: make(map[appKey]uint64)}
 	vs.SetControlHandler(a.handle)
 	return a
 }
@@ -77,9 +106,34 @@ func (a *Agent) handle(p *packet.Packet) {
 		st.done = true
 		a.Stats.Applied++
 		a.vs.ProfCtrl(req.VNIC, nic.CtrlApplyCycles)
-		a.t.Verdict(id, a.apply(req))
+		if req.Op == OpQueryVNIC {
+			a.t.SetReply(id, a.queryVNIC(req.VNIC))
+			a.t.Verdict(id, nil)
+		} else {
+			err := a.apply(req)
+			if err == nil && (req.Op == OpInstallFE || req.Op == OpOffloadStart) {
+				noteEffect(a.applied, &a.Stats, req.Op, req.VNIC, req.Epoch, id)
+			}
+			a.t.Verdict(id, err)
+		}
 		a.ack(from, id)
 	})
+}
+
+// queryVNIC snapshots the vSwitch's installed state for one vNIC: the
+// home-side config (FE-set epoch, offload flag) and any hosted FE
+// instance. Recovery reconciles the journal against this.
+func (a *Agent) queryVNIC(vnic uint32) *Reply {
+	rep := &Reply{
+		Epoch:     a.vs.FESetEpoch(vnic),
+		Resident:  a.vs.HasVNIC(vnic),
+		Offloaded: a.vs.Offloaded(vnic),
+	}
+	if ep, ok := a.vs.FEEpoch(vnic); ok {
+		rep.HasFE = true
+		rep.FEEpoch = ep
+	}
+	return rep
 }
 
 // apply executes one operation against the vSwitch.
@@ -126,19 +180,21 @@ func (a *Agent) ack(to packet.IPv4, id uint64) {
 // crashes in this model, but the fabric between controller and
 // gateway can still lose or delay the request and the ack.
 type GatewayAgent struct {
-	loop *sim.Loop
-	fab  *fabric.Fabric
-	t    *Transport
-	gw   *fabric.Gateway
-	addr packet.IPv4
-	seen map[uint64]*pendingApply
+	loop    *sim.Loop
+	fab     *fabric.Fabric
+	t       *Transport
+	gw      *fabric.Gateway
+	addr    packet.IPv4
+	seen    map[uint64]*pendingApply
+	applied map[appKey]uint64
 
 	Stats AgentStats
 }
 
 // NewGatewayAgent registers a gateway agent at addr on the fabric.
 func NewGatewayAgent(loop *sim.Loop, fab *fabric.Fabric, t *Transport, gw *fabric.Gateway, addr packet.IPv4) *GatewayAgent {
-	ga := &GatewayAgent{loop: loop, fab: fab, t: t, gw: gw, addr: addr, seen: make(map[uint64]*pendingApply)}
+	ga := &GatewayAgent{loop: loop, fab: fab, t: t, gw: gw, addr: addr,
+		seen: make(map[uint64]*pendingApply), applied: make(map[appKey]uint64)}
 	fab.Register(addr, -1, ga.handle)
 	return ga
 }
@@ -166,9 +222,20 @@ func (ga *GatewayAgent) handle(p *packet.Packet) {
 		st.done = true
 		ga.Stats.Applied++
 		var err error
-		if req.Op == OpGatewaySet {
+		switch req.Op {
+		case OpGatewaySet:
 			err = ga.gw.SetEpoch(req.VNIC, req.Epoch, req.FEs...)
-		} else {
+			if err == nil {
+				noteEffect(ga.applied, &ga.Stats, req.Op, req.VNIC, req.Epoch, id)
+			}
+		case OpQueryGateway:
+			rep := &Reply{Epoch: ga.gw.Epoch(req.VNIC)}
+			if addrs, ok := ga.gw.Lookup(req.VNIC); ok {
+				rep.Resident = true
+				rep.Addrs = append([]packet.IPv4(nil), addrs...)
+			}
+			ga.t.SetReply(id, rep)
+		default:
 			err = fmt.Errorf("ctrlrpc: gateway cannot apply op %v", req.Op)
 		}
 		ga.t.Verdict(id, err)

@@ -49,6 +49,13 @@ const (
 	OpFallbackStart
 	OpFallbackFinalize
 	OpGatewaySet
+	// OpQueryVNIC asks a vSwitch agent for its installed state for one
+	// vNIC (home-side FE-set epoch + offload flag, hosted FE-instance
+	// epoch). OpQueryGateway asks the gateway agent for a vNIC's entry
+	// (epoch + address list). Both are read-only: recovery reconciles
+	// the journal against them without mutating anything.
+	OpQueryVNIC
+	OpQueryGateway
 )
 
 func (o Op) String() string {
@@ -71,6 +78,10 @@ func (o Op) String() string {
 		return "fallback-finalize"
 	case OpGatewaySet:
 		return "gateway-set"
+	case OpQueryVNIC:
+		return "query-vnic"
+	case OpQueryGateway:
+		return "query-gateway"
 	default:
 		return "unknown"
 	}
@@ -113,6 +124,25 @@ func (r *Request) wireBytes() int {
 // an ack.
 var ErrTimeout = errors.New("ctrlrpc: request timed out")
 
+// Reply carries a query response. Like request bodies, replies ride
+// the per-transport side registry keyed by request ID; the ack packet
+// decides whether and when the reply arrives.
+type Reply struct {
+	// Epoch is the receiver's installed config epoch for the vNIC: the
+	// gateway entry's epoch (OpQueryGateway) or the home vSwitch's
+	// FE-set epoch (OpQueryVNIC).
+	Epoch uint64
+	// Addrs is the gateway entry's address list (OpQueryGateway).
+	Addrs []packet.IPv4
+	// Resident / Offloaded describe the vNIC at its home vSwitch.
+	Resident  bool
+	Offloaded bool
+	// HasFE / FEEpoch describe a hosted FE instance at the queried
+	// vSwitch (OpQueryVNIC).
+	HasFE   bool
+	FEEpoch uint64
+}
+
 // Options tunes the client transport.
 type Options struct {
 	// Addr is the transport's own fabric address.
@@ -152,12 +182,17 @@ type Stats struct {
 	Nacked  uint64 // calls completed with a receiver error
 	Expired uint64 // calls that exhausted the attempt budget
 	DupAcks uint64 // acks for already-completed calls
+	// Abandoned counts in-flight calls forgotten by a controller crash;
+	// DownDrops counts acks discarded while the transport was down.
+	Abandoned uint64
+	DownDrops uint64
 }
 
 type call struct {
-	req  *Request
-	to   packet.IPv4
-	done func(error)
+	req   *Request
+	to    packet.IPv4
+	done  func(error)
+	doneQ func(*Reply, error)
 }
 
 // Transport is the controller-side RPC client. It owns a fabric
@@ -171,6 +206,10 @@ type Transport struct {
 	nextID   uint64
 	pending  map[uint64]*call
 	verdicts map[uint64]error
+	replies  map[uint64]*Reply
+	// down models the owning process being dead: arriving acks are
+	// discarded, exactly as packets to a crashed host would be.
+	down bool
 
 	// ob, when set by EnableObs, records retry/expiry events.
 	ob *obs.Obs
@@ -190,6 +229,7 @@ func NewTransport(loop *sim.Loop, fab *fabric.Fabric, rng *sim.Rand, opts Option
 		opts:     opts,
 		pending:  make(map[uint64]*call),
 		verdicts: make(map[uint64]error),
+		replies:  make(map[uint64]*Reply),
 	}
 	fab.Register(opts.Addr, -1, t.handleAck)
 	return t
@@ -212,6 +252,36 @@ func (t *Transport) Call(to packet.IPv4, req *Request, done func(error)) {
 	t.pending[req.ID] = cl
 	t.attempt(cl, 1)
 }
+
+// Query sends a read-only request and invokes done exactly once with
+// the agent's Reply (nil on error). Same delivery semantics as Call.
+func (t *Transport) Query(to packet.IPv4, req *Request, done func(*Reply, error)) {
+	t.nextID++
+	req.ID = t.nextID
+	if done == nil {
+		done = func(*Reply, error) {}
+	}
+	cl := &call{req: req, to: to, doneQ: done}
+	t.pending[req.ID] = cl
+	t.attempt(cl, 1)
+}
+
+// SetDown flips the transport's liveness. Going down abandons every
+// in-flight call — their done callbacks never fire, exactly as a
+// process crash forgets its continuations — and discards acks until
+// the transport comes back up.
+func (t *Transport) SetDown(down bool) {
+	t.down = down
+	if down {
+		t.Stats.Abandoned += uint64(len(t.pending))
+		t.pending = make(map[uint64]*call)
+		t.verdicts = make(map[uint64]error)
+		t.replies = make(map[uint64]*Reply)
+	}
+}
+
+// Down reports whether the transport is down.
+func (t *Transport) Down() bool { return t.down }
 
 func (t *Transport) attempt(cl *call, n int) {
 	if t.pending[cl.req.ID] != cl {
@@ -237,9 +307,15 @@ func (t *Transport) attempt(cl *call, n int) {
 		if n >= t.opts.MaxAttempts {
 			delete(t.pending, cl.req.ID)
 			delete(t.verdicts, cl.req.ID)
+			delete(t.replies, cl.req.ID)
 			t.Stats.Expired++
 			t.ob.Event(t.loop.Now(), "rpc-timeout", cl.to, cl.req.VNIC, "op=%v id=%d attempts=%d", cl.req.Op, cl.req.ID, n)
-			cl.done(fmt.Errorf("%w: %v to %v after %d attempts", ErrTimeout, cl.req.Op, cl.to, n))
+			err := fmt.Errorf("%w: %v to %v after %d attempts", ErrTimeout, cl.req.Op, cl.to, n)
+			if cl.doneQ != nil {
+				cl.doneQ(nil, err)
+			} else {
+				cl.done(err)
+			}
 			return
 		}
 		back := t.opts.Backoff << uint(n-1)
@@ -274,20 +350,37 @@ func (t *Transport) Verdict(id uint64, err error) {
 	}
 }
 
+// SetReply records a query's response alongside its verdict.
+func (t *Transport) SetReply(id uint64, rep *Reply) {
+	if _, ok := t.pending[id]; ok {
+		t.replies[id] = rep
+	}
+}
+
 // handleAck completes the pending call an arriving ack packet names.
 func (t *Transport) handleAck(p *packet.Packet) {
+	if t.down {
+		t.Stats.DownDrops++
+		return
+	}
 	cl, ok := t.pending[p.ID]
 	if !ok {
 		t.Stats.DupAcks++
 		return
 	}
 	res := t.verdicts[p.ID]
+	rep := t.replies[p.ID]
 	delete(t.pending, p.ID)
 	delete(t.verdicts, p.ID)
+	delete(t.replies, p.ID)
 	if res == nil {
 		t.Stats.Acked++
 	} else {
 		t.Stats.Nacked++
 	}
-	cl.done(res)
+	if cl.doneQ != nil {
+		cl.doneQ(rep, res)
+	} else {
+		cl.done(res)
+	}
 }

@@ -246,3 +246,99 @@ func TestGatewayAgentEpochDiscipline(t *testing.T) {
 		t.Fatalf("gateway epoch = %d, want 5", got)
 	}
 }
+
+// TestQueryVNICReply round-trips a read-only state query: the reply
+// must describe the installed FE instance and the home-side config.
+func TestQueryVNICReply(t *testing.T) {
+	r := newRig(t)
+	// Install an FE instance at the vSwitch first.
+	r.t.Call(r.vs.Addr(), &Request{
+		Op: OpInstallFE, VNIC: 7, Epoch: 5, Rules: mkRules(7), BE: ip(10, 0, 0, 2),
+	}, nil)
+	r.loop.Run(2 * sim.Second)
+
+	var rep *Reply
+	r.t.Query(r.vs.Addr(), &Request{Op: OpQueryVNIC, VNIC: 7}, func(got *Reply, err error) {
+		if err != nil {
+			t.Fatalf("query failed: %v", err)
+		}
+		rep = got
+	})
+	r.loop.Run(r.loop.Now() + 2*sim.Second)
+	if rep == nil {
+		t.Fatal("query reply never arrived")
+	}
+	if !rep.HasFE || rep.FEEpoch != 5 {
+		t.Fatalf("reply = %+v, want hosted FE at epoch 5", rep)
+	}
+	if rep.Resident {
+		t.Fatalf("reply = %+v: vNIC is not resident at this vSwitch", rep)
+	}
+}
+
+// TestQueryGatewayReply checks the gateway agent answers entry queries
+// with epoch + addresses.
+func TestQueryGatewayReply(t *testing.T) {
+	r := newRig(t)
+	ga := NewGatewayAgent(r.loop, r.fab, r.t, r.gw, ip(10, 0, 0, 250))
+	home := ip(10, 0, 0, 1)
+	if err := r.gw.SetEpoch(77, 3, home); err != nil {
+		t.Fatal(err)
+	}
+	var rep *Reply
+	r.t.Query(ga.Addr(), &Request{Op: OpQueryGateway, VNIC: 77}, func(got *Reply, err error) {
+		if err != nil {
+			t.Fatalf("query failed: %v", err)
+		}
+		rep = got
+	})
+	r.loop.Run(2 * sim.Second)
+	if rep == nil {
+		t.Fatal("query reply never arrived")
+	}
+	if !rep.Resident || rep.Epoch != 3 || len(rep.Addrs) != 1 || rep.Addrs[0] != home {
+		t.Fatalf("reply = %+v, want epoch 3 at %v", rep, home)
+	}
+}
+
+// TestSetDownAbandonsInFlight pins the crash semantics: going down
+// forgets in-flight calls (their callbacks never fire, like a dead
+// process's continuations) and discards acks arriving meanwhile.
+func TestSetDownAbandonsInFlight(t *testing.T) {
+	r := newRig(t)
+	fired := false
+	r.t.Call(r.vs.Addr(), &Request{
+		Op: OpInstallFE, VNIC: 7, Epoch: 1, Rules: mkRules(7), BE: ip(10, 0, 0, 2),
+		ApplyDelay: 100 * sim.Millisecond,
+	}, func(error) { fired = true })
+	// Crash before the apply completes.
+	r.loop.Run(10 * sim.Millisecond)
+	r.t.SetDown(true)
+	r.loop.Run(r.loop.Now() + 2*sim.Second)
+	if fired {
+		t.Fatal("done fired across a crash")
+	}
+	if r.t.Stats.Abandoned != 1 {
+		t.Fatalf("Abandoned = %d, want 1", r.t.Stats.Abandoned)
+	}
+	if r.t.Stats.DownDrops == 0 {
+		t.Fatal("the agent's ack should have been discarded while down")
+	}
+	// The apply itself still happened at the agent: the receiver keeps
+	// serving its last instruction regardless of the caller's death.
+	if !r.vs.HostsFE(7) {
+		t.Fatal("agent-side apply must survive the caller crash")
+	}
+	// Revive: new calls work again.
+	r.t.SetDown(false)
+	var got error
+	called := false
+	r.t.Call(r.vs.Addr(), &Request{
+		Op: OpSetFEs, VNIC: 7, Epoch: 2, FEs: []packet.IPv4{ip(10, 0, 0, 2)},
+	}, func(err error) { got = err; called = true })
+	r.loop.Run(r.loop.Now() + 2*sim.Second)
+	if !called {
+		t.Fatal("post-revival call never completed")
+	}
+	_ = got
+}

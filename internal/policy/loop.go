@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"nezha/internal/journal"
 	"nezha/internal/obs"
 	"nezha/internal/prof"
 	"nezha/internal/sim"
@@ -29,11 +30,22 @@ type Actuator interface {
 	ScaleIn(vnic uint32, n int) error
 }
 
+// Availability is implemented by actuators whose backing process can
+// be down — the controller during a crash. While the actuator reports
+// down, the loop's ticks back off: no window is drained and no
+// decision issued, but the tick phase is preserved, so the first
+// post-recovery step lands exactly on the cadence a crash-free run
+// would have used.
+type Availability interface {
+	ControllerUp() bool
+}
+
 // LoopStats counts actuation outcomes.
 type LoopStats struct {
 	Steps    uint64
 	Applied  uint64
 	Rejected uint64 // actuator returned an error (txn in flight, cooldown, …)
+	Backoffs uint64 // ticks skipped while the controller was down
 }
 
 // Loop ties engine, source, and actuator to the sim clock: one
@@ -48,6 +60,14 @@ type Loop struct {
 	// trace, when set, observes every (window, decisions) pair — the
 	// scenario harness records the load/pool traces through it.
 	trace func(now sim.Time, w prof.Window, ds []Decision)
+
+	// journal, when set, receives one KindPolicy record per actuated
+	// vNIC after each step, so a recovered controller resumes the
+	// engine's cooldowns where the dead one left off.
+	journal *journal.Journal
+	// backingOff marks a controller-outage backoff in progress (used to
+	// emit the down/resume event pair exactly once per outage).
+	backingOff bool
 
 	ob *obs.Obs
 
@@ -64,6 +84,19 @@ func (pl *Loop) Engine() *Engine { return pl.eng }
 
 // SetTrace installs the per-step observer.
 func (pl *Loop) SetTrace(fn func(now sim.Time, w prof.Window, ds []Decision)) { pl.trace = fn }
+
+// SetJournal wires the controller's write-ahead log: the engine's
+// cooldown state is appended after every actuated decision and a
+// compactor keeps the snapshot complete.
+func (pl *Loop) SetJournal(j *journal.Journal) {
+	pl.journal = j
+	j.AddCompactor(pl.eng.Export)
+}
+
+// SetSource swaps the attribution source — recovery replaces the dead
+// incarnation's SeriesReader with a freshly primed one so the first
+// post-recovery window has exact deltas instead of cumulative totals.
+func (pl *Loop) SetSource(src Source) { pl.src = src }
 
 // EnableObs wires decision telemetry into the observability bundle:
 // one flight-recorder event per decision plus policy_* series
@@ -108,6 +141,26 @@ func (pl *Loop) Stop() {
 // decisions through the actuator.
 func (pl *Loop) StepNow() {
 	now := pl.loop.Now()
+	if av, ok := pl.act.(Availability); ok && !av.ControllerUp() {
+		// Controller outage: skip the whole step — draining a window
+		// now would desynchronize the reader from the cadence a
+		// crash-free run keeps. The ticker itself keeps ticking, so
+		// resumption needs no rescheduling.
+		pl.Stats.Backoffs++
+		if !pl.backingOff {
+			pl.backingOff = true
+			if pl.ob != nil {
+				pl.ob.Event(now, "policy-backoff", 0, 0, "controller down")
+			}
+		}
+		return
+	}
+	if pl.backingOff {
+		pl.backingOff = false
+		if pl.ob != nil {
+			pl.ob.Event(now, "policy-resume", 0, 0, "controller up")
+		}
+	}
 	w := pl.src.Read(now)
 	ds := pl.eng.Step(now, w, pl.act)
 	pl.Stats.Steps++
@@ -130,6 +183,13 @@ func (pl *Loop) StepNow() {
 		}
 		if pl.ob != nil {
 			pl.ob.Event(now, "policy", 0, d.VNIC, "%s err=%v", d.String(), err)
+		}
+	}
+	if pl.journal != nil {
+		for _, d := range ds {
+			if r, ok := pl.eng.exportVNIC(d.VNIC); ok {
+				_ = pl.journal.Append(r)
+			}
 		}
 	}
 	if pl.trace != nil {

@@ -1,0 +1,128 @@
+package policy
+
+import (
+	"testing"
+
+	"nezha/internal/prof"
+	"nezha/internal/sim"
+)
+
+// countingSource counts Reads and returns empty windows; the backoff
+// test uses it to prove an outage tick drains nothing.
+type countingSource struct {
+	reads int
+	last  sim.Time
+}
+
+func (s *countingSource) Read(now sim.Time) prof.Window {
+	s.reads++
+	s.last = now
+	return prof.Window{T0: s.last, T1: now}
+}
+
+// downableActuator is an Actuator whose controller can be down. All
+// actuation calls succeed; the test only cares about backoff gating.
+type downableActuator struct {
+	up    bool
+	calls int
+}
+
+func (a *downableActuator) Offloaded(uint32) bool      { return false }
+func (a *downableActuator) PoolSize(uint32) int        { return 0 }
+func (a *downableActuator) PoolNodes(uint32) []string  { return nil }
+func (a *downableActuator) Offload(uint32) error       { a.calls++; return nil }
+func (a *downableActuator) Fallback(uint32) error      { a.calls++; return nil }
+func (a *downableActuator) ScaleOut(uint32, int) error { a.calls++; return nil }
+func (a *downableActuator) ScaleIn(uint32, int) error  { a.calls++; return nil }
+func (a *downableActuator) ControllerUp() bool         { return a.up }
+
+// TestLoopBacksOffDuringOutage: while the actuator reports the
+// controller down, ticks must not drain windows or step the engine —
+// but the tick cadence itself must survive, so the first post-recovery
+// step lands exactly where a crash-free run would put it.
+func TestLoopBacksOffDuringOutage(t *testing.T) {
+	loop := sim.NewLoop(1)
+	eng := New(testConfig()) // Interval 500ms
+	src := &countingSource{}
+	act := &downableActuator{up: true}
+	pl := NewLoop(loop, eng, src, act)
+	pl.Start()
+
+	// Two healthy ticks: 500ms, 1000ms.
+	loop.Run(1100 * sim.Millisecond)
+	if src.reads != 2 || pl.Stats.Steps != 2 {
+		t.Fatalf("healthy phase: reads=%d steps=%d, want 2/2", src.reads, pl.Stats.Steps)
+	}
+
+	// Outage spanning ticks at 1500, 2000, 2500ms.
+	loop.Schedule(1200*sim.Millisecond-loop.Now(), func() { act.up = false })
+	loop.Schedule(2700*sim.Millisecond-loop.Now(), func() { act.up = true })
+	loop.Run(2800 * sim.Millisecond)
+	if src.reads != 2 {
+		t.Fatalf("outage ticks drained windows: reads=%d, want still 2", src.reads)
+	}
+	if pl.Stats.Backoffs != 3 {
+		t.Fatalf("Backoffs=%d, want 3 (ticks at 1500/2000/2500ms)", pl.Stats.Backoffs)
+	}
+	if pl.Stats.Steps != 2 {
+		t.Fatalf("engine stepped during outage: steps=%d", pl.Stats.Steps)
+	}
+
+	// Recovery: the next tick is 3000ms — the same instant a crash-free
+	// run would tick — and it drains normally.
+	loop.Run(3100 * sim.Millisecond)
+	if src.reads != 3 || src.last != 3000*sim.Millisecond {
+		t.Fatalf("post-recovery read: reads=%d last=%v, want 3 @ 3000ms", src.reads, src.last)
+	}
+	if pl.Stats.Steps != 3 {
+		t.Fatalf("post-recovery steps=%d, want 3", pl.Stats.Steps)
+	}
+}
+
+// TestEngineExportRestoreRoundTrip: cooldown-bearing state survives an
+// Export → Restore cycle; observation history does not (the recovered
+// engine must re-observe before acting).
+func TestEngineExportRestoreRoundTrip(t *testing.T) {
+	e := New(testConfig())
+	hot := uint64(500_000)
+	if ds := stepN(e, sim.Second, 2, hot); len(ds) != 1 || ds[0].Action != ActOffload {
+		t.Fatalf("setup offload: %+v", ds)
+	}
+	tr := e.tracks[1]
+	if !tr.flipped || tr.lastFlip == 0 {
+		t.Fatalf("setup left no cooldown state: %+v", tr)
+	}
+
+	recs := e.Export()
+	if len(recs) != 1 {
+		t.Fatalf("Export produced %d records, want 1", len(recs))
+	}
+
+	fresh := New(testConfig())
+	fresh.Restore(recs)
+	got := fresh.tracks[1]
+	if got == nil {
+		t.Fatal("Restore did not recreate the track")
+	}
+	if got.lastFlip != tr.lastFlip || got.flipped != tr.flipped ||
+		got.offloaded != tr.offloaded || got.pool != tr.pool {
+		t.Fatalf("restored track %+v, want lastFlip=%v flipped=%v offloaded=%v pool=%d",
+			got, tr.lastFlip, tr.flipped, tr.offloaded, tr.pool)
+	}
+	if len(got.hist) != 0 || got.hotRuns != 0 || got.coldRuns != 0 {
+		t.Fatalf("observation history leaked through Restore: hist=%d hot=%d cold=%d",
+			len(got.hist), got.hotRuns, got.coldRuns)
+	}
+
+	// The surviving cooldown must hold: a cold stretch right after
+	// restore, still inside FlipCooldown, must not fall back.
+	cold := uint64(10_000)
+	for i := 0; i < 4; i++ {
+		tt := 2500*sim.Millisecond + sim.Time(i)*500*sim.Millisecond
+		for _, d := range fresh.Step(tt, win(tt, cold), nil) {
+			if d.Action == ActFallback {
+				t.Fatalf("restored cooldown did not hold: %+v", d)
+			}
+		}
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"math"
 	"sort"
 
+	"nezha/internal/journal"
 	"nezha/internal/nic"
 	"nezha/internal/prof"
 	"nezha/internal/sim"
@@ -305,6 +306,63 @@ func (e *Engine) Log() []string { return e.log }
 // ThrashEvents returns the self-reported offload→fallback→offload
 // triples (empty under a sane cooldown).
 func (e *Engine) ThrashEvents() []ThrashEvent { return e.thrash }
+
+// Export emits one KindPolicy record per tracked vNIC — the cooldown
+// and virtual-pool state a recovered controller needs to resume
+// hysteresis where the dead incarnation left off. Registered as a
+// journal compactor by Loop.SetJournal.
+func (e *Engine) Export() []journal.Record {
+	out := make([]journal.Record, 0, len(e.order))
+	for _, vnic := range e.order {
+		if r, ok := e.exportVNIC(vnic); ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func (e *Engine) exportVNIC(vnic uint32) (journal.Record, bool) {
+	tr := e.tracks[vnic]
+	if tr == nil {
+		return journal.Record{}, false
+	}
+	return journal.Record{
+		Kind: journal.KindPolicy, VNIC: vnic,
+		Offloaded: tr.offloaded, Pool: tr.pool,
+		LastFlip: int64(tr.lastFlip), Flipped: tr.flipped,
+		LastScale: int64(tr.lastScale), Scaled: tr.scaled,
+	}, true
+}
+
+// Restore rehydrates cooldown state from replayed journal records
+// (non-policy kinds are skipped). Load history, sustain runs, and the
+// thrash judge's flip triple reset — a recovered engine re-observes
+// load before acting — but flip and scale cooldown stamps survive, so
+// recovery can never cause a flip the dead engine's cooldowns would
+// have suppressed.
+func (e *Engine) Restore(recs []journal.Record) {
+	for _, tr := range e.tracks {
+		tr.hist = nil
+		tr.hotRuns, tr.coldRuns = 0, 0
+		tr.flips = nil
+	}
+	for _, r := range recs {
+		if r.Kind != journal.KindPolicy {
+			continue
+		}
+		tr := e.tracks[r.VNIC]
+		if tr == nil {
+			tr = &track{table: "rule-table"}
+			e.tracks[r.VNIC] = tr
+			e.order = append(e.order, r.VNIC)
+			sort.Slice(e.order, func(i, j int) bool { return e.order[i] < e.order[j] })
+		}
+		tr.offloaded = r.Offloaded
+		tr.pool = r.Pool
+		tr.lastFlip, tr.flipped = sim.Time(r.LastFlip), r.Flipped
+		tr.lastScale, tr.scaled = sim.Time(r.LastScale), r.Scaled
+	}
+}
 
 // trend fits least-squares cycles/sec over the history and evaluates
 // the fit at (latest + horizon). With fewer than two points it

@@ -191,7 +191,7 @@ func TestPprofRoundTrip(t *testing.T) {
 		t.Fatalf("got %d samples, want 3", len(dp.Samples))
 	}
 	wantStacks := map[string]int64{
-		"stage:fastpath;cause:flowcache;dir:tx;vnic:100/local;node:10.1.0.1": 2000,
+		"stage:fastpath;cause:flowcache;dir:tx;vnic:100/local;node:10.1.0.1":  2000,
 		"stage:slowpath;cause:rule-table;dir:tx;vnic:100/local;node:10.1.0.1": 9000,
 	}
 	var memSeen bool

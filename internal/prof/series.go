@@ -79,6 +79,33 @@ func NewSeriesReader(p *Profiler) *SeriesReader {
 	}
 }
 
+// Prime baselines the reader at now without emitting a window: it
+// snapshots the cumulative accumulators so the NEXT Read reports exact
+// deltas for [now, then] instead of cumulative-since-boot totals. A
+// recovered controller uses this to hand the policy loop a fresh
+// reader mid-run — the profiler survives a controller crash (it is
+// off-box telemetry), so its accumulators are far ahead of a newborn
+// reader's zero baselines. Prime does not bump the drain generation:
+// no attribution data is consumed.
+func (r *SeriesReader) Prime(now sim.Time) {
+	r.p.Advance(now)
+	r.lastRule = make(map[seriesKey]uint64)
+	r.lastSess = make(map[seriesKey]uint64)
+	for _, s := range r.p.Samples() {
+		if s.VNIC == OverflowVNIC || s.Role == RoleCtrl {
+			continue
+		}
+		k := seriesKey{node: s.Node, vnic: s.VNIC, role: s.Role}
+		switch {
+		case s.Cycles > 0 && s.Stage == StageSlowpath:
+			r.lastRule[k] += s.Cycles
+		case s.Cycles > 0 && s.Stage == StageSessionInstall:
+			r.lastSess[k] += s.Cycles
+		}
+	}
+	r.lastT = now
+}
+
 // Read closes the window [lastRead, now]: it advances the utilization
 // timelines, drains the attribution deltas since the previous Read,
 // and bumps the profiler's drain generation.

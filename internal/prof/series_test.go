@@ -88,6 +88,72 @@ func TestSeriesReaderBumpsDrainGen(t *testing.T) {
 	}
 }
 
+// TestSeriesReaderPrimeBaselinesMidRun covers the recovery path: the
+// profiler survives a controller crash with its accumulators intact,
+// so a rebuilt reader must Prime before its first Read or that window
+// would report cumulative-since-boot totals. Primed deltas are exact —
+// only what accrued after the prime — and can never underflow.
+func TestSeriesReaderPrimeBaselinesMidRun(t *testing.T) {
+	p := New()
+	v := p.Node("be", 2).Slot(9, RoleLocal)
+
+	// Pre-crash history: an old reader drained 1000 cycles, then 700
+	// more accrued that nobody drained before the crash.
+	v.Charge(DirTX, StageSlowpath, 1000)
+	NewSeriesReader(p).Read(500 * sim.Millisecond)
+	v.Charge(DirTX, StageSlowpath, 700)
+
+	// Control: an un-primed newborn reader reports the full cumulative
+	// total — exactly the corruption Prime exists to prevent.
+	naive := NewSeriesReader(p)
+	if w := naive.Read(sim.Second); len(w.VNICs) != 1 || w.VNICs[0].RuleCycles != 1700 {
+		t.Fatalf("un-primed control window %+v, want cumulative 1700", w.VNICs)
+	}
+
+	// Recovery: a fresh reader primed at t=1s sees only post-prime work.
+	r := NewSeriesReader(p)
+	r.Prime(sim.Second)
+	v.Charge(DirTX, StageSlowpath, 300)
+	v.Charge(DirRX, StageSessionInstall, 50)
+	w := r.Read(1500 * sim.Millisecond)
+	if w.T0 != sim.Second || w.T1 != 1500*sim.Millisecond {
+		t.Fatalf("primed window bounds %v..%v, want 1s..1.5s", w.T0, w.T1)
+	}
+	if len(w.VNICs) != 1 {
+		t.Fatalf("primed window series %+v, want 1", w.VNICs)
+	}
+	if s := w.VNICs[0]; s.RuleCycles != 300 || s.SessCycles != 50 {
+		// An underflowed uint64 delta would land here as a huge number.
+		t.Fatalf("primed deltas rule=%d sess=%d, want exactly 300/50", s.RuleCycles, s.SessCycles)
+	}
+
+	// An idle follow-up window reports nothing — zero, not negative.
+	if w := r.Read(2 * sim.Second); len(w.VNICs) != 0 {
+		t.Fatalf("idle primed window leaked series: %+v", w.VNICs)
+	}
+}
+
+// TestPrimeDoesNotDrain pins the cache contract Prime must honor: it
+// consumes no attribution, so the drain generation must not move and
+// rankings cached against the current generation stay valid until the
+// rebuilt reader's first real Read.
+func TestPrimeDoesNotDrain(t *testing.T) {
+	p := New()
+	p.Node("n", 1).Slot(1, RoleLocal).Charge(DirTX, StageSlowpath, 10)
+	r := NewSeriesReader(p)
+	r.Read(sim.Second)
+	g := p.DrainGen()
+	r2 := NewSeriesReader(p)
+	r2.Prime(2 * sim.Second)
+	if got := p.DrainGen(); got != g {
+		t.Fatalf("Prime moved the drain generation %d -> %d", g, got)
+	}
+	r2.Read(3 * sim.Second)
+	if got := p.DrainGen(); got == g {
+		t.Fatal("the rebuilt reader's first Read did not drain")
+	}
+}
+
 // TestSeriesReaderReportsNodeUtil feeds a synthetic busy timeline and
 // checks the window carries the node's mean core utilization.
 func TestSeriesReaderReportsNodeUtil(t *testing.T) {
