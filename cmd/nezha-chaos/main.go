@@ -42,6 +42,16 @@
 // every campaign writes a pprof-encoded profile (at the moment of the
 // first violation, or at campaign end when clean). Inspect with
 // `go tool pprof -top <dump>` or `nezha-prof top <dump>`.
+//
+// With -listen (requires -obs), the process hosts the live ops API:
+// per-second registry snapshots, Prometheus /metrics, SSE streaming,
+// the chaos report, and attribution profiles, all served from a
+// ring-buffer history the running campaign publishes into. Pair with
+// -pace 1 so the campaign advances in real time and -hold 60s so the
+// server outlives the run:
+//
+//	nezha-chaos -campaigns 1 -pace 1 -listen 127.0.0.1:8378 -hold 60s &
+//	nezha-top -attach http://127.0.0.1:8378
 package main
 
 import (
@@ -51,6 +61,8 @@ import (
 	"time"
 
 	"nezha/internal/chaos"
+	"nezha/internal/obs"
+	"nezha/internal/opsapi"
 	"nezha/internal/sim"
 )
 
@@ -74,6 +86,9 @@ func main() {
 		obsDir     = flag.String("obs-dir", "", "directory for flight-recorder dumps (default: system temp dir)")
 		profOn     = flag.Bool("prof", false, "attach the cycle/byte attribution profiler (pprof dump per campaign)")
 		profDir    = flag.String("prof-dir", "", "directory for attribution profiles (default: system temp dir)")
+		listen     = flag.String("listen", "", "serve the live ops API on this address (host:port); requires -obs")
+		pace       = flag.Float64("pace", 0, "throttle campaigns to this multiple of wall-clock speed (0 = unpaced; 1 with -listen for a live-feeling run)")
+		hold       = flag.Duration("hold", 0, "with -listen: keep serving this long after the last campaign ends")
 	)
 	flag.Parse()
 
@@ -111,10 +126,35 @@ func main() {
 		}
 	}
 
+	// The live ops surface: one server for the whole process; each
+	// campaign swaps in a fresh history store so /metrics, /history,
+	// and /stream always reflect the campaign currently running.
+	var srv *opsapi.Server
+	if *listen != "" {
+		if !*obsOn {
+			fmt.Fprintln(os.Stderr, "nezha-chaos: -listen requires -obs")
+			os.Exit(2)
+		}
+		srv = opsapi.New()
+		srv.SetMeta("mode", "chaos")
+		srv.SetMeta("seed", fmt.Sprint(*seed))
+		addr, err := srv.Listen(*listen)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nezha-chaos: -listen: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("ops: serving http://%s (metrics, snapshot, history, stream, prof, chaos/report, health)\n", addr)
+	}
+
 	failed := 0
 	var failedSeeds []int64
 	for i := 0; i < *campaigns; i++ {
 		s := *seed + int64(i)
+		var hist *obs.History
+		if srv != nil {
+			hist = obs.NewHistory(obs.HistoryOptions{})
+			srv.SetHistory(hist)
+		}
 		rep, err := chaos.RunCampaign(chaos.CampaignConfig{
 			Seed:                 s,
 			Duration:             sim.Time(*duration),
@@ -133,6 +173,8 @@ func main() {
 			ObsDumpDir:           dumpDir,
 			Prof:                 *profOn,
 			ProfDir:              pDir,
+			Hist:                 hist,
+			Pace:                 *pace,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "seed %d: %v\n", s, err)
@@ -198,6 +240,11 @@ func main() {
 			fmt.Fprintf(f, "%d\n", s)
 		}
 		f.Close()
+	}
+	if srv != nil && *hold > 0 {
+		fmt.Printf("ops: holding the server up for %v (attach with nezha-top -attach)\n", *hold)
+		time.Sleep(*hold)
+		srv.Close()
 	}
 	if failed > 0 {
 		fmt.Printf("%d/%d campaigns violated invariants\n", failed, *campaigns)

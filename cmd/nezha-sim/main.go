@@ -38,6 +38,7 @@ import (
 	"nezha/internal/controller"
 	"nezha/internal/nic"
 	"nezha/internal/obs"
+	"nezha/internal/opsapi"
 	"nezha/internal/packet"
 	"nezha/internal/policy"
 	"nezha/internal/prof"
@@ -63,12 +64,15 @@ func main() {
 		obsSample = flag.Float64("obs-sample", 0.01, "flight-trace sampling probability when -obs is set")
 		obsProm   = flag.String("obs-prom", "", "write a final Prometheus text export to this file")
 		profPath  = flag.String("prof", "", "attach the attribution profiler and write a pprof profile here at exit")
+		listen    = flag.String("listen", "", "serve the live ops API on this address (host:port); implies telemetry")
+		pace      = flag.Float64("pace", 0, "throttle to this multiple of wall-clock speed (0 = unpaced; 1 with -listen for a live-feeling run)")
+		hold      = flag.Duration("hold", 0, "with -listen: keep serving this long after the run ends")
 	)
 	flag.Parse()
 
 	var ob *obs.Obs
 	var obsOut *os.File
-	if *obsPath != "" || *obsProm != "" {
+	if *obsPath != "" || *obsProm != "" || *listen != "" {
 		ob = obs.New(obs.Options{Seed: *seed, SampleRate: *obsSample})
 	}
 	if *obsPath == "-" {
@@ -122,6 +126,29 @@ func main() {
 		Prof:   pr,
 		Policy: polCfg,
 	})
+
+	// The live ops surface: a history store fed by the same per-second
+	// snapshot the JSONL stream uses (shared via PublishSnap so the
+	// registry's rate windows advance exactly once per tick), served by
+	// an embedded HTTP service off the event loop.
+	var pub *obs.Publisher
+	var srv *opsapi.Server
+	if *listen != "" {
+		hist := obs.NewHistory(obs.HistoryOptions{})
+		pub = c.NewOpsPublisher(hist, 10)
+		srv = opsapi.New()
+		srv.SetHistory(hist)
+		srv.SetMeta("mode", "sim")
+		srv.SetMeta("seed", fmt.Sprint(*seed))
+		addr, err := srv.Listen(*listen)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("ops: serving http://%s (metrics, snapshot, history, stream, prof, health)\n", addr)
+	}
+	if *pace > 0 {
+		sim.AttachPacer(c.Loop, *pace)
+	}
 
 	serverIdx := *nClients
 	mkServer := func() *tables.RuleSet {
@@ -186,9 +213,15 @@ func main() {
 			c.Loop.Now(), done, done-lastDone,
 			meter.Sample()*100, len(c.Ctrl.FEsOf(serverVNIC)), state)
 		lastDone = done
-		if obsOut != nil {
-			if err := ob.Snap(c.Loop.Now(), 10).WriteJSONLine(obsOut); err != nil {
-				panic(err)
+		if obsOut != nil || pub != nil {
+			snap := ob.Snap(c.Loop.Now(), 10)
+			if pub != nil {
+				pub.PublishSnap(c.Loop.Now(), snap)
+			}
+			if obsOut != nil {
+				if err := snap.WriteJSONLine(obsOut); err != nil {
+					panic(err)
+				}
 			}
 		}
 	})
@@ -274,5 +307,12 @@ func main() {
 		}
 		f.Close()
 		fmt.Printf("  wrote attribution profile: %s\n", *profPath)
+	}
+	if srv != nil {
+		if *hold > 0 {
+			fmt.Printf("ops: holding the server up for %v (attach with nezha-top -attach)\n", *hold)
+			time.Sleep(*hold)
+		}
+		srv.Close()
 	}
 }

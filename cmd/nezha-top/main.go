@@ -3,8 +3,10 @@
 // packet rates, per-vNIC offload state, control-plane transaction and
 // RPC activity, and the top-K flows by sampled packets.
 //
-// The input is a file of newline-delimited JSON snapshots (one per
-// virtual second), or '-' for stdin:
+// Two input modes:
+//
+// File mode — newline-delimited JSON snapshots (one per virtual
+// second), or '-' for stdin:
 //
 //	nezha-sim -obs run.jsonl &
 //	nezha-top -follow run.jsonl
@@ -13,6 +15,19 @@
 // exits — useful for post-mortem inspection of a finished run. With
 // -follow the file is tailed and the screen redrawn as snapshots
 // arrive, top(1)-style.
+//
+// Attach mode — connect to a live run's ops service (nezha-sim
+// -listen / nezha-chaos -listen) over HTTP:
+//
+//	nezha-chaos -listen 127.0.0.1:8378 -pace 1 &
+//	nezha-top -attach http://127.0.0.1:8378
+//
+// The latest snapshot is fetched for immediate scrollback, then the
+// screen follows the SSE stream (one snapshot per virtual second).
+// With -once a single snapshot is rendered and the program exits.
+//
+// -node and -vnic narrow every section to the matching node address /
+// vNIC id.
 package main
 
 import (
@@ -21,9 +36,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"nezha/internal/obs"
@@ -34,10 +51,24 @@ func main() {
 		follow   = flag.Bool("follow", false, "tail the file and redraw as snapshots arrive")
 		interval = flag.Duration("interval", 500*time.Millisecond, "poll period in -follow mode")
 		topK     = flag.Int("n", 10, "flows to show in the TOP FLOWS table")
+		attach   = flag.String("attach", "", "attach to a live ops service (http://host:port) instead of reading a file")
+		once     = flag.Bool("once", false, "with -attach: render one snapshot and exit")
+		nodeF    = flag.String("node", "", "only show rows for this node address")
+		vnicF    = flag.String("vnic", "", "only show rows for this vNIC id")
 	)
 	flag.Parse()
+	f := filter{node: *nodeF, vnic: *vnicF}
+
+	if *attach != "" {
+		if err := runAttach(strings.TrimRight(*attach, "/"), *topK, f, *once); err != nil {
+			fmt.Fprintf(os.Stderr, "nezha-top: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: nezha-top [-follow] [-interval 500ms] [-n 10] <run.jsonl | ->")
+		fmt.Fprintln(os.Stderr, "usage: nezha-top [-follow] [-interval 500ms] [-n 10] [-node a] [-vnic 7] <run.jsonl | -> | nezha-top -attach http://host:port [-once]")
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
@@ -46,13 +77,13 @@ func main() {
 	if path == "-" {
 		in = os.Stdin
 	} else {
-		f, err := os.Open(path)
+		file, err := os.Open(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "nezha-top: %v\n", err)
 			os.Exit(1)
 		}
-		defer f.Close()
-		in = f
+		defer file.Close()
+		in = file
 	}
 
 	r := bufio.NewReader(in)
@@ -66,7 +97,7 @@ func main() {
 				last = &s
 				if *follow {
 					fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
-					render(os.Stdout, last, *topK)
+					render(os.Stdout, last, *topK, f)
 					rendered = true
 				}
 			}
@@ -84,9 +115,92 @@ func main() {
 		os.Exit(1)
 	}
 	if !rendered {
-		render(os.Stdout, last, *topK)
+		render(os.Stdout, last, *topK, f)
 	}
 }
+
+// fetchSnapshot polls /api/v1/snapshot until the service has published
+// one (the host may still be starting up — CI races the first virtual
+// second), bounded by the deadline.
+func fetchSnapshot(base string, deadline time.Duration) (*obs.Snapshot, error) {
+	var lastErr error
+	for end := time.Now().Add(deadline); ; {
+		resp, err := http.Get(base + "/api/v1/snapshot")
+		if err == nil {
+			if resp.StatusCode == http.StatusOK {
+				var s obs.Snapshot
+				err = json.NewDecoder(resp.Body).Decode(&s)
+				resp.Body.Close()
+				if err != nil {
+					return nil, err
+				}
+				return &s, nil
+			}
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+			resp.Body.Close()
+			lastErr = fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+		} else {
+			lastErr = err
+		}
+		if time.Now().After(end) {
+			return nil, fmt.Errorf("no snapshot from %s: %v", base, lastErr)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// runAttach drives the live view: one snapshot (with retries, so a CI
+// smoke can start nezha-top before the service has published), then —
+// unless -once — the SSE stream, redrawing per event.
+func runAttach(base string, topK int, f filter, once bool) error {
+	snap, err := fetchSnapshot(base, 15*time.Second)
+	if err != nil {
+		return err
+	}
+	if once {
+		render(os.Stdout, snap, topK, f)
+		return nil
+	}
+	fmt.Print("\x1b[2J\x1b[H")
+	render(os.Stdout, snap, topK, f)
+
+	resp, err := http.Get(base + "/api/v1/stream?replay=1")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("stream: %s", resp.Status)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	var data strings.Builder
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "data:"):
+			data.WriteString(strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " "))
+		case line == "" && data.Len() > 0:
+			var s obs.Snapshot
+			if jerr := json.Unmarshal([]byte(data.String()), &s); jerr == nil {
+				fmt.Print("\x1b[2J\x1b[H")
+				render(os.Stdout, &s, topK, f)
+			}
+			data.Reset()
+		}
+	}
+	return sc.Err()
+}
+
+// filter narrows the rendered sections to one node and/or one vNIC.
+// Zero values match everything.
+type filter struct {
+	node string
+	vnic string
+}
+
+func (f filter) matchNode(n string) bool { return f.node == "" || f.node == n }
+func (f filter) matchVNIC(v string) bool { return f.vnic == "" || f.vnic == v }
 
 // index groups a snapshot's points by metric name for cheap lookups.
 type index map[string][]obs.Point
@@ -160,8 +274,15 @@ func (idx index) sumWhere(name string, match func(l map[string]string) bool) flo
 // renderProf draws the attribution-profiler sections: a per-node
 // cycle/byte breakdown and the hottest still-resident vNICs by
 // relocatable work — the same signal Controller.SuggestOffload ranks.
-func renderProf(w io.Writer, idx index, topK int) {
+func renderProf(w io.Writer, idx index, topK int, f filter) {
 	nodes := idx.labelValues("prof_cycles_total", "node")
+	var kept []string
+	for _, n := range nodes {
+		if f.matchNode(n) {
+			kept = append(kept, n)
+		}
+	}
+	nodes = kept
 	if len(nodes) == 0 {
 		return
 	}
@@ -216,6 +337,9 @@ func renderProf(w io.Writer, idx index, topK int) {
 	var hots []hot
 	for _, n := range nodes {
 		for _, v := range idx.labelValues("prof_cycles_total", "vnic") {
+			if !f.matchVNIC(v) {
+				continue
+			}
 			reloc := idx.sumWhere("prof_cycles_total", func(l map[string]string) bool {
 				return l["node"] == n && l["vnic"] == v && l["role"] == "local" &&
 					(l["stage"] == "slowpath" || l["stage"] == "session-install")
@@ -242,56 +366,103 @@ func renderProf(w io.Writer, idx index, topK int) {
 	fmt.Fprintln(w)
 }
 
-func render(w io.Writer, s *obs.Snapshot, topK int) {
+// renderSpans draws the TXN SPANS section from the completed
+// control-plane transaction spans embedded in live snapshots.
+func renderSpans(w io.Writer, s *obs.Snapshot, f filter) {
+	var spans []obs.Span
+	for _, sp := range s.Spans {
+		if !f.matchVNIC(strconv.FormatUint(uint64(sp.VNIC), 10)) {
+			continue
+		}
+		if sp.Node != 0 && !f.matchNode(sp.Node.String()) {
+			continue
+		}
+		spans = append(spans, sp)
+	}
+	if len(spans) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "TXN SPANS %-9s %6s %7s %12s %12s %10s\n", "", "VNIC", "EPOCH", "START", "TOOK", "OUTCOME")
+	for _, sp := range spans {
+		fmt.Fprintf(w, "  %-16s %6d %7d %12v %12v %10s\n",
+			sp.Kind, sp.VNIC, sp.Epoch, sp.Start, sp.End-sp.Start, sp.Outcome)
+	}
+	fmt.Fprintln(w)
+}
+
+func render(w io.Writer, s *obs.Snapshot, topK int, f filter) {
 	idx := makeIndex(s)
-	fmt.Fprintf(w, "nezha-top  t=%v  series=%d\n\n", s.T, len(s.Points))
+	fmt.Fprintf(w, "nezha-top  t=%v  series=%d", s.T, len(s.Points))
+	if f.node != "" {
+		fmt.Fprintf(w, "  node=%s", f.node)
+	}
+	if f.vnic != "" {
+		fmt.Fprintf(w, "  vnic=%s", f.vnic)
+	}
+	fmt.Fprint(w, "\n\n")
 
 	if nodes := idx.labelValues("vswitch_cpu_util", "node"); len(nodes) > 0 {
-		fmt.Fprintf(w, "NODES %-14s %6s %6s %8s %6s %5s %5s %10s %9s %6s\n",
-			"", "CPU%", "MEM%", "SESS", "VNICS", "OFF", "FES", "PPS", "DROP/s", "STATE")
+		var shown []string
 		for _, n := range nodes {
-			state := "up"
-			if idx.val("vswitch_crashed", "node", n) > 0 {
-				state = "CRASH"
-			} else if idx.val("controller_node_down", "node", n) > 0 {
-				state = "DOWN"
+			if f.matchNode(n) {
+				shown = append(shown, n)
 			}
-			pps := idx.rate("vswitch_from_vm_total", "node", n) + idx.rate("vswitch_from_net_total", "node", n)
-			fmt.Fprintf(w, "  %-18s %5.1f%% %5.1f%% %8.0f %6.0f %5.0f %5.0f %10.0f %9.1f %6s\n",
-				n,
-				idx.val("vswitch_cpu_util", "node", n)*100,
-				idx.val("vswitch_mem_util", "node", n)*100,
-				idx.val("vswitch_sessions", "node", n),
-				idx.val("vswitch_vnics", "node", n),
-				idx.val("vswitch_vnics_offloaded", "node", n),
-				idx.val("vswitch_fes_hosted", "node", n),
-				pps,
-				idx.rate("vswitch_drops_total", "node", n),
-				state)
 		}
-		fmt.Fprintln(w)
+		if len(shown) > 0 {
+			fmt.Fprintf(w, "NODES %-14s %6s %6s %8s %6s %5s %5s %10s %9s %6s\n",
+				"", "CPU%", "MEM%", "SESS", "VNICS", "OFF", "FES", "PPS", "DROP/s", "STATE")
+			for _, n := range shown {
+				state := "up"
+				if idx.val("vswitch_crashed", "node", n) > 0 {
+					state = "CRASH"
+				} else if idx.val("controller_node_down", "node", n) > 0 {
+					state = "DOWN"
+				}
+				pps := idx.rate("vswitch_from_vm_total", "node", n) + idx.rate("vswitch_from_net_total", "node", n)
+				fmt.Fprintf(w, "  %-18s %5.1f%% %5.1f%% %8.0f %6.0f %5.0f %5.0f %10.0f %9.1f %6s\n",
+					n,
+					idx.val("vswitch_cpu_util", "node", n)*100,
+					idx.val("vswitch_mem_util", "node", n)*100,
+					idx.val("vswitch_sessions", "node", n),
+					idx.val("vswitch_vnics", "node", n),
+					idx.val("vswitch_vnics_offloaded", "node", n),
+					idx.val("vswitch_fes_hosted", "node", n),
+					pps,
+					idx.rate("vswitch_drops_total", "node", n),
+					state)
+			}
+			fmt.Fprintln(w)
+		}
 	}
 
 	if vnics := idx.labelValues("controller_vnic_offloaded", "vnic"); len(vnics) > 0 {
-		sort.Slice(vnics, func(i, j int) bool {
-			a, _ := strconv.Atoi(vnics[i])
-			b, _ := strconv.Atoi(vnics[j])
+		var shown []string
+		for _, v := range vnics {
+			if f.matchVNIC(v) {
+				shown = append(shown, v)
+			}
+		}
+		sort.Slice(shown, func(i, j int) bool {
+			a, _ := strconv.Atoi(shown[i])
+			b, _ := strconv.Atoi(shown[j])
 			return a < b
 		})
-		fmt.Fprintf(w, "VNICS %-8s %10s %5s %7s %9s %6s\n", "", "STATE", "FES", "EPOCH", "DEGRADED", "DIRTY")
-		for _, v := range vnics {
-			state := "local"
-			if idx.val("controller_vnic_offloaded", "vnic", v) > 0 {
-				state = "offloaded"
+		if len(shown) > 0 {
+			fmt.Fprintf(w, "VNICS %-8s %10s %5s %7s %9s %6s\n", "", "STATE", "FES", "EPOCH", "DEGRADED", "DIRTY")
+			for _, v := range shown {
+				state := "local"
+				if idx.val("controller_vnic_offloaded", "vnic", v) > 0 {
+					state = "offloaded"
+				}
+				fmt.Fprintf(w, "  %-12s %10s %5.0f %7.0f %9.0f %6.0f\n",
+					v, state,
+					idx.val("controller_vnic_fes", "vnic", v),
+					idx.val("controller_vnic_epoch", "vnic", v),
+					idx.val("controller_vnic_degraded", "vnic", v),
+					idx.val("controller_vnic_dirty", "vnic", v))
 			}
-			fmt.Fprintf(w, "  %-12s %10s %5.0f %7.0f %9.0f %6.0f\n",
-				v, state,
-				idx.val("controller_vnic_fes", "vnic", v),
-				idx.val("controller_vnic_epoch", "vnic", v),
-				idx.val("controller_vnic_degraded", "vnic", v),
-				idx.val("controller_vnic_dirty", "vnic", v))
+			fmt.Fprintln(w)
 		}
-		fmt.Fprintln(w)
 	}
 
 	fmt.Fprintf(w, "CONTROL offloads=%.0f fallbacks=%.0f scaleouts=%.0f failovers=%.0f aborts=%.0f rollbacks=%.0f degraded=%.0f txns-inflight=%.0f\n",
@@ -345,16 +516,17 @@ func render(w io.Writer, s *obs.Snapshot, topK int) {
 			idx.total("policy_thrash_total"))
 	}
 
-	renderProf(w, idx, topK)
+	renderSpans(w, s, f)
+	renderProf(w, idx, topK, f)
 
-	if len(s.Flows) > 0 {
+	if len(s.Flows) > 0 && f.node == "" && f.vnic == "" {
 		fmt.Fprintf(w, "TOP FLOWS (sampled) %12s %12s\n", "PACKETS", "BYTES")
 		n := len(s.Flows)
 		if n > topK {
 			n = topK
 		}
-		for _, f := range s.Flows[:n] {
-			fmt.Fprintf(w, "  %-32s %10d %12d\n", f.Flow, f.Packets, f.Bytes)
+		for _, fl := range s.Flows[:n] {
+			fmt.Fprintf(w, "  %-32s %10d %12d\n", fl.Flow, fl.Packets, fl.Bytes)
 		}
 	}
 }

@@ -37,7 +37,7 @@ func TestRenderProfSections(t *testing.T) {
 	}
 
 	var buf bytes.Buffer
-	render(&buf, &snap, 10)
+	render(&buf, &snap, 10, filter{})
 	out := buf.String()
 	for _, want := range []string{
 		"PROF",
@@ -60,7 +60,7 @@ func TestRenderProfSections(t *testing.T) {
 // from runs without -prof must render with no PROF section.
 func TestRenderWithoutProfSeries(t *testing.T) {
 	var buf bytes.Buffer
-	render(&buf, &obs.Snapshot{}, 10)
+	render(&buf, &obs.Snapshot{}, 10, filter{})
 	if strings.Contains(buf.String(), "PROF") {
 		t.Errorf("PROF section rendered with no prof series:\n%s", buf.String())
 	}
@@ -91,7 +91,7 @@ func TestRenderCtrlLine(t *testing.T) {
 			t.Fatal(err)
 		}
 		var buf bytes.Buffer
-		render(&buf, &snap, 10)
+		render(&buf, &snap, 10, filter{})
 		return buf.String()
 	}
 
@@ -118,8 +118,106 @@ func TestRenderCtrlLine(t *testing.T) {
 	// Snapshots from runs predating the liveness series render no CTRL
 	// line at all.
 	var buf bytes.Buffer
-	render(&buf, &obs.Snapshot{}, 10)
+	render(&buf, &obs.Snapshot{}, 10, filter{})
 	if strings.Contains(buf.String(), "CTRL") {
 		t.Errorf("CTRL line rendered with no ctrl series:\n%s", buf.String())
+	}
+}
+
+// TestRenderNodeVNICFilters round-trips a two-node, two-vNIC snapshot
+// through the registry → JSON → snapshot pipeline and checks -node and
+// -vnic narrow every section to the matching rows.
+func TestRenderNodeVNICFilters(t *testing.T) {
+	reg := obs.NewRegistry()
+	for _, n := range []string{"10.1.0.1", "10.1.0.2"} {
+		lbl := obs.L("node", n)
+		reg.GaugeFunc("vswitch_cpu_util", lbl, func() float64 { return 0.5 })
+		reg.GaugeFunc("vswitch_sessions", lbl, func() float64 { return 7 })
+	}
+	for _, v := range []string{"100", "200"} {
+		lbl := obs.L("vnic", v)
+		reg.GaugeFunc("controller_vnic_offloaded", lbl, func() float64 { return 1 })
+		reg.GaugeFunc("controller_vnic_fes", lbl, func() float64 { return 2 })
+	}
+	pr := prof.New()
+	pr.Node("10.1.0.1", 2).Slot(100, prof.RoleLocal).Charge(prof.DirTX, prof.StageSlowpath, 500_000)
+	pr.Node("10.1.0.2", 2).Slot(200, prof.RoleLocal).Charge(prof.DirTX, prof.StageSlowpath, 400_000)
+	pr.Attach(reg)
+
+	roundTrip := func(f filter) string {
+		raw, err := json.Marshal(reg.Snapshot(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snap obs.Snapshot
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		render(&buf, &snap, 10, f)
+		return buf.String()
+	}
+
+	// Unfiltered: both nodes and both vNICs appear.
+	out := roundTrip(filter{})
+	for _, want := range []string{"10.1.0.1", "10.1.0.2", "100", "200"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("unfiltered output missing %q:\n%s", want, out)
+		}
+	}
+
+	// -node filters NODES and PROF rows.
+	out = roundTrip(filter{node: "10.1.0.1"})
+	if !strings.Contains(out, "10.1.0.1") {
+		t.Errorf("-node output missing the selected node:\n%s", out)
+	}
+	if strings.Contains(out, "10.1.0.2") {
+		t.Errorf("-node output leaked the other node:\n%s", out)
+	}
+
+	// -vnic filters VNICS and PROF HOT VNICS rows.
+	out = roundTrip(filter{vnic: "100"})
+	if !strings.Contains(out, "vnic 100") {
+		t.Errorf("-vnic output missing the selected vNIC:\n%s", out)
+	}
+	if strings.Contains(out, "vnic 200") || strings.Contains(out, "  200 ") {
+		t.Errorf("-vnic output leaked the other vNIC:\n%s", out)
+	}
+
+	// A filter matching nothing renders no NODES/VNICS section.
+	out = roundTrip(filter{node: "10.9.9.9", vnic: "999"})
+	if strings.Contains(out, "NODES") || strings.Contains(out, "VNICS ") {
+		t.Errorf("non-matching filter still rendered sections:\n%s", out)
+	}
+}
+
+// TestRenderSpansSection checks the TXN SPANS section renders the
+// spans embedded in live snapshots and honors the -vnic filter.
+func TestRenderSpansSection(t *testing.T) {
+	snap := &obs.Snapshot{Spans: []obs.Span{
+		{Kind: "offload", VNIC: 100, Epoch: 3, Start: 0, End: 1_000_000, Outcome: "commit"},
+		{Kind: "scale-out", VNIC: 200, Epoch: 1, Start: 0, End: 2_000_000, Outcome: "abort"},
+	}}
+	var buf bytes.Buffer
+	render(&buf, snap, 10, filter{})
+	out := buf.String()
+	for _, want := range []string{"TXN SPANS", "offload", "scale-out", "commit", "abort"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("spans output missing %q:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	render(&buf, snap, 10, filter{vnic: "100"})
+	out = buf.String()
+	if !strings.Contains(out, "offload") || strings.Contains(out, "scale-out") {
+		t.Errorf("-vnic span filter wrong:\n%s", out)
+	}
+
+	// Snapshots without spans (file mode) render no TXN section.
+	buf.Reset()
+	render(&buf, &obs.Snapshot{}, 10, filter{})
+	if strings.Contains(buf.String(), "TXN SPANS") {
+		t.Errorf("TXN SPANS rendered with no spans:\n%s", buf.String())
 	}
 }

@@ -98,6 +98,17 @@ type CampaignConfig struct {
 	// (default: calendar queue). Differential tests run the same seed
 	// under sim.SchedHeap and require identical digests.
 	Scheduler sim.SchedulerKind
+	// Hist, when non-nil, is the ops-surface history store: a publisher
+	// feeds it one registry snapshot per virtual second (plus spans and
+	// attribution profiles) and the engine mirrors invariant violations
+	// into it, so an opsapi server can serve the run live. Requires Obs.
+	// Publishing happens through loop observers only, so an attached
+	// history leaves digests, decision logs, and verdicts bit-identical.
+	Hist *obs.History
+	// Pace throttles the run to Pace× wall-clock speed (0 = unpaced).
+	// Used with Hist + -listen so a live scraper sees snapshots arrive
+	// in real time instead of the campaign finishing in milliseconds.
+	Pace float64
 }
 
 // Report is a campaign's outcome.
@@ -139,6 +150,43 @@ type Report struct {
 
 // Failed reports whether any invariant broke.
 func (r Report) Failed() bool { return len(r.Violations) > 0 }
+
+// ReportView is the JSON-serializable form of a Report served by the
+// ops surface at /api/v1/chaos/report (violations flattened to
+// strings so they survive encoding).
+type ReportView struct {
+	Seed        int64    `json:"seed"`
+	Duration    sim.Time `json:"duration"`
+	Failed      bool     `json:"failed"`
+	Violations  []string `json:"violations,omitempty"`
+	Digest      uint64   `json:"digest"`
+	TraceDigest uint64   `json:"trace_digest,omitempty"`
+	Completed   uint64   `json:"completed"`
+	Declared    uint64   `json:"declared"`
+	Failovers   uint64   `json:"failovers"`
+	Recoveries  uint64   `json:"recoveries,omitempty"`
+	RecoveryMs  float64  `json:"recovery_ms,omitempty"`
+}
+
+// View flattens the report for JSON serving.
+func (r Report) View() ReportView {
+	v := ReportView{
+		Seed:        r.Seed,
+		Duration:    r.Duration,
+		Failed:      r.Failed(),
+		Digest:      r.Digest,
+		TraceDigest: r.TraceDigest,
+		Completed:   r.Completed,
+		Declared:    r.Declared,
+		Failovers:   r.Failovers,
+		Recoveries:  r.Recoveries,
+		RecoveryMs:  r.RecoveryMs,
+	}
+	for _, viol := range r.Violations {
+		v.Violations = append(v.Violations, viol.String())
+	}
+	return v
+}
 
 const (
 	campaignVNIC = 100
@@ -266,6 +314,18 @@ func RunCampaign(cfg CampaignConfig) (Report, error) {
 	if pr != nil && cfg.ProfDir != "" {
 		eng.AttachProf(pr, filepath.Join(cfg.ProfDir, fmt.Sprintf("nezha-prof-seed%d.pb.gz", cfg.Seed)))
 	}
+	if cfg.Hist != nil {
+		if ob == nil {
+			return Report{}, fmt.Errorf("chaos: CampaignConfig.Hist requires Obs")
+		}
+		eng.AttachHistory(cfg.Hist)
+		if pub := c.NewOpsPublisher(cfg.Hist, 10); pub != nil {
+			pub.Attach(c.Loop)
+		}
+	}
+	if cfg.Pace > 0 {
+		sim.AttachPacer(c.Loop, cfg.Pace)
+	}
 
 	// Faults land after offload has settled and stop early enough
 	// that most crash windows resolve inside the run.
@@ -380,6 +440,9 @@ func RunCampaign(cfg CampaignConfig) (Report, error) {
 		d.add(vm.Started, vm.Completed, vm.Accepted, vm.KernelDrops)
 	}
 	rep.Digest = d.sum
+	if cfg.Hist != nil {
+		cfg.Hist.SetChaosReport(rep.View())
+	}
 	return rep, nil
 }
 

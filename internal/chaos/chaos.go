@@ -159,6 +159,10 @@ type Engine struct {
 	prof         *prof.Profiler
 	profDumpPath string
 	profDumped   string
+
+	// hist, when set by AttachHistory, receives every invariant
+	// violation so the live ops surface can serve them.
+	hist *obs.History
 }
 
 // NewEngine wires an engine into the system: it installs the fabric
@@ -222,9 +226,15 @@ func (e *Engine) violate(name string, at sim.Time, err error) {
 		return
 	}
 	e.violations = append(e.violations, Violation{Invariant: name, At: at, Err: err})
+	e.hist.AddInvariant(obs.InvariantEvent{At: at, Invariant: name, Err: err.Error()})
 	e.dumpOnViolation(name, at, err)
 	e.profDumpOnViolation(at)
 }
+
+// AttachHistory mirrors every invariant violation into the ops-surface
+// history store (nil-safe on both sides; recording is a bounded append
+// under the History mutex, so it does not perturb the run).
+func (e *Engine) AttachHistory(h *obs.History) { e.hist = h }
 
 // --- Fault model -----------------------------------------------------
 

@@ -10,6 +10,7 @@ import (
 	"nezha/internal/journal"
 	"nezha/internal/metrics"
 	"nezha/internal/monitor"
+	"nezha/internal/obs"
 	"nezha/internal/packet"
 	"nezha/internal/policy"
 	"nezha/internal/prof"
@@ -92,6 +93,12 @@ type ScenarioConfig struct {
 	CheckEvery sim.Time
 	// Scheduler picks the event-queue implementation.
 	Scheduler sim.SchedulerKind
+	// Hist, when non-nil, is the ops-surface history store: the rig
+	// gains an obs bundle, a per-virtual-second snapshot publisher, the
+	// policy decision log, and invariant mirroring, so an opsapi server
+	// can serve the scenario live. Publishing is observer-only; the
+	// decision log and digest stay byte-identical to a run without it.
+	Hist *obs.History
 }
 
 // ScenarioResult is one scenario's outcome.
@@ -138,6 +145,38 @@ type ScenarioResult struct {
 
 // Failed reports whether any invariant broke.
 func (r ScenarioResult) Failed() bool { return len(r.Violations) > 0 }
+
+// ScenarioView is the JSON-serializable scenario summary served by the
+// ops surface at /api/v1/chaos/report.
+type ScenarioView struct {
+	Seed        int64    `json:"seed"`
+	Profile     string   `json:"profile"`
+	Failed      bool     `json:"failed"`
+	Violations  []string `json:"violations,omitempty"`
+	Digest      uint64   `json:"digest"`
+	Completed   uint64   `json:"completed"`
+	ThrashCount int      `json:"thrash_count"`
+	Recoveries  uint64   `json:"recoveries,omitempty"`
+	P99Micros   float64  `json:"p99_micros"`
+}
+
+// View flattens the result for JSON serving.
+func (r ScenarioResult) View() ScenarioView {
+	v := ScenarioView{
+		Seed:        r.Seed,
+		Profile:     r.Profile.String(),
+		Failed:      r.Failed(),
+		Digest:      r.Digest,
+		Completed:   r.Completed,
+		ThrashCount: r.ThrashCount,
+		Recoveries:  r.Recoveries,
+		P99Micros:   r.P99Micros,
+	}
+	for _, viol := range r.Violations {
+		v.Violations = append(v.Violations, viol.String())
+	}
+	return v
+}
 
 // ScenarioPolicyConfig is the policy calibration for the scaled
 // scenario rig (2-core 500 MHz vSwitches). A connection's relocatable
@@ -282,6 +321,12 @@ func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 	ctrlCfg.MinFEs = polCfg.MinFEs
 
 	pr := prof.New()
+	var ob *obs.Obs
+	if cfg.Hist != nil {
+		// Tracing stays off (SampleRate 0): the ops surface needs the
+		// registry, spans, and flows — not per-packet flights.
+		ob = obs.New(obs.Options{Seed: cfg.Seed})
+	}
 	c := cluster.New(cluster.Options{
 		Servers:   cfg.Servers,
 		Seed:      cfg.Seed,
@@ -292,9 +337,15 @@ func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 		},
 		Controller: ctrlCfg,
 		Monitor:    monCfg,
+		Obs:        ob,
 		Prof:       pr,
 		Policy:     &polCfg,
 	})
+	if cfg.Hist != nil {
+		if pub := c.NewOpsPublisher(cfg.Hist, 10); pub != nil {
+			pub.Attach(c.Loop)
+		}
+	}
 
 	// Server (BE) VM on server 0, clients on 1..Clients — the campaign
 	// rig, minus the forced offload.
@@ -381,6 +432,9 @@ func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 	})
 	RegisterStandard(eng)
 	eng.Register(PolicyThrash(c.Policy.Engine(), cfg.ThrashBound))
+	if cfg.Hist != nil {
+		eng.AttachHistory(cfg.Hist)
+	}
 
 	if cfg.Flaps > 0 {
 		var sched Schedule
@@ -487,5 +541,8 @@ func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 		d.add(uint64(p))
 	}
 	res.Digest = d.sum
+	if cfg.Hist != nil {
+		cfg.Hist.SetChaosReport(res.View())
+	}
 	return res, nil
 }

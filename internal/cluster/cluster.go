@@ -187,6 +187,33 @@ func New(opts Options) *Cluster {
 	return c
 }
 
+// NewOpsPublisher builds a history publisher wired to this cluster's
+// observability stack: registry snapshots on the publisher's cadence,
+// the policy decision log when the policy loop is running, and a
+// pprof-encoded attribution profile per publish when the profiler is
+// attached. The caller attaches it to c.Loop (and may override Every,
+// TopK, or OnSnap first). Returns nil when the cluster has no Obs
+// bundle — there is nothing to publish.
+func (c *Cluster) NewOpsPublisher(h *obs.History, topK int) *obs.Publisher {
+	if c.Obs == nil || h == nil {
+		return nil
+	}
+	p := &obs.Publisher{Obs: c.Obs, Hist: h, TopK: topK}
+	if c.Prof != nil {
+		p.ProfFn = func(now sim.Time) []byte {
+			b, err := c.Prof.ProfileBytes(now, now)
+			if err != nil {
+				return nil
+			}
+			return b
+		}
+	}
+	if c.Policy != nil {
+		p.PolicyLogFn = func() []string { return c.Policy.Engine().Log() }
+	}
+	return p
+}
+
 // Start kicks off the controller and monitor loops, plus the BE-side
 // FE connectivity pings (§C.1) at a lower frequency than the central
 // monitor's probes.

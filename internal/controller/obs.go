@@ -21,6 +21,35 @@ func (c *Controller) EnableObs(o *obs.Obs) {
 	c.ob = o
 	c.rpc.EnableObs(o)
 	r := o.Reg
+	r.Help("controller_offloads_total", "Offload transactions committed.")
+	r.Help("controller_fallbacks_total", "Fallback transactions committed.")
+	r.Help("controller_scaleouts_total", "FE pool scale-out transactions committed.")
+	r.Help("controller_scaleins_total", "FE pool scale-in transactions committed.")
+	r.Help("controller_failovers_total", "FE failovers executed after node-down declarations.")
+	r.Help("controller_fes_added_total", "FE shards added across all transactions.")
+	r.Help("controller_aborts_total", "Two-phase transactions aborted before commit.")
+	r.Help("controller_rollbacks_total", "Prepared targets rolled back after an abort.")
+	r.Help("controller_degraded_enters_total", "vNICs entering degraded (partial-pool) mode.")
+	r.Help("controller_degraded_exits_total", "vNICs leaving degraded mode after repair.")
+	r.Help("controller_repair_runs_total", "Degraded-pool repair attempts.")
+	r.Help("ctrl_up", "1 while the controller is alive, 0 during a crash outage.")
+	r.Help("ctrl_recoveries_total", "Completed controller crash recoveries.")
+	r.Help("ctrl_recovery_ms", "Duration of the last completed recovery, milliseconds.")
+	r.Help("ctrl_dup_side_effects_total", "Duplicate side effects suppressed during journal replay.")
+	r.Help("journal_bytes", "Current journal size in bytes.")
+	r.Help("journal_appends_total", "Records appended to the journal.")
+	r.Help("journal_snapshots_total", "Journal compaction snapshots taken.")
+	r.Help("controller_txns_inflight", "Two-phase transactions currently open.")
+	r.Help("controller_vnic_offloaded", "1 when the vNIC is offloaded to an FE pool.")
+	r.Help("controller_vnic_fes", "FE shards serving the vNIC.")
+	r.Help("controller_vnic_epoch", "vNIC configuration epoch.")
+	r.Help("controller_vnic_degraded", "1 while the vNIC's pool is degraded.")
+	r.Help("controller_vnic_dirty", "1 while the vNIC needs reconciliation.")
+	r.Help("controller_node_down", "1 while the controller believes the node is down.")
+	r.Help("controller_node_cpu_util", "Last reported datapath CPU utilization, 0..1.")
+	r.Help("controller_node_mem_util", "Last reported session-memory utilization, 0..1.")
+	r.Help("controller_node_remote_share", "Fraction of node cycles spent on remote (FE) traffic.")
+	r.Help("controller_node_fronted_vnics", "Remote vNICs this node fronts as an FE.")
 	r.CounterFunc("controller_offloads_total", nil, func() uint64 { return c.Stats.Offloads })
 	r.CounterFunc("controller_fallbacks_total", nil, func() uint64 { return c.Stats.Fallbacks })
 	r.CounterFunc("controller_scaleouts_total", nil, func() uint64 { return c.Stats.ScaleOuts })

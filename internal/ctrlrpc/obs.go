@@ -15,6 +15,13 @@ func (t *Transport) EnableObs(o *obs.Obs) {
 	}
 	t.ob = o
 	r := o.Reg
+	r.Help("ctrlrpc_attempts_total", "RPC send attempts, including retries.")
+	r.Help("ctrlrpc_retries_total", "RPC attempts that were retransmissions.")
+	r.Help("ctrlrpc_acked_total", "RPCs acknowledged by the target.")
+	r.Help("ctrlrpc_nacked_total", "RPCs negatively acknowledged.")
+	r.Help("ctrlrpc_timeouts_total", "RPCs that exhausted retries and expired.")
+	r.Help("ctrlrpc_dup_acks_total", "Duplicate acknowledgements discarded.")
+	r.Help("ctrlrpc_pending", "RPCs awaiting acknowledgement.")
 	r.CounterFunc("ctrlrpc_attempts_total", nil, func() uint64 { return t.Stats.Sent })
 	r.CounterFunc("ctrlrpc_retries_total", nil, func() uint64 { return t.Stats.Retries })
 	r.CounterFunc("ctrlrpc_acked_total", nil, func() uint64 { return t.Stats.Acked })

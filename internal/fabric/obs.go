@@ -17,6 +17,14 @@ func (f *Fabric) EnableObs(o *obs.Obs) {
 	}
 	f.tr = o.Tracer
 	r := o.Reg
+	r.Help("fabric_sends_total", "Packets handed to the fabric for transmission.")
+	r.Help("fabric_delivered_total", "Packets the fabric delivered to their destination node.")
+	r.Help("fabric_lost_total", "Packets lost to partitions or dead destinations.")
+	r.Help("fabric_chaos_lost_total", "Packets dropped by the chaos fault injector.")
+	r.Help("fabric_bytes_total", "Wire bytes handed to the fabric.")
+	r.Help("fabric_inflight", "Packets currently in flight on the wire.")
+	r.Help("fabric_nodes", "Nodes attached to the fabric.")
+	r.Help("fabric_partitions", "Active partition pairs.")
 	r.CounterFunc("fabric_sends_total", nil, func() uint64 { return f.Sends })
 	r.CounterFunc("fabric_delivered_total", nil, func() uint64 { return f.Delivered })
 	r.CounterFunc("fabric_lost_total", nil, func() uint64 { return f.Lost })
@@ -32,6 +40,7 @@ func (g *Gateway) EnableObs(o *obs.Obs) {
 	if o == nil {
 		return
 	}
+	o.Reg.Help("gateway_table_size", "vNIC-to-node entries in the gateway forwarding table.")
 	o.Reg.GaugeFunc("gateway_table_size", nil, func() float64 { return float64(len(g.table)) })
 }
 

@@ -111,6 +111,15 @@ func (m *Monitor) EnableObs(o *obs.Obs) {
 	m.ob = o
 	m.declareLat = o.Reg.GetHistogram("monitor_declare_latency_ns", nil)
 	r := o.Reg
+	r.Help("monitor_declare_latency_ns", "First missed probe to node-down declaration, nanoseconds.")
+	r.Help("monitor_probes_sent_total", "Health probes sent.")
+	r.Help("monitor_pongs_seen_total", "Probe responses received.")
+	r.Help("monitor_stale_pongs_total", "Responses arriving after their round closed.")
+	r.Help("monitor_declared_total", "Node-down declarations issued.")
+	r.Help("monitor_guard_trips_total", "Mass-declaration guard activations.")
+	r.Help("monitor_targets", "vSwitches under health monitoring.")
+	r.Help("monitor_targets_down", "Targets currently declared down.")
+	r.Help("monitor_guard_active", "1 while the mass-declaration guard is holding declarations.")
 	r.CounterFunc("monitor_probes_sent_total", nil, m.ProbesSent.Load)
 	r.CounterFunc("monitor_pongs_seen_total", nil, m.PongsSeen.Load)
 	r.CounterFunc("monitor_stale_pongs_total", nil, m.StalePongs.Load)

@@ -95,14 +95,17 @@ func TestPrometheusRoundTripQuantileLabels(t *testing.T) {
 	}
 	out := b.String()
 	qs := promQuantiles(t, out, "wait_ns")
-	if len(qs) != 2 {
-		t.Fatalf("got quantile samples %v, want exactly q=0.5 and q=0.99", qs)
+	if len(qs) != 3 {
+		t.Fatalf("got quantile samples %v, want exactly q=0.5, q=0.99, q=0.999", qs)
 	}
 	if qs["0.5"] != h.Quantile(0.5) {
 		t.Errorf(`quantile="0.5" = %d, want %d`, qs["0.5"], h.Quantile(0.5))
 	}
 	if qs["0.99"] != h.Quantile(0.99) {
 		t.Errorf(`quantile="0.99" = %d, want %d`, qs["0.99"], h.Quantile(0.99))
+	}
+	if qs["0.999"] != h.Quantile(0.999) {
+		t.Errorf(`quantile="0.999" = %d, want %d`, qs["0.999"], h.Quantile(0.999))
 	}
 	// The base labels must survive on the quantile samples too.
 	if !strings.Contains(out, `wait_ns{node="a",quantile="0.5"}`) {

@@ -1,0 +1,431 @@
+package obs
+
+// history.go is the retention layer behind the live ops surface
+// (internal/opsapi): a fixed-capacity ring of sim-time-indexed
+// registry snapshots plus bounded side stores for recent policy
+// decision lines, completed transaction spans, chaos invariant
+// events, and the latest pprof-encoded attribution profile.
+//
+// Everything is written from the sim goroutine by a Publisher and
+// read from HTTP handler goroutines under the History mutex, so the
+// ops service never touches loop-owned state: the HTTP side sees only
+// immutable *Snapshot values and copies of the side stores. The
+// Publisher attaches as a sim.Loop observer — it schedules no events,
+// draws no randomness, and mutates no component state — which is what
+// makes an attached scraper + streamer provably observer-effect-free
+// (the digest-equality tests in internal/opsapi pin this).
+
+import (
+	"sync"
+
+	"nezha/internal/sim"
+)
+
+// InvariantEvent is one chaos invariant violation as retained for the
+// ops surface (the error flattened to a string so it serializes).
+type InvariantEvent struct {
+	At        sim.Time `json:"at"`
+	Invariant string   `json:"invariant"`
+	Err       string   `json:"err"`
+}
+
+// HistoryOptions sizes the rings. Zero values select defaults.
+type HistoryOptions struct {
+	// Snapshots is the ring capacity in retained snapshots (default
+	// 512 — at one snapshot per virtual second, ~8.5 virtual minutes
+	// of scrollback).
+	Snapshots int
+	// PolicyLines bounds the retained policy decision-log tail
+	// (default 1024 lines).
+	PolicyLines int
+	// Invariants bounds retained invariant events (default 256).
+	Invariants int
+	// Spans bounds retained completed transaction spans (default 256).
+	Spans int
+}
+
+func (o *HistoryOptions) defaults() {
+	if o.Snapshots <= 0 {
+		o.Snapshots = 512
+	}
+	if o.PolicyLines <= 0 {
+		o.PolicyLines = 1024
+	}
+	if o.Invariants <= 0 {
+		o.Invariants = 256
+	}
+	if o.Spans <= 0 {
+		o.Spans = 256
+	}
+}
+
+// History is the ring-buffer telemetry store. All methods are safe
+// for concurrent use; writers run on the sim goroutine, readers on
+// HTTP handler goroutines.
+type History struct {
+	mu  sync.Mutex
+	opt HistoryOptions
+
+	// Snapshot ring: buf[head] is the oldest of n retained snapshots.
+	buf  []*Snapshot
+	head int
+	n    int
+
+	published uint64 // total snapshots ever published
+	evicted   uint64 // snapshots pushed out of the ring
+
+	policy []string
+	invs   []InvariantEvent
+	spans  []Span
+
+	profT     sim.Time
+	profBytes []byte
+
+	report any // campaign/scenario report, set by the host
+
+	subs       map[uint64]chan *Snapshot
+	subID      uint64
+	subDropped uint64
+}
+
+// NewHistory builds an empty store.
+func NewHistory(opt HistoryOptions) *History {
+	opt.defaults()
+	return &History{
+		opt:  opt,
+		buf:  make([]*Snapshot, opt.Snapshots),
+		subs: make(map[uint64]chan *Snapshot),
+	}
+}
+
+// Publish appends one snapshot to the ring (evicting the oldest past
+// capacity) and fans it out to subscribers. Slow subscribers never
+// block the sim goroutine: a full subscriber channel drops the event
+// and bumps the drop counter instead.
+func (h *History) Publish(s *Snapshot) {
+	if h == nil || s == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == len(h.buf) {
+		h.buf[h.head] = s
+		h.head = (h.head + 1) % len(h.buf)
+		h.evicted++
+	} else {
+		h.buf[(h.head+h.n)%len(h.buf)] = s
+		h.n++
+	}
+	h.published++
+	for _, ch := range h.subs {
+		select {
+		case ch <- s:
+		default:
+			h.subDropped++
+		}
+	}
+}
+
+// Latest returns the most recent snapshot (nil before the first
+// publish).
+func (h *History) Latest() *Snapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return nil
+	}
+	return h.buf[(h.head+h.n-1)%len(h.buf)]
+}
+
+// Len reports how many snapshots the ring currently retains.
+func (h *History) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Published and Evicted report lifetime totals (published includes
+// evicted).
+func (h *History) Published() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.published
+}
+
+func (h *History) Evicted() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.evicted
+}
+
+// Query returns the retained snapshots with from <= T <= to in
+// chronological order. to <= 0 means "no upper bound". When series
+// names are given, each returned snapshot is a filtered copy holding
+// only points whose name is in the set (flows are dropped); with no
+// series filter the retained snapshots are returned as-is (they are
+// immutable once published).
+func (h *History) Query(from, to sim.Time, series []string) []*Snapshot {
+	if to <= 0 {
+		to = sim.MaxTime
+	}
+	h.mu.Lock()
+	out := make([]*Snapshot, 0, h.n)
+	for i := 0; i < h.n; i++ {
+		s := h.buf[(h.head+i)%len(h.buf)]
+		if s.T < from || s.T > to {
+			continue
+		}
+		out = append(out, s)
+	}
+	h.mu.Unlock()
+	if len(series) == 0 {
+		return out
+	}
+	want := make(map[string]bool, len(series))
+	for _, name := range series {
+		want[name] = true
+	}
+	filtered := make([]*Snapshot, 0, len(out))
+	for _, s := range out {
+		fs := &Snapshot{T: s.T}
+		for i := range s.Points {
+			if want[s.Points[i].Name] {
+				fs.Points = append(fs.Points, s.Points[i])
+			}
+		}
+		filtered = append(filtered, fs)
+	}
+	return filtered
+}
+
+// Tail returns the most recent k snapshots in chronological order.
+func (h *History) Tail(k int) []*Snapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if k <= 0 || k > h.n {
+		k = h.n
+	}
+	out := make([]*Snapshot, 0, k)
+	for i := h.n - k; i < h.n; i++ {
+		out = append(out, h.buf[(h.head+i)%len(h.buf)])
+	}
+	return out
+}
+
+// Subscribe registers a live feed of published snapshots with the
+// given channel buffer (default 64 when <= 0). The returned cancel
+// func unregisters and closes the channel; it is safe to call more
+// than once.
+func (h *History) Subscribe(buf int) (<-chan *Snapshot, func()) {
+	if buf <= 0 {
+		buf = 64
+	}
+	ch := make(chan *Snapshot, buf)
+	h.mu.Lock()
+	id := h.subID
+	h.subID++
+	h.subs[id] = ch
+	h.mu.Unlock()
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			h.mu.Lock()
+			delete(h.subs, id)
+			h.mu.Unlock()
+			close(ch)
+		})
+	}
+	return ch, cancel
+}
+
+// Subscribers reports the number of live subscriptions.
+func (h *History) Subscribers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+// SubDropped reports events dropped on full subscriber channels.
+func (h *History) SubDropped() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.subDropped
+}
+
+// SetPolicyLog replaces the retained policy decision-log tail
+// (bounded to HistoryOptions.PolicyLines most recent lines).
+func (h *History) SetPolicyLog(lines []string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(lines) > h.opt.PolicyLines {
+		lines = lines[len(lines)-h.opt.PolicyLines:]
+	}
+	h.policy = append(h.policy[:0], lines...)
+}
+
+// PolicyLog returns a copy of the retained decision-log tail.
+func (h *History) PolicyLog() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]string(nil), h.policy...)
+}
+
+// AddInvariant records one invariant violation (FIFO-bounded).
+func (h *History) AddInvariant(ev InvariantEvent) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.invs) >= h.opt.Invariants {
+		h.invs = h.invs[1:]
+	}
+	h.invs = append(h.invs, ev)
+}
+
+// Invariants returns a copy of retained invariant events.
+func (h *History) Invariants() []InvariantEvent {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]InvariantEvent(nil), h.invs...)
+}
+
+// SetSpans replaces the retained completed-span tail (bounded to
+// HistoryOptions.Spans most recent).
+func (h *History) SetSpans(spans []Span) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(spans) > h.opt.Spans {
+		spans = spans[len(spans)-h.opt.Spans:]
+	}
+	h.spans = append(h.spans[:0], spans...)
+}
+
+// Spans returns a copy of the retained completed transaction spans.
+func (h *History) Spans() []Span {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]Span(nil), h.spans...)
+}
+
+// SetProf stores the latest pprof-encoded attribution profile.
+func (h *History) SetProf(at sim.Time, b []byte) {
+	if len(b) == 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.profT, h.profBytes = at, b
+}
+
+// Prof returns the latest stored profile and its capture time (nil
+// when none captured).
+func (h *History) Prof() ([]byte, sim.Time) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.profBytes, h.profT
+}
+
+// SetChaosReport stores a JSON-serializable campaign/scenario report.
+func (h *History) SetChaosReport(v any) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.report = v
+}
+
+// ChaosReport returns the stored report (nil when none set).
+func (h *History) ChaosReport() any {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.report
+}
+
+// Publisher feeds a History from the sim goroutine: one snapshot per
+// Every of virtual time, plus the aux stores (spans, policy log,
+// attribution profile). Attach registers it as a loop observer —
+// observers run after events but schedule none, so an attached
+// publisher leaves the event stream, the RNG, and every digest
+// bit-identical to an unattached run.
+type Publisher struct {
+	Obs  *Obs
+	Hist *History
+	// Every is the virtual publish period (default 1 s).
+	Every sim.Time
+	// TopK is the flow-table depth attached to each snapshot (default 10).
+	TopK int
+	// SpanTail bounds the completed spans embedded in each published
+	// snapshot (default 12; the full tail still lands in the History).
+	SpanTail int
+	// ProfFn, when set, captures the current pprof-encoded attribution
+	// profile at each publish (stored via History.SetProf). The closure
+	// runs on the sim goroutine, where profiler draining is owned.
+	ProfFn func(now sim.Time) []byte
+	// PolicyLogFn, when set, snapshots the policy decision log at each
+	// publish.
+	PolicyLogFn func() []string
+	// OnSnap, when set, receives every published snapshot (e.g. a JSONL
+	// writer sharing the publisher's snapshots).
+	OnSnap func(*Snapshot)
+
+	next sim.Time
+}
+
+// Attach registers the publisher on the loop. The first snapshot
+// publishes at the first event on or after one period from now.
+func (p *Publisher) Attach(loop *sim.Loop) {
+	if p.Every <= 0 {
+		p.Every = sim.Second
+	}
+	p.next = loop.Now() + p.Every
+	loop.Observe(func(now sim.Time) {
+		if now < p.next {
+			return
+		}
+		p.PublishNow(now)
+		for p.next <= now {
+			p.next += p.Every
+		}
+	})
+}
+
+// PublishNow snapshots the registry and publishes immediately.
+func (p *Publisher) PublishNow(now sim.Time) {
+	topK := p.TopK
+	if topK <= 0 {
+		topK = 10
+	}
+	p.PublishSnap(now, p.Obs.Snap(now, topK))
+}
+
+// PublishSnap publishes an already-taken snapshot (hosts that snapshot
+// on their own cadence — nezha-sim's per-second tick — share it here
+// so the registry's rate windows advance exactly once per interval).
+func (p *Publisher) PublishSnap(now sim.Time, snap *Snapshot) {
+	tail := p.SpanTail
+	if tail <= 0 {
+		tail = 12
+	}
+	if p.Obs.Spans != nil {
+		done := p.Obs.Spans.Completed()
+		p.Hist.SetSpans(done)
+		if len(done) > tail {
+			done = done[len(done)-tail:]
+		}
+		snap.Spans = done
+	}
+	if p.PolicyLogFn != nil {
+		p.Hist.SetPolicyLog(p.PolicyLogFn())
+	}
+	if p.ProfFn != nil {
+		if b := p.ProfFn(now); len(b) > 0 {
+			p.Hist.SetProf(now, b)
+		}
+	}
+	p.Hist.Publish(snap)
+	if p.OnSnap != nil {
+		p.OnSnap(snap)
+	}
+}

@@ -1,0 +1,215 @@
+package obs_test
+
+import (
+	"testing"
+
+	"nezha/internal/obs"
+	"nezha/internal/sim"
+)
+
+func snapAt(t sim.Time) *obs.Snapshot {
+	return &obs.Snapshot{T: t, Points: []obs.Point{
+		{Name: "a_total", Kind: "counter", Value: float64(t / sim.Second)},
+		{Name: "b_gauge", Kind: "gauge", Value: 1},
+	}}
+}
+
+// TestHistoryRingEviction fills the ring past capacity and checks the
+// oldest snapshots fall out while counters track lifetime totals.
+func TestHistoryRingEviction(t *testing.T) {
+	h := obs.NewHistory(obs.HistoryOptions{Snapshots: 4})
+	for i := 1; i <= 7; i++ {
+		h.Publish(snapAt(sim.Time(i) * sim.Second))
+	}
+	if got := h.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	if got := h.Published(); got != 7 {
+		t.Errorf("Published = %d, want 7", got)
+	}
+	if got := h.Evicted(); got != 3 {
+		t.Errorf("Evicted = %d, want 3", got)
+	}
+	if got := h.Latest().T; got != 7*sim.Second {
+		t.Errorf("Latest.T = %v, want 7s", got)
+	}
+	// Retention is the most recent 4, in chronological order.
+	all := h.Query(0, 0, nil)
+	if len(all) != 4 {
+		t.Fatalf("Query(all) = %d snapshots, want 4", len(all))
+	}
+	for i, s := range all {
+		if want := sim.Time(i+4) * sim.Second; s.T != want {
+			t.Errorf("Query(all)[%d].T = %v, want %v", i, s.T, want)
+		}
+	}
+}
+
+// TestHistoryQueryEdges pins the from/to semantics: inclusive bounds,
+// to<=0 meaning unbounded, empty windows, and the series filter.
+func TestHistoryQueryEdges(t *testing.T) {
+	h := obs.NewHistory(obs.HistoryOptions{Snapshots: 16})
+	for i := 1; i <= 5; i++ {
+		h.Publish(snapAt(sim.Time(i) * sim.Second))
+	}
+
+	// Inclusive on both ends.
+	got := h.Query(2*sim.Second, 4*sim.Second, nil)
+	if len(got) != 3 || got[0].T != 2*sim.Second || got[2].T != 4*sim.Second {
+		t.Errorf("Query(2s,4s) = %d snaps [%v..], want T=2s..4s inclusive", len(got), tOf(got))
+	}
+	// Exact single instant.
+	if got := h.Query(3*sim.Second, 3*sim.Second, nil); len(got) != 1 || got[0].T != 3*sim.Second {
+		t.Errorf("Query(3s,3s) = %v, want exactly t=3s", tOf(got))
+	}
+	// to=0 is unbounded above.
+	if got := h.Query(4*sim.Second, 0, nil); len(got) != 2 {
+		t.Errorf("Query(4s,0) = %v, want t=4s,5s", tOf(got))
+	}
+	// Window before retention start and after retention end are empty.
+	if got := h.Query(6*sim.Second, 9*sim.Second, nil); len(got) != 0 {
+		t.Errorf("Query(6s,9s) = %v, want empty", tOf(got))
+	}
+	// from > to is empty (not an error).
+	if got := h.Query(4*sim.Second, 2*sim.Second, nil); len(got) != 0 {
+		t.Errorf("Query(4s,2s) = %v, want empty", tOf(got))
+	}
+
+	// The series filter drops non-matching points without mutating the
+	// retained snapshots.
+	got = h.Query(0, 0, []string{"a_total"})
+	if len(got) != 5 {
+		t.Fatalf("filtered Query = %d snaps, want 5", len(got))
+	}
+	for _, s := range got {
+		if len(s.Points) != 1 || s.Points[0].Name != "a_total" {
+			t.Fatalf("filtered snapshot holds %v, want only a_total", s.Points)
+		}
+	}
+	if full := h.Query(0, 0, nil); len(full[0].Points) != 2 {
+		t.Errorf("series filter mutated the retained snapshot: %v", full[0].Points)
+	}
+}
+
+func tOf(ss []*obs.Snapshot) []sim.Time {
+	out := make([]sim.Time, len(ss))
+	for i, s := range ss {
+		out[i] = s.T
+	}
+	return out
+}
+
+// TestHistoryTail checks Tail clamps k and preserves order.
+func TestHistoryTail(t *testing.T) {
+	h := obs.NewHistory(obs.HistoryOptions{Snapshots: 8})
+	for i := 1; i <= 3; i++ {
+		h.Publish(snapAt(sim.Time(i) * sim.Second))
+	}
+	if got := h.Tail(2); len(got) != 2 || got[0].T != 2*sim.Second || got[1].T != 3*sim.Second {
+		t.Errorf("Tail(2) = %v, want t=2s,3s", tOf(got))
+	}
+	if got := h.Tail(99); len(got) != 3 {
+		t.Errorf("Tail(99) = %d snaps, want all 3", len(got))
+	}
+	if got := h.Tail(0); len(got) != 3 {
+		t.Errorf("Tail(0) = %d snaps, want all 3", len(got))
+	}
+}
+
+// TestHistorySubscribe checks live fan-out, the slow-subscriber drop
+// path (a full channel must never block Publish), and idempotent
+// cancel.
+func TestHistorySubscribe(t *testing.T) {
+	h := obs.NewHistory(obs.HistoryOptions{Snapshots: 8})
+	ch, cancel := h.Subscribe(2)
+	defer cancel()
+
+	for i := 1; i <= 5; i++ {
+		h.Publish(snapAt(sim.Time(i) * sim.Second)) // never blocks
+	}
+	// Buffer of 2: first two delivered, three dropped.
+	if got := h.SubDropped(); got != 3 {
+		t.Errorf("SubDropped = %d, want 3", got)
+	}
+	first := <-ch
+	if first.T != sim.Second {
+		t.Errorf("first delivered T = %v, want 1s", first.T)
+	}
+
+	cancel()
+	cancel() // second cancel must not panic
+	if _, ok := <-ch; ok {
+		// one buffered snapshot may remain; drain until closed
+		for range ch {
+		}
+	}
+	// Publishing after cancel must not panic or deliver.
+	h.Publish(snapAt(9 * sim.Second))
+}
+
+// TestHistorySideStores covers the bounded policy/invariant/span/prof
+// stores the ops endpoints serve.
+func TestHistorySideStores(t *testing.T) {
+	h := obs.NewHistory(obs.HistoryOptions{PolicyLines: 2, Invariants: 2, Spans: 2})
+
+	h.SetPolicyLog([]string{"l1", "l2", "l3"})
+	if got := h.PolicyLog(); len(got) != 2 || got[0] != "l2" {
+		t.Errorf("PolicyLog = %v, want tail [l2 l3]", got)
+	}
+
+	for i := 0; i < 3; i++ {
+		h.AddInvariant(obs.InvariantEvent{At: sim.Time(i), Invariant: "conservation", Err: "x"})
+	}
+	if got := h.Invariants(); len(got) != 2 || got[0].At != 1 {
+		t.Errorf("Invariants = %v, want FIFO-bounded to the last 2", got)
+	}
+
+	h.SetSpans([]obs.Span{{Kind: "a"}, {Kind: "b"}, {Kind: "c"}})
+	if got := h.Spans(); len(got) != 2 || got[0].Kind != "b" {
+		t.Errorf("Spans = %v, want tail [b c]", got)
+	}
+
+	if b, _ := h.Prof(); b != nil {
+		t.Errorf("Prof before SetProf = %v, want nil", b)
+	}
+	h.SetProf(3*sim.Second, []byte{1, 2})
+	h.SetProf(4*sim.Second, nil) // empty capture must not clobber
+	if b, at := h.Prof(); len(b) != 2 || at != 3*sim.Second {
+		t.Errorf("Prof = (%v, %v), want ([1 2], 3s)", b, at)
+	}
+
+	if h.ChaosReport() != nil {
+		t.Error("ChaosReport before set should be nil")
+	}
+	h.SetChaosReport(map[string]int{"seed": 7})
+	if h.ChaosReport() == nil {
+		t.Error("ChaosReport lost the stored report")
+	}
+
+	// nil-receiver safety for the writer-side hooks.
+	var nilH *obs.History
+	nilH.Publish(snapAt(sim.Second))
+	nilH.AddInvariant(obs.InvariantEvent{})
+	nilH.SetChaosReport(1)
+}
+
+// TestPublisherCadence attaches a publisher to a live loop and checks
+// one snapshot per virtual second lands in the history.
+func TestPublisherCadence(t *testing.T) {
+	loop := sim.NewLoop(1)
+	ob := obs.New(obs.Options{})
+	c := ob.Reg.GetCounter("ticks_total", nil)
+	loop.Every(100*sim.Millisecond, func() { c.Inc() })
+
+	h := obs.NewHistory(obs.HistoryOptions{})
+	pub := &obs.Publisher{Obs: ob, Hist: h}
+	pub.Attach(loop)
+
+	loop.Run(5*sim.Second + 50*sim.Millisecond)
+	if got := int(h.Published()); got != 5 {
+		t.Fatalf("published %d snapshots over 5s, want 5", got)
+	}
+	if got := h.Latest().T; got != 5*sim.Second {
+		t.Errorf("latest snapshot T = %v, want 5s", got)
+	}
+}

@@ -31,12 +31,23 @@ type Options struct {
 	RingSize   int     // flight-recorder events (default 4096)
 	MaxSpans   int     // retained completed spans (default 256)
 	MaxFlows   int     // flow table size (default 1024)
+	// MaxSeries caps registry cardinality (default DefaultMaxSeries;
+	// negative disables the cap). Registrations past the cap are
+	// counted in obs_series_dropped_total.
+	MaxSeries int
 }
 
 // New builds an Obs bundle.
 func New(opts Options) *Obs {
+	reg := NewRegistry()
+	if opts.MaxSeries > 0 {
+		reg.SetMaxSeries(opts.MaxSeries)
+	} else if opts.MaxSeries < 0 {
+		reg.SetMaxSeries(0)
+	}
+	reg.Help("obs_series_dropped_total", "Series registrations refused by the registry cardinality cap.")
 	return &Obs{
-		Reg:    NewRegistry(),
+		Reg:    reg,
 		Tracer: NewFlightTracer(opts.Seed, opts.SampleRate, opts.MaxFlights),
 		Spans:  NewSpanLog(opts.MaxSpans),
 		Rec:    NewFlightRecorder(opts.RingSize),

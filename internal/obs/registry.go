@@ -20,6 +20,7 @@ import (
 	"io"
 	"math"
 	"math/bits"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -253,6 +254,16 @@ type Registry struct {
 	funcs      []funcSeries
 	funcKeys   map[string]bool
 	collectors []func(Emit)
+	helps      map[string]string
+
+	// maxSeries caps distinct registered series (atomics + snapshot
+	// funcs) so a region-scale run cannot silently blow the registry
+	// up; past the cap new registrations are counted in dropped and
+	// handed detached (unexported) instruments. 0 disables the cap.
+	maxSeries int
+	dropped   atomic.Uint64
+	warnOnce  sync.Once
+	warnFn    func(msg string)
 
 	// Previous snapshot state for windowed rates.
 	prevT   sim.Time
@@ -260,12 +271,60 @@ type Registry struct {
 	hasPrev bool
 }
 
-// NewRegistry builds an empty registry.
+// DefaultMaxSeries is the registry's default series-cardinality cap.
+const DefaultMaxSeries = 1 << 16
+
+// NewRegistry builds an empty registry with the default series cap.
 func NewRegistry() *Registry {
 	return &Registry{
-		series:   make(map[string]*series),
-		funcKeys: make(map[string]bool),
-		prevVal:  make(map[string]float64),
+		series:    make(map[string]*series),
+		funcKeys:  make(map[string]bool),
+		prevVal:   make(map[string]float64),
+		helps:     make(map[string]string),
+		maxSeries: DefaultMaxSeries,
+		warnFn: func(msg string) {
+			fmt.Fprintln(os.Stderr, msg)
+		},
+	}
+}
+
+// SetMaxSeries reconfigures the series-cardinality cap (<= 0 disables
+// it). Already-registered series are never evicted.
+func (r *Registry) SetMaxSeries(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.maxSeries = n
+}
+
+// SetWarnFn replaces the first-drop warning sink (default: stderr).
+func (r *Registry) SetWarnFn(fn func(msg string)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.warnFn = fn
+}
+
+// Dropped reports how many registrations the cardinality cap refused.
+func (r *Registry) Dropped() uint64 { return r.dropped.Load() }
+
+// Help attaches exposition help text to a metric name; WritePrometheus
+// emits it as a # HELP line ahead of the # TYPE line.
+func (r *Registry) Help(name, text string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.helps[name] = text
+}
+
+// dropSeries counts one refused registration, warning once. Caller
+// holds r.mu.
+func (r *Registry) dropSeries(key string) {
+	if r.dropped.Add(1) == 1 {
+		warn := r.warnFn
+		max := r.maxSeries
+		r.warnOnce.Do(func() {
+			if warn != nil {
+				warn(fmt.Sprintf("obs: series cap %d reached dropping %q; further new series are dropped silently (obs_series_dropped_total counts them)", max, key))
+			}
+		})
 	}
 }
 
@@ -288,6 +347,20 @@ func (r *Registry) get(name string, labels Labels, kind Kind) *series {
 		return s
 	}
 	s := &series{name: name, labels: labels, kind: kind}
+	if r.maxSeries > 0 && len(r.series)+len(r.funcs) >= r.maxSeries {
+		// Past the cap: hand back a working but detached instrument so
+		// pre-bound hot-path handles stay nil-safe.
+		r.dropSeries(key)
+		switch kind {
+		case KindCounter:
+			s.c = &Counter{}
+		case KindGauge:
+			s.g = &Gauge{}
+		case KindHistogram:
+			s.h = &Histogram{}
+		}
+		return s
+	}
 	switch kind {
 	case KindCounter:
 		s.c = &Counter{}
@@ -341,6 +414,10 @@ func (r *Registry) addFunc(f funcSeries) {
 			}
 		}
 	}
+	if r.maxSeries > 0 && len(r.series)+len(r.funcs) >= r.maxSeries {
+		r.dropSeries(key)
+		return
+	}
 	r.funcKeys[key] = true
 	r.funcs = append(r.funcs, f)
 }
@@ -368,6 +445,7 @@ type Point struct {
 	Sum   uint64 `json:"sum,omitempty"`
 	P50   uint64 `json:"p50,omitempty"`
 	P99   uint64 `json:"p99,omitempty"`
+	P999  uint64 `json:"p999,omitempty"`
 
 	labels Labels
 }
@@ -380,6 +458,14 @@ type Snapshot struct {
 	Points []Point  `json:"series"`
 	// Flows is filled in by Obs.Snap with top-K flows (optional).
 	Flows []FlowStat `json:"flows,omitempty"`
+	// Spans is the tail of recently completed control-plane transaction
+	// spans, filled in by a history Publisher (optional) — the TXN
+	// section nezha-top renders in live mode.
+	Spans []Span `json:"spans,omitempty"`
+
+	// help carries per-metric exposition help text for WritePrometheus;
+	// deliberately unexported so JSONL snapshots stay compact.
+	help map[string]string
 }
 
 // Snapshot samples every series, computes windowed rates against the
@@ -393,9 +479,13 @@ func (r *Registry) Snapshot(now sim.Time) *Snapshot {
 	}
 	funcs := append([]funcSeries(nil), r.funcs...)
 	collectors := append([]func(Emit){}, r.collectors...)
+	helps := make(map[string]string, len(r.helps))
+	for k, v := range r.helps {
+		helps[k] = v
+	}
 	r.mu.Unlock()
 
-	snap := &Snapshot{T: now}
+	snap := &Snapshot{T: now, help: helps}
 	add := func(name string, labels Labels, kind Kind, value float64) {
 		snap.Points = append(snap.Points, Point{
 			Name: name, Labels: labels.Map(), Kind: kind.String(),
@@ -412,7 +502,7 @@ func (r *Registry) Snapshot(now sim.Time) *Snapshot {
 			p := Point{
 				Name: s.name, Labels: s.labels.Map(), Kind: KindHistogram.String(),
 				Count: s.h.Count(), Sum: s.h.Sum(),
-				P50: s.h.Quantile(0.50), P99: s.h.Quantile(0.99),
+				P50: s.h.Quantile(0.50), P99: s.h.Quantile(0.99), P999: s.h.Quantile(0.999),
 				labels: s.labels,
 			}
 			p.Value = float64(p.Count)
@@ -429,6 +519,11 @@ func (r *Registry) Snapshot(now sim.Time) *Snapshot {
 	}
 	for _, c := range collectors {
 		c(add)
+	}
+	if dropped := r.dropped.Load(); dropped > 0 {
+		// Synthetic only once the cap has actually refused something, so
+		// capped-but-healthy runs emit nothing new.
+		add("obs_series_dropped_total", nil, KindCounter, float64(dropped))
 	}
 	sort.Slice(snap.Points, func(i, j int) bool {
 		if snap.Points[i].Name != snap.Points[j].Name {
@@ -461,14 +556,35 @@ func (r *Registry) Snapshot(now sim.Time) *Snapshot {
 	return snap
 }
 
+// escapeHelp escapes backslashes and newlines per the exposition
+// format's HELP rules.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// withQuantile returns labels plus a quantile label, in canonical
+// (sorted) order.
+func withQuantile(base Labels, q string) Labels {
+	ls := append(append(Labels(nil), base...), Label{K: "quantile", V: q})
+	sort.Slice(ls, func(i, j int) bool { return ls[i].K < ls[j].K })
+	return ls
+}
+
 // WritePrometheus renders the snapshot in Prometheus text exposition
-// format. Histograms are rendered as summaries (sum, count, quantile
-// upper bounds).
+// format: an optional # HELP line and a # TYPE line per metric name,
+// then the samples. Histograms are rendered as summaries (quantile
+// samples at 0.5/0.99/0.999, then _sum and _count).
 func (s *Snapshot) WritePrometheus(w io.Writer) error {
 	lastName := ""
 	for i := range s.Points {
 		p := &s.Points[i]
 		if p.Name != lastName {
+			if help, ok := s.help[p.Name]; ok && help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", p.Name, escapeHelp(help)); err != nil {
+					return err
+				}
+			}
 			typ := p.Kind
 			if typ == "histogram" {
 				typ = "summary"
@@ -482,13 +598,10 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 		var err error
 		switch p.Kind {
 		case "histogram":
-			q50 := append(append(Labels(nil), p.labels...), Label{K: "quantile", V: "0.5"})
-			q99 := append(append(Labels(nil), p.labels...), Label{K: "quantile", V: "0.99"})
-			sort.Slice(q50, func(i, j int) bool { return q50[i].K < q50[j].K })
-			sort.Slice(q99, func(i, j int) bool { return q99[i].K < q99[j].K })
-			_, err = fmt.Fprintf(w, "%s%s %d\n%s%s %d\n%s_sum%s %d\n%s_count%s %d\n",
-				p.Name, q50.promString(), p.P50,
-				p.Name, q99.promString(), p.P99,
+			_, err = fmt.Fprintf(w, "%s%s %d\n%s%s %d\n%s%s %d\n%s_sum%s %d\n%s_count%s %d\n",
+				p.Name, withQuantile(p.labels, "0.5").promString(), p.P50,
+				p.Name, withQuantile(p.labels, "0.99").promString(), p.P99,
+				p.Name, withQuantile(p.labels, "0.999").promString(), p.P999,
 				p.Name, lp, p.Sum,
 				p.Name, lp, p.Count)
 		default:

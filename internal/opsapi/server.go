@@ -1,0 +1,402 @@
+// Package opsapi is the embedded HTTP ops service any sim process can
+// host off the event loop (nezha-sim -listen, nezha-chaos -listen):
+// Prometheus exposition, JSON snapshots, ring-buffer history queries,
+// an SSE stream of per-virtual-second snapshots, the latest
+// pprof-encoded attribution profile, the policy decision log, the
+// chaos campaign report, and controller health.
+//
+// The service is observer-effect-free by construction: handlers read
+// only from an obs.History — immutable snapshots and copied side
+// stores published by the sim goroutine — and never touch loop-owned
+// state (no Registry.Snapshot, no profiler drain, no event
+// scheduling). A run with an active scraper and SSE subscriber
+// produces bit-identical digests, decision logs, and invariant
+// verdicts to the same seed without the server; the digest-equality
+// tests in this package pin that.
+package opsapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"nezha/internal/obs"
+	"nezha/internal/sim"
+)
+
+// Server hosts the ops endpoints. The history source and the chaos
+// report provider are swappable mid-flight (nezha-chaos points the
+// same listener at each campaign's fresh History).
+type Server struct {
+	mu     sync.Mutex
+	hist   *obs.History
+	report func() any
+	meta   map[string]string
+
+	httpSrv *http.Server
+	ln      net.Listener
+}
+
+// New builds an unstarted server.
+func New() *Server {
+	return &Server{meta: make(map[string]string)}
+}
+
+// SetHistory swaps the history source serving all read endpoints.
+func (s *Server) SetHistory(h *obs.History) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hist = h
+}
+
+// SetChaosReport installs the /api/v1/chaos/report provider. The
+// closure must be safe to call from handler goroutines and return a
+// JSON-serializable value (nil = not available yet). When no provider
+// is installed the handler falls back to History.ChaosReport.
+func (s *Server) SetChaosReport(fn func() any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.report = fn
+}
+
+// SetMeta attaches a static key=value shown on the index endpoint
+// (mode, seed, version — whatever the host wants to advertise).
+func (s *Server) SetMeta(k, v string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.meta[k] = v
+}
+
+func (s *Server) history() *obs.History {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hist
+}
+
+// Listen binds addr ("host:port"; port 0 picks a free one), serves in
+// a background goroutine, and returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	s.mu.Lock()
+	s.ln, s.httpSrv = ln, srv
+	s.mu.Unlock()
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener and drops open streams.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	srv := s.httpSrv
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}
+
+// Handler returns the ops mux (also usable under a host-owned server
+// or httptest).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/api/v1/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/api/v1/history", s.handleHistory)
+	mux.HandleFunc("/api/v1/stream", s.handleStream)
+	mux.HandleFunc("/api/v1/prof", s.handleProf)
+	mux.HandleFunc("/api/v1/policy/log", s.handlePolicyLog)
+	mux.HandleFunc("/api/v1/chaos/report", s.handleChaosReport)
+	mux.HandleFunc("/api/v1/health", s.handleHealth)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	s.mu.Lock()
+	meta := make(map[string]string, len(s.meta))
+	for k, v := range s.meta {
+		meta[k] = v
+	}
+	s.mu.Unlock()
+	writeJSON(w, map[string]any{
+		"service": "nezha-opsapi",
+		"meta":    meta,
+		"endpoints": []string{
+			"/metrics",
+			"/api/v1/snapshot",
+			"/api/v1/history?series=&from=&to=",
+			"/api/v1/stream?replay=",
+			"/api/v1/prof",
+			"/api/v1/policy/log",
+			"/api/v1/chaos/report",
+			"/api/v1/health",
+		},
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	h := s.history()
+	if h == nil {
+		http.Error(w, "no telemetry source attached", http.StatusServiceUnavailable)
+		return
+	}
+	snap := h.Latest()
+	if snap == nil {
+		http.Error(w, "no snapshot published yet", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	snap.WritePrometheus(w)
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	h := s.history()
+	if h == nil {
+		http.Error(w, "no telemetry source attached", http.StatusServiceUnavailable)
+		return
+	}
+	snap := h.Latest()
+	if snap == nil {
+		http.Error(w, "no snapshot published yet", http.StatusServiceUnavailable)
+		return
+	}
+	writeJSON(w, snap)
+}
+
+// parseSimTime accepts a Go duration ("3s", "1.5s") or bare seconds
+// ("3", "3.5") and returns virtual time.
+func parseSimTime(s string) (sim.Time, error) {
+	if s == "" {
+		return 0, nil
+	}
+	if d, err := time.ParseDuration(s); err == nil {
+		return sim.Time(d), nil
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad time %q (want duration like 3s or seconds like 3.5)", s)
+	}
+	return sim.Time(f * float64(sim.Second)), nil
+}
+
+// historyResponse is the /api/v1/history payload: matching snapshots
+// plus the retained completed transaction spans.
+type historyResponse struct {
+	Snapshots []*obs.Snapshot `json:"snapshots"`
+	Spans     []obs.Span      `json:"spans,omitempty"`
+	Retained  int             `json:"retained"`
+	Published uint64          `json:"published"`
+	Evicted   uint64          `json:"evicted"`
+}
+
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	h := s.history()
+	if h == nil {
+		http.Error(w, "no telemetry source attached", http.StatusServiceUnavailable)
+		return
+	}
+	q := r.URL.Query()
+	from, err := parseSimTime(q.Get("from"))
+	if err != nil {
+		http.Error(w, "from: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	to, err := parseSimTime(q.Get("to"))
+	if err != nil {
+		http.Error(w, "to: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	var series []string
+	if raw := q.Get("series"); raw != "" {
+		for _, name := range strings.Split(raw, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				series = append(series, name)
+			}
+		}
+	}
+	writeJSON(w, historyResponse{
+		Snapshots: h.Query(from, to, series),
+		Spans:     h.Spans(),
+		Retained:  h.Len(),
+		Published: h.Published(),
+		Evicted:   h.Evicted(),
+	})
+}
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	h := s.history()
+	if h == nil {
+		http.Error(w, "no telemetry source attached", http.StatusServiceUnavailable)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	replay := 1
+	if raw := r.URL.Query().Get("replay"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			http.Error(w, "replay: want a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		replay = n
+	}
+
+	ch, cancel := h.Subscribe(64)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	var lastT sim.Time = -1
+	send := func(snap *obs.Snapshot) error {
+		if snap.T <= lastT {
+			return nil // already replayed
+		}
+		lastT = snap.T
+		b, err := json.Marshal(snap)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "event: snapshot\ndata: %s\n\n", b); err != nil {
+			return err
+		}
+		fl.Flush()
+		return nil
+	}
+	for _, snap := range h.Tail(replay) {
+		if err := send(snap); err != nil {
+			return
+		}
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case snap, ok := <-ch:
+			if !ok {
+				return
+			}
+			if err := send(snap); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) handleProf(w http.ResponseWriter, r *http.Request) {
+	h := s.history()
+	if h == nil {
+		http.Error(w, "no telemetry source attached", http.StatusServiceUnavailable)
+		return
+	}
+	b, at := h.Prof()
+	if len(b) == 0 {
+		http.Error(w, "no profile captured (run with the profiler attached)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", `attachment; filename="nezha-prof.pb.gz"`)
+	w.Header().Set("X-Nezha-Prof-T", at.String())
+	w.Write(b)
+}
+
+func (s *Server) handlePolicyLog(w http.ResponseWriter, r *http.Request) {
+	h := s.history()
+	if h == nil {
+		http.Error(w, "no telemetry source attached", http.StatusServiceUnavailable)
+		return
+	}
+	log := h.PolicyLog()
+	if log == nil {
+		log = []string{}
+	}
+	writeJSON(w, map[string]any{"log": log})
+}
+
+func (s *Server) handleChaosReport(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	fn := s.report
+	h := s.hist
+	s.mu.Unlock()
+	var v any
+	if fn != nil {
+		v = fn()
+	} else if h != nil {
+		v = h.ChaosReport()
+	}
+	if v == nil {
+		http.Error(w, "no chaos report available", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, v)
+}
+
+// Health is the /api/v1/health payload, derived from the latest
+// published snapshot's controller liveness series (the PR 7 CTRL
+// surface) plus the invariant-event ring.
+type Health struct {
+	T sim.Time `json:"t"`
+	// HasCtrl reports whether the run publishes controller liveness at
+	// all (false for controller-less baselines).
+	HasCtrl        bool    `json:"has_ctrl"`
+	CtrlUp         bool    `json:"ctrl_up"`
+	Recoveries     float64 `json:"recoveries"`
+	LastRecoveryMs float64 `json:"last_recovery_ms"`
+	Violations     int     `json:"invariant_violations"`
+	Snapshots      int     `json:"snapshots_retained"`
+	Published      uint64  `json:"snapshots_published"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	h := s.history()
+	if h == nil {
+		http.Error(w, "no telemetry source attached", http.StatusServiceUnavailable)
+		return
+	}
+	out := Health{
+		Violations: len(h.Invariants()),
+		Snapshots:  h.Len(),
+		Published:  h.Published(),
+	}
+	if snap := h.Latest(); snap != nil {
+		out.T = snap.T
+		for i := range snap.Points {
+			p := &snap.Points[i]
+			switch p.Name {
+			case "ctrl_up":
+				out.HasCtrl = true
+				out.CtrlUp = p.Value > 0
+			case "ctrl_recoveries_total":
+				out.Recoveries += p.Value
+			case "ctrl_recovery_ms":
+				out.LastRecoveryMs = p.Value
+			}
+		}
+	}
+	writeJSON(w, out)
+}

@@ -106,6 +106,10 @@ func (pl *Loop) EnableObs(ob *obs.Obs) {
 	if ob == nil || ob.Reg == nil {
 		return
 	}
+	ob.Reg.Help("policy_decisions_total", "Policy decisions applied, by action.")
+	ob.Reg.Help("policy_thrash_total", "Self-reported offload/fallback thrash events.")
+	ob.Reg.Help("policy_steps_total", "Policy loop steps executed.")
+	ob.Reg.Help("policy_rejected_total", "Decisions the actuator rejected.")
 	for _, a := range []Action{ActOffload, ActFallback, ActScaleOut, ActScaleIn} {
 		a := a
 		ob.Reg.CounterFunc("policy_decisions_total", obs.L("action", a.String()), func() uint64 {

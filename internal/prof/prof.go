@@ -553,6 +553,9 @@ func (p *Profiler) SuggestOffload(k int) []Candidate {
 // scheduled and no counters outside the registry are touched, so
 // chaos digests are unchanged by attaching.
 func (p *Profiler) Attach(reg *obs.Registry) {
+	reg.Help("prof_cycles_total", "Attributed CPU cycles by node/vnic/role/dir/stage/cause.")
+	reg.Help("prof_mem_live_bytes", "Attributed live session memory by node/vnic/role/cause.")
+	reg.Help("prof_core_util", "Per-core datapath utilization in the last attribution window, 0..1.")
 	reg.Collect(func(emit obs.Emit) {
 		if p.clock != nil {
 			p.Advance(p.clock())

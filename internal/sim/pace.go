@@ -1,0 +1,32 @@
+package sim
+
+import "time"
+
+// AttachPacer throttles loop execution so virtual time advances at
+// most ratio× wall-clock speed (ratio 1 = real time, 2 = double
+// speed). It works purely through an observer — sleeping between
+// events without scheduling anything or reading loop internals — so a
+// paced run fires the identical event sequence as an unpaced one;
+// only wall-clock duration changes. Ratio <= 0 is a no-op.
+//
+// The sim stays single-threaded: pacing is what makes -listen hosts
+// feel live (a scraper sees one snapshot per virtual second arriving
+// once per wall second) instead of the run completing in milliseconds.
+func AttachPacer(loop *Loop, ratio float64) {
+	if ratio <= 0 {
+		return
+	}
+	var start time.Time
+	var base Time
+	loop.Observe(func(now Time) {
+		if start.IsZero() {
+			start, base = time.Now(), now
+			return
+		}
+		virtual := time.Duration(float64(now-base) / ratio)
+		ahead := virtual - time.Since(start)
+		if ahead > time.Millisecond {
+			time.Sleep(ahead)
+		}
+	})
+}

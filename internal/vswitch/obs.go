@@ -38,6 +38,31 @@ func (vs *VSwitch) EnableObs(o *obs.Obs) {
 		util:      nic.NewUtilMeter(vs.cpu),
 	}
 	r := o.Reg
+	r.Help("vswitch_queue_wait_ns", "CPU queueing plus service delay per packet, nanoseconds.")
+	r.Help("vswitch_from_vm_total", "Packets received from local VMs.")
+	r.Help("vswitch_from_net_total", "Packets received from the fabric.")
+	r.Help("vswitch_delivered_total", "Packets delivered to local VMs.")
+	r.Help("vswitch_sent_total", "Packets sent onto the fabric.")
+	r.Help("vswitch_absorbed_total", "Packets absorbed locally (probes, control).")
+	r.Help("vswitch_fastpath_total", "Packets served by the offloaded fast path.")
+	r.Help("vswitch_slowpath_total", "Packets that took the slow path (rule evaluation).")
+	r.Help("vswitch_notify_sent_total", "Session-notify messages sent to peers.")
+	r.Help("vswitch_notify_recv_total", "Session-notify messages received.")
+	r.Help("vswitch_probes_seen_total", "Health probes answered.")
+	r.Help("vswitch_mirrored_total", "Packets mirrored by rule action.")
+	r.Help("vswitch_flow_logged_total", "Packets flow-logged by rule action.")
+	r.Help("vswitch_nat_rewrites_total", "NAT header rewrites performed.")
+	r.Help("vswitch_cycles_local_total", "CPU cycles spent on this node's own vNIC traffic.")
+	r.Help("vswitch_cycles_remote_total", "CPU cycles spent serving offloaded (FE) traffic.")
+	r.Help("vswitch_drops_total", "Packets dropped, by reason.")
+	r.Help("vswitch_sessions", "Entries in the session table.")
+	r.Help("vswitch_mem_util", "Session-table memory utilization, 0..1.")
+	r.Help("vswitch_cpu_util", "Datapath CPU utilization sample, 0..1.")
+	r.Help("vswitch_inflight_cpu", "Packets queued or executing on datapath cores.")
+	r.Help("vswitch_vnics", "vNICs homed on this vSwitch.")
+	r.Help("vswitch_fes_hosted", "FE shards this vSwitch hosts for remote vNICs.")
+	r.Help("vswitch_vnics_offloaded", "Homed vNICs currently offloaded to an FE pool.")
+	r.Help("vswitch_crashed", "1 while the vSwitch is crashed, else 0.")
 	mirror := func(name string, f *uint64) {
 		r.CounterFunc(name, lbl, func() uint64 { return *f })
 	}
