@@ -14,6 +14,7 @@ package nezha
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"testing"
 
@@ -150,6 +151,120 @@ func BenchmarkDatapathBurst(b *testing.B) {
 	benchDatapathPipeline(b, sim.SchedCalendar, true)
 }
 
+// --- Per-worker forwarding rate ---------------------------------------
+//
+// The A→B rig above charges both the TX and the RX datapath to every
+// packet, so its pkts/s is the round-trip rate of a switch PAIR. The
+// forwarding rig isolates ONE vSwitch: A runs the full burst TX
+// datapath (RSS dispatch, per-worker plan, CPU completion waves, encap,
+// coalesced SendBurst) with Config.Workers=W, and the destination
+// underlay address is a raw fabric node that counts and releases — no
+// second datapath in the measurement. pkts/s is therefore the
+// forwarding rate of a single switch, the number the worker split is
+// meant to move.
+
+type dpFwdRig struct {
+	loop      *sim.Loop
+	a         *vswitch.VSwitch
+	delivered uint64
+	id        uint64
+}
+
+func newForwardRig(workers int) *dpFwdRig {
+	r := &dpFwdRig{loop: sim.NewLoopSched(1, sim.SchedCalendar)}
+	fab := fabric.New(r.loop)
+	gw := fabric.NewGateway(r.loop)
+	r.a = vswitch.New(r.loop, fab, gw, vswitch.Config{
+		Addr: dpAddrA, Cores: dpBenchCores, CoreHz: dpBenchHz,
+		Workers: workers,
+	})
+	// Raw sink node: every delivered underlay packet is counted and
+	// returned to the pool, per-packet and coalesced alike.
+	fab.Register(dpAddrB, 0, func(p *packet.Packet) {
+		r.delivered++
+		p.Release()
+	})
+	if err := fab.SetBurstHandler(dpAddrB, func(ps []*packet.Packet) {
+		r.delivered += uint64(len(ps))
+		for _, p := range ps {
+			p.Release()
+		}
+	}); err != nil {
+		panic(err)
+	}
+	crs := tables.NewRuleSet(dpClientVNIC, dpVPC)
+	crs.Route.Add(tables.MakePrefix(packet.MakeIP(10, 0, 2, 0), 24), packet.IPv4(dpServerVNIC))
+	if err := r.a.AddVNIC(crs, false); err != nil {
+		panic(err)
+	}
+	gw.Set(dpClientVNIC, dpAddrA)
+	gw.Set(dpServerVNIC, dpAddrB)
+	return r
+}
+
+func (r *dpFwdRig) pkt(sport uint16, flags packet.TCPFlags, payload int) *packet.Packet {
+	r.id++
+	ft := packet.FiveTuple{
+		SrcIP: dpVMIPA, DstIP: dpVMIPB,
+		SrcPort: sport, DstPort: 80, Proto: packet.ProtoTCP,
+	}
+	p := packet.Get(r.id, dpVPC, dpClientVNIC, ft, packet.DirTX, flags, payload)
+	p.SentAt = int64(r.loop.Now())
+	return p
+}
+
+// runForwardOp injects one op's rounds×batch stream over the rig's
+// established flows and drains the loop. The rig persists across ops —
+// steady state, so ns/op is pure forwarding work with no rig
+// construction or slow-path establishment in the measurement.
+func (r *dpFwdRig) runForwardOp() {
+	base := r.loop.Now()
+	for round := 0; round < dpBenchRounds; round++ {
+		round := round
+		r.loop.At(base+sim.Time(round+1)*100*sim.Microsecond, func() {
+			ps := make([]*packet.Packet, 0, dpBenchBatch)
+			for i := 0; i < dpBenchBatch; i++ {
+				ps = append(ps, r.pkt(uint16(2000+i%dpBenchFlows), packet.FlagACK, 64))
+			}
+			r.a.FromVMBurst(ps)
+		})
+	}
+	r.loop.Run(base + sim.Time(dpBenchRounds+2)*100*sim.Microsecond)
+}
+
+func benchDatapathWorkers(b *testing.B, workers int) {
+	r := newForwardRig(workers)
+	for i := 0; i < dpBenchFlows; i++ {
+		r.a.FromVM(r.pkt(uint16(2000+i), packet.FlagSYN, 0))
+	}
+	r.loop.Run(10 * sim.Millisecond)
+	r.delivered = 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.runForwardOp()
+	}
+	b.StopTimer()
+	r.loop.RunAll()
+	if want := uint64(b.N) * dpBenchRounds * dpBenchBatch; r.delivered != want {
+		b.Fatalf("delivered %d packets, want %d — rig is dropping, measurement invalid", r.delivered, want)
+	}
+	b.ReportAllocs()
+	b.ReportMetric(float64(r.delivered)/b.Elapsed().Seconds(), "pkts/s")
+}
+
+// BenchmarkDatapathWorkers sweeps the worker count over the
+// single-switch forwarding rig. Every count moves the identical stream
+// (the differential suite proves outputs are byte-identical), so the
+// sweep measures pure plan-stage efficiency.
+func BenchmarkDatapathWorkers(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		w := w
+		b.Run(fmt.Sprintf("W=%d", w), func(b *testing.B) {
+			benchDatapathWorkers(b, w)
+		})
+	}
+}
+
 // datapathBenchResult is the BENCH_datapath.json schema.
 type datapathBenchResult struct {
 	ScalarNsPerOp      int64   `json:"scalar_ns_per_op"`
@@ -166,6 +281,22 @@ type datapathBenchResult struct {
 	MinSpeedup         float64 `json:"min_speedup"`
 	MaxAllocFrac       float64 `json:"max_alloc_frac"`
 	Reps               int     `json:"reps"`
+
+	// Single-switch forwarding rate per worker count (the
+	// BenchmarkDatapathWorkers rig), plus the W=4 gate floors.
+	Workers             []workerBenchRow `json:"workers"`
+	WorkersMinPktsPerS  float64          `json:"workers_min_pkts_per_sec"`
+	WorkersMaxAllocsPkt float64          `json:"workers_max_allocs_per_pkt"`
+	WorkersGateW        int              `json:"workers_gate_w"`
+}
+
+// workerBenchRow is one worker-count measurement in the JSON artifact.
+type workerBenchRow struct {
+	W            int     `json:"w"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	PktsPerSec   float64 `json:"pkts_per_sec"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	AllocsPerPkt float64 `json:"allocs_per_pkt"`
 }
 
 // TestDatapathBurstGuard is the CI benchmark gate (set
@@ -189,21 +320,37 @@ func TestDatapathBurstGuard(t *testing.T) {
 	scalarNs, scalarAllocs := best(BenchmarkDatapathScalar)
 	burstNs, burstAllocs := best(BenchmarkDatapathBurst)
 	const pktsPerOp = dpBenchRounds * dpBenchBatch
+	var workerRows []workerBenchRow
+	for _, w := range []int{1, 2, 4, 8} {
+		w := w
+		ns, allocs := best(func(b *testing.B) { benchDatapathWorkers(b, w) })
+		workerRows = append(workerRows, workerBenchRow{
+			W:            w,
+			NsPerOp:      ns,
+			PktsPerSec:   float64(pktsPerOp) / (float64(ns) / 1e9),
+			AllocsPerOp:  allocs,
+			AllocsPerPkt: float64(allocs) / pktsPerOp,
+		})
+	}
 	res := datapathBenchResult{
-		ScalarNsPerOp:      scalarNs,
-		BurstNsPerOp:       burstNs,
-		ScalarPktsPerSec:   float64(pktsPerOp) / (float64(scalarNs) / 1e9),
-		BurstPktsPerSec:    float64(pktsPerOp) / (float64(burstNs) / 1e9),
-		SpeedupRatio:       float64(scalarNs) / float64(burstNs),
-		ScalarAllocsPerOp:  scalarAllocs,
-		BurstAllocsPerOp:   burstAllocs,
-		ScalarAllocsPerPkt: float64(scalarAllocs) / pktsPerOp,
-		BurstAllocsPerPkt:  float64(burstAllocs) / pktsPerOp,
-		AllocReductionPct:  (1 - float64(burstAllocs)/float64(scalarAllocs)) * 100,
-		PktsPerOp:          pktsPerOp,
-		MinSpeedup:         2.0,
-		MaxAllocFrac:       0.5,
-		Reps:               reps,
+		ScalarNsPerOp:       scalarNs,
+		BurstNsPerOp:        burstNs,
+		ScalarPktsPerSec:    float64(pktsPerOp) / (float64(scalarNs) / 1e9),
+		BurstPktsPerSec:     float64(pktsPerOp) / (float64(burstNs) / 1e9),
+		SpeedupRatio:        float64(scalarNs) / float64(burstNs),
+		ScalarAllocsPerOp:   scalarAllocs,
+		BurstAllocsPerOp:    burstAllocs,
+		ScalarAllocsPerPkt:  float64(scalarAllocs) / pktsPerOp,
+		BurstAllocsPerPkt:   float64(burstAllocs) / pktsPerOp,
+		AllocReductionPct:   (1 - float64(burstAllocs)/float64(scalarAllocs)) * 100,
+		PktsPerOp:           pktsPerOp,
+		MinSpeedup:          2.0,
+		MaxAllocFrac:        0.5,
+		Reps:                reps,
+		Workers:             workerRows,
+		WorkersMinPktsPerS:  4.0e6, // 2x the 2M pkts/s burst-pipeline floor
+		WorkersMaxAllocsPkt: 1.0,
+		WorkersGateW:        4,
 	}
 	out, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
@@ -216,11 +363,27 @@ func TestDatapathBurstGuard(t *testing.T) {
 	t.Logf("scalar %.0f pkts/s (%.2f allocs/pkt), burst %.0f pkts/s (%.2f allocs/pkt): %.2fx, %.0f%% fewer allocs",
 		res.ScalarPktsPerSec, res.ScalarAllocsPerPkt, res.BurstPktsPerSec, res.BurstAllocsPerPkt,
 		res.SpeedupRatio, res.AllocReductionPct)
+	for _, row := range workerRows {
+		t.Logf("forwarding W=%d: %.0f pkts/s (%.2f allocs/pkt)", row.W, row.PktsPerSec, row.AllocsPerPkt)
+	}
 	if res.SpeedupRatio < res.MinSpeedup {
 		t.Errorf("burst pipeline is only %.2fx the scalar packets/sec (floor %.1fx); see BENCH_datapath.json", res.SpeedupRatio, res.MinSpeedup)
 	}
 	if float64(burstAllocs) > res.MaxAllocFrac*float64(scalarAllocs) {
 		t.Errorf("burst pipeline allocates %.2f/pkt vs scalar %.2f/pkt (ceiling %.0f%%); see BENCH_datapath.json",
 			res.BurstAllocsPerPkt, res.ScalarAllocsPerPkt, res.MaxAllocFrac*100)
+	}
+	for _, row := range workerRows {
+		if row.W != res.WorkersGateW {
+			continue
+		}
+		if row.PktsPerSec < res.WorkersMinPktsPerS {
+			t.Errorf("W=%d forwarding rate %.0f pkts/s below the %.0f floor; see BENCH_datapath.json",
+				row.W, row.PktsPerSec, res.WorkersMinPktsPerS)
+		}
+		if row.AllocsPerPkt > res.WorkersMaxAllocsPkt {
+			t.Errorf("W=%d allocates %.2f/pkt (ceiling %.1f); see BENCH_datapath.json",
+				row.W, row.AllocsPerPkt, res.WorkersMaxAllocsPkt)
+		}
 	}
 }

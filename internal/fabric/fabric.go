@@ -86,6 +86,23 @@ type Fabric struct {
 	// not yet resolved (delivered or lost).
 	inFlight uint64
 
+	// groupFree recycles same-deadline delivery groups. Each group is
+	// retained by its delivery closure until the event fires, so this
+	// must be a freelist — several groups are in flight at once.
+	groupFree [][]*packet.Packet
+
+	// taskFree recycles delivery events (deliverTask) the same way, so
+	// the non-wire burst path schedules deliveries without allocating a
+	// closure per group.
+	taskFree *deliverTask
+
+	// serMemo caches the serialization-delay computation for the last
+	// size seen: burst traffic is near-uniform, so the float math runs
+	// once per size run instead of once per packet. The zero value is
+	// correct (size 0 serializes in 0 time).
+	serMemoSize int
+	serMemoVal  sim.Time
+
 	// Sends counts every Send call. Delivered counts packets handed to
 	// node handlers; Lost counts sends to unregistered destinations,
 	// across partitions (at send or delivery time), or failing wire
@@ -192,8 +209,30 @@ func (f *Fabric) Latency(from, to packet.IPv4, size int) sim.Time {
 	if f.SameToR(from, to) {
 		prop = LatencySameToR
 	}
-	ser := sim.Time(float64(size) / LinkBandwidth * float64(sim.Second))
-	return prop + ser
+	return prop + f.serTime(size)
+}
+
+// serTime returns the link serialization delay for size bytes, memoized
+// on the last size seen.
+func (f *Fabric) serTime(size int) sim.Time {
+	if size != f.serMemoSize {
+		f.serMemoSize = size
+		f.serMemoVal = sim.Time(float64(size) / LinkBandwidth * float64(sim.Second))
+	}
+	return f.serMemoVal
+}
+
+func (f *Fabric) getGroup() []*packet.Packet {
+	if n := len(f.groupFree); n > 0 {
+		g := f.groupFree[n-1]
+		f.groupFree = f.groupFree[:n-1]
+		return g
+	}
+	return make([]*packet.Packet, 0, 32)
+}
+
+func (f *Fabric) putGroup(g []*packet.Packet) {
+	f.groupFree = append(f.groupFree, g[:0])
 }
 
 // Send delivers p from one server to another after the link latency
@@ -272,24 +311,30 @@ func (f *Fabric) Send(from, to packet.IPv4, p *packet.Packet) {
 // handler. The caller must not touch ps or its packets afterward (the
 // slice itself is not retained).
 func (f *Fabric) SendBurst(from, to packet.IPv4, ps []*packet.Packet) {
-	var group []*packet.Packet
-	var groupLat sim.Time
-	flush := func() {
-		if len(group) > 0 {
-			f.deliverBurst(from, to, group, groupLat)
-			group = nil
-		}
-	}
-	for _, p := range ps {
-		p.CheckLive()
-		f.Sends++
-		if _, ok := f.nodes[to]; !ok || f.partitions[pairKey(from, to)] {
+	// The destination, partition state, and propagation delay cannot
+	// change mid-call: fault injectors are pure per-send draws (the
+	// FaultInjector contract) and no events run inside one burst, so
+	// the scalar path's per-packet checks hoist to one check here.
+	if _, ok := f.nodes[to]; !ok || f.partitions[pairKey(from, to)] {
+		for _, p := range ps {
+			p.CheckLive()
+			f.Sends++
 			f.Lost++
 			f.traceHop(p.ID, from, "wire-lost", to)
 			p.Release()
-			continue
 		}
-		lat := f.Latency(from, to, p.SizeBytes)
+		return
+	}
+	prop := LatencyInterToR
+	if f.SameToR(from, to) {
+		prop = LatencySameToR
+	}
+	group := f.getGroup()
+	var groupLat sim.Time
+	for _, p := range ps {
+		p.CheckLive()
+		f.Sends++
+		lat := prop + f.serTime(p.SizeBytes)
 		if f.faults != nil {
 			v := f.faults(from, to, p)
 			if v.Drop {
@@ -306,61 +351,71 @@ func (f *Fabric) SendBurst(from, to packet.IPv4, ps []*packet.Packet) {
 		}
 		f.BytesSent += uint64(p.SizeBytes)
 		if len(group) > 0 && lat != groupLat {
-			flush()
+			f.deliverBurst(from, to, group, groupLat)
+			group = f.getGroup()
 		}
 		groupLat = lat
 		group = append(group, p)
 	}
-	flush()
+	if len(group) > 0 {
+		f.deliverBurst(from, to, group, groupLat)
+	} else {
+		f.putGroup(group)
+	}
 }
 
 // deliverBurst schedules one delivery event for a group of packets
 // sharing a deadline. Reachability is re-checked at delivery time, as
 // in Send; in wire mode each packet is marshaled now and decoded at
 // delivery, with the original released once its bytes are on the wire.
+// The group slice returns to the freelist once the event resolves —
+// the handlers take the packets, never the slice.
 func (f *Fabric) deliverBurst(from, to packet.IPv4, group []*packet.Packet, lat sim.Time) {
 	dst := f.nodes[to]
-	var wires [][]byte
-	var ids []uint64
-	if f.wireMode {
-		wires = make([][]byte, len(group))
-		ids = make([]uint64, len(group))
-		for i, p := range group {
-			wires[i] = p.Marshal()
-			ids[i] = p.ID
-			p.Release()
-		}
-	}
 	f.inFlight += uint64(len(group))
+	if !f.wireMode {
+		t := f.taskFree
+		if t == nil {
+			t = &deliverTask{f: f}
+		} else {
+			f.taskFree = t.next
+			t.next = nil
+		}
+		t.from, t.to, t.dst, t.group = from, to, dst, group
+		f.loop.AtTask(f.loop.Now()+lat, t)
+		return
+	}
+	// Wire mode: marshal now, decode at delivery. It is a debugging
+	// mode, so the closure-per-group cost stays acceptable.
+	wires := make([][]byte, len(group))
+	ids := make([]uint64, len(group))
+	for i, p := range group {
+		wires[i] = p.Marshal()
+		ids[i] = p.ID
+		p.Release()
+	}
 	f.loop.Schedule(lat, func() {
 		f.inFlight -= uint64(len(group))
 		cur, ok := f.nodes[to]
 		if !ok || cur != dst || (cur.handler == nil && cur.burst == nil) || f.partitions[pairKey(from, to)] {
-			for i, p := range group {
+			for i := range group {
 				f.Lost++
-				if wires != nil {
-					f.traceHop(ids[i], from, "wire-lost", to)
-					packet.PutBuf(wires[i])
-				} else {
-					f.traceHop(p.ID, from, "wire-lost", to)
-					p.Release()
-				}
+				f.traceHop(ids[i], from, "wire-lost", to)
+				packet.PutBuf(wires[i])
 			}
+			f.putGroup(group)
 			return
 		}
-		deliver := group
-		if wires != nil {
-			deliver = deliver[:0]
-			for i, w := range wires {
-				q, err := packet.Unmarshal(w)
-				packet.PutBuf(w)
-				if err != nil {
-					f.Lost++
-					f.traceHop(ids[i], from, "wire-lost", to)
-					continue
-				}
-				deliver = append(deliver, q)
+		deliver := group[:0]
+		for i, w := range wires {
+			q, err := packet.Unmarshal(w)
+			packet.PutBuf(w)
+			if err != nil {
+				f.Lost++
+				f.traceHop(ids[i], from, "wire-lost", to)
+				continue
 			}
+			deliver = append(deliver, q)
 		}
 		for _, q := range deliver {
 			q.Hops++
@@ -369,12 +424,59 @@ func (f *Fabric) deliverBurst(from, to packet.IPv4, group []*packet.Packet, lat 
 		}
 		if cur.burst != nil {
 			cur.burst(deliver)
-			return
+		} else {
+			for _, q := range deliver {
+				cur.handler(q)
+			}
 		}
-		for _, q := range deliver {
+		f.putGroup(group)
+	})
+}
+
+// deliverTask is one scheduled non-wire delivery group, pooled on the
+// fabric and scheduled via sim.Loop.AtTask so a burst's delivery event
+// allocates nothing. It re-checks reachability at delivery time
+// exactly as the closure it replaces did.
+type deliverTask struct {
+	f        *Fabric
+	from, to packet.IPv4
+	dst      *node
+	group    []*packet.Packet
+	next     *deliverTask
+}
+
+// Run fires the delivery. The task recycles itself before touching the
+// fabric — fields are copied out first, so handlers that reenter
+// SendBurst can reuse the struct safely.
+func (t *deliverTask) Run() {
+	f, from, to, dst, group := t.f, t.from, t.to, t.dst, t.group
+	t.dst, t.group = nil, nil
+	t.next = f.taskFree
+	f.taskFree = t
+	f.inFlight -= uint64(len(group))
+	cur, ok := f.nodes[to]
+	if !ok || cur != dst || (cur.handler == nil && cur.burst == nil) || f.partitions[pairKey(from, to)] {
+		for _, p := range group {
+			f.Lost++
+			f.traceHop(p.ID, from, "wire-lost", to)
+			p.Release()
+		}
+		f.putGroup(group)
+		return
+	}
+	for _, q := range group {
+		q.Hops++
+		f.Delivered++
+		f.traceHop(q.ID, from, "wire", to)
+	}
+	if cur.burst != nil {
+		cur.burst(group)
+	} else {
+		for _, q := range group {
 			cur.handler(q)
 		}
-	})
+	}
+	f.putGroup(group)
 }
 
 // Nodes returns the registered addresses (order unspecified).

@@ -159,6 +159,15 @@ type Learner struct {
 	loop    *sim.Loop
 	gateway *Gateway
 	cache   map[uint32]learned
+
+	// One-entry memo over the cache map: burst traffic resolves the
+	// same peer vNIC for every packet of a run, so the common Lookup
+	// is a field compare instead of a map probe. The memo mirrors a
+	// cache entry exactly (same addrs, ok, at), so it expires on the
+	// same LearnInterval boundary and Invalidate clears both.
+	memoVNIC uint32
+	memoHas  bool
+	memo     learned
 }
 
 type learned struct {
@@ -175,12 +184,17 @@ func NewLearner(loop *sim.Loop, gw *Gateway) *Learner {
 // Lookup resolves a vNIC's server list, consulting the cache first.
 func (l *Learner) Lookup(vnic uint32) ([]packet.IPv4, bool) {
 	now := l.loop.Now()
-	if e, hit := l.cache[vnic]; hit && now-e.at < LearnInterval {
-		return e.addrs, e.ok
+	if l.memoHas && l.memoVNIC == vnic && now-l.memo.at < LearnInterval {
+		return l.memo.addrs, l.memo.ok
 	}
-	addrs, ok := l.gateway.Lookup(vnic)
-	l.cache[vnic] = learned{addrs: addrs, ok: ok, at: now}
-	return addrs, ok
+	e, hit := l.cache[vnic]
+	if !hit || now-e.at >= LearnInterval {
+		e = learned{at: now}
+		e.addrs, e.ok = l.gateway.Lookup(vnic)
+		l.cache[vnic] = e
+	}
+	l.memoVNIC, l.memoHas, l.memo = vnic, true, e
+	return e.addrs, e.ok
 }
 
 // Pick resolves a vNIC location for one flow, selecting among
@@ -191,11 +205,19 @@ func (l *Learner) Pick(vnic uint32, flowHash uint64) (packet.IPv4, bool) {
 	if !ok || len(addrs) == 0 {
 		return 0, false
 	}
+	if len(addrs) == 1 { // single placement: skip the 64-bit modulo
+		return addrs[0], true
+	}
 	return addrs[flowHash%uint64(len(addrs))], true
 }
 
 // Invalidate drops a cached entry, forcing a refresh on next lookup.
-func (l *Learner) Invalidate(vnic uint32) { delete(l.cache, vnic) }
+func (l *Learner) Invalidate(vnic uint32) {
+	if l.memoVNIC == vnic {
+		l.memoHas = false
+	}
+	delete(l.cache, vnic)
+}
 
 // CacheLen reports how many entries are cached.
 func (l *Learner) CacheLen() int { return len(l.cache) }

@@ -1,0 +1,144 @@
+package flowcache
+
+import (
+	"math/rand"
+	"testing"
+
+	"nezha/internal/packet"
+	"nezha/internal/state"
+)
+
+func keyFor(i int) packet.SessionKey {
+	return packet.SessionKey{
+		VNIC: uint32(1 + i%3),
+		VPC:  7,
+		Tuple: packet.FiveTuple{
+			SrcIP: packet.IPv4(0x0a000000 + uint32(i)), DstIP: 0x0a000100 + packet.IPv4(i%5),
+			SrcPort: uint16(1000 + i), DstPort: 80, Proto: packet.ProtoTCP,
+		},
+	}
+}
+
+// TestOpenAddrModel drives the open-addressed table against a plain
+// map model through a long random op sequence: insert, delete,
+// lookup, sweep-like bulk deletes, and clear. Backward-shift deletion
+// must never strand an entry.
+func TestOpenAddrModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tab := New(Config{})
+	model := map[packet.SessionKey]uint32{}
+
+	const keySpace = 300
+	for op := 0; op < 20000; op++ {
+		i := rng.Intn(keySpace)
+		k := keyFor(i)
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // insert
+			e, err := tab.GetOrCreate(k, k.VNIC, int64(op))
+			if err != nil {
+				t.Fatalf("op %d: GetOrCreate: %v", op, err)
+			}
+			if e.Key != k {
+				t.Fatalf("op %d: wrong entry returned", op)
+			}
+			model[k] = k.VNIC
+		case 4, 5: // delete
+			tab.Delete(k)
+			delete(model, k)
+		case 6: // bulk delete one vNIC
+			vnic := uint32(1 + rng.Intn(3))
+			n := tab.InvalidateVNIC(vnic)
+			want := 0
+			for mk, mv := range model {
+				if mv == vnic {
+					delete(model, mk)
+					want++
+				}
+			}
+			if n != want {
+				t.Fatalf("op %d: InvalidateVNIC(%d) = %d, want %d", op, vnic, n, want)
+			}
+		case 7: // occasional clear
+			if rng.Intn(50) == 0 {
+				tab.Clear()
+				model = map[packet.SessionKey]uint32{}
+			}
+		default: // lookup
+			got := tab.Peek(k)
+			_, want := model[k]
+			if (got != nil) != want {
+				t.Fatalf("op %d: Peek(%v) present=%v, model=%v", op, k, got != nil, want)
+			}
+			if got != nil && got.Key != k {
+				t.Fatalf("op %d: Peek returned wrong key", op)
+			}
+		}
+		if tab.Len() != len(model) {
+			t.Fatalf("op %d: Len=%d, model=%d", op, tab.Len(), len(model))
+		}
+	}
+	// Every surviving model key must still probe.
+	for k := range model {
+		if tab.Peek(k) == nil {
+			t.Fatalf("stranded key %v after op sequence", k)
+		}
+	}
+	// Range must visit exactly the model set.
+	seen := 0
+	tab.Range(func(e *Entry) bool {
+		if _, ok := model[e.Key]; !ok {
+			t.Fatalf("Range visited deleted key %v", e.Key)
+		}
+		seen++
+		return true
+	})
+	if seen != len(model) {
+		t.Fatalf("Range visited %d entries, want %d", seen, len(model))
+	}
+}
+
+// TestHashVariantsAgree pins the *H fast paths to their hashing
+// wrappers.
+func TestHashVariantsAgree(t *testing.T) {
+	tab := New(Config{})
+	k := keyFor(3)
+	h := k.Hash()
+	e, err := tab.GetOrCreateH(k, h, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.PeekH(k, h) != e || tab.Peek(k) != e {
+		t.Fatal("PeekH/Peek disagree")
+	}
+	if tab.LookupH(k, h, 20) != e {
+		t.Fatal("LookupH miss")
+	}
+	if e.LastSeen != 20 || tab.Hits != 1 {
+		t.Fatalf("LookupH bookkeeping: LastSeen=%d Hits=%d", e.LastSeen, tab.Hits)
+	}
+}
+
+// TestEntryRecycling checks deleted entries are reused and come back
+// zeroed.
+func TestEntryRecycling(t *testing.T) {
+	tab := New(Config{})
+	k1 := keyFor(1)
+	e1, _ := tab.GetOrCreate(k1, 1, 5)
+	var st state.State
+	st.InitFirst(packet.DirTX, 5)
+	if err := tab.SetState(e1, st); err != nil {
+		t.Fatal(err)
+	}
+	tab.Delete(k1)
+	k2 := keyFor(2)
+	e2, _ := tab.GetOrCreate(k2, 2, 6)
+	if e2 != e1 {
+		t.Fatal("expected freelist reuse")
+	}
+	if e2.HasState || e2.HasPre || e2.Key != k2 || e2.VNIC != 2 {
+		t.Fatalf("recycled entry not reset: %+v", e2)
+	}
+	if tab.MemBytes() != EntryOverheadBytes {
+		t.Fatalf("mem = %d, want %d", tab.MemBytes(), EntryOverheadBytes)
+	}
+}

@@ -21,6 +21,89 @@ type CPU struct {
 	coreBusy  []sim.Time // cumulative busy time per core
 	processed uint64
 	dropped   uint64
+
+	// order is a binary min-heap over the cores, each node packing a
+	// core's placement key (busyUntil << orderShift) | coreIndex into
+	// one int64: order[0] is always the next core to pick, and a plain
+	// integer compare is the full (busyUntil, index)-lexicographic
+	// order. Every submission raises exactly one core's busy-until time
+	// (the root's), so one sift-down per placement keeps the heap exact
+	// — O(log cores) contiguous compares instead of the linear scan
+	// that used to dominate burst profiles.
+	order      []int64
+	orderShift uint
+
+	waveFree [][]int32 // recycled wave-member buffers for SubmitBurst
+	taskFree *waveTask // recycled wave events for SubmitBurstTo
+}
+
+// pickCore returns the earliest-free core. Ties resolve to the LOWEST
+// core index: the heap key is (busyUntil, index)-lexicographic, so an
+// earlier core with the same busy-until time always wins. This
+// tie-break is part of the placement contract — per-worker burst
+// planning and the scalar/burst differential both depend on
+// submission order mapping to the same lexicographic core choice —
+// and is pinned by TestPickCoreTieBreak.
+func (c *CPU) pickCore() int { return int(c.order[0] & (1<<c.orderShift - 1)) }
+
+// orderKey packs a core's placement key. Packing is exact as long as
+// busy-until times stay below 2^(63-shift) ns — even with 256 cores
+// (shift 8) that is over a simulated year, far beyond any run.
+func (c *CPU) orderKey(i int, busy sim.Time) int64 {
+	return int64(busy)<<c.orderShift | int64(i)
+}
+
+// fixTop restores the heap invariant after the root core's busy-until
+// time was raised by a placement: the caller overwrites order[0] with
+// the core's new key, and the key sifts down to its place.
+func (c *CPU) fixTop() {
+	o := c.order
+	key := o[0]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= len(o) {
+			break
+		}
+		if r := l + 1; r < len(o) && o[r] < o[l] {
+			l = r
+		}
+		if o[l] >= key {
+			break
+		}
+		o[i] = o[l]
+		i = l
+	}
+	o[i] = key
+}
+
+// reheap rebuilds the order heap from the cores array. Only tests that
+// poke busy-until times directly need it; the submit paths maintain
+// the heap incrementally.
+func (c *CPU) reheap() {
+	o := c.order
+	for i := range o {
+		o[i] = c.orderKey(i, c.cores[i])
+	}
+	for i := len(o)/2 - 1; i >= 0; i-- {
+		j := i
+		key := o[j]
+		for {
+			l := 2*j + 1
+			if l >= len(o) {
+				break
+			}
+			if r := l + 1; r < len(o) && o[r] < o[l] {
+				l = r
+			}
+			if o[l] >= key {
+				break
+			}
+			o[j] = o[l]
+			j = l
+		}
+		o[j] = key
+	}
 }
 
 // NewCPU builds a CPU with the given core count and clock.
@@ -34,11 +117,19 @@ func NewCPU(loop *sim.Loop, cores int, hz uint64, maxDelay sim.Time) *CPU {
 	if maxDelay <= 0 {
 		maxDelay = DefaultMaxQueueDelay
 	}
-	return &CPU{
+	c := &CPU{
 		loop: loop, cores: make([]sim.Time, cores),
 		coreBusy: make([]sim.Time, cores),
+		order:    make([]int64, cores),
 		hz:       hz, maxDelay: maxDelay,
 	}
+	for c.orderShift = 1; 1<<c.orderShift < cores; c.orderShift++ {
+	}
+	// All-idle cores in index order already satisfy the heap invariant.
+	for i := range c.order {
+		c.order[i] = int64(i)
+	}
+	return c
 }
 
 // Cores returns the core count.
@@ -55,13 +146,7 @@ func (c *CPU) ServiceTime(cycles uint64) sim.Time {
 // dropped for exceeding the queueing-delay bound. done may be nil.
 func (c *CPU) Submit(cycles uint64, done func(ok bool, delay sim.Time)) {
 	now := c.loop.Now()
-	// Earliest-free core.
-	best := 0
-	for i := 1; i < len(c.cores); i++ {
-		if c.cores[i] < c.cores[best] {
-			best = i
-		}
-	}
+	best := c.pickCore()
 	start := c.cores[best]
 	if start < now {
 		start = now
@@ -76,6 +161,8 @@ func (c *CPU) Submit(cycles uint64, done func(ok bool, delay sim.Time)) {
 	st := c.ServiceTime(cycles)
 	end := start + st
 	c.cores[best] = end
+	c.order[0] = c.orderKey(best, end)
+	c.fixTop()
 	c.busy += st
 	c.coreBusy[best] += st
 	c.processed++
@@ -85,7 +172,47 @@ func (c *CPU) Submit(cycles uint64, done func(ok bool, delay sim.Time)) {
 	}
 }
 
-// SubmitBurst enqueues a batch of work items in one call, equivalent
+// BurstSink receives a burst submission's outcomes. Callers pool their
+// sink implementations and pass them by pointer, so submitting a burst
+// allocates nothing for its callbacks (the closure-based SubmitBurst
+// wrapper exists for tests and one-off callers).
+type BurstSink interface {
+	// Complete fires per item: (i, false, 0) synchronously, in
+	// submission order, for items dropped at admission; (i, true,
+	// total) at the item's completion instant.
+	Complete(i int, ok bool, delay sim.Time)
+	// WaveEnd fires after a completion wave's Complete calls with the
+	// indices that just completed — the flush hook burst pipelines use
+	// to emit coalesced output. The members slice is owned by the
+	// callback for the duration of the call only.
+	WaveEnd(members []int32)
+}
+
+// SubmitBurst is SubmitBurstTo with plain callbacks, either of which
+// may be nil. It allocates an adapter per call; hot paths implement
+// BurstSink instead.
+func (c *CPU) SubmitBurst(costs []uint64, each func(i int, ok bool, delay sim.Time), waveEnd func(members []int32)) {
+	c.SubmitBurstTo(costs, &funcSink{each: each, waveEnd: waveEnd})
+}
+
+type funcSink struct {
+	each    func(i int, ok bool, delay sim.Time)
+	waveEnd func(members []int32)
+}
+
+func (s *funcSink) Complete(i int, ok bool, delay sim.Time) {
+	if s.each != nil {
+		s.each(i, ok, delay)
+	}
+}
+
+func (s *funcSink) WaveEnd(members []int32) {
+	if s.waveEnd != nil {
+		s.waveEnd(members)
+	}
+}
+
+// SubmitBurstTo enqueues a batch of work items in one call, equivalent
 // to len(costs) Submit calls item by item: the same earliest-free-core
 // placement, the same queueing-delay drop decision, the same counters,
 // and the same completion order (waves only merge *consecutive* equal
@@ -93,66 +220,100 @@ func (c *CPU) Submit(cycles uint64, done func(ok bool, delay sim.Time)) {
 // glues together). What it amortizes is the event machinery: accepted
 // items whose completions land at consecutive identical instants share
 // one scheduled event — a "wave" — instead of one event each.
-//
-// each(i, false, 0) fires synchronously, in submission order, for
-// items dropped at admission. each(i, true, total) fires at the item's
-// completion. waveEnd, if non-nil, fires after the each() calls of a
-// completion wave with the indices that just completed — the flush
-// hook burst pipelines use to emit coalesced output. The members slice
-// is owned by the callback for the duration of the call only.
-func (c *CPU) SubmitBurst(costs []uint64, each func(i int, ok bool, delay sim.Time), waveEnd func(members []int32)) {
+func (c *CPU) SubmitBurstTo(costs []uint64, sink BurstSink) {
 	now := c.loop.Now()
-	var wave []int32
+	wave := c.getWave()
 	var waveAt sim.Time
-	flush := func() {
-		if len(wave) == 0 {
-			return
-		}
-		members, at := wave, waveAt
-		wave = nil
-		total := at - now
-		c.loop.At(at, func() {
-			if each != nil {
-				for _, i := range members {
-					each(int(i), true, total)
-				}
-			}
-			if waveEnd != nil {
-				waveEnd(members)
-			}
-		})
-	}
 	for i, cycles := range costs {
-		best := 0
-		for k := 1; k < len(c.cores); k++ {
-			if c.cores[k] < c.cores[best] {
-				best = k
-			}
-		}
+		best := c.pickCore()
 		start := c.cores[best]
 		if start < now {
 			start = now
 		}
 		if start-now > c.maxDelay {
 			c.dropped++
-			if each != nil {
-				each(i, false, 0)
-			}
+			sink.Complete(i, false, 0)
 			continue
 		}
 		st := c.ServiceTime(cycles)
 		end := start + st
 		c.cores[best] = end
+		c.order[0] = c.orderKey(best, end)
+		c.fixTop()
 		c.busy += st
 		c.coreBusy[best] += st
 		c.processed++
 		if len(wave) > 0 && end != waveAt {
-			flush()
+			c.scheduleWave(sink, wave, waveAt-now)
+			wave = c.getWave()
 		}
 		waveAt = end
 		wave = append(wave, int32(i))
 	}
-	flush()
+	if len(wave) > 0 {
+		c.scheduleWave(sink, wave, waveAt-now)
+	} else {
+		c.putWave(wave)
+	}
+}
+
+// waveTask is one completion wave's scheduled event payload. Tasks are
+// pooled on the CPU and scheduled via sim.Loop.AtTask, so a wave costs
+// no closure and no event allocation.
+type waveTask struct {
+	cpu     *CPU
+	sink    BurstSink
+	members []int32
+	total   sim.Time
+	next    *waveTask
+}
+
+func (c *CPU) scheduleWave(sink BurstSink, members []int32, total sim.Time) {
+	t := c.taskFree
+	if t == nil {
+		t = &waveTask{cpu: c}
+	} else {
+		c.taskFree = t.next
+		t.next = nil
+	}
+	t.sink, t.members, t.total = sink, members, total
+	c.loop.AtTask(c.loop.Now()+total, t)
+}
+
+// Run fires the wave: per-item completions, then the wave-end flush.
+// The task recycles itself before invoking the sink — its fields are
+// copied out first, so a reentrant burst submission from a completion
+// callback can safely reuse the struct.
+func (t *waveTask) Run() {
+	c, sink, members, total := t.cpu, t.sink, t.members, t.total
+	t.sink, t.members = nil, nil
+	t.next = c.taskFree
+	c.taskFree = t
+	for _, i := range members {
+		sink.Complete(int(i), true, total)
+	}
+	sink.WaveEnd(members)
+	c.putWave(members)
+}
+
+// getWave pops a recycled wave-member buffer (or returns nil; append
+// grows it on first use). putWave returns a buffer once its scheduled
+// event has fired — completion events run strictly after SubmitBurst
+// itself, so a buffer is never live in two waves at once.
+func (c *CPU) getWave() []int32 {
+	if n := len(c.waveFree); n > 0 {
+		w := c.waveFree[n-1]
+		c.waveFree = c.waveFree[:n-1]
+		return w[:0]
+	}
+	return nil
+}
+
+func (c *CPU) putWave(w []int32) {
+	if cap(w) == 0 {
+		return
+	}
+	c.waveFree = append(c.waveFree, w)
 }
 
 // SubmitPriority enqueues cycles of work that is never dropped at
@@ -161,12 +322,7 @@ func (c *CPU) SubmitBurst(costs []uint64, each func(i int, ok bool, delay sim.Ti
 // state replication.
 func (c *CPU) SubmitPriority(cycles uint64, done func(delay sim.Time)) {
 	now := c.loop.Now()
-	best := 0
-	for i := 1; i < len(c.cores); i++ {
-		if c.cores[i] < c.cores[best] {
-			best = i
-		}
-	}
+	best := c.pickCore()
 	start := c.cores[best]
 	if start < now {
 		start = now
@@ -174,6 +330,8 @@ func (c *CPU) SubmitPriority(cycles uint64, done func(delay sim.Time)) {
 	st := c.ServiceTime(cycles)
 	end := start + st
 	c.cores[best] = end
+	c.order[0] = c.orderKey(best, end)
+	c.fixTop()
 	c.busy += st
 	c.coreBusy[best] += st
 	c.processed++

@@ -1,0 +1,65 @@
+package nic
+
+// WorkerAccount tracks CPU cycles charged per run-to-completion
+// datapath worker. It sits deliberately OUTSIDE the attribution
+// profiler's sample keyspace: per-worker totals are a function of the
+// configured worker count (the RSS partition changes with N), so
+// folding them into prof samples would break both the scalar/burst
+// differential and the cross-worker-count digest equality that pin
+// datapath correctness. Consumers read them through accessors and
+// worker-count-aware gauges only.
+type WorkerAccount struct {
+	cycles []uint64
+	pkts   []uint64
+}
+
+// NewWorkerAccount builds an account for n workers (min 1).
+func NewWorkerAccount(n int) *WorkerAccount {
+	if n < 1 {
+		n = 1
+	}
+	return &WorkerAccount{cycles: make([]uint64, n), pkts: make([]uint64, n)}
+}
+
+// Workers returns the worker count.
+func (a *WorkerAccount) Workers() int { return len(a.cycles) }
+
+// Charge adds cycles for one packet planned by worker w. Out-of-range
+// workers fold onto worker 0 so scalar entry points can charge
+// unconditionally.
+func (a *WorkerAccount) Charge(w int, cycles uint64) {
+	if w < 0 || w >= len(a.cycles) {
+		w = 0
+	}
+	a.cycles[w] += cycles
+	a.pkts[w]++
+}
+
+// CyclesOf returns worker w's cumulative cycle total (0 out of range).
+func (a *WorkerAccount) CyclesOf(w int) uint64 {
+	if w < 0 || w >= len(a.cycles) {
+		return 0
+	}
+	return a.cycles[w]
+}
+
+// PacketsOf returns worker w's cumulative packet total (0 out of
+// range).
+func (a *WorkerAccount) PacketsOf(w int) uint64 {
+	if w < 0 || w >= len(a.pkts) {
+		return 0
+	}
+	return a.pkts[w]
+}
+
+// Cycles appends each worker's cumulative cycle total to out and
+// returns it.
+func (a *WorkerAccount) Cycles(out []uint64) []uint64 {
+	return append(out, a.cycles...)
+}
+
+// Packets appends each worker's cumulative packet total to out and
+// returns it.
+func (a *WorkerAccount) Packets(out []uint64) []uint64 {
+	return append(out, a.pkts...)
+}

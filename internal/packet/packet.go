@@ -209,9 +209,17 @@ func SessionKeyOf(vnic, vpc uint32, ft FiveTuple) (SessionKey, bool) {
 	return SessionKey{VNIC: vnic, VPC: vpc, Tuple: n}, swapped
 }
 
+// Key-hash mixing constants: the normalized tuple hash is XOR-folded
+// with the VPC and vNIC scopes. Packet.SessionKeyHashed relies on this
+// structure to reuse one cached tuple hash across vNIC rewrites.
+const (
+	hashVPCMix  = 0x9e3779b97f4a7c15
+	hashVNICMix = 0xbf58476d1ce4e5b9
+)
+
 // Hash returns a 64-bit hash of the key.
 func (k SessionKey) Hash() uint64 {
-	return k.Tuple.Hash() ^ (uint64(k.VPC) * 0x9e3779b97f4a7c15) ^ (uint64(k.VNIC) * 0xbf58476d1ce4e5b9)
+	return k.Tuple.Hash() ^ (uint64(k.VPC) * hashVPCMix) ^ (uint64(k.VNIC) * hashVNICMix)
 }
 
 // NezhaType discriminates what the Nezha outer header carries.
@@ -248,9 +256,26 @@ func (t NezhaType) String() string {
 	}
 }
 
+// HeaderView is a zero-copy alternative to a metadata blob: a typed
+// value (session state, pre-actions) that knows its own wire encoding
+// but is only serialized if the packet actually crosses a wire-mode
+// fabric. Same-process hops hand the view through untouched, skipping
+// the Marshal/Unmarshal round-trip entirely. Views are pooled by
+// their owner (internal/vswitch); AppendWire must produce exactly the
+// bytes the equivalent blob would contain, so wire mode and Clone can
+// materialize a view transparently.
+type HeaderView interface {
+	// WireLen returns the encoded length in bytes.
+	WireLen() int
+	// AppendWire appends the encoding to dst and returns it.
+	AppendWire(dst []byte) []byte
+}
+
 // NezhaHeader is the NSH-like metadata header Nezha adds between the
 // underlay and the overlay packet. State and pre-actions travel as
-// opaque blobs; internal/state and internal/vswitch own the encoding.
+// opaque blobs — or, on same-process hops, as zero-copy views; the
+// blob takes precedence when both are set. internal/state and
+// internal/vswitch own the encodings.
 type NezhaHeader struct {
 	Type NezhaType
 	// VNIC identifies the offloaded vNIC the metadata belongs to.
@@ -261,10 +286,33 @@ type NezhaHeader struct {
 	StateBlob []byte
 	// PreActionBlob carries encoded bidirectional pre-actions (RX).
 	PreActionBlob []byte
+	// StateView carries session state as a zero-copy view (used when
+	// StateBlob is nil). Wire-mode sends materialize it via Marshal;
+	// receivers on the same process consume the typed value directly.
+	StateView HeaderView
+	// PreView carries pre-actions as a zero-copy view (used when
+	// PreActionBlob is nil).
+	PreView HeaderView
 	// OrigOuterSrc preserves the overlay source address the FE would
 	// otherwise overwrite, needed for stateful decap state init at
 	// the BE (§3.2.2 "rule table not involved").
 	OrigOuterSrc IPv4
+}
+
+// stateWireLen and preWireLen return the encoded lengths of the two
+// metadata sections, blob or view.
+func (h *NezhaHeader) stateWireLen() int {
+	if h.StateBlob == nil && h.StateView != nil {
+		return h.StateView.WireLen()
+	}
+	return len(h.StateBlob)
+}
+
+func (h *NezhaHeader) preWireLen() int {
+	if h.PreActionBlob == nil && h.PreView != nil {
+		return h.PreView.WireLen()
+	}
+	return len(h.PreActionBlob)
 }
 
 // WireSize returns the header's encoded size in bytes.
@@ -272,7 +320,7 @@ func (h *NezhaHeader) WireSize() int {
 	if h == nil || h.Type == NezhaNone {
 		return 0
 	}
-	return 1 + 4 + 1 + 4 + 2 + len(h.StateBlob) + 2 + len(h.PreActionBlob)
+	return 1 + 4 + 1 + 4 + 2 + h.stateWireLen() + 2 + h.preWireLen()
 }
 
 // Packet is one simulated packet. The struct carries both underlay
@@ -325,7 +373,23 @@ type Packet struct {
 	// poolState tracks the free-list lifecycle; only the simdebug
 	// build writes it (see pool.go).
 	poolState uint8
+
+	// Hash memos. The datapath hashes a packet's tuple up to three
+	// times per hop (session lookup, FE selection, learner ECMP), and
+	// both ends of a forward share the same inner tuple — so the
+	// direction-sensitive and normalized-tuple hashes are computed once
+	// and served from here. Any write to Tuple after construction must
+	// call InvalidateHashes; getBlank's full zeroing resets the memos
+	// along with everything else.
+	memoTupleHash uint64
+	memoNormHash  uint64
+	memoHash      uint8
 }
+
+const (
+	memoTupleValid uint8 = 1 << iota
+	memoNormValid
+)
 
 // Header sizes used for SizeBytes accounting.
 const (
@@ -374,9 +438,63 @@ func (p *Packet) SessionKey() (SessionKey, bool) {
 	return SessionKeyOf(p.VNIC, p.VPC, p.Tuple)
 }
 
+// TupleHash returns Tuple.Hash() served from the per-packet memo.
+func (p *Packet) TupleHash() uint64 {
+	if p.memoHash&memoTupleValid == 0 {
+		p.memoTupleHash = p.Tuple.Hash()
+		p.memoHash |= memoTupleValid
+	}
+	return p.memoTupleHash
+}
+
+// SessionKeyHashed returns SessionKey() plus the key's hash, serving
+// the normalized-tuple hash from the per-packet memo. The memo
+// survives the peer-vNIC rewrite at forwarding — VNIC and VPC fold in
+// with two multiplies — so the TX and RX ends of a forward share one
+// tuple hash instead of hashing 13 bytes twice.
+func (p *Packet) SessionKeyHashed() (SessionKey, uint64, bool) {
+	k, swapped := SessionKeyOf(p.VNIC, p.VPC, p.Tuple)
+	if p.memoHash&memoNormValid == 0 {
+		if !swapped {
+			// Unswapped tuple: the normalized tuple IS the tuple, so one
+			// fnv pass fills both memos.
+			if p.memoHash&memoTupleValid == 0 {
+				p.memoTupleHash = p.Tuple.Hash()
+				p.memoHash |= memoTupleValid
+			}
+			p.memoNormHash = p.memoTupleHash
+		} else {
+			p.memoNormHash = k.Tuple.Hash()
+		}
+		p.memoHash |= memoNormValid
+	}
+	h := p.memoNormHash ^ (uint64(k.VPC) * hashVPCMix) ^ (uint64(k.VNIC) * hashVNICMix)
+	return k, h, swapped
+}
+
+// InvalidateHashes drops the hash memos. Every mutation of Tuple on a
+// live packet (e.g. the NAT rewrite) must call it.
+func (p *Packet) InvalidateHashes() { p.memoHash = 0 }
+
+// RSSWorker maps a session-key hash onto one of n run-to-completion
+// workers, RSS-style: both directions of a flow normalize to the same
+// SessionKey, so a flow is pinned to exactly one worker for its
+// lifetime — per-flow state is then worker-owned and needs no
+// cross-worker ordering. The mapping must stay a pure function of
+// (hash, n); the burst datapath's cross-worker-count determinism
+// depends on nothing else feeding placement.
+func RSSWorker(hash uint64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(hash % uint64(n))
+}
+
 // Clone returns a pooled deep copy (blobs included). Notify packets
 // are generated by cloning headers off a transit packet, which must
-// not alias the original's blobs. The clone's lifecycle is independent
+// not alias the original's blobs. Zero-copy views are materialized
+// into blobs — the view's pooled backing belongs to the original's
+// lifecycle, never the clone's. The clone's lifecycle is independent
 // of p's.
 func (p *Packet) Clone() *Packet {
 	q := getBlank()
@@ -385,8 +503,17 @@ func (p *Packet) Clone() *Packet {
 	q.poolState = st
 	if p.Nezha != nil {
 		h := *p.Nezha
-		h.StateBlob = append([]byte(nil), p.Nezha.StateBlob...)
-		h.PreActionBlob = append([]byte(nil), p.Nezha.PreActionBlob...)
+		if h.StateBlob == nil && h.StateView != nil {
+			h.StateBlob = h.StateView.AppendWire(nil)
+		} else {
+			h.StateBlob = append([]byte(nil), p.Nezha.StateBlob...)
+		}
+		if h.PreActionBlob == nil && h.PreView != nil {
+			h.PreActionBlob = h.PreView.AppendWire(nil)
+		} else {
+			h.PreActionBlob = append([]byte(nil), p.Nezha.PreActionBlob...)
+		}
+		h.StateView, h.PreView = nil, nil
 		q.Nezha = &h
 	}
 	return q
@@ -435,7 +562,7 @@ func (p *Packet) Marshal() []byte {
 	}
 	n := 2 + 1 + 1 + 8 + 4 + 4 + 4 + 4 + 13 + 1 + 1 + 4 + 8 + 2
 	if hasNezha == 1 {
-		n += 1 + 4 + 1 + 4 + 2 + len(p.Nezha.StateBlob) + 2 + len(p.Nezha.PreActionBlob)
+		n += 1 + 4 + 1 + 4 + 2 + p.Nezha.stateWireLen() + 2 + p.Nezha.preWireLen()
 	}
 	b := getBuf(n)
 	b = binary.BigEndian.AppendUint16(b, wireMagic)
@@ -459,10 +586,18 @@ func (p *Packet) Marshal() []byte {
 		b = binary.BigEndian.AppendUint32(b, h.VNIC)
 		b = append(b, byte(h.Dir))
 		b = binary.BigEndian.AppendUint32(b, uint32(h.OrigOuterSrc))
-		b = binary.BigEndian.AppendUint16(b, uint16(len(h.StateBlob)))
-		b = append(b, h.StateBlob...)
-		b = binary.BigEndian.AppendUint16(b, uint16(len(h.PreActionBlob)))
-		b = append(b, h.PreActionBlob...)
+		b = binary.BigEndian.AppendUint16(b, uint16(h.stateWireLen()))
+		if h.StateBlob == nil && h.StateView != nil {
+			b = h.StateView.AppendWire(b)
+		} else {
+			b = append(b, h.StateBlob...)
+		}
+		b = binary.BigEndian.AppendUint16(b, uint16(h.preWireLen()))
+		if h.PreActionBlob == nil && h.PreView != nil {
+			b = h.PreView.AppendWire(b)
+		} else {
+			b = append(b, h.PreActionBlob...)
+		}
 	}
 	return b
 }

@@ -335,3 +335,46 @@ func BenchmarkUnmarshal(b *testing.B) {
 		}
 	}
 }
+
+// TestHashMemos pins the per-packet hash memos against the uncached
+// computations: same values on first and repeated use, identical
+// across the forwarding vNIC rewrite (normalized part is shared), and
+// correctly invalidated when the tuple is rewritten (NAT).
+func TestHashMemos(t *testing.T) {
+	ft := FiveTuple{SrcIP: MakeIP(10, 0, 0, 1), DstIP: MakeIP(10, 0, 0, 2), SrcPort: 4321, DstPort: 80, Proto: ProtoTCP}
+	p := New(1, 7, 42, ft, DirTX, 0, 100)
+
+	if got, want := p.TupleHash(), ft.Hash(); got != want {
+		t.Fatalf("TupleHash = %#x, want %#x", got, want)
+	}
+	if got, want := p.TupleHash(), ft.Hash(); got != want {
+		t.Fatalf("memoized TupleHash = %#x, want %#x", got, want)
+	}
+	key, hash, swapped := p.SessionKeyHashed()
+	wantKey, wantSwapped := p.SessionKey()
+	if key != wantKey || swapped != wantSwapped || hash != wantKey.Hash() {
+		t.Fatalf("SessionKeyHashed = (%+v, %#x, %v), want (%+v, %#x, %v)",
+			key, hash, swapped, wantKey, wantKey.Hash(), wantSwapped)
+	}
+
+	// Forward rewrite: new vNIC, same tuple — the memoized norm hash
+	// must still produce the new key's exact hash.
+	p.VNIC = 99
+	p.Dir = DirRX
+	key2, hash2, _ := p.SessionKeyHashed()
+	if want, _ := p.SessionKey(); key2 != want || hash2 != want.Hash() {
+		t.Fatalf("post-rewrite SessionKeyHashed = (%+v, %#x), want (%+v, %#x)",
+			key2, hash2, want, want.Hash())
+	}
+
+	// NAT rewrite invalidates both memos.
+	p.Tuple.DstIP = MakeIP(192, 168, 0, 9)
+	p.Tuple.DstPort = 8080
+	p.InvalidateHashes()
+	if got, want := p.TupleHash(), p.Tuple.Hash(); got != want {
+		t.Fatalf("post-NAT TupleHash = %#x, want %#x", got, want)
+	}
+	if _, h, _ := p.SessionKeyHashed(); h != func() uint64 { k, _ := p.SessionKey(); return k.Hash() }() {
+		t.Fatalf("post-NAT SessionKeyHashed hash mismatch")
+	}
+}

@@ -2,17 +2,19 @@ package packet
 
 import "sync"
 
-// Free-list pool for Packet structs. The datapath allocates packets by
-// the million; pooling them removes the dominant allocation from the
-// hot path. Ownership rule (see DESIGN.md §10): a packet has exactly
-// one owner at a time, and whoever terminally consumes it — drop,
+// Pool for Packet structs. The datapath allocates packets by the
+// million; pooling them removes the dominant allocation from the hot
+// path. Ownership rule (see DESIGN.md §10): a packet has exactly one
+// owner at a time, and whoever terminally consumes it — drop,
 // deliver, absorb, or lose on the wire — calls Release. Holding a
 // *Packet after releasing it is a bug; build with -tags simdebug to
 // turn double releases and use-after-release into panics.
 //
-// The simulation loop is single-threaded, so the mutex is uncontended
-// there; it exists because `go test` runs parallel tests in one
-// process and they share this pool.
+// The simulation loop is single-threaded; the pool is a sync.Pool
+// (rather than a plain slice) because `go test` runs parallel tests
+// in one process and they share it. sync.Pool's per-P caches make the
+// single-threaded fast path a few nanoseconds — measurably cheaper
+// than the mutex free-list it replaced — while staying race-safe.
 
 const (
 	poolStateNew  uint8 = iota // from New/&Packet{}, never pooled
@@ -20,10 +22,9 @@ const (
 	poolStateFree              // sitting on the free list
 )
 
-var pktPool struct {
-	mu   sync.Mutex
-	free []*Packet
-}
+// Freshly allocated pool packets are pre-marked free so the simdebug
+// get-side guard sees the same lifecycle as a recycled one.
+var pktPool = sync.Pool{New: func() any { return &Packet{poolState: poolStateFree} }}
 
 // Get returns a pooled packet initialized exactly like New. Callers
 // that finish a pooled packet must hand it to Release (directly or by
@@ -37,23 +38,12 @@ func Get(id uint64, vpc, vnic uint32, ft FiveTuple, dir Direction, flags TCPFlag
 	return p
 }
 
-// getBlank pops a fully zeroed packet off the free list (or allocates
-// one) and marks it live.
+// getBlank pops a fully zeroed packet off the pool (or allocates one)
+// and marks it live.
 func getBlank() *Packet {
-	pktPool.mu.Lock()
-	var p *Packet
-	if n := len(pktPool.free); n > 0 {
-		p = pktPool.free[n-1]
-		pktPool.free[n-1] = nil
-		pktPool.free = pktPool.free[:n-1]
-	}
-	pktPool.mu.Unlock()
-	if p == nil {
-		p = &Packet{}
-	} else {
-		poolCheckGet(p)
-		*p = Packet{}
-	}
+	p := pktPool.Get().(*Packet)
+	poolCheckGet(p)
+	*p = Packet{}
 	poolMarkLive(p)
 	return p
 }
@@ -67,9 +57,7 @@ func getBlank() *Packet {
 func (p *Packet) Release() {
 	poolCheckRelease(p)
 	poolMarkFree(p)
-	pktPool.mu.Lock()
-	pktPool.free = append(pktPool.free, p)
-	pktPool.mu.Unlock()
+	pktPool.Put(p)
 }
 
 // CheckLive panics under -tags simdebug if p has been released; it

@@ -3,6 +3,7 @@ package sim
 import (
 	"container/heap"
 	"math/bits"
+	"slices"
 	"sort"
 )
 
@@ -143,6 +144,21 @@ func (c *calendarQueue) migrate() {
 	}
 }
 
+// cmpEvent orders events (at, seq) ascending — the scheduler contract.
+func cmpEvent(a, b *event) int {
+	switch {
+	case a.at < b.at:
+		return -1
+	case a.at > b.at:
+		return 1
+	case a.seq < b.seq:
+		return -1
+	case a.seq > b.seq:
+		return 1
+	}
+	return 0
+}
+
 func (c *calendarQueue) popLE(max Time) *event {
 	if c.size == 0 {
 		return nil
@@ -185,13 +201,11 @@ func (c *calendarQueue) popLE(max Time) *event {
 
 	b := &c.buckets[idx]
 	if !b.sorted {
-		evs := b.evs
-		sort.Slice(evs, func(i, j int) bool {
-			if evs[i].at != evs[j].at {
-				return evs[i].at < evs[j].at
-			}
-			return evs[i].seq < evs[j].seq
-		})
+		// slices.SortFunc, not sort.Slice: the latter goes through
+		// reflect.Swapper and allocates on every bucket drain. The
+		// (at, seq) key is total (seq is unique), so the unstable sort
+		// is still deterministic.
+		slices.SortFunc(b.evs, cmpEvent)
 		b.sorted = true
 	}
 	ev := b.evs[b.next]

@@ -53,13 +53,23 @@ func (t Time) String() string {
 // scheduling order (FIFO), which keeps runs deterministic. Event
 // structs are recycled through a per-loop free list; gen distinguishes
 // incarnations so a stale EventRef cannot cancel a reused event.
+// An event carries either a bare func (At/Schedule) or a Task
+// (AtTask); exactly one is set.
 type event struct {
 	at   Time
 	seq  uint64 // tiebreaker: scheduling order
 	gen  uint32 // incarnation, bumped on recycle
 	fn   func()
+	task Task
 	dead bool
 }
+
+// Task is a pre-built schedulable callback. Hot paths that would
+// otherwise allocate a fresh closure per scheduled event implement
+// Task on a pooled struct and pass it to AtTask — the event machinery
+// then runs allocation-free end to end (event structs are themselves
+// recycled).
+type Task interface{ Run() }
 
 // EventRef identifies a scheduled event so it can be cancelled.
 type EventRef struct {
@@ -169,6 +179,7 @@ func (l *Loop) newEvent(at Time, fn func()) *event {
 func (l *Loop) recycle(ev *event) {
 	ev.gen++
 	ev.fn = nil
+	ev.task = nil
 	l.free = append(l.free, ev)
 }
 
@@ -204,6 +215,22 @@ func (l *Loop) At(at Time, fn func()) EventRef {
 		at = l.now
 	}
 	ev := l.newEvent(at, fn)
+	l.sched.push(ev)
+	return EventRef{ev: ev, gen: ev.gen}
+}
+
+// AtTask is At for a pooled Task: it schedules t.Run at the absolute
+// virtual time at without allocating a closure. The caller owns t's
+// lifecycle and must keep it untouched until Run fires.
+func (l *Loop) AtTask(at Time, t Task) EventRef {
+	if t == nil {
+		panic("sim: AtTask with nil task")
+	}
+	if at < l.now {
+		at = l.now
+	}
+	ev := l.newEvent(at, nil)
+	ev.task = t
 	l.sched.push(ev)
 	return EventRef{ev: ev, gen: ev.gen}
 }
@@ -261,9 +288,13 @@ func (l *Loop) Run(until Time) Time {
 		}
 		l.now = ev.at
 		l.nfired++
-		fn := ev.fn
+		fn, task := ev.fn, ev.task
 		l.recycle(ev)
-		fn()
+		if task != nil {
+			task.Run()
+		} else {
+			fn()
+		}
 		l.notify()
 	}
 	if until != MaxTime && l.now < until {
@@ -289,9 +320,13 @@ func (l *Loop) Step() bool {
 		}
 		l.now = ev.at
 		l.nfired++
-		fn := ev.fn
+		fn, task := ev.fn, ev.task
 		l.recycle(ev)
-		fn()
+		if task != nil {
+			task.Run()
+		} else {
+			fn()
+		}
 		l.notify()
 		return true
 	}

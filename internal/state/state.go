@@ -184,11 +184,24 @@ const (
 // Encode serializes the state in variable-length form — the blob TX
 // packets carry from BE to FE.
 func (s *State) Encode() []byte {
+	return s.AppendWire(make([]byte, 0, 8))
+}
+
+// WireLen returns the encoded length; with AppendWire it satisfies
+// packet.HeaderView, letting same-process hops carry state as a
+// zero-copy view instead of a blob.
+func (s *State) WireLen() int { return s.EncodedSize() }
+
+// AppendWire appends the variable-length encoding to dst and returns
+// it. The bytes are exactly Encode()'s — wire mode materializes views
+// through this and must stay blob-identical.
+func (s *State) AppendWire(dst []byte) []byte {
 	if !s.Init {
-		return []byte{0}
+		return append(dst, 0)
 	}
+	base := len(dst)
 	bitmap := byte(encFirstDir)
-	b := make([]byte, 1, 8)
+	b := append(dst, 0)
 	b = append(b, byte(s.FirstDir))
 	if s.TCP != TCPNone {
 		bitmap |= encTCP
@@ -212,7 +225,7 @@ func (s *State) Encode() []byte {
 		bitmap |= encLastSeen
 		b = binary.BigEndian.AppendUint64(b, uint64(s.LastSeen))
 	}
-	b[0] = bitmap
+	b[base] = bitmap
 	return b
 }
 

@@ -104,10 +104,20 @@ const preActionWire = 1 + 4 + 4 + 4 + 1 + 8 + 1 + 4 + 2 + 1 + 1 // per direction
 // Encode serializes both directions into the blob carried in the
 // Nezha header on the RX path.
 func (pa *PreActions) Encode() []byte {
-	b := make([]byte, 0, 2*preActionWire)
-	b = encodeOne(b, &pa.TX)
-	b = encodeOne(b, &pa.RX)
-	return b
+	return pa.AppendWire(make([]byte, 0, 2*preActionWire))
+}
+
+// WireLen returns the encoded length; with AppendWire it satisfies
+// packet.HeaderView, letting same-process FE→BE hops carry
+// pre-actions as a zero-copy view instead of a blob.
+func (pa *PreActions) WireLen() int { return 2 * preActionWire }
+
+// AppendWire appends the encoding to dst and returns it; the bytes
+// are exactly Encode()'s.
+func (pa *PreActions) AppendWire(dst []byte) []byte {
+	dst = encodeOne(dst, &pa.TX)
+	dst = encodeOne(dst, &pa.RX)
+	return dst
 }
 
 func encodeOne(b []byte, a *PreAction) []byte {

@@ -31,6 +31,10 @@ type RuleSet struct {
 	Stats   *StatsPolicyTable
 
 	version uint64
+
+	// soa caches the struct-of-arrays compiled form of the tables
+	// (see soa.go); rebuilt lazily when version changes.
+	soa *soaRules
 }
 
 // NewRuleSet builds a rule set with the five mandatory tables
@@ -123,13 +127,14 @@ type LookupResult struct {
 // packet's own destination (§5.2).
 func (rs *RuleSet) ResolvePeer(dst packet.IPv4) (peer uint32, nextHop packet.IPv4, cycles uint64) {
 	cycles = RouteCycles + VNICServerCycles
-	p, ok := rs.Route.Lookup(dst)
+	c := rs.compiled()
+	p, ok := c.route.lookup(uint32(dst))
 	if !ok {
 		return 0, 0, cycles
 	}
-	peer = uint32(p)
-	if srv, ok := rs.VNICSrv.Lookup(peer); ok {
-		nextHop = srv
+	peer = p
+	if srv, ok := c.srv.lookup(peer); ok {
+		nextHop = packet.IPv4(srv)
 	}
 	return peer, nextHop, cycles
 }
@@ -142,6 +147,191 @@ func (rs *RuleSet) ResolvePeer(dst packet.IPv4) (peer uint32, nextHop packet.IPv
 // VM, DstIP the remote peer. Callers with an RX packet pass the
 // reversed tuple (the vSwitch does this).
 func (rs *RuleSet) Lookup(txTuple packet.FiveTuple) LookupResult {
+	var res LookupResult
+	rs.LookupInto(txTuple, &res)
+	return res
+}
+
+// LookupInto is Lookup writing into a caller-owned result — the
+// alloc-free form the datapath uses (the value-return form made the
+// result escape through the walk closure, costing one heap
+// LookupResult per slow-path packet). It runs over the compiled
+// struct-of-arrays tables; results are bit-identical to the reference
+// walk (FuzzSoAEquivalence pins this).
+func (rs *RuleSet) LookupInto(txTuple packet.FiveTuple, res *LookupResult) {
+	c := rs.compiled()
+	*res = LookupResult{}
+
+	// 1. ACL — both directions, one walk each (range matching).
+	res.Cycles += 2 * c.aclCycles
+	res.TablesWalked += 2
+	res.Pre.TX.ACL = c.acl.lookup(txTuple, c.aclDefault)
+	res.Pre.RX.ACL = c.acl.lookup(txTuple.Reverse(), c.aclDefault)
+
+	// 2. QoS.
+	res.Cycles += c.qosCycles
+	res.TablesWalked++
+	class, rate := c.qos.lookup(txTuple.DstPort)
+	res.Pre.TX.QoSClass, res.Pre.TX.RateBps = class, rate
+	res.Pre.RX.QoSClass, res.Pre.RX.RateBps = class, rate
+
+	// 3. Overlay route: TX destination -> peer vNIC.
+	res.Cycles += c.routeCycles
+	res.TablesWalked++
+	if peer, ok := c.route.lookup(uint32(txTuple.DstIP)); ok {
+		res.PeerVNIC = peer
+		res.Pre.TX.PeerVNIC = peer
+	}
+	res.Pre.RX.PeerVNIC = c.vnic
+
+	// 4. VXLAN routing: VNI for re-encapsulation.
+	res.Cycles += c.vxlanCycles
+	res.TablesWalked++
+	if vni, ok := c.vxlan.lookup(uint32(txTuple.DstIP)); ok {
+		res.Pre.TX.EncapVNI = vni
+		res.Pre.RX.EncapVNI = vni
+	} else {
+		res.Pre.TX.EncapVNI = c.vpc
+		res.Pre.RX.EncapVNI = c.vpc
+	}
+
+	// 5. vNIC-server mapping: underlay next hop for the peer.
+	res.Cycles += c.srvCycles
+	res.TablesWalked++
+	if res.PeerVNIC != 0 {
+		if srv, ok := c.srv.lookup(res.PeerVNIC); ok {
+			res.Pre.TX.NextHop = packet.IPv4(srv)
+		}
+	}
+
+	rs.lookupAdvanced(c, uint32(txTuple.DstIP), res)
+}
+
+// lookupAdvanced runs the optional-table tail of the walk (shared by
+// LookupInto and LookupBatch).
+func (rs *RuleSet) lookupAdvanced(c *soaRules, dst uint32, res *LookupResult) {
+	if c.hasNAT {
+		res.Cycles += c.natCycles
+		res.TablesWalked++
+		if e, ok := c.nat.lookup(dst); ok {
+			res.Pre.TX.NAT = true
+			res.Pre.TX.NATIP = e.XlatIP
+			res.Pre.TX.NATPort = e.XlatPort
+		}
+	}
+	if c.hasPolicy {
+		res.Cycles += c.policyCycles
+		res.TablesWalked++
+		// Policy routing simply flags; the route result stands.
+		_ = c.policy.lookup(dst)
+	}
+	if c.hasMirror {
+		res.Cycles += c.mirrorCycles
+		res.TablesWalked++
+		m := c.mirror.lookup(dst)
+		res.Pre.TX.Mirror = m
+		res.Pre.RX.Mirror = m
+	}
+	if c.hasFlow {
+		res.Cycles += c.flowCycles
+		res.TablesWalked++
+		fl := c.flow.lookup(dst)
+		res.Pre.TX.FlowLog = fl
+		res.Pre.RX.FlowLog = fl
+	}
+	if c.hasStats {
+		res.Cycles += c.statsCycles
+		res.TablesWalked++
+		sp := c.stats.lookup(dst)
+		res.Pre.TX.Stats = sp
+		res.Pre.RX.Stats = sp
+	}
+}
+
+// LookupBatch performs the walk for a batch of TX-oriented tuples,
+// writing into out[i] (len(out) must equal len(txTuples)). The route
+// and VXLAN stages run as batched hash probes — per level, the masked
+// keys for the whole batch are computed before probing — and the call
+// is alloc-free after the compiled scratch warms up. Per-tuple results
+// are identical to Lookup.
+func (rs *RuleSet) LookupBatch(txTuples []packet.FiveTuple, out []LookupResult) {
+	n := len(txTuples)
+	if n == 0 {
+		return
+	}
+	if len(out) != n {
+		panic("tables: LookupBatch len(out) != len(txTuples)")
+	}
+	c := rs.compiled()
+	if cap(c.dstBuf) < n {
+		c.dstBuf = make([]uint32, n)
+		c.keyBuf = make([]uint32, n)
+		c.valBuf = make([]uint32, n)
+		c.hitBuf = make([]bool, n)
+		c.vniBuf = make([]uint32, n)
+		c.vhitBuf = make([]bool, n)
+	}
+	dsts := c.dstBuf[:n]
+	for i := range txTuples {
+		dsts[i] = uint32(txTuples[i].DstIP)
+	}
+	keys := c.keyBuf[:n]
+	peerBuf, peerHit := c.valBuf[:n], c.hitBuf[:n]
+	c.route.lookupBatch(dsts, keys, peerBuf, peerHit)
+	vniBuf, vniHit := c.vniBuf[:n], c.vhitBuf[:n]
+	c.vxlan.lookupBatch(dsts, keys, vniBuf, vniHit)
+
+	for i := range txTuples {
+		tt := &txTuples[i]
+		res := &out[i]
+		*res = LookupResult{}
+
+		res.Cycles += 2 * c.aclCycles
+		res.TablesWalked += 2
+		res.Pre.TX.ACL = c.acl.lookup(*tt, c.aclDefault)
+		res.Pre.RX.ACL = c.acl.lookup(tt.Reverse(), c.aclDefault)
+
+		res.Cycles += c.qosCycles
+		res.TablesWalked++
+		class, rate := c.qos.lookup(tt.DstPort)
+		res.Pre.TX.QoSClass, res.Pre.TX.RateBps = class, rate
+		res.Pre.RX.QoSClass, res.Pre.RX.RateBps = class, rate
+
+		res.Cycles += c.routeCycles
+		res.TablesWalked++
+		if peerHit[i] {
+			res.PeerVNIC = peerBuf[i]
+			res.Pre.TX.PeerVNIC = peerBuf[i]
+		}
+		res.Pre.RX.PeerVNIC = c.vnic
+
+		res.Cycles += c.vxlanCycles
+		res.TablesWalked++
+		if vniHit[i] {
+			res.Pre.TX.EncapVNI = vniBuf[i]
+			res.Pre.RX.EncapVNI = vniBuf[i]
+		} else {
+			res.Pre.TX.EncapVNI = c.vpc
+			res.Pre.RX.EncapVNI = c.vpc
+		}
+
+		res.Cycles += c.srvCycles
+		res.TablesWalked++
+		if res.PeerVNIC != 0 {
+			if srv, ok := c.srv.lookup(res.PeerVNIC); ok {
+				res.Pre.TX.NextHop = packet.IPv4(srv)
+			}
+		}
+
+		rs.lookupAdvanced(c, uint32(tt.DstIP), res)
+	}
+}
+
+// lookupReference is the original interpretive table walk, preserved
+// verbatim as the equivalence oracle for the compiled form: the fuzz
+// and unit suites assert Lookup == lookupReference on arbitrary rule
+// sets and tuples.
+func (rs *RuleSet) lookupReference(txTuple packet.FiveTuple) LookupResult {
 	var res LookupResult
 	walk := func(t Table) {
 		res.Cycles += t.LookupCycles()

@@ -1,0 +1,171 @@
+package tables
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"nezha/internal/packet"
+)
+
+// randRuleSet derives a rule set from a seeded PRNG. Small address and
+// port spaces force collisions so prefixes, ranges, and defaults all
+// get exercised.
+func randRuleSet(rng *rand.Rand) *RuleSet {
+	rs := NewRuleSet(uint32(1+rng.Intn(8)), uint32(1+rng.Intn(100)))
+	if rng.Intn(2) == 0 {
+		rs.ACL.Default = VerdictDeny
+	}
+	randIP := func() packet.IPv4 {
+		return packet.IPv4(0x0a000000 | uint32(rng.Intn(4))<<8 | uint32(rng.Intn(16)))
+	}
+	randPrefix := func() Prefix {
+		l := uint8(rng.Intn(5) * 8) // 0,8,16,24,32
+		return Prefix{IP: randIP() & mask(l), Len: l}
+	}
+	randRange := func() PortRange {
+		switch rng.Intn(3) {
+		case 0:
+			return PortRange{}
+		case 1:
+			lo := uint16(rng.Intn(2000))
+			return PortRange{Lo: lo, Hi: lo + uint16(rng.Intn(2000))}
+		default:
+			return PortRange{Lo: 0, Hi: uint16(rng.Intn(4000))}
+		}
+	}
+	// Sometimes exceed aclIndexThreshold so the indexed reference path
+	// is the oracle.
+	nACL := rng.Intn(2*aclIndexThreshold + 1)
+	for i := 0; i < nACL; i++ {
+		rs.ACL.Add(ACLRule{
+			Priority: rng.Intn(10),
+			Src:      randPrefix(),
+			Dst:      randPrefix(),
+			SrcPorts: randRange(),
+			DstPorts: randRange(),
+			Proto:    packet.Proto(rng.Intn(3) * 6), // 0, TCP(6), 12
+			Verdict:  Verdict(1 + rng.Intn(2)),
+		})
+	}
+	for i, n := 0, rng.Intn(8); i < n; i++ {
+		rs.Route.Add(randPrefix(), packet.IPv4(1+rng.Intn(16)))
+	}
+	for i, n := 0, rng.Intn(6); i < n; i++ {
+		rs.VXLAN.Add(randPrefix(), uint32(100+rng.Intn(20)))
+	}
+	for i, n := 0, rng.Intn(4); i < n; i++ {
+		rs.QoS.SetClass(uint8(rng.Intn(4)), uint64(rng.Intn(1e6)))
+		rs.QoS.MapPort(uint16(rng.Intn(4000)), uint8(rng.Intn(4)))
+	}
+	for i, n := 0, rng.Intn(18); i < n; i++ {
+		rs.VNICSrv.Set(uint32(1+rng.Intn(16)), randIP())
+	}
+	if rng.Intn(2) == 0 {
+		rs.EnableAdvanced()
+		for i, n := 0, rng.Intn(4); i < n; i++ {
+			rs.NAT.Add(NATEntry{Orig: randPrefix(), XlatIP: randIP(), XlatPort: uint16(rng.Intn(4000))})
+			rs.Policy.Add(randPrefix())
+			rs.Mirror.Add(randPrefix())
+			rs.FlowLog.Add(randPrefix())
+			rs.Stats.Add(randPrefix(), StatsPolicy(rng.Intn(16)))
+		}
+	}
+	rs.Bump()
+	return rs
+}
+
+func randTuple(rng *rand.Rand) packet.FiveTuple {
+	return packet.FiveTuple{
+		SrcIP:   packet.IPv4(0x0a000000 | uint32(rng.Intn(4))<<8 | uint32(rng.Intn(16))),
+		DstIP:   packet.IPv4(0x0a000000 | uint32(rng.Intn(4))<<8 | uint32(rng.Intn(16))),
+		SrcPort: uint16(rng.Intn(4000)),
+		DstPort: uint16(rng.Intn(4000)),
+		Proto:   packet.Proto(rng.Intn(3) * 6),
+	}
+}
+
+// checkEquivalence asserts the compiled walk (single and batched)
+// matches the reference walk for every tuple.
+func checkEquivalence(t testing.TB, rs *RuleSet, tuples []packet.FiveTuple) {
+	t.Helper()
+	want := make([]LookupResult, len(tuples))
+	for i, ft := range tuples {
+		want[i] = rs.lookupReference(ft)
+	}
+	for i, ft := range tuples {
+		got := rs.Lookup(ft)
+		if !reflect.DeepEqual(got, want[i]) {
+			t.Fatalf("Lookup(%+v) diverged from reference:\n got  %+v\n want %+v", ft, got, want[i])
+		}
+	}
+	batch := make([]LookupResult, len(tuples))
+	rs.LookupBatch(tuples, batch)
+	for i := range tuples {
+		if !reflect.DeepEqual(batch[i], want[i]) {
+			t.Fatalf("LookupBatch[%d](%+v) diverged from reference:\n got  %+v\n want %+v", i, tuples[i], batch[i], want[i])
+		}
+	}
+}
+
+// TestSoAEquivalence pins the compiled struct-of-arrays walk to the
+// reference interpretive walk across many random rule sets, including
+// post-Bump recompilation.
+func TestSoAEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		rs := randRuleSet(rng)
+		tuples := make([]packet.FiveTuple, 32)
+		for i := range tuples {
+			tuples[i] = randTuple(rng)
+		}
+		checkEquivalence(t, rs, tuples)
+
+		// Mutate and Bump: the compiled form must rebuild.
+		rs.ACL.Add(ACLRule{Priority: -1, Verdict: VerdictDeny, DstPorts: PortRange{Lo: 1, Hi: 9}})
+		rs.Route.Add(Prefix{IP: 0x0a000000, Len: 8}, 3)
+		rs.Bump()
+		checkEquivalence(t, rs, tuples)
+	}
+}
+
+// TestSoAEmptyRuleSet covers the all-empty edge (every probe table at
+// minimum size, default verdicts only).
+func TestSoAEmptyRuleSet(t *testing.T) {
+	rs := NewRuleSet(1, 7)
+	checkEquivalence(t, rs, []packet.FiveTuple{{}, {DstIP: 0x0a000001, DstPort: 80, Proto: packet.ProtoTCP}})
+}
+
+// TestSoABatchAliasing guards the batched route/VXLAN probes against
+// scratch-buffer aliasing: two batches of different sizes back to back
+// must not see each other's masked keys.
+func TestSoABatchAliasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	rs := randRuleSet(rng)
+	big := make([]packet.FiveTuple, 64)
+	for i := range big {
+		big[i] = randTuple(rng)
+	}
+	checkEquivalence(t, rs, big)
+	checkEquivalence(t, rs, big[:3])
+	checkEquivalence(t, rs, big)
+}
+
+// FuzzSoAEquivalence is satellite #3's fuzz half: on arbitrary
+// (seed-derived) rule sets and tuples, the SoA batched lookup must be
+// bit-identical to the legacy Table.Lookup walk.
+func FuzzSoAEquivalence(f *testing.F) {
+	f.Add(int64(1), uint32(0x0a000001), uint32(0x0a000102), uint16(80), uint16(443), uint8(6))
+	f.Add(int64(99), uint32(0), uint32(0xffffffff), uint16(0), uint16(65535), uint8(0))
+	f.Add(int64(7), uint32(0x0a000200), uint32(0x0a00030f), uint16(6666), uint16(1), uint8(17))
+	f.Fuzz(func(t *testing.T, seed int64, src, dst uint32, sp, dp uint16, proto uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		rs := randRuleSet(rng)
+		tuples := []packet.FiveTuple{
+			{SrcIP: packet.IPv4(src), DstIP: packet.IPv4(dst), SrcPort: sp, DstPort: dp, Proto: packet.Proto(proto)},
+			randTuple(rng),
+			randTuple(rng),
+		}
+		checkEquivalence(t, rs, tuples)
+	})
+}

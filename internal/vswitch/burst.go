@@ -1,34 +1,36 @@
 package vswitch
 
-// Burst datapath (DESIGN.md §10): opt-in entry points that move whole
-// batches of packets through the vSwitch with the per-packet semantics
-// of the scalar path — identical CPU placement, admission decisions,
-// cycle charges, and egress order — while amortizing everything that
-// is per-arrival bookkeeping rather than per-packet work: the vNIC
-// lookup, the CPU scheduler events (one per completion wave instead of
-// one per packet, via nic.CPU.SubmitBurst), and the fabric events (one
-// per same-deadline group instead of one per packet, via
-// fabric.SendBurst).
+// Burst datapath (DESIGN.md §10, §15): opt-in entry points that move
+// whole batches of packets through the vSwitch with the per-packet
+// semantics of the scalar path — identical CPU placement, admission
+// decisions, cycle charges, and egress order — while amortizing
+// everything that is per-arrival bookkeeping rather than per-packet
+// work: the vNIC lookup, the CPU scheduler events (one per completion
+// wave instead of one per packet, via nic.CPU.SubmitBurst), and the
+// fabric events (one per same-deadline group instead of one per
+// packet, via fabric.SendBurst). The plan stage itself lives in
+// worker.go, shared between the sequential pipeline and the per-core
+// run-to-completion workers.
 //
 // The scalar entry points remain untouched, so everything built on
 // them — including the chaos campaigns and their golden digests — is
 // bit-identical with or without this file.
 
 import (
-	"nezha/internal/nic"
 	"nezha/internal/packet"
-	"nezha/internal/prof"
 	"nezha/internal/sim"
 )
 
 // burstAct is the planned egress side effect of one CPU-submitted
 // packet. The pre-CPU stages (lookup, state, admission) run at plan
 // time, exactly as the scalar path runs them at arrival; the act
-// executes when the CPU completes the packet.
+// executes when the CPU completes the packet. worker records which
+// run-to-completion worker planned it, for per-worker CPU accounting.
 type burstAct struct {
 	p      *packet.Packet
 	cycles uint64
 	kind   uint8
+	worker int32
 	to     packet.IPv4 // actForward / actRelay destination
 	peer   uint32      // actForward peer-vNIC rewrite
 	vnic   uint32      // actDeliver target vNIC
@@ -41,6 +43,7 @@ const (
 	actDeliver              // hand to the local VM
 	actDropACL
 	actDropNoRoute
+	actNone // empty merge slot: the packet was consumed at plan time
 )
 
 // pendSend is an egress waiting for the end of its completion wave,
@@ -88,6 +91,9 @@ func (vs *VSwitch) fromVMRun(ps []*packet.Packet) {
 		}
 		return
 	}
+	// VM-level rate admission runs over the whole batch in arrival
+	// order, before any pipeline split — the limiter is a strictly
+	// order-sensitive shared bucket.
 	admitted := vs.admitBuf[:0]
 	for _, p := range ps {
 		if vs.rateAdmit(vn, p) {
@@ -126,11 +132,10 @@ func (vs *VSwitch) HandleUnderlayBurst(ps []*packet.Packet) {
 		cls, vnic := vs.classifyRX(ps[i])
 		j := i + 1
 		if cls != classOther {
-			for j < len(ps) {
-				c, v := vs.classifyRX(ps[j])
-				if c != cls || v != vnic {
-					break
-				}
+			// Extending the run needs no classify map lookups: a packet
+			// with the same vNIC, no Nezha metadata, and no flow-direct
+			// port classifies identically by construction.
+			for j < len(ps) && vs.sameRXClass(ps[j], vnic) {
 				j++
 			}
 		}
@@ -174,194 +179,48 @@ func (vs *VSwitch) classifyRX(p *packet.Packet) (uint8, uint32) {
 	return classOther, 0
 }
 
-// localTXBurst is localTX over a run: per-packet lookups, state
-// touches, and admission at plan time, then one batched CPU submission.
+// sameRXClass reports whether p classifies to the same non-Other class
+// as an already-classified packet of vNIC vnic, without touching the
+// FE/vNIC maps.
+func (vs *VSwitch) sameRXClass(p *packet.Packet, vnic uint32) bool {
+	if p.VNIC != vnic {
+		return false
+	}
+	if p.Tuple.Proto == packet.ProtoUDP &&
+		(p.Tuple.DstPort == ProbePort || p.Tuple.DstPort == mutualPort || p.Tuple.DstPort == CtrlPort) {
+		return false
+	}
+	return p.Nezha == nil || p.Nezha.Type == packet.NezhaNone
+}
+
+// The four batched pipelines: plan via worker.go, then one CPU burst.
+
 func (vs *VSwitch) localTXBurst(vn *vnicState, ps []*packet.Packet) {
-	vp := vs.profVNIC(vn)
-	acts := make([]burstAct, 0, len(ps))
-	for _, p := range ps {
-		if vs.ob != nil {
-			vs.hop(p, "local-tx")
-		}
-		profCharge(vp, prof.DirTX, prof.StagePerByte, perByteCycles(p))
-		profCharge(vp, prof.DirTX, prof.StageFastpath, nic.FastPathCycles+nic.ProcessPktCycles)
-		cycles := perByteCycles(p) + nic.FastPathCycles + nic.ProcessPktCycles
-		e, pre, dropped := vs.lookupOrSlowPath(vn.rules, p, &cycles, true, vp, prof.DirTX)
-		vn.cycles += cycles
-		if dropped {
-			continue
-		}
-		if e.State.Policy != pre.TX.Stats {
-			st := e.State
-			st.Policy = pre.TX.Stats
-			_ = vs.sessions.SetState(e, st)
-		}
-		_ = vs.sessions.TouchState(e, packet.DirTX, p.Flags, p.PayloadLen, int64(vs.loop.Now()))
-		st := e.State
-		if !FinalAllow(pre, st, packet.DirTX) {
-			acts = append(acts, burstAct{p: p, cycles: cycles, kind: actDropACL})
-			continue
-		}
-		if !vs.qosAdmit(vn.id, pre.TX, p) {
-			continue
-		}
-		vs.maybeMirror(p, pre, packet.DirTX)
-		peer, nextHop := pre.TX.PeerVNIC, pre.TX.NextHop
-		vs.applyNAT(vn.rules, pre.TX, p, &peer, &nextHop, &cycles, vp)
-		if st.DecapIP != 0 {
-			dp, dnh, c := vn.rules.ResolvePeer(st.DecapIP)
-			cycles += c
-			profCharge(vp, prof.DirTX, prof.StageSlowpath, c)
-			if dp != 0 {
-				peer, nextHop = dp, dnh
-			}
-		}
-		acts = vs.planForward(acts, p, peer, nextHop, cycles, vp)
-	}
-	vs.runPlan(acts, false)
+	vs.runBurstPipeline(pipeLocalTX, vn, nil, vs.profVNIC(vn), ps, false)
 }
 
-// beTXBurst is beTX over a run: the FE set and pinning map resolve
-// once, state updates happen per packet, and the relays leave in
-// same-FE fabric bursts.
 func (vs *VSwitch) beTXBurst(vn *vnicState, ps []*packet.Packet) {
-	now := int64(vs.loop.Now())
-	vp := vs.profVNIC(vn)
-	acts := make([]burstAct, 0, len(ps))
-	for _, p := range ps {
-		profCharge(vp, prof.DirTX, prof.StagePerByte, perByteCycles(p))
-		profCharge(vp, prof.DirTX, prof.StageFastpath, nic.FastPathCycles)
-		profCharge(vp, prof.DirTX, prof.StageStateCarry, nic.StateCarryCycles)
-		profCharge(vp, prof.DirTX, prof.StageEncap, nic.EncapCycles)
-		cycles := perByteCycles(p) + nic.FastPathCycles + nic.StateCarryCycles + nic.EncapCycles
-		key, _ := p.SessionKey()
-		vn.cycles += cycles
-		e, err := vs.sessions.GetOrCreate(key, vn.id, now)
-		if err != nil {
-			vs.drop(p, DropNoMemory)
-			continue
-		}
-		_ = vs.sessions.TouchState(e, packet.DirTX, p.Flags, p.PayloadLen, now)
-		fe := vn.fes[p.Tuple.Hash()%uint64(len(vn.fes))]
-		if vn.pinned != nil {
-			if dedicated, ok := vn.pinned[key]; ok {
-				fe = dedicated
-			}
-		}
-		p.AttachNezha(&packet.NezhaHeader{
-			Type:      packet.NezhaCarryState,
-			VNIC:      vn.id,
-			Dir:       packet.DirTX,
-			StateBlob: e.State.Encode(),
-		})
-		if vs.ob != nil {
-			vs.hopEncap(p, "be-tx", p.Nezha.WireSize())
-		}
-		acts = append(acts, burstAct{p: p, cycles: cycles, kind: actRelay, to: fe})
-	}
-	vs.runPlan(acts, false)
+	vs.runBurstPipeline(pipeBeTX, vn, nil, vs.profVNIC(vn), ps, false)
 }
 
-// feRXBurst is feRX over a run: stateless pre-action lookups per
-// packet, then one batched submission relaying toward the BE.
 func (vs *VSwitch) feRXBurst(fe *feInstance, ps []*packet.Packet) {
-	vp := vs.profFE(fe)
-	acts := make([]burstAct, 0, len(ps))
-	for _, p := range ps {
-		profCharge(vp, prof.DirRX, prof.StagePerByte, perByteCycles(p))
-		profCharge(vp, prof.DirRX, prof.StageFastpath, nic.FastPathCycles)
-		profCharge(vp, prof.DirRX, prof.StageStateCarry, nic.StateCarryCycles)
-		profCharge(vp, prof.DirRX, prof.StageEncap, nic.EncapCycles)
-		cycles := perByteCycles(p) + nic.FastPathCycles + nic.StateCarryCycles + nic.EncapCycles
-		_, pre, _ := vs.lookupOrSlowPath(fe.rules, p, &cycles, false, vp, prof.DirRX)
-		orig := p.OuterSrc
-		p.AttachNezha(&packet.NezhaHeader{
-			Type:          packet.NezhaCarryPreActions,
-			VNIC:          fe.vnic,
-			Dir:           packet.DirRX,
-			PreActionBlob: pre.Encode(),
-			OrigOuterSrc:  orig,
-		})
-		if vs.ob != nil {
-			vs.hopEncap(p, "fe-rx", p.Nezha.WireSize())
-		}
-		acts = append(acts, burstAct{p: p, cycles: cycles, kind: actRelay, to: fe.beAddr})
-	}
-	vs.runPlan(acts, true)
+	vs.runBurstPipeline(pipeFeRX, nil, fe, vs.profFE(fe), ps, true)
 }
 
-// localRXBurst is localRX over a run.
 func (vs *VSwitch) localRXBurst(vn *vnicState, ps []*packet.Packet) {
-	vp := vs.profVNIC(vn)
-	acts := make([]burstAct, 0, len(ps))
-	for _, p := range ps {
-		if !vs.rateAdmit(vn, p) {
-			continue
-		}
-		if vs.ob != nil {
-			vs.hop(p, "local-rx")
-		}
-		profCharge(vp, prof.DirRX, prof.StagePerByte, perByteCycles(p))
-		profCharge(vp, prof.DirRX, prof.StageFastpath, nic.FastPathCycles+nic.ProcessPktCycles)
-		cycles := perByteCycles(p) + nic.FastPathCycles + nic.ProcessPktCycles
-		e, pre, dropped := vs.lookupOrSlowPath(vn.rules, p, &cycles, true, vp, prof.DirRX)
-		vn.cycles += cycles
-		if dropped {
-			continue
-		}
-		if e.State.Policy != pre.RX.Stats {
-			st := e.State
-			st.Policy = pre.RX.Stats
-			_ = vs.sessions.SetState(e, st)
-		}
-		if vn.decap && !e.State.Init && p.OuterSrc != 0 {
-			st := e.State
-			st.DecapIP = p.OuterSrc
-			_ = vs.sessions.SetState(e, st)
-		}
-		_ = vs.sessions.TouchState(e, packet.DirRX, p.Flags, p.PayloadLen, int64(vs.loop.Now()))
-		st := e.State
-		if !FinalAllow(pre, st, packet.DirRX) {
-			acts = append(acts, burstAct{p: p, cycles: cycles, kind: actDropACL})
-			continue
-		}
-		if !vs.qosAdmit(vn.id, pre.RX, p) {
-			continue
-		}
-		vs.maybeMirror(p, pre, packet.DirRX)
-		acts = append(acts, burstAct{p: p, cycles: cycles, kind: actDeliver, vnic: p.VNIC})
-	}
-	vs.runPlan(acts, false)
-}
-
-// planForward is forwardOverlay at plan time: resolve the peer now,
-// record the forward (or the no-route drop) for execution at CPU
-// completion.
-func (vs *VSwitch) planForward(acts []burstAct, p *packet.Packet, peer uint32, staticHop packet.IPv4, cycles uint64, vp *prof.VNICProf) []burstAct {
-	if peer == 0 && staticHop == 0 {
-		return append(acts, burstAct{p: p, cycles: cycles, kind: actDropNoRoute})
-	}
-	addr, ok := vs.learner.Pick(peer, p.Tuple.Hash())
-	if !ok {
-		addr = staticHop
-	}
-	if addr == 0 {
-		return append(acts, burstAct{p: p, cycles: cycles, kind: actDropNoRoute})
-	}
-	if vs.ob != nil {
-		vs.hopPick(p, addr)
-	}
-	cycles += nic.EncapCycles
-	profCharge(vp, prof.DirTX, prof.StageEncap, nic.EncapCycles)
-	return append(acts, burstAct{p: p, cycles: cycles, kind: actForward, to: addr, peer: peer})
+	vs.runBurstPipeline(pipeLocalRX, vn, nil, vs.profVNIC(vn), ps, false)
 }
 
 // runPlan submits the planned packets to the CPU as one burst and
 // executes each act at its completion. Sends accumulate per wave and
 // leave as coalesced fabric bursts when the wave ends — the same
-// instant the scalar path would have sent them one by one.
+// instant the scalar path would have sent them one by one. The acts
+// buffer is pooled: the completion closure owns it until the last
+// completion fires (multiple bursts can be in flight), then returns it
+// via putActs.
 func (vs *VSwitch) runPlan(acts []burstAct, remote bool) {
 	if len(acts) == 0 {
+		vs.putActs(acts)
 		return
 	}
 	costs := vs.burstCosts[:0]
@@ -372,16 +231,56 @@ func (vs *VSwitch) runPlan(acts []burstAct, remote bool) {
 		} else {
 			vs.cyclesLocal += acts[i].cycles
 		}
+		if vs.workers != nil {
+			vs.workers.Charge(int(acts[i].worker), acts[i].cycles)
+		}
 	}
 	vs.burstCosts = costs
 	vs.inFlightCPU += len(acts)
-	vs.cpu.SubmitBurst(costs, func(i int, ok bool, d sim.Time) {
-		vs.inFlightCPU--
-		a := &acts[i]
-		if !ok {
-			vs.drop(a.p, DropOverload)
-			return
-		}
+	vs.cpu.SubmitBurstTo(costs, vs.getRun(acts))
+}
+
+// burstRun is one submitted burst's nic.BurstSink: it executes each
+// act at its CPU completion and recycles the act buffer (and itself)
+// when the burst's last item resolves. Runs are pooled on the vSwitch
+// so submitting a burst allocates nothing; several can be in flight
+// at once, each owning its act buffer.
+type burstRun struct {
+	vs        *VSwitch
+	acts      []burstAct
+	remaining int
+	next      *burstRun
+}
+
+func (vs *VSwitch) getRun(acts []burstAct) *burstRun {
+	r := vs.runFree
+	if r == nil {
+		r = &burstRun{}
+	} else {
+		vs.runFree = r.next
+		r.next = nil
+	}
+	r.vs = vs
+	r.acts = acts
+	r.remaining = len(acts)
+	return r
+}
+
+func (vs *VSwitch) putRun(r *burstRun) {
+	r.acts = nil
+	r.next = vs.runFree
+	vs.runFree = r
+}
+
+// Complete implements nic.BurstSink: the act stage of one packet,
+// executed at CPU completion (or a synchronous overload drop).
+func (r *burstRun) Complete(i int, ok bool, d sim.Time) {
+	vs := r.vs
+	vs.inFlightCPU--
+	a := &r.acts[i]
+	if !ok {
+		vs.drop(a.p, DropOverload)
+	} else {
 		if vs.ob != nil {
 			vs.hopCPU(a.p, a.cycles, d)
 		}
@@ -398,7 +297,7 @@ func (vs *VSwitch) runPlan(acts []burstAct, remote bool) {
 			vs.pend = append(vs.pend, pendSend{to: a.to, p: a.p})
 		case actDeliver:
 			if a.strip {
-				a.p.StripNezha()
+				vs.stripNezha(a.p)
 			}
 			vs.deliverToVM(a.vnic, a.p)
 		case actDropACL:
@@ -406,8 +305,19 @@ func (vs *VSwitch) runPlan(acts []burstAct, remote bool) {
 		case actDropNoRoute:
 			vs.drop(a.p, DropNoRoute)
 		}
-	}, func([]int32) { vs.flushPend() })
+	}
+	r.remaining--
+	if r.remaining == 0 {
+		vs.putActs(r.acts)
+		vs.putRun(r)
+	}
 }
+
+// WaveEnd implements nic.BurstSink: flush the wave's coalesced sends.
+// Safe even after the run recycled itself in its final Complete — the
+// vSwitch pointer survives recycling, and no new run can claim this
+// struct before this call returns (flushPend only schedules events).
+func (r *burstRun) WaveEnd([]int32) { r.vs.flushPend() }
 
 // flushPend ships the wave's accumulated sends, one fabric burst per
 // run of consecutive same-destination packets.

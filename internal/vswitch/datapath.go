@@ -180,9 +180,23 @@ func (vs *VSwitch) submitRemote(p *packet.Packet, cycles uint64, egress func()) 
 // (needEntry=false) is stateless and simply processes the packet from
 // the slow-path result without caching when memory is tight.
 func (vs *VSwitch) lookupOrSlowPath(rules *tables.RuleSet, p *packet.Packet, cycles *uint64, needEntry bool, vp *prof.VNICProf, dir prof.Dir) (e *flowcache.Entry, pre tables.PreActions, dropped bool) {
+	key, hash, _ := p.SessionKeyHashed()
+	return vs.lookupOrSlowPathH(rules, p, key, hash, nil, cycles, needEntry, vp, dir)
+}
+
+// lookupOrSlowPathH is lookupOrSlowPath with the session key and its
+// hash precomputed — the burst pipelines hash each packet once up
+// front (RSS worker placement and every table probe share it).
+func (vs *VSwitch) lookupOrSlowPathH(rules *tables.RuleSet, p *packet.Packet, key packet.SessionKey, hash uint64, hint *flowcache.Entry, cycles *uint64, needEntry bool, vp *prof.VNICProf, dir prof.Dir) (e *flowcache.Entry, pre tables.PreActions, dropped bool) {
 	now := int64(vs.loop.Now())
-	key, _ := p.SessionKey()
-	e = vs.sessions.Lookup(key, now)
+	if hint != nil {
+		// The burst eligibility probe already found the entry; record
+		// the hit (counter + LastSeen) without probing again.
+		vs.sessions.Hit(hint, now)
+		e = hint
+	} else {
+		e = vs.sessions.LookupH(key, hash, now)
+	}
 	if e != nil && e.HasPre && e.PreVersion == rules.Version() {
 		vs.Stats.FastPath++
 		if vs.ob != nil {
@@ -204,7 +218,7 @@ func (vs *VSwitch) lookupOrSlowPath(rules *tables.RuleSet, p *packet.Packet, cyc
 	profCharge(vp, dir, prof.StageSessionInstall, nic.SessionInstallCycles)
 	if e == nil {
 		var err error
-		e, err = vs.sessions.GetOrCreate(key, p.VNIC, now)
+		e, err = vs.sessions.GetOrCreateH(key, hash, p.VNIC, now)
 		if err != nil {
 			if needEntry {
 				vs.drop(p, DropNoMemory)
@@ -254,6 +268,7 @@ func (vs *VSwitch) applyNAT(rules *tables.RuleSet, preTX tables.PreAction, p *pa
 	if preTX.NATPort != 0 {
 		p.Tuple.DstPort = preTX.NATPort
 	}
+	p.InvalidateHashes()
 	dp, dnh, c := rules.ResolvePeer(preTX.NATIP)
 	*cycles += c
 	profCharge(vp, prof.DirTX, prof.StageSlowpath, c)
@@ -323,7 +338,7 @@ func (vs *VSwitch) forwardOverlayVia(p *packet.Packet, peer uint32, staticHop pa
 		submit(p, cycles, func() { vs.drop(p, DropNoRoute) })
 		return
 	}
-	addr, ok := vs.learner.Pick(peer, p.Tuple.Hash())
+	addr, ok := vs.learner.Pick(peer, p.TupleHash())
 	if !ok {
 		addr = staticHop
 	}
@@ -423,7 +438,7 @@ func (vs *VSwitch) beTX(vn *vnicState, p *packet.Packet) {
 	// via the short SYN aging (§5.1, §7.3).
 	_ = vs.sessions.TouchState(e, packet.DirTX, p.Flags, p.PayloadLen, now)
 
-	fe := vn.fes[p.Tuple.Hash()%uint64(len(vn.fes))]
+	fe := vn.fes[p.TupleHash()%uint64(len(vn.fes))]
 	if vn.pinned != nil {
 		if key, _ := p.SessionKey(); true {
 			if dedicated, ok := vn.pinned[key]; ok {
@@ -462,7 +477,7 @@ func (vs *VSwitch) beRX(vn *vnicState, p *packet.Packet) {
 	profCharge(vp, prof.DirRX, prof.StageFastpath, nic.FastPathCycles+nic.ProcessPktCycles)
 	profCharge(vp, prof.DirRX, prof.StageStateCarry, nic.StateCarryCycles)
 	cycles := perByteCycles(p) + nic.FastPathCycles + nic.StateCarryCycles + nic.ProcessPktCycles
-	pre, err := tables.DecodePreActions(p.Nezha.PreActionBlob)
+	pre, err := nezhaPre(p.Nezha)
 	if err != nil {
 		vs.drop(p, DropMalformed)
 		return
@@ -501,7 +516,7 @@ func (vs *VSwitch) beRX(vn *vnicState, p *packet.Packet) {
 	}
 	vs.maybeMirror(p, pre, packet.DirRX)
 	vs.submit(p, cycles, func() {
-		p.StripNezha()
+		vs.stripNezha(p)
 		vs.deliverToVM(vn.id, p)
 	})
 }
@@ -511,7 +526,7 @@ func (vs *VSwitch) beRX(vn *vnicState, p *packet.Packet) {
 func (vs *VSwitch) beNotify(vn *vnicState, p *packet.Packet) {
 	vs.Stats.NotifyRecv++
 	now := int64(vs.loop.Now())
-	carried, err := state.Decode(p.Nezha.StateBlob)
+	carried, err := nezhaState(p.Nezha)
 	if err != nil {
 		vs.drop(p, DropMalformed)
 		return
@@ -549,7 +564,7 @@ func (vs *VSwitch) feTX(fe *feInstance, p *packet.Packet) {
 	profCharge(vp, prof.DirTX, prof.StageFastpath, nic.FastPathCycles+nic.ProcessPktCycles)
 	profCharge(vp, prof.DirTX, prof.StageStateCarry, nic.StateCarryCycles)
 	cycles := perByteCycles(p) + nic.FastPathCycles + nic.StateCarryCycles + nic.ProcessPktCycles
-	carried, err := state.Decode(p.Nezha.StateBlob)
+	carried, err := nezhaState(p.Nezha)
 	if err != nil {
 		vs.drop(p, DropMalformed)
 		return
@@ -585,7 +600,7 @@ func (vs *VSwitch) feTX(fe *feInstance, p *packet.Packet) {
 			peer, nextHop = dp, dnh
 		}
 	}
-	p.StripNezha()
+	vs.stripNezha(p)
 	vs.forwardOverlayVia(p, peer, nextHop, cycles, vs.submitRemote, vp)
 }
 

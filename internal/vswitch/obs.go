@@ -1,6 +1,8 @@
 package vswitch
 
 import (
+	"strconv"
+
 	"nezha/internal/nic"
 	"nezha/internal/obs"
 	"nezha/internal/packet"
@@ -107,6 +109,19 @@ func (vs *VSwitch) EnableObs(o *obs.Obs) {
 		}
 		return 0
 	})
+	// Per-worker rows exist only on multi-worker configs, so the default
+	// (sequential) registry shape — and every golden digest over it —
+	// is unchanged.
+	if vs.workers != nil {
+		r.Help("vswitch_worker_cycles_total", "CPU cycles planned per run-to-completion worker.")
+		r.Help("vswitch_worker_packets_total", "Packets planned per run-to-completion worker.")
+		for w := 0; w < vs.workers.Workers(); w++ {
+			w := w
+			wl := obs.L("node", node, "worker", strconv.Itoa(w))
+			r.CounterFunc("vswitch_worker_cycles_total", wl, func() uint64 { return vs.workers.CyclesOf(w) })
+			r.CounterFunc("vswitch_worker_packets_total", wl, func() uint64 { return vs.workers.PacketsOf(w) })
+		}
+	}
 }
 
 // hop records a simple stage hop for a sampled packet.

@@ -1,0 +1,69 @@
+//go:build simdebug
+
+package vswitch
+
+import (
+	"testing"
+
+	"nezha/internal/packet"
+)
+
+// The simdebug build arms lifecycle tripwires on the pooled view
+// boxes. These tests prove the tripwires actually fire: silently
+// reading a recycled box would mean a use-after-free-style corruption
+// that the release build can't see.
+
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected a simdebug panic, got none", what)
+		}
+	}()
+	f()
+}
+
+// TestViewDebugUseAfterRecycle pins that every read through a recycled
+// view — WireLen, AppendWire, the typed extractors — panics instead of
+// returning poisoned data.
+func TestViewDebugUseAfterRecycle(t *testing.T) {
+	w := newWorld(t, 0, nil)
+	st := viewTestState()
+	p := viewTestPacket(1)
+	w.A.attachStateView(p, clientVNIC, packet.DirTX, st)
+	h := p.Nezha
+	box := h.StateView.(*viewBox)
+	w.A.stripNezha(p)
+
+	mustPanic(t, "WireLen after recycle", func() { box.WireLen() })
+	mustPanic(t, "AppendWire after recycle", func() { box.AppendWire(nil) })
+	mustPanic(t, "nezhaState after recycle", func() { _, _ = nezhaState(h) })
+}
+
+// TestViewDebugDoubleRecycle pins that recycling the same box twice
+// panics — a double-free would corrupt the freelist.
+func TestViewDebugDoubleRecycle(t *testing.T) {
+	w := newWorld(t, 0, nil)
+	p := viewTestPacket(2)
+	w.A.attachStateView(p, clientVNIC, packet.DirTX, viewTestState())
+	box := p.Nezha.StateView.(*viewBox)
+	w.A.stripNezha(p)
+	mustPanic(t, "double recycle", func() { w.A.putBox(box) })
+}
+
+// TestViewDebugLiveViewStaysUsable is the counterweight: a live view
+// must pass every check, and a full attach→consume→strip cycle must
+// run clean under the tripwires.
+func TestViewDebugLiveViewStaysUsable(t *testing.T) {
+	w := newWorld(t, 0, nil)
+	st := viewTestState()
+	p := viewTestPacket(3)
+	w.A.attachStateView(p, clientVNIC, packet.DirTX, st)
+	if got, err := nezhaState(p.Nezha); err != nil || got != st {
+		t.Fatalf("live view read: got %+v err %v", got, err)
+	}
+	if p.Nezha.WireSize() <= 0 {
+		t.Fatal("live view WireSize must be positive")
+	}
+	w.A.stripNezha(p)
+}

@@ -1,0 +1,139 @@
+package vswitch
+
+// Zero-copy Nezha metadata (DESIGN.md §15): on same-process hops the
+// BE→FE state carriage and FE→BE pre-action carriage travel as typed
+// views over pooled boxes instead of Marshal/Unmarshal blob
+// round-trips. A viewBox holds the NezhaHeader itself plus the typed
+// payload; packet.HeaderView's WireLen/AppendWire produce exactly the
+// bytes the equivalent blob would, so wire-mode fabrics, Clone, and
+// SizeBytes accounting are unchanged. Consumers that find a *viewBox
+// read the value directly; anything else (a blob from a wire-mode hop,
+// a foreign view) falls back to Decode.
+//
+// Lifecycle: the attach sites (burst beTX/feRX plans) take a box from
+// the per-vSwitch freelist; the consuming vSwitch recycles it via
+// stripNezha — boxes migrate between pools, which is fine inside one
+// single-threaded sim world. Packets that terminate with the header
+// still attached (drops, wire-mode sends, fabric loss) leak their box
+// to the GC; correctness never depends on recycling. The simdebug
+// build guards use-after-recycle (see viewdebug_on.go).
+
+import (
+	"nezha/internal/packet"
+	"nezha/internal/state"
+	"nezha/internal/tables"
+)
+
+// viewBox is one pooled header+payload carrier. hdr.Type selects which
+// payload field is live: NezhaCarryState → st, NezhaCarryPreActions →
+// pre.
+type viewBox struct {
+	hdr  packet.NezhaHeader
+	st   state.State
+	pre  tables.PreActions
+	next *viewBox
+	dbg  viewDebugState
+}
+
+// WireLen implements packet.HeaderView.
+func (b *viewBox) WireLen() int {
+	viewCheckLive(b)
+	if b.hdr.Type == packet.NezhaCarryPreActions {
+		return b.pre.WireLen()
+	}
+	return b.st.WireLen()
+}
+
+// AppendWire implements packet.HeaderView. The encoding must be
+// byte-identical to the blob the legacy path would have attached.
+func (b *viewBox) AppendWire(dst []byte) []byte {
+	viewCheckLive(b)
+	if b.hdr.Type == packet.NezhaCarryPreActions {
+		return b.pre.AppendWire(dst)
+	}
+	return b.st.AppendWire(dst)
+}
+
+func (vs *VSwitch) getBox() *viewBox {
+	b := vs.boxFree
+	if b == nil {
+		b = &viewBox{}
+	} else {
+		vs.boxFree = b.next
+		b.next = nil
+	}
+	viewMarkLive(b)
+	return b
+}
+
+func (vs *VSwitch) putBox(b *viewBox) {
+	viewMarkFree(b)
+	b.next = vs.boxFree
+	vs.boxFree = b
+}
+
+// attachStateView attaches a CarryState header holding a snapshot of
+// st — a value copy, matching the legacy path's Encode-at-attach
+// semantics (the sender's live state keeps mutating while the packet
+// is in flight).
+func (vs *VSwitch) attachStateView(p *packet.Packet, vnic uint32, dir packet.Direction, st state.State) {
+	b := vs.getBox()
+	b.st = st
+	b.hdr = packet.NezhaHeader{Type: packet.NezhaCarryState, VNIC: vnic, Dir: dir, StateView: b}
+	p.AttachNezha(&b.hdr)
+}
+
+// attachPreView attaches a CarryPreActions header holding pre by
+// value, preserving the original outer source for stateful decap.
+func (vs *VSwitch) attachPreView(p *packet.Packet, vnic uint32, pre tables.PreActions, orig packet.IPv4) {
+	b := vs.getBox()
+	b.pre = pre
+	b.hdr = packet.NezhaHeader{Type: packet.NezhaCarryPreActions, VNIC: vnic, Dir: packet.DirRX, PreView: b, OrigOuterSrc: orig}
+	p.AttachNezha(&b.hdr)
+}
+
+// nezhaState extracts carried session state: zero-copy when the header
+// holds a pooled view, Decode otherwise.
+func nezhaState(h *packet.NezhaHeader) (state.State, error) {
+	if h.StateBlob == nil && h.StateView != nil {
+		if b, ok := h.StateView.(*viewBox); ok {
+			viewCheckLive(b)
+			return b.st, nil
+		}
+		return state.Decode(h.StateView.AppendWire(nil))
+	}
+	return state.Decode(h.StateBlob)
+}
+
+// nezhaPre extracts carried pre-actions, view or blob.
+func nezhaPre(h *packet.NezhaHeader) (tables.PreActions, error) {
+	if h.PreActionBlob == nil && h.PreView != nil {
+		if b, ok := h.PreView.(*viewBox); ok {
+			viewCheckLive(b)
+			return b.pre, nil
+		}
+		return tables.DecodePreActions(h.PreView.AppendWire(nil))
+	}
+	return tables.DecodePreActions(h.PreActionBlob)
+}
+
+// stripNezha removes p's Nezha header and recycles its view box, if
+// any. The strip happens first: StripNezha reads the header's wire
+// size through the view, which must still be live at that point.
+func (vs *VSwitch) stripNezha(p *packet.Packet) {
+	h := p.Nezha
+	if h == nil {
+		p.StripNezha()
+		return
+	}
+	var b *viewBox
+	if sb, ok := h.StateView.(*viewBox); ok {
+		b = sb
+	} else if pb, ok := h.PreView.(*viewBox); ok {
+		b = pb
+	}
+	p.StripNezha()
+	if b != nil {
+		vs.putBox(b)
+	}
+}

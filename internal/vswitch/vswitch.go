@@ -112,6 +112,11 @@ type Config struct {
 	MaxQueueDelay sim.Time
 	// VariableState stores session states at encoded size (§7.1).
 	VariableState bool
+	// Workers splits the burst datapath's plan stage into N per-core
+	// run-to-completion workers: an RSS hash over the normalized session
+	// key pins each flow to one worker (see worker.go). 0 or 1 keeps the
+	// single sequential pipeline. Digests are identical at every count.
+	Workers int
 }
 
 // Counters exposes the vSwitch's datapath statistics.
@@ -289,6 +294,20 @@ type VSwitch struct {
 	admitBuf   []*packet.Packet
 	sendBuf    []*packet.Packet
 
+	// Run-to-completion worker state (worker.go): the RSS plan scratch,
+	// the pooled act buffers (owned by completion closures until a
+	// burst's last completion fires), and the per-worker CPU account
+	// (nil unless cfg.Workers > 1).
+	wk       workerScratch
+	actsFree [][]burstAct
+	workers  *nic.WorkerAccount
+
+	// runFree pools burst-submission sinks (burstRun in burst.go).
+	runFree *burstRun
+
+	// boxFree pools zero-copy header-view boxes (viewpool.go).
+	boxFree *viewBox
+
 	Stats Counters
 }
 
@@ -317,6 +336,9 @@ func New(loop *sim.Loop, fab *fabric.Fabric, gw *fabric.Gateway, cfg Config) *VS
 		fes:     make(map[uint32]*feInstance),
 	}
 	vs.qosBuckets = make(map[uint64]*tokenBucket)
+	if cfg.Workers > 1 {
+		vs.workers = nic.NewWorkerAccount(cfg.Workers)
+	}
 	vs.sessions = flowcache.New(flowcache.Config{
 		MaxBytes:      cfg.NetMemBytes,
 		VariableState: cfg.VariableState,
@@ -346,6 +368,10 @@ func (vs *VSwitch) CyclesRemote() uint64 { return vs.cyclesRemote }
 
 // Sessions exposes the session table (read-mostly, for experiments).
 func (vs *VSwitch) Sessions() *flowcache.Table { return vs.sessions }
+
+// Workers exposes the per-worker CPU account (nil unless the vSwitch
+// was configured with more than one run-to-completion worker).
+func (vs *VSwitch) Workers() *nic.WorkerAccount { return vs.workers }
 
 // Learner exposes the gateway cache (tests).
 func (vs *VSwitch) Learner() *fabric.Learner { return vs.learner }
