@@ -21,6 +21,7 @@ import (
 	"nezha/internal/fabric"
 	"nezha/internal/packet"
 	"nezha/internal/sim"
+	"nezha/internal/slo"
 	"nezha/internal/tables"
 	"nezha/internal/vswitch"
 )
@@ -178,6 +179,9 @@ func newForwardRig(workers int) *dpFwdRig {
 		Addr: dpAddrA, Cores: dpBenchCores, CoreHz: dpBenchHz,
 		Workers: workers,
 	})
+	// The ledger is always-on in production, so the W=4 gate measures
+	// the worker datapath with it attached.
+	r.a.EnableSLO(slo.NewTracker(slo.Config{}))
 	// Raw sink node: every delivered underlay packet is counted and
 	// returned to the pool, per-packet and coalesced alike.
 	fab.Register(dpAddrB, 0, func(p *packet.Packet) {

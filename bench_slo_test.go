@@ -1,0 +1,147 @@
+package nezha
+
+// Latency-SLO overhead benchmarks: the same datapath rig run with the
+// always-on SLO ledger (per-packet histogram observe, sketch update,
+// burn evaluation) disabled and enabled. TestSLOOverheadGuard turns
+// the pair into a CI gate: with SLO_BENCH_GUARD=1 it fails when the
+// SLO-enabled datapath is more than 5% slower — the ledger is meant
+// to be cheap enough to leave on everywhere — and merges the
+// measurement into BENCH_obs.json next to the obs gate's keys.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"nezha/internal/cluster"
+	"nezha/internal/packet"
+	"nezha/internal/sim"
+	"nezha/internal/slo"
+	"nezha/internal/tables"
+	"nezha/internal/vswitch"
+	"nezha/internal/workload"
+)
+
+// runSLORig is runObsRig's twin with the latency ledger in place of
+// the obs bundle: a small BE+clients cluster driven for 2 s of
+// virtual time, returning the packets the datapaths processed.
+func runSLORig(tr *slo.Tracker) uint64 {
+	const (
+		servers    = 4
+		clients    = 3
+		serverVNIC = 100
+		vpc        = 7
+	)
+	serverIP := packet.MakeIP(10, 0, 100, 1)
+	clientIP := func(i int) packet.IPv4 { return packet.MakeIP(10, 0, byte(1+i), 1) }
+	c := cluster.New(cluster.Options{
+		Servers: servers, Seed: 1,
+		VSwitch: func(i int, cfg *vswitch.Config) {
+			cfg.Cores = 2
+			cfg.CoreHz = 500_000_000
+		},
+		SLO: tr,
+	})
+	_, err := c.AddVM(cluster.VMSpec{
+		Server: clients, VNIC: serverVNIC, VPC: vpc, IP: serverIP, VCPUs: 64,
+		MakeRules: func() *tables.RuleSet {
+			rs := tables.NewRuleSet(serverVNIC, vpc)
+			for i := 0; i < clients; i++ {
+				rs.Route.Add(tables.MakePrefix(clientIP(i), 32), packet.IPv4(uint32(i+1)))
+			}
+			return rs
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	serverNet := tables.MakePrefix(packet.MakeIP(10, 0, 100, 0), 24)
+	var gens []*workload.CRR
+	for i := 0; i < clients; i++ {
+		vnic := uint32(i + 1)
+		vm, err := c.AddVM(cluster.VMSpec{
+			Server: i, VNIC: vnic, VPC: vpc, IP: clientIP(i), VCPUs: 8,
+			MakeRules: cluster.TwoSubnetRules(vnic, vpc, serverNet, serverVNIC),
+		})
+		if err != nil {
+			panic(err)
+		}
+		g := workload.NewCRR(c.Loop, c.Loop.Rand(), vm, serverIP, 1500)
+		gens = append(gens, g)
+		g.Start()
+	}
+	c.Start()
+	c.Loop.Run(2 * sim.Second)
+	for _, g := range gens {
+		g.Stop()
+	}
+	var pkts uint64
+	for _, vs := range c.Switches {
+		pkts += vs.Stats.FromVM + vs.Stats.FromNet
+	}
+	return pkts
+}
+
+func benchDatapathSLO(b *testing.B, withSLO bool) {
+	var pkts uint64
+	for i := 0; i < b.N; i++ {
+		var tr *slo.Tracker
+		if withSLO {
+			tr = slo.NewTracker(slo.Config{})
+		}
+		pkts += runSLORig(tr)
+	}
+	b.ReportMetric(float64(pkts)/b.Elapsed().Seconds(), "pkts/s")
+}
+
+func BenchmarkDatapathSLOOff(b *testing.B) { benchDatapathSLO(b, false) }
+func BenchmarkDatapathSLOOn(b *testing.B)  { benchDatapathSLO(b, true) }
+
+// TestSLOOverheadGuard is the CI benchmark gate (set SLO_BENCH_GUARD=1
+// to run): best-of-three reps with the ledger off and on, merged into
+// BENCH_obs.json (read-modify-write, so the obs gate's keys survive),
+// failing when the overhead exceeds 5%.
+func TestSLOOverheadGuard(t *testing.T) {
+	if os.Getenv("SLO_BENCH_GUARD") == "" {
+		t.Skip("set SLO_BENCH_GUARD=1 to run the SLO overhead gate")
+	}
+	const reps = 3
+	const maxRatio = 1.05
+	best := func(fn func(*testing.B)) int64 {
+		bestNs := int64(0)
+		for i := 0; i < reps; i++ {
+			r := testing.Benchmark(fn)
+			ns := r.NsPerOp()
+			if bestNs == 0 || ns < bestNs {
+				bestNs = ns
+			}
+		}
+		return bestNs
+	}
+	offNs := best(BenchmarkDatapathSLOOff)
+	onNs := best(BenchmarkDatapathSLOOn)
+	ratio := float64(onNs) / float64(offNs)
+
+	merged := make(map[string]any)
+	if raw, err := os.ReadFile("BENCH_obs.json"); err == nil {
+		_ = json.Unmarshal(raw, &merged)
+	}
+	merged["slo_off_ns_per_op"] = offNs
+	merged["slo_on_ns_per_op"] = onNs
+	merged["slo_overhead_ratio"] = ratio
+	merged["slo_overhead_pct"] = (ratio - 1) * 100
+	merged["slo_max_ratio"] = maxRatio
+	merged["slo_reps"] = reps
+	out, err := json.MarshalIndent(merged, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile("BENCH_obs.json", out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("slo off %d ns/op, on %d ns/op, overhead %.2f%%", offNs, onNs, (ratio-1)*100)
+	if ratio > maxRatio {
+		t.Errorf("SLO-enabled datapath is %.1f%% slower than disabled (limit 5%%); see BENCH_obs.json", (ratio-1)*100)
+	}
+}

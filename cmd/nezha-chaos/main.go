@@ -27,10 +27,17 @@
 //	nezha-chaos [-seed 1] [-campaigns 10] [-duration 8s] [-servers 8]
 //	            [-clients 3] [-cps 250] [-events 12] [-midpush]
 //	            [-ctrl-crash] [-ctrl-crash-at 4s|prepare|commit-gap]
-//	            [-ctrl-outage 1.5s]
+//	            [-ctrl-outage 1.5s] [-slo 100ms]
 //	            [-failfile failing-seeds.txt] [-v]
 //	            [-obs] [-obs-sample 1.0] [-obs-dir dumps/]
 //	            [-prof] [-prof-dir profiles/]
+//
+// With -slo, every campaign carries the always-on latency ledger: a
+// p99-vs-objective SLO per vNIC, a burn-rate evaluator whose events
+// land in the flight recorder, and the slo-burn-bound invariant (a
+// vNIC burning its error budget for too many consecutive windows is a
+// violation). The per-seed summary and FAIL lines gain the worst
+// offender: slo[vnic=N p99=observed/objective burns=K].
 //
 // With -obs (the default), every campaign runs with the observability
 // layer attached: a violation automatically writes a flight-recorder
@@ -86,6 +93,7 @@ func main() {
 		obsDir     = flag.String("obs-dir", "", "directory for flight-recorder dumps (default: system temp dir)")
 		profOn     = flag.Bool("prof", false, "attach the cycle/byte attribution profiler (pprof dump per campaign)")
 		profDir    = flag.String("prof-dir", "", "directory for attribution profiles (default: system temp dir)")
+		sloObj     = flag.Duration("slo", 0, "latency SLO objective (e.g. 100ms): attach the always-on latency ledger and arm the slo-burn-bound invariant (0 = off)")
 		listen     = flag.String("listen", "", "serve the live ops API on this address (host:port); requires -obs")
 		pace       = flag.Float64("pace", 0, "throttle campaigns to this multiple of wall-clock speed (0 = unpaced; 1 with -listen for a live-feeling run)")
 		hold       = flag.Duration("hold", 0, "with -listen: keep serving this long after the last campaign ends")
@@ -175,6 +183,8 @@ func main() {
 			ProfDir:              pDir,
 			Hist:                 hist,
 			Pace:                 *pace,
+			SLO:                  *sloObj > 0,
+			SLOObjective:         sim.Time(*sloObj),
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "seed %d: %v\n", s, err)
@@ -190,8 +200,15 @@ func main() {
 		if crashOn {
 			recovery = fmt.Sprintf("%d/%.1fms", rep.Recoveries, rep.RecoveryMs)
 		}
-		fmt.Printf("seed %-4d %-22s completed=%-6d declared=%-2d failovers=%-2d recovery=%-10s digest=%016x\n",
-			s, verdict, rep.Completed, rep.Declared, rep.Failovers, recovery, rep.Digest)
+		sloCol := ""
+		if *sloObj > 0 {
+			// Worst SLO offender: the vNIC with the highest end-to-end p99
+			// against the configured objective, plus any burn events.
+			sloCol = fmt.Sprintf(" slo[vnic=%d p99=%v/%v burns=%d]",
+				rep.SLOWorstVNIC, rep.SLOWorstP99, rep.SLOObjective, rep.SLOBurnEvents)
+		}
+		fmt.Printf("seed %-4d %-22s completed=%-6d declared=%-2d failovers=%-2d recovery=%-10s digest=%016x%s\n",
+			s, verdict, rep.Completed, rep.Declared, rep.Failovers, recovery, rep.Digest, sloCol)
 		if !rep.Failed() && rep.ProfDumpPath != "" {
 			fmt.Printf("    prof: %s\n", rep.ProfDumpPath)
 		}
@@ -207,9 +224,9 @@ func main() {
 			// The one-line failure handle: seed and dump together, so a
 			// CI log grep lands on everything needed to debug the run.
 			if rep.ProfDumpPath != "" {
-				fmt.Printf("FAIL seed=%d dump=%s prof=%s\n", s, rep.DumpPath, rep.ProfDumpPath)
+				fmt.Printf("FAIL seed=%d dump=%s prof=%s%s\n", s, rep.DumpPath, rep.ProfDumpPath, sloCol)
 			} else {
-				fmt.Printf("FAIL seed=%d dump=%s\n", s, rep.DumpPath)
+				fmt.Printf("FAIL seed=%d dump=%s%s\n", s, rep.DumpPath, sloCol)
 			}
 			if rep.JournalPath != "" {
 				fmt.Printf("    journal: %s\n", rep.JournalPath)
@@ -226,6 +243,9 @@ func main() {
 				if *ctrlOutage != 1500*time.Millisecond {
 					repro += fmt.Sprintf(" -ctrl-outage=%v", *ctrlOutage)
 				}
+			}
+			if *sloObj > 0 {
+				repro += fmt.Sprintf(" -slo=%v", *sloObj)
 			}
 			fmt.Printf("    reproduce: %s\n", repro)
 		}

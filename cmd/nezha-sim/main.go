@@ -9,7 +9,14 @@
 //	nezha-sim [-servers 24] [-clients 8] [-cps 20000] [-duration 20s]
 //	          [-crash] [-no-nezha] [-policy] [-seed 1]
 //	          [-obs run.jsonl] [-obs-sample 0.01] [-obs-prom metrics.prom]
-//	          [-prof run.pb.gz]
+//	          [-prof run.pb.gz] [-slo 100ms]
+//
+// -slo attaches the always-on latency ledger: end-to-end latency
+// histograms per (vNIC, path, direction), a count-min heavy-hitter
+// sketch, and a burn-rate evaluator against the given p99 objective.
+// The summary gains per-vNIC p99/violation/burn lines and the top
+// flows; with -obs the slo_* series and the snapshot's slo section
+// appear in nezha-top's LATENCY / TOP FLOWS views.
 //
 // -obs streams one JSON telemetry snapshot per virtual second to the
 // given file ('-' = stdout) — the format nezha-top renders. -obs-prom
@@ -43,6 +50,7 @@ import (
 	"nezha/internal/policy"
 	"nezha/internal/prof"
 	"nezha/internal/sim"
+	"nezha/internal/slo"
 	"nezha/internal/tables"
 	"nezha/internal/vswitch"
 	"nezha/internal/workload"
@@ -63,6 +71,7 @@ func main() {
 		obsPath   = flag.String("obs", "", "write per-second JSON telemetry snapshots here ('-' = stdout); view with nezha-top")
 		obsSample = flag.Float64("obs-sample", 0.01, "flight-trace sampling probability when -obs is set")
 		obsProm   = flag.String("obs-prom", "", "write a final Prometheus text export to this file")
+		sloObj    = flag.Duration("slo", 0, "latency SLO objective (e.g. 100ms): attach the always-on latency ledger and print per-vNIC p99s at exit (0 = off)")
 		profPath  = flag.String("prof", "", "attach the attribution profiler and write a pprof profile here at exit")
 		listen    = flag.String("listen", "", "serve the live ops API on this address (host:port); implies telemetry")
 		pace      = flag.Float64("pace", 0, "throttle to this multiple of wall-clock speed (0 = unpaced; 1 with -listen for a live-feeling run)")
@@ -89,6 +98,11 @@ func main() {
 	var pr *prof.Profiler
 	if *profPath != "" || *usePolicy {
 		pr = prof.New()
+	}
+
+	var tracker *slo.Tracker
+	if *sloObj > 0 {
+		tracker = slo.NewTracker(slo.Config{Objective: int64(*sloObj)})
 	}
 
 	var polCfg *policy.Config
@@ -125,6 +139,7 @@ func main() {
 		Obs:    ob,
 		Prof:   pr,
 		Policy: polCfg,
+		SLO:    tracker,
 	})
 
 	// The live ops surface: a history store fed by the same per-second
@@ -276,6 +291,23 @@ func main() {
 		overload += vs.Stats.Drops[vswitch.DropOverload]
 	}
 	fmt.Printf("  drops: total %d (overload %d)\n", drops, overload)
+
+	if tracker != nil {
+		v := tracker.View()
+		fmt.Printf("\nlatency SLO (objective %v, burn events %d):\n",
+			sim.Time(v.ObjectiveNS), v.BurnEvents)
+		for _, vn := range v.VNICs {
+			fmt.Printf("  vnic %-4d p99=%-12v total=%-9d violations=%-7d drops=%-6d burn=%.2f\n",
+				vn.VNIC, sim.Time(vn.P99), vn.Total, vn.Violations, vn.Drops, vn.Burn)
+		}
+		if len(v.HotFlows) > 0 {
+			fmt.Printf("  top flows:\n")
+			for _, f := range v.HotFlows {
+				fmt.Printf("    %-44s vnic=%-4d pkts=%-9d bytes=%d\n",
+					f.Flow, f.VNIC, f.Packets, f.Bytes)
+			}
+		}
+	}
 
 	if c.Policy != nil {
 		st := c.Policy.Stats

@@ -1,7 +1,13 @@
 // Command nezha-top renders the cluster telemetry stream that
 // nezha-sim and nezha-chaos emit with -obs: per-node utilization and
 // packet rates, per-vNIC offload state, control-plane transaction and
-// RPC activity, and the top-K flows by sampled packets.
+// RPC activity, and the top-K flows by sampled packets. Runs with the
+// latency SLO ledger attached (-slo) additionally get a LATENCY
+// section (per-vNIC end-to-end p99 vs objective, burn rate, per-path
+// breakdown), a TOP FLOWS (hot) table from the count-min heavy-hitter
+// sketch, and a WORKERS section (per-RSS-worker packets, cycles,
+// phase-B deferrals, and imbalance gauges) — in both file and attach
+// modes.
 //
 // Two input modes:
 //
@@ -44,6 +50,7 @@ import (
 	"time"
 
 	"nezha/internal/obs"
+	"nezha/internal/sim"
 )
 
 func main() {
@@ -366,6 +373,91 @@ func renderProf(w io.Writer, idx index, topK int, f filter) {
 	fmt.Fprintln(w)
 }
 
+// renderSLO draws the LATENCY section from the snapshot's embedded
+// SLO view: per-vNIC end-to-end p99 against the objective, violation
+// and drop totals, the current burn rate, and the per-path breakdown.
+func renderSLO(w io.Writer, s *obs.Snapshot, topK int, f filter) {
+	if s.SLO == nil || len(s.SLO.VNICs) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "LATENCY (objective %v, burn events %d) %s\n",
+		sim.Time(s.SLO.ObjectiveNS), s.SLO.BurnEvents, "")
+	fmt.Fprintf(w, "  %-8s %10s %8s %7s %12s %6s  %s\n",
+		"VNIC", "TOTAL", "VIOL", "DROPS", "P99", "BURN", "PATHS")
+	for _, vn := range s.SLO.VNICs {
+		if !f.matchVNIC(strconv.FormatUint(uint64(vn.VNIC), 10)) {
+			continue
+		}
+		paths := ""
+		for _, p := range vn.Paths {
+			if paths != "" {
+				paths += " "
+			}
+			paths += fmt.Sprintf("%s/%s:%v", p.Path, p.Dir, sim.Time(p.P99))
+		}
+		burn := fmt.Sprintf("%.2f", vn.Burn)
+		if vn.Burning > 0 {
+			burn += fmt.Sprintf("*%d", vn.Burning)
+		}
+		fmt.Fprintf(w, "  %-8d %10d %8d %7d %12v %6s  %s\n",
+			vn.VNIC, vn.Total, vn.Violations, vn.Drops, sim.Time(vn.P99), burn, paths)
+	}
+	fmt.Fprintln(w)
+	if len(s.SLO.HotFlows) > 0 && f.node == "" {
+		fmt.Fprintf(w, "TOP FLOWS (hot, count-min) %12s %12s %6s\n", "PACKETS", "BYTES", "VNIC")
+		n := len(s.SLO.HotFlows)
+		if n > topK {
+			n = topK
+		}
+		for _, fl := range s.SLO.HotFlows[:n] {
+			if !f.matchVNIC(strconv.FormatUint(uint64(fl.VNIC), 10)) {
+				continue
+			}
+			fmt.Fprintf(w, "  %-32s %10d %12d %6d\n", fl.Flow, fl.Packets, fl.Bytes, fl.VNIC)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// renderWorkers draws the WORKERS section: per-RSS-worker packet and
+// cycle accounting plus the per-node imbalance gauges. Rows exist only
+// on multi-worker (run-to-completion) configs.
+func renderWorkers(w io.Writer, idx index, f filter) {
+	nodes := idx.labelValues("vswitch_worker_packets_total", "node")
+	var shown []string
+	for _, n := range nodes {
+		if f.matchNode(n) {
+			shown = append(shown, n)
+		}
+	}
+	if len(shown) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "WORKERS %-12s %3s %14s %16s %10s %6s %8s\n",
+		"", "W", "PACKETS", "CYCLES", "DEFERRED", "SKEW", "CYCSKEW")
+	for _, n := range shown {
+		workers := idx.labelValues("vswitch_worker_packets_total", "worker")
+		for i, wk := range workers {
+			onWorker := func(l map[string]string) bool {
+				return l["node"] == n && l["worker"] == wk
+			}
+			skew := ""
+			cycSkew := ""
+			if i == 0 {
+				skew = fmt.Sprintf("%.2f", idx.val("vswitch_worker_skew", "node", n))
+				cycSkew = fmt.Sprintf("%.2f", idx.val("vswitch_worker_cycle_skew", "node", n))
+			}
+			fmt.Fprintf(w, "  %-18s %3s %14.0f %16.0f %10.0f %6s %8s\n",
+				n, wk,
+				idx.sumWhere("vswitch_worker_packets_total", onWorker),
+				idx.sumWhere("vswitch_worker_cycles_total", onWorker),
+				idx.sumWhere("vswitch_worker_deferred_total", onWorker),
+				skew, cycSkew)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
 // renderSpans draws the TXN SPANS section from the completed
 // control-plane transaction spans embedded in live snapshots.
 func renderSpans(w io.Writer, s *obs.Snapshot, f filter) {
@@ -516,6 +608,8 @@ func render(w io.Writer, s *obs.Snapshot, topK int, f filter) {
 			idx.total("policy_thrash_total"))
 	}
 
+	renderSLO(w, s, topK, f)
+	renderWorkers(w, idx, f)
 	renderSpans(w, s, f)
 	renderProf(w, idx, topK, f)
 

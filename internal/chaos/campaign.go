@@ -14,6 +14,7 @@ import (
 	"nezha/internal/packet"
 	"nezha/internal/prof"
 	"nezha/internal/sim"
+	"nezha/internal/slo"
 	"nezha/internal/tables"
 	"nezha/internal/vswitch"
 	"nezha/internal/workload"
@@ -109,6 +110,17 @@ type CampaignConfig struct {
 	// Used with Hist + -listen so a live scraper sees snapshots arrive
 	// in real time instead of the campaign finishing in milliseconds.
 	Pace float64
+	// SLO enables the latency/hot-flow SLO tracker on every vSwitch,
+	// the slo-burn-bound invariant, and slo_burn flight-recorder
+	// events (when Obs is also on). The layer is observer-effect-free:
+	// digests with SLO on must equal the same seed with it off.
+	SLO bool
+	// SLOObjective overrides the per-vNIC latency objective (0 =
+	// slo.DefaultObjective, 100 ms).
+	SLOObjective sim.Time
+	// SLOBurnStreak overrides how many consecutive burning windows the
+	// invariant tolerates (0 = DefaultSLOBurnStreak).
+	SLOBurnStreak int
 }
 
 // Report is a campaign's outcome.
@@ -146,6 +158,13 @@ type Report struct {
 	// JournalPath is the journal dump written next to the flight
 	// recorder on a failing crash campaign ("" when none).
 	JournalPath string
+	// SLO worst-offender summary (zero when the SLO layer was off or
+	// recorded nothing): the vNIC with the highest cumulative p99, its
+	// p99, the configured objective, and total burning windows.
+	SLOWorstVNIC  uint32
+	SLOWorstP99   sim.Time
+	SLOObjective  sim.Time
+	SLOBurnEvents uint64
 }
 
 // Failed reports whether any invariant broke.
@@ -166,6 +185,11 @@ type ReportView struct {
 	Failovers   uint64   `json:"failovers"`
 	Recoveries  uint64   `json:"recoveries,omitempty"`
 	RecoveryMs  float64  `json:"recovery_ms,omitempty"`
+	// SLO worst-offender summary (omitted when the SLO layer was off).
+	SLOWorstVNIC  uint32   `json:"slo_worst_vnic,omitempty"`
+	SLOWorstP99   sim.Time `json:"slo_worst_p99,omitempty"`
+	SLOObjective  sim.Time `json:"slo_objective,omitempty"`
+	SLOBurnEvents uint64   `json:"slo_burn_events,omitempty"`
 }
 
 // View flattens the report for JSON serving.
@@ -181,6 +205,11 @@ func (r Report) View() ReportView {
 		Failovers:   r.Failovers,
 		Recoveries:  r.Recoveries,
 		RecoveryMs:  r.RecoveryMs,
+
+		SLOWorstVNIC:  r.SLOWorstVNIC,
+		SLOWorstP99:   r.SLOWorstP99,
+		SLOObjective:  r.SLOObjective,
+		SLOBurnEvents: r.SLOBurnEvents,
 	}
 	for _, viol := range r.Violations {
 		v.Violations = append(v.Violations, viol.String())
@@ -247,6 +276,20 @@ func RunCampaign(cfg CampaignConfig) (Report, error) {
 	if cfg.Prof {
 		pr = prof.New()
 	}
+	var tracker *slo.Tracker
+	if cfg.SLO {
+		tracker = slo.NewTracker(slo.Config{
+			Objective: int64(cfg.SLOObjective),
+			OnBurn: func(now int64, ev slo.BurnEvent) {
+				// Flight-recorder only: the ring is outside every digest,
+				// so the event is free of observer effects. Safe when ob
+				// is nil (Event is nil-receiver-safe).
+				ob.Event(sim.Time(now), "slo_burn", 0, ev.VNIC,
+					"burn=%.1f consecutive=%d window=%d violations=%d",
+					ev.Burn, ev.Consecutive, ev.Window, ev.Violations)
+			},
+		})
+	}
 
 	c := cluster.New(cluster.Options{
 		Servers:   cfg.Servers,
@@ -260,6 +303,7 @@ func RunCampaign(cfg CampaignConfig) (Report, error) {
 		Monitor:    monCfg,
 		Obs:        ob,
 		Prof:       pr,
+		SLO:        tracker,
 	})
 
 	// Server (BE) VM on server 0.
@@ -303,6 +347,9 @@ func RunCampaign(cfg CampaignConfig) (Report, error) {
 		RecoveryBound: cfg.RecoveryBound,
 	})
 	RegisterStandard(eng)
+	if tracker != nil {
+		eng.Register(SLOBurnBound(tracker, cfg.SLOBurnStreak))
+	}
 	eng.SetUnaccountedDrops(cfg.UnaccountedDrops)
 	if ob != nil {
 		dumpPath := ""
@@ -409,6 +456,14 @@ func RunCampaign(cfg CampaignConfig) (Report, error) {
 		rep.DumpPath = eng.DumpPath()
 	}
 	rep.ProfDumpPath = eng.ProfDumpPath()
+	if tracker != nil {
+		rep.SLOObjective = sim.Time(tracker.Objective())
+		rep.SLOBurnEvents = tracker.BurnEvents()
+		if vnic, p99, ok := tracker.Worst(); ok {
+			rep.SLOWorstVNIC = vnic
+			rep.SLOWorstP99 = sim.Time(p99)
+		}
+	}
 	for _, vm := range clients {
 		rep.Completed += vm.Completed
 	}

@@ -15,6 +15,7 @@ import (
 	"nezha/internal/policy"
 	"nezha/internal/prof"
 	"nezha/internal/sim"
+	"nezha/internal/slo"
 	"nezha/internal/tables"
 	"nezha/internal/vswitch"
 	"nezha/internal/workload"
@@ -99,6 +100,10 @@ type ScenarioConfig struct {
 	// can serve the scenario live. Publishing is observer-only; the
 	// decision log and digest stay byte-identical to a run without it.
 	Hist *obs.History
+	// SLO enables the latency SLO tracker on every vSwitch. Like Hist,
+	// it is observer-only: the decision log must stay byte-identical to
+	// a run without it.
+	SLO bool
 }
 
 // ScenarioResult is one scenario's outcome.
@@ -327,6 +332,10 @@ func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 		// registry, spans, and flows — not per-packet flights.
 		ob = obs.New(obs.Options{Seed: cfg.Seed})
 	}
+	var tracker *slo.Tracker
+	if cfg.SLO {
+		tracker = slo.NewTracker(slo.Config{})
+	}
 	c := cluster.New(cluster.Options{
 		Servers:   cfg.Servers,
 		Seed:      cfg.Seed,
@@ -340,6 +349,7 @@ func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 		Obs:        ob,
 		Prof:       pr,
 		Policy:     &polCfg,
+		SLO:        tracker,
 	})
 	if cfg.Hist != nil {
 		if pub := c.NewOpsPublisher(cfg.Hist, 10); pub != nil {

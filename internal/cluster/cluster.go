@@ -16,6 +16,7 @@ import (
 	"nezha/internal/policy"
 	"nezha/internal/prof"
 	"nezha/internal/sim"
+	"nezha/internal/slo"
 	"nezha/internal/tables"
 	"nezha/internal/vswitch"
 	"nezha/internal/workload"
@@ -62,6 +63,10 @@ type Options struct {
 	// interface. Requires Prof (the loop consumes attribution windows);
 	// New panics otherwise.
 	Policy *policy.Config
+	// SLO, when non-nil, wires the latency/hot-flow SLO tracker into
+	// every vSwitch's terminal points and, when Obs is also set,
+	// attaches its view and slo_* series to the bundle's snapshots.
+	SLO *slo.Tracker
 }
 
 // Cluster is a running simulated region.
@@ -76,6 +81,9 @@ type Cluster struct {
 	// Policy is the running policy loop when Options.Policy was set
 	// (nil otherwise).
 	Policy *policy.Loop
+	// SLO is the latency tracker when Options.SLO was set (nil
+	// otherwise).
+	SLO *slo.Tracker
 
 	Switches []*vswitch.VSwitch
 	IDGen    uint64
@@ -107,7 +115,11 @@ func New(opts Options) *Cluster {
 		Loop: sim.NewLoopSched(opts.Seed, opts.Scheduler),
 		Obs:  opts.Obs,
 		Prof: opts.Prof,
+		SLO:  opts.SLO,
 		vms:  make(map[packet.IPv4]map[uint32]*workload.VM),
+	}
+	if c.SLO != nil && c.Obs != nil {
+		c.Obs.AttachSLO(c.SLO)
 	}
 	if c.Prof != nil {
 		c.Prof.SetClock(c.Loop.Now)
@@ -168,6 +180,9 @@ func New(opts Options) *Cluster {
 		}
 		if c.Prof != nil {
 			vs.EnableProf(c.Prof)
+		}
+		if c.SLO != nil {
+			vs.EnableSLO(c.SLO)
 		}
 		c.Switches = append(c.Switches, vs)
 		c.Ctrl.RegisterNode(vs)

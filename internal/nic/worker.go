@@ -9,8 +9,9 @@ package nic
 // datapath correctness. Consumers read them through accessors and
 // worker-count-aware gauges only.
 type WorkerAccount struct {
-	cycles []uint64
-	pkts   []uint64
+	cycles   []uint64
+	pkts     []uint64
+	deferred []uint64
 }
 
 // NewWorkerAccount builds an account for n workers (min 1).
@@ -18,7 +19,11 @@ func NewWorkerAccount(n int) *WorkerAccount {
 	if n < 1 {
 		n = 1
 	}
-	return &WorkerAccount{cycles: make([]uint64, n), pkts: make([]uint64, n)}
+	return &WorkerAccount{
+		cycles:   make([]uint64, n),
+		pkts:     make([]uint64, n),
+		deferred: make([]uint64, n),
+	}
 }
 
 // Workers returns the worker count.
@@ -33,6 +38,25 @@ func (a *WorkerAccount) Charge(w int, cycles uint64) {
 	}
 	a.cycles[w] += cycles
 	a.pkts[w]++
+}
+
+// ChargeDeferred counts one packet worker w punted from the burst
+// fast phase to the ordered phase-B replay (hazard or burst-ineligible
+// flow). Out-of-range folds onto worker 0 like Charge.
+func (a *WorkerAccount) ChargeDeferred(w int) {
+	if w < 0 || w >= len(a.deferred) {
+		w = 0
+	}
+	a.deferred[w]++
+}
+
+// DeferredOf returns worker w's cumulative deferred-packet total (0
+// out of range).
+func (a *WorkerAccount) DeferredOf(w int) uint64 {
+	if w < 0 || w >= len(a.deferred) {
+		return 0
+	}
+	return a.deferred[w]
 }
 
 // CyclesOf returns worker w's cumulative cycle total (0 out of range).
@@ -62,4 +86,40 @@ func (a *WorkerAccount) Cycles(out []uint64) []uint64 {
 // returns it.
 func (a *WorkerAccount) Packets(out []uint64) []uint64 {
 	return append(out, a.pkts...)
+}
+
+// Deferred appends each worker's cumulative deferred-packet total to
+// out and returns it.
+func (a *WorkerAccount) Deferred(out []uint64) []uint64 {
+	return append(out, a.deferred...)
+}
+
+// Skew returns max/mean of the per-worker packet totals — the
+// imbalance gauge (1.0 = perfectly balanced; 0 when idle or single
+// worker).
+func (a *WorkerAccount) Skew() float64 {
+	return skew(a.pkts)
+}
+
+// CycleSkew returns max/mean of the per-worker cycle totals.
+func (a *WorkerAccount) CycleSkew() float64 {
+	return skew(a.cycles)
+}
+
+func skew(vals []uint64) float64 {
+	if len(vals) < 2 {
+		return 0
+	}
+	var sum, max uint64
+	for _, v := range vals {
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(vals))
+	return float64(max) / mean
 }

@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"sync"
 
 	"nezha/internal/packet"
 	"nezha/internal/sim"
+	"nezha/internal/slo"
 )
 
 // Obs bundles the observability layer handed to every component: the
@@ -21,6 +23,10 @@ type Obs struct {
 	Spans  *SpanLog
 	Rec    *FlightRecorder
 	Flows  *FlowTop
+
+	// SLO, when set by AttachSLO, is the latency/hot-flow tracker whose
+	// view Snap embeds in every snapshot.
+	SLO *slo.Tracker
 }
 
 // Options tunes an Obs bundle. Zero values select defaults.
@@ -67,11 +73,47 @@ func (o *Obs) Event(at sim.Time, kind string, node packet.IPv4, vnic uint32, for
 	o.Rec.Add(Event{At: at, Kind: kind, Node: node, VNIC: vnic, Msg: msg})
 }
 
+// AttachSLO wires a latency/hot-flow SLO tracker into the bundle:
+// Snap embeds its view in every snapshot, and per-vNIC slo_* series
+// (dynamic label sets — one row per tracked vNIC) are exported at
+// snapshot time through a Collect callback, so the record path is
+// untouched.
+func (o *Obs) AttachSLO(t *slo.Tracker) {
+	o.SLO = t
+	if t == nil {
+		return
+	}
+	r := o.Reg
+	r.Help("slo_packets_total", "Packets accounted by the SLO ledger (deliveries + drops), per vNIC.")
+	r.Help("slo_violations_total", "SLO violations (deliveries over the latency objective, plus all drops), per vNIC.")
+	r.Help("slo_drops_total", "Drops accounted as SLO violations, per vNIC.")
+	r.Help("slo_p99_ns", "Cumulative p99 end-to-end delivery latency per vNIC, nanoseconds (log-linear bucket upper edge).")
+	r.Help("slo_burn", "Error-budget burn rate over the last closed window per vNIC (1.0 = exactly on budget).")
+	r.Help("slo_burn_events_total", "Burn windows closed at or above the burn threshold, all vNICs.")
+	r.Help("slo_objective_ns", "Configured per-vNIC latency objective, nanoseconds.")
+	r.Collect(func(emit Emit) {
+		for _, vnic := range t.VNICs() {
+			total, viol, drops, p99, burn := t.VNICStats(vnic)
+			lbl := L("vnic", strconv.FormatUint(uint64(vnic), 10))
+			emit("slo_packets_total", lbl, KindCounter, float64(total))
+			emit("slo_violations_total", lbl, KindCounter, float64(viol))
+			emit("slo_drops_total", lbl, KindCounter, float64(drops))
+			emit("slo_p99_ns", lbl, KindGauge, float64(p99))
+			emit("slo_burn", lbl, KindGauge, burn)
+		}
+		emit("slo_burn_events_total", nil, KindCounter, float64(t.BurnEvents()))
+		emit("slo_objective_ns", nil, KindGauge, float64(t.Objective()))
+	})
+}
+
 // Snap takes a registry snapshot at now and attaches the current
-// top-K flows.
+// top-K flows plus, when a tracker is attached, the SLO view.
 func (o *Obs) Snap(now sim.Time, topK int) *Snapshot {
 	s := o.Reg.Snapshot(now)
 	s.Flows = o.Flows.Top(topK)
+	if o.SLO != nil {
+		s.SLO = o.SLO.View()
+	}
 	return s
 }
 

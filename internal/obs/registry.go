@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 
 	"nezha/internal/sim"
+	"nezha/internal/slo"
 )
 
 // Label is one name=value dimension of a series.
@@ -462,6 +463,11 @@ type Snapshot struct {
 	// spans, filled in by a history Publisher (optional) — the TXN
 	// section nezha-top renders in live mode.
 	Spans []Span `json:"spans,omitempty"`
+
+	// SLO is the latency/hot-flow SLO view, filled in by Obs.Snap when
+	// a tracker is attached (optional) — /api/v1/slo and nezha-top's
+	// LATENCY / TOP FLOWS sections read it.
+	SLO *slo.View `json:"slo,omitempty"`
 
 	// help carries per-metric exposition help text for WritePrometheus;
 	// deliberately unexported so JSONL snapshots stay compact.

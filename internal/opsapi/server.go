@@ -27,6 +27,7 @@ import (
 
 	"nezha/internal/obs"
 	"nezha/internal/sim"
+	"nezha/internal/slo"
 )
 
 // Server hosts the ops endpoints. The history source and the chaos
@@ -113,6 +114,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/v1/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/api/v1/history", s.handleHistory)
 	mux.HandleFunc("/api/v1/stream", s.handleStream)
+	mux.HandleFunc("/api/v1/slo", s.handleSLO)
+	mux.HandleFunc("/api/v1/flows/top", s.handleFlowsTop)
 	mux.HandleFunc("/api/v1/prof", s.handleProf)
 	mux.HandleFunc("/api/v1/policy/log", s.handlePolicyLog)
 	mux.HandleFunc("/api/v1/chaos/report", s.handleChaosReport)
@@ -146,6 +149,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 			"/api/v1/snapshot",
 			"/api/v1/history?series=&from=&to=",
 			"/api/v1/stream?replay=",
+			"/api/v1/slo",
+			"/api/v1/flows/top",
 			"/api/v1/prof",
 			"/api/v1/policy/log",
 			"/api/v1/chaos/report",
@@ -306,6 +311,55 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+}
+
+// handleSLO serves the latest published snapshot's SLO view: per-vNIC
+// latency histogram summaries, violation and drop counters, burn
+// state, and the top-K heavy hitters. Like every read endpoint it
+// touches only the History — the SLO tracker itself is loop-owned.
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	h := s.history()
+	if h == nil {
+		http.Error(w, "no telemetry source attached", http.StatusServiceUnavailable)
+		return
+	}
+	snap := h.Latest()
+	if snap == nil {
+		http.Error(w, "no snapshot published yet", http.StatusServiceUnavailable)
+		return
+	}
+	if snap.SLO == nil {
+		http.Error(w, "no SLO tracker attached (run with the SLO layer enabled)", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, map[string]any{"t": snap.T, "slo": snap.SLO})
+}
+
+// flowsTopResponse is the /api/v1/flows/top payload: the SLO layer's
+// sketch-ranked heavy hitters (exact-identity candidates over all
+// packets) next to the tracer's sampled flow table.
+type flowsTopResponse struct {
+	T       sim.Time       `json:"t"`
+	Hot     []slo.HotFlow  `json:"hot_flows,omitempty"`
+	Sampled []obs.FlowStat `json:"sampled_flows,omitempty"`
+}
+
+func (s *Server) handleFlowsTop(w http.ResponseWriter, r *http.Request) {
+	h := s.history()
+	if h == nil {
+		http.Error(w, "no telemetry source attached", http.StatusServiceUnavailable)
+		return
+	}
+	snap := h.Latest()
+	if snap == nil {
+		http.Error(w, "no snapshot published yet", http.StatusServiceUnavailable)
+		return
+	}
+	out := flowsTopResponse{T: snap.T, Sampled: snap.Flows}
+	if snap.SLO != nil {
+		out.Hot = snap.SLO.HotFlows
+	}
+	writeJSON(w, out)
 }
 
 func (s *Server) handleProf(w http.ResponseWriter, r *http.Request) {

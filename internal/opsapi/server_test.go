@@ -45,6 +45,7 @@ func TestEndpointsWithoutHistory(t *testing.T) {
 	for _, ep := range []string{
 		"/metrics", "/api/v1/snapshot", "/api/v1/history",
 		"/api/v1/stream", "/api/v1/prof", "/api/v1/policy/log", "/api/v1/health",
+		"/api/v1/slo", "/api/v1/flows/top",
 	} {
 		if code, body, _ := get(t, ts.URL+ep); code != http.StatusServiceUnavailable {
 			t.Errorf("%s without history: %d %q, want 503", ep, code, body)
@@ -81,8 +82,8 @@ func TestIndexAndNotFound(t *testing.T) {
 	if idx.Service != "nezha-opsapi" || idx.Meta["mode"] != "test" || idx.Meta["seed"] != "42" {
 		t.Errorf("index = %+v", idx)
 	}
-	if len(idx.Endpoints) != 8 {
-		t.Errorf("index lists %d endpoints, want 8", len(idx.Endpoints))
+	if len(idx.Endpoints) != 10 {
+		t.Errorf("index lists %d endpoints, want 10", len(idx.Endpoints))
 	}
 	if code, _, _ := get(t, ts.URL+"/nope"); code != http.StatusNotFound {
 		t.Errorf("unknown path: %d, want 404", code)

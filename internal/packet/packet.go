@@ -222,6 +222,35 @@ func (k SessionKey) Hash() uint64 {
 	return k.Tuple.Hash() ^ (uint64(k.VPC) * hashVPCMix) ^ (uint64(k.VNIC) * hashVNICMix)
 }
 
+// PathKind classifies which datapath handled a packet's session
+// lookup at its most recent vswitch hop: the per-vNIC session-cache
+// fast path, the rule-table slow path, or the Nezha-offloaded path
+// (looked up at a sharing FE, delivered via the BE). The SLO latency
+// ledger keys its histograms on this.
+type PathKind uint8
+
+// Datapath classes for PathKind.
+const (
+	PathFast PathKind = iota
+	PathSlow
+	PathOffloaded
+	// NumPaths bounds PathKind for array-indexed telemetry.
+	NumPaths
+)
+
+func (k PathKind) String() string {
+	switch k {
+	case PathFast:
+		return "fast"
+	case PathSlow:
+		return "slow"
+	case PathOffloaded:
+		return "offloaded"
+	default:
+		return fmt.Sprintf("path(%d)", uint8(k))
+	}
+}
+
 // NezhaType discriminates what the Nezha outer header carries.
 type NezhaType uint8
 
@@ -373,6 +402,14 @@ type Packet struct {
 	// poolState tracks the free-list lifecycle; only the simdebug
 	// build writes it (see pool.go).
 	poolState uint8
+
+	// Path records which datapath class handled the packet's most
+	// recent session lookup (fast/slow/offloaded). It is scratch state
+	// for the SLO latency ledger — not marshaled, not folded into any
+	// digest, zeroed on pool recycle — and is overwritten by each
+	// vswitch hop, so the value read at a terminal point reflects the
+	// terminal switch's own classification.
+	Path PathKind
 
 	// Hash memos. The datapath hashes a packet's tuple up to three
 	// times per hop (session lookup, FE selection, learner ECMP), and

@@ -38,6 +38,17 @@ func Get(id uint64, vpc, vnic uint32, ft FiveTuple, dir Direction, flags TCPFlag
 	return p
 }
 
+// GetStamped is Get plus an explicit birth-timestamp stamp. Pool
+// recycling zeroes SentAt along with everything else, so every
+// constructor site feeding the datapath must re-stamp the packet for
+// the SLO latency ledger to read a real birth time at the terminal
+// hop; this variant makes the stamp impossible to forget.
+func GetStamped(sentAt int64, id uint64, vpc, vnic uint32, ft FiveTuple, dir Direction, flags TCPFlags, payloadLen int) *Packet {
+	p := Get(id, vpc, vnic, ft, dir, flags, payloadLen)
+	p.SentAt = sentAt
+	return p
+}
+
 // getBlank pops a fully zeroed packet off the pool (or allocates one)
 // and marks it live.
 func getBlank() *Packet {

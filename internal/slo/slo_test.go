@@ -1,0 +1,101 @@
+package slo
+
+import (
+	"testing"
+
+	"nezha/internal/packet"
+)
+
+// The burn evaluator fires when a window's violating fraction exceeds
+// the threshold × 1% budget, tracks consecutive windows, and resets
+// on a healthy window.
+func TestBurnEvaluator(t *testing.T) {
+	var events []BurnEvent
+	tr := NewTracker(Config{
+		Objective:     1000, // 1µs
+		BurnWindow:    1000,
+		BurnThreshold: 2,
+		DecayEvery:    -1,
+		OnBurn:        func(now int64, ev BurnEvent) { events = append(events, ev) },
+	})
+	key, hash := testKey(0)
+
+	// Window 1: 100 packets, 10 violations → burn 10 >= 2.
+	now := int64(0)
+	for i := 0; i < 100; i++ {
+		lat := int64(100)
+		if i < 10 {
+			lat = 5000
+		}
+		tr.RecordDeliver(now, 1, packet.PathFast, packet.DirRX, lat, hash, key, 100)
+		now++
+	}
+	// Cross the window boundary.
+	tr.RecordDeliver(1001, 1, packet.PathFast, packet.DirRX, 100, hash, key, 100)
+	if len(events) != 1 {
+		t.Fatalf("got %d burn events, want 1", len(events))
+	}
+	if ev := events[0]; ev.VNIC != 1 || ev.Burn < 9 || ev.Consecutive != 1 {
+		t.Fatalf("unexpected event %+v", ev)
+	}
+
+	// Window 2: all healthy → streak resets.
+	for i := 0; i < 100; i++ {
+		tr.RecordDeliver(1001+int64(i), 1, packet.PathFast, packet.DirRX, 100, hash, key, 100)
+	}
+	tr.RecordDeliver(2500, 1, packet.PathFast, packet.DirRX, 100, hash, key, 100)
+	if len(events) != 1 {
+		t.Fatalf("healthy window fired a burn event: %+v", events)
+	}
+	if _, streak := tr.MaxBurnStreak(); streak != 1 {
+		t.Fatalf("max streak = %d, want 1", streak)
+	}
+	if tr.BurnEvents() != 1 {
+		t.Fatalf("burn events = %d", tr.BurnEvents())
+	}
+}
+
+// Drops count as violations and carry their cause into the view.
+func TestDropsAreViolations(t *testing.T) {
+	tr := NewTracker(Config{DecayEvery: -1})
+	tr.SetCauseNames([]string{"overload", "acl"})
+	key, hash := testKey(3)
+	for i := 0; i < 9; i++ {
+		tr.RecordDeliver(int64(i), 7, packet.PathSlow, packet.DirTX, 100, hash, key, 64)
+	}
+	tr.RecordDrop(9, 7, 0)
+	tr.RecordDrop(10, 7, 1)
+
+	total, viol, drops, _, _ := tr.VNICStats(7)
+	if total != 11 || viol != 2 || drops != 2 {
+		t.Fatalf("stats = total %d viol %d drops %d, want 11/2/2", total, viol, drops)
+	}
+	v := tr.View()
+	if len(v.VNICs) != 1 {
+		t.Fatalf("view vnics = %d", len(v.VNICs))
+	}
+	vv := v.VNICs[0]
+	if vv.DropCauses["overload"] != 1 || vv.DropCauses["acl"] != 1 {
+		t.Fatalf("drop causes = %v", vv.DropCauses)
+	}
+	if len(vv.Paths) != 1 || vv.Paths[0].Path != "slow" || vv.Paths[0].Dir != "tx" {
+		t.Fatalf("paths = %+v", vv.Paths)
+	}
+}
+
+// Worst picks the vNIC with the highest cumulative p99.
+func TestWorst(t *testing.T) {
+	tr := NewTracker(Config{DecayEvery: -1})
+	key, hash := testKey(5)
+	for i := 0; i < 100; i++ {
+		tr.RecordDeliver(int64(i), 1, packet.PathFast, packet.DirRX, 1000, hash, key, 64)
+		tr.RecordDeliver(int64(i), 2, packet.PathFast, packet.DirRX, 900_000, hash, key, 64)
+	}
+	vnic, p99, ok := tr.Worst()
+	if !ok || vnic != 2 {
+		t.Fatalf("worst = vnic %d ok %v, want vnic 2", vnic, ok)
+	}
+	if BucketOf(p99) != BucketOf(900_000) {
+		t.Fatalf("worst p99 = %d, want within bucket of 900000", p99)
+	}
+}

@@ -123,8 +123,7 @@ func (vs *VSwitch) HandleUnderlay(p *packet.Packet) {
 func (vs *VSwitch) handleProbe(p *packet.Packet) {
 	vs.Stats.ProbesSeen++
 	vs.Stats.Absorbed++
-	pong := packet.Get(p.ID, 0, 0, p.Tuple.Reverse(), packet.DirTX, 0, 0)
-	pong.SentAt = p.SentAt
+	pong := packet.GetStamped(p.SentAt, p.ID, 0, 0, p.Tuple.Reverse(), packet.DirTX, 0, 0)
 	to := p.OuterSrc
 	p.Release()
 	pong.Encap(vs.cfg.Addr, to)
@@ -199,12 +198,14 @@ func (vs *VSwitch) lookupOrSlowPathH(rules *tables.RuleSet, p *packet.Packet, ke
 	}
 	if e != nil && e.HasPre && e.PreVersion == rules.Version() {
 		vs.Stats.FastPath++
+		p.Path = packet.PathFast
 		if vs.ob != nil {
 			vs.hopLookup(p, true)
 		}
 		return e, e.Pre, false
 	}
 	vs.Stats.SlowPath++
+	p.Path = packet.PathSlow
 	if vs.ob != nil {
 		vs.hopLookup(p, false)
 	}
@@ -406,6 +407,12 @@ func (vs *VSwitch) deliverToVM(vnic uint32, p *packet.Packet) {
 		vs.hopDeliver(p)
 	}
 	lat := vs.loop.Now() - sim.Time(p.SentAt)
+	if vs.slo != nil && p.SentAt > 0 {
+		// The session-key hash is memo-served — the datapath already
+		// computed it for the lookup, so the ledger adds no hashing.
+		key, hash, _ := p.SessionKeyHashed()
+		vs.slo.RecordDeliver(int64(vs.loop.Now()), vnic, p.Path, p.Dir, int64(lat), hash, key, p.SizeBytes)
+	}
 	if vs.deliverObs != nil {
 		vs.deliverObs(vnic, p, lat)
 	}
@@ -468,6 +475,10 @@ func (vs *VSwitch) beRX(vn *vnicState, p *packet.Packet) {
 	if !vs.rateAdmit(vn, p) {
 		return
 	}
+	// The FE already ran the lookup for this packet; its terminal
+	// latency is accounted to the offloaded path, overriding the
+	// fast/slow tag the FE's own lookup left behind.
+	p.Path = packet.PathOffloaded
 	if vs.ob != nil {
 		vs.hop(p, "be-rx")
 	}
@@ -611,8 +622,7 @@ func (vs *VSwitch) sendNotify(fe *feInstance, orig *packet.Packet, policy tables
 	var st state.State
 	st.InitFirst(orig.Nezha.Dir, int64(vs.loop.Now()))
 	st.Policy = policy
-	n := packet.Get(orig.ID, orig.VPC, orig.VNIC, orig.Tuple, orig.Dir, 0, 0)
-	n.SentAt = int64(vs.loop.Now())
+	n := packet.GetStamped(int64(vs.loop.Now()), orig.ID, orig.VPC, orig.VNIC, orig.Tuple, orig.Dir, 0, 0)
 	n.AttachNezha(&packet.NezhaHeader{
 		Type:      packet.NezhaNotify,
 		VNIC:      fe.vnic,

@@ -38,6 +38,7 @@ import (
 	"nezha/internal/packet"
 	"nezha/internal/prof"
 	"nezha/internal/sim"
+	"nezha/internal/slo"
 	"nezha/internal/tables"
 )
 
@@ -284,6 +285,11 @@ type VSwitch struct {
 	// bindings; nil means profiling is off.
 	prof *vsProf
 
+	// slo, when set by EnableSLO, receives per-packet latency and drop
+	// accounting at the terminal points (deliverToVM, drop); nil means
+	// the SLO layer is off and the datapath pays nothing.
+	slo *slo.Tracker
+
 	// Burst-pipeline scratch (see burst.go). The sim loop is
 	// single-threaded, so one set per vSwitch suffices: burstCosts is
 	// consumed synchronously by SubmitBurst, pend accumulates egress
@@ -372,6 +378,29 @@ func (vs *VSwitch) Sessions() *flowcache.Table { return vs.sessions }
 // Workers exposes the per-worker CPU account (nil unless the vSwitch
 // was configured with more than one run-to-completion worker).
 func (vs *VSwitch) Workers() *nic.WorkerAccount { return vs.workers }
+
+// EnableSLO attaches the latency/hot-flow SLO tracker: the terminal
+// points (deliverToVM, drop) then record end-to-end latency,
+// violations, and heavy-hitter observations. Nil detaches. Drop-cause
+// names are installed so tracker views label causes with DropReason
+// strings.
+func (vs *VSwitch) EnableSLO(t *slo.Tracker) {
+	vs.slo = t
+	if t != nil {
+		t.SetCauseNames(dropCauseNames())
+	}
+}
+
+// SLO returns the attached tracker (nil when disabled).
+func (vs *VSwitch) SLO() *slo.Tracker { return vs.slo }
+
+func dropCauseNames() []string {
+	names := make([]string, numDropReasons)
+	for r := DropReason(0); r < numDropReasons; r++ {
+		names[r] = r.String()
+	}
+	return names
+}
 
 // Learner exposes the gateway cache (tests).
 func (vs *VSwitch) Learner() *fabric.Learner { return vs.learner }
@@ -946,6 +975,9 @@ func (vs *VSwitch) drop(p *packet.Packet, r DropReason) {
 	vs.Stats.Drops[r]++
 	if vs.ob != nil {
 		vs.hopDrop(p, r)
+	}
+	if vs.slo != nil {
+		vs.slo.RecordDrop(int64(vs.loop.Now()), p.VNIC, uint8(r))
 	}
 	p.Release()
 }

@@ -232,6 +232,9 @@ func (vs *VSwitch) runBurstPipeline(pipe uint8, vn *vnicState, fe *feInstance, v
 		if hint == nil || hashSeen(defHash, sc.hashes[i]) {
 			defHash = append(defHash, sc.hashes[i])
 			sc.deferred[i] = true
+			if vs.workers != nil {
+				vs.workers.ChargeDeferred(int(sc.owner[i]))
+			}
 			continue
 		}
 		if vs.planPacket(pipe, vn, fe, vp, p, sc.keys[i], sc.hashes[i], hint, &sc.slots[i]) {

@@ -124,8 +124,7 @@ func (h *FlowHolder) OpenN(n int) {
 		}
 		h.open = append(h.open, ft)
 		tuples = append(tuples, ft)
-		p := packet.Get(h.client.nextID(), h.client.VPC, h.client.VNIC, ft, packet.DirTX, packet.FlagSYN, 0)
-		p.SentAt = int64(h.loop.Now())
+		p := packet.GetStamped(int64(h.loop.Now()), h.client.nextID(), h.client.VPC, h.client.VNIC, ft, packet.DirTX, packet.FlagSYN, 0)
 		syns = append(syns, p)
 	}
 	h.client.vs.FromVMBurst(syns)
@@ -135,8 +134,7 @@ func (h *FlowHolder) OpenN(n int) {
 	h.loop.Schedule(20*sim.Millisecond, func() {
 		acks := make([]*packet.Packet, 0, len(tuples))
 		for _, ft := range tuples {
-			ack := packet.Get(h.client.nextID(), h.client.VPC, h.client.VNIC, ft, packet.DirTX, packet.FlagACK, 0)
-			ack.SentAt = int64(h.loop.Now())
+			ack := packet.GetStamped(int64(h.loop.Now()), h.client.nextID(), h.client.VPC, h.client.VNIC, ft, packet.DirTX, packet.FlagACK, 0)
 			acks = append(acks, ack)
 		}
 		h.client.vs.FromVMBurst(acks)
@@ -163,8 +161,7 @@ func (h *FlowHolder) KeepAlive() {
 	}
 	batch := make([]*packet.Packet, 0, len(h.open))
 	for _, ft := range h.open {
-		p := packet.Get(h.client.nextID(), h.client.VPC, h.client.VNIC, ft, packet.DirTX, packet.FlagACK, 32)
-		p.SentAt = int64(h.loop.Now())
+		p := packet.GetStamped(int64(h.loop.Now()), h.client.nextID(), h.client.VPC, h.client.VNIC, ft, packet.DirTX, packet.FlagACK, 32)
 		batch = append(batch, p)
 	}
 	h.client.vs.FromVMBurst(batch)
@@ -181,8 +178,7 @@ func (h *FlowHolder) KeepAlivePaced(window sim.Time) {
 	for i, ft := range h.open {
 		ft := ft
 		h.loop.Schedule(gap*sim.Time(i), func() {
-			p := packet.Get(h.client.nextID(), h.client.VPC, h.client.VNIC, ft, packet.DirTX, packet.FlagACK, 32)
-			p.SentAt = int64(h.loop.Now())
+			p := packet.GetStamped(int64(h.loop.Now()), h.client.nextID(), h.client.VPC, h.client.VNIC, ft, packet.DirTX, packet.FlagACK, 32)
 			h.client.vs.FromVM(p)
 		})
 	}
@@ -240,8 +236,7 @@ func (f *SYNFlood) arm() {
 			SrcPort: uint16(1024 + f.rng.Intn(60000)), DstPort: ServerPort,
 			Proto: packet.ProtoTCP,
 		}
-		p := packet.Get(*f.idGen, f.vpc, f.vnic, ft, packet.DirTX, packet.FlagSYN, 0)
-		p.SentAt = int64(f.loop.Now())
+		p := packet.GetStamped(int64(f.loop.Now()), *f.idGen, f.vpc, f.vnic, ft, packet.DirTX, packet.FlagSYN, 0)
 		f.Sent++
 		f.vs.FromVM(p)
 		f.arm()
@@ -270,15 +265,13 @@ func (pg *Pinger) Run(rate float64, n int) {
 		SrcIP: pg.vm.IP, DstIP: pg.dst,
 		SrcPort: pg.sport, DstPort: ServerPort, Proto: packet.ProtoTCP,
 	}
-	syn := packet.Get(pg.vm.nextID(), pg.vm.VPC, pg.vm.VNIC, ft, packet.DirTX, packet.FlagSYN, 0)
-	syn.SentAt = int64(pg.loop.Now())
+	syn := packet.GetStamped(int64(pg.loop.Now()), pg.vm.nextID(), pg.vm.VPC, pg.vm.VNIC, ft, packet.DirTX, packet.FlagSYN, 0)
 	pg.vm.vs.FromVM(syn)
 	gap := sim.Time(float64(sim.Second) / rate)
 	for i := 1; i <= n; i++ {
 		i := i
 		pg.loop.Schedule(gap*sim.Time(i), func() {
-			p := packet.Get(pg.vm.nextID(), pg.vm.VPC, pg.vm.VNIC, ft, packet.DirTX, packet.FlagACK, 64)
-			p.SentAt = int64(pg.loop.Now())
+			p := packet.GetStamped(int64(pg.loop.Now()), pg.vm.nextID(), pg.vm.VPC, pg.vm.VNIC, ft, packet.DirTX, packet.FlagACK, 64)
 			pg.vm.vs.FromVM(p)
 		})
 	}

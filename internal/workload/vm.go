@@ -118,8 +118,7 @@ func (vm *VM) nextID() uint64 {
 }
 
 func (vm *VM) send(ft packet.FiveTuple, flags packet.TCPFlags, payload int, sentAt int64) {
-	p := packet.Get(vm.nextID(), vm.VPC, vm.VNIC, ft, packet.DirTX, flags, payload)
-	p.SentAt = sentAt
+	p := packet.GetStamped(sentAt, vm.nextID(), vm.VPC, vm.VNIC, ft, packet.DirTX, flags, payload)
 	vm.vs.FromVM(p)
 }
 
